@@ -1,0 +1,587 @@
+//! Two-pass assembly of parsed items into a loadable [`Program`].
+
+use crate::ast::{Expr, Item, Operand, SourceItem};
+use crate::error::{AsmError, AsmErrorKind, AsmResult};
+use crate::parser::parse;
+use asc_tvm::encode::encode_all;
+use asc_tvm::isa::{Instruction, Opcode, Reg, INSTRUCTION_BYTES};
+use asc_tvm::program::Program;
+use std::collections::BTreeMap;
+
+/// Default amount of memory reserved beyond the image for heap and stack.
+const DEFAULT_HEADROOM: usize = 64 * 1024;
+
+/// Configurable assembler.
+///
+/// # Examples
+/// ```
+/// use asc_asm::Assembler;
+/// let program = Assembler::new()
+///     .mem_size(8192)
+///     .assemble("movi r1, 2\n movi r2, 3\n add r3, r1, r2\n halt\n")
+///     .unwrap();
+/// assert_eq!(program.mem_size(), 8192);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    mem_size: Option<usize>,
+    headroom: Option<usize>,
+}
+
+impl Assembler {
+    /// Creates an assembler with default memory sizing (image + 64 KiB).
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Sets the exact memory segment size of the produced program.
+    pub fn mem_size(mut self, bytes: usize) -> Self {
+        self.mem_size = Some(bytes);
+        self
+    }
+
+    /// Sets the heap/stack headroom added beyond the image when no exact
+    /// memory size is given.
+    pub fn headroom(mut self, bytes: usize) -> Self {
+        self.headroom = Some(bytes);
+        self
+    }
+
+    /// Assembles source text into a program image.
+    ///
+    /// # Errors
+    /// Returns an [`AsmError`] describing the first problem found, tagged
+    /// with its source line.
+    pub fn assemble(&self, source: &str) -> AsmResult<Program> {
+        let items = parse(source)?;
+        if items.is_empty() {
+            return Err(AsmError::at(0, AsmErrorKind::Malformed("empty program".into())));
+        }
+        let layout = Layout::build(&items)?;
+        let code = emit_text(&items, &layout)?;
+        let data = emit_data(&items, &layout)?;
+
+        let image_end = layout.data_base as usize + layout.data_size;
+        let mem_size = match self.mem_size {
+            Some(size) => {
+                if size < image_end {
+                    return Err(AsmError::at(
+                        0,
+                        AsmErrorKind::TooLarge { required: image_end, mem_size: size },
+                    ));
+                }
+                size
+            }
+            None => image_end + self.headroom.unwrap_or(DEFAULT_HEADROOM),
+        };
+
+        let entry = layout.symbols.get("main").copied().unwrap_or(0);
+        let mut program = Program::new(code, entry, mem_size)
+            .map_err(|_| AsmError::at(0, AsmErrorKind::TooLarge { required: image_end, mem_size }))?;
+        if !data.is_empty() {
+            program = program
+                .with_data(layout.data_base, data)
+                .map_err(|_| AsmError::at(0, AsmErrorKind::TooLarge { required: image_end, mem_size }))?;
+        }
+        for (name, addr) in &layout.symbols {
+            program = program.with_symbol(name.clone(), *addr);
+        }
+        let source_lines = source
+            .lines()
+            .filter(|l| {
+                let l = l.trim();
+                !l.is_empty() && !l.starts_with(';') && !l.starts_with('#')
+            })
+            .count();
+        Ok(program.with_source_lines(source_lines))
+    }
+}
+
+/// Assembles with default options. See [`Assembler::assemble`].
+///
+/// # Errors
+/// Returns an [`AsmError`] when the source does not assemble.
+pub fn assemble(source: &str) -> AsmResult<Program> {
+    Assembler::new().assemble(source)
+}
+
+/// Which section an item belongs to during layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Result of the first pass: symbol addresses and section geometry.
+struct Layout {
+    symbols: BTreeMap<String, u32>,
+    data_base: u32,
+    data_size: usize,
+}
+
+impl Layout {
+    fn build(items: &[SourceItem]) -> AsmResult<Self> {
+        // First sub-pass: measure the text section.
+        let mut text_size = 0u32;
+        for source_item in items {
+            if let Item::Instruction { .. } = source_item.item {
+                if section_of(items, source_item) == Section::Text {
+                    text_size += INSTRUCTION_BYTES;
+                }
+            }
+        }
+        // Data starts after the code, aligned generously so that `.align`
+        // directives inside the data section behave as absolute alignment.
+        let data_base = (text_size + 63) & !63;
+
+        // Second sub-pass: assign addresses.
+        let mut symbols = BTreeMap::new();
+        let mut section = Section::Text;
+        let mut text_cursor = 0u32;
+        let mut data_cursor = 0u32;
+        for source_item in items {
+            match &source_item.item {
+                Item::SectionText => section = Section::Text,
+                Item::SectionData => section = Section::Data,
+                Item::Label(name) => {
+                    let addr = match section {
+                        Section::Text => text_cursor,
+                        Section::Data => data_base + data_cursor,
+                    };
+                    if symbols.insert(name.clone(), addr).is_some() {
+                        return Err(AsmError::at(
+                            source_item.line,
+                            AsmErrorKind::DuplicateLabel(name.clone()),
+                        ));
+                    }
+                }
+                Item::Instruction { .. } => match section {
+                    Section::Text => text_cursor += INSTRUCTION_BYTES,
+                    Section::Data => {
+                        return Err(AsmError::at(
+                            source_item.line,
+                            AsmErrorKind::Malformed("instruction in .data section".into()),
+                        ))
+                    }
+                },
+                Item::Word(values) => {
+                    data_cursor = align_to(data_cursor, 4);
+                    data_cursor += 4 * values.len() as u32;
+                    require_data(section, source_item.line)?;
+                }
+                Item::Byte(values) => {
+                    data_cursor += values.len() as u32;
+                    require_data(section, source_item.line)?;
+                }
+                Item::Space(n) => {
+                    data_cursor += n;
+                    require_data(section, source_item.line)?;
+                }
+                Item::Align(n) => {
+                    data_cursor = align_to(data_cursor, *n);
+                    require_data(section, source_item.line)?;
+                }
+            }
+        }
+        Ok(Layout { symbols, data_base, data_size: data_cursor as usize })
+    }
+
+    fn resolve(&self, expr: &Expr, line: usize) -> AsmResult<i64> {
+        match expr {
+            Expr::Number(n) => Ok(*n),
+            Expr::Symbol { name, offset } => self
+                .symbols
+                .get(name)
+                .map(|addr| *addr as i64 + offset)
+                .ok_or_else(|| AsmError::at(line, AsmErrorKind::UndefinedSymbol(name.clone()))),
+        }
+    }
+
+    fn resolve_i32(&self, expr: &Expr, line: usize) -> AsmResult<i32> {
+        let value = self.resolve(expr, line)?;
+        i32::try_from(value)
+            .or_else(|_| u32::try_from(value).map(|v| v as i32))
+            .map_err(|_| AsmError::at(line, AsmErrorKind::BadNumber(value.to_string())))
+    }
+}
+
+fn require_data(section: Section, line: usize) -> AsmResult<()> {
+    if section == Section::Data {
+        Ok(())
+    } else {
+        Err(AsmError::at(line, AsmErrorKind::Malformed("data directive in .text section".into())))
+    }
+}
+
+fn align_to(value: u32, alignment: u32) -> u32 {
+    debug_assert!(alignment.is_power_of_two());
+    (value + alignment - 1) & !(alignment - 1)
+}
+
+/// Tracks which section an item falls in by replaying section switches up to
+/// that item. Only used for the text-size pre-pass, where quadratic cost is
+/// irrelevant because programs are small; the main pass tracks sections
+/// incrementally.
+fn section_of(items: &[SourceItem], target: &SourceItem) -> Section {
+    let mut section = Section::Text;
+    for item in items {
+        if std::ptr::eq(item, target) {
+            return section;
+        }
+        match item.item {
+            Item::SectionText => section = Section::Text,
+            Item::SectionData => section = Section::Data,
+            _ => {}
+        }
+    }
+    section
+}
+
+fn emit_text(items: &[SourceItem], layout: &Layout) -> AsmResult<Vec<u8>> {
+    let mut instructions = Vec::new();
+    let mut section = Section::Text;
+    for source_item in items {
+        match &source_item.item {
+            Item::SectionText => section = Section::Text,
+            Item::SectionData => section = Section::Data,
+            Item::Instruction { mnemonic, operands } if section == Section::Text => {
+                instructions.push(lower_instruction(mnemonic, operands, source_item.line, layout)?);
+            }
+            _ => {}
+        }
+    }
+    Ok(encode_all(&instructions))
+}
+
+fn emit_data(items: &[SourceItem], layout: &Layout) -> AsmResult<Vec<u8>> {
+    let mut bytes: Vec<u8> = Vec::with_capacity(layout.data_size);
+    let mut section = Section::Text;
+    for source_item in items {
+        match &source_item.item {
+            Item::SectionText => section = Section::Text,
+            Item::SectionData => section = Section::Data,
+            Item::Word(values) if section == Section::Data => {
+                while bytes.len() % 4 != 0 {
+                    bytes.push(0);
+                }
+                for value in values {
+                    let v = layout.resolve_i32(value, source_item.line)?;
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Item::Byte(values) if section == Section::Data => {
+                for value in values {
+                    let v = layout.resolve(value, source_item.line)?;
+                    bytes.push(v as u8);
+                }
+            }
+            Item::Space(n) if section == Section::Data => {
+                bytes.extend(std::iter::repeat(0u8).take(*n as usize));
+            }
+            Item::Align(n) if section == Section::Data => {
+                while bytes.len() % *n as usize != 0 {
+                    bytes.push(0);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(bytes)
+}
+
+/// Lowers one mnemonic + operand list into a machine instruction, handling
+/// pseudo-instructions and the register/immediate ALU duality.
+fn lower_instruction(
+    mnemonic: &str,
+    operands: &[Operand],
+    line: usize,
+    layout: &Layout,
+) -> AsmResult<Instruction> {
+    let mismatch = |expected: &'static str| {
+        AsmError::at(line, AsmErrorKind::OperandMismatch { mnemonic: mnemonic.to_string(), expected })
+    };
+    let reg = |operand: &Operand, expected: &'static str| -> AsmResult<Reg> {
+        match operand {
+            Operand::Reg(r) => Ok(*r),
+            _ => Err(mismatch(expected)),
+        }
+    };
+    let imm = |operand: &Operand, expected: &'static str| -> AsmResult<i32> {
+        match operand {
+            Operand::Imm(e) => layout.resolve_i32(e, line),
+            _ => Err(mismatch(expected)),
+        }
+    };
+
+    // Pseudo-instruction: subi rd, rs, imm  =>  addi rd, rs, -imm
+    if mnemonic == "subi" {
+        if operands.len() != 3 {
+            return Err(mismatch("rd, rs, imm"));
+        }
+        let rd = reg(&operands[0], "rd, rs, imm")?;
+        let rs = reg(&operands[1], "rd, rs, imm")?;
+        let value = imm(&operands[2], "rd, rs, imm")?;
+        return Ok(Instruction::rri(Opcode::AddI, rd, rs, value.wrapping_neg()));
+    }
+
+    let opcode = Opcode::from_mnemonic(mnemonic)
+        .ok_or_else(|| AsmError::at(line, AsmErrorKind::UnknownMnemonic(mnemonic.to_string())))?;
+
+    use Opcode::*;
+    match opcode {
+        Halt | Nop | Ret => {
+            if !operands.is_empty() {
+                return Err(mismatch("no operands"));
+            }
+            Ok(Instruction::bare(opcode))
+        }
+        MovI => {
+            if operands.len() != 2 {
+                return Err(mismatch("rd, imm"));
+            }
+            Ok(Instruction::ri(opcode, reg(&operands[0], "rd, imm")?, imm(&operands[1], "rd, imm")?))
+        }
+        Mov | Neg | Not => {
+            if operands.len() != 2 {
+                return Err(mismatch("rd, rs"));
+            }
+            Ok(Instruction::rr(opcode, reg(&operands[0], "rd, rs")?, reg(&operands[1], "rd, rs")?))
+        }
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar => {
+            if operands.len() != 3 {
+                return Err(mismatch("rd, rs1, rs2|imm"));
+            }
+            let rd = reg(&operands[0], "rd, rs1, rs2|imm")?;
+            let rs1 = reg(&operands[1], "rd, rs1, rs2|imm")?;
+            match &operands[2] {
+                Operand::Reg(rs2) => Ok(Instruction::rrr(opcode, rd, rs1, *rs2)),
+                Operand::Imm(e) => {
+                    let value = layout.resolve_i32(e, line)?;
+                    let immediate_form = match opcode {
+                        Add => AddI,
+                        Sub => AddI,
+                        Mul => MulI,
+                        Div => DivI,
+                        Rem => RemI,
+                        And => AndI,
+                        Or => OrI,
+                        Xor => XorI,
+                        Shl => ShlI,
+                        Shr => ShrI,
+                        Sar => SarI,
+                        _ => unreachable!(),
+                    };
+                    let value = if opcode == Sub { value.wrapping_neg() } else { value };
+                    Ok(Instruction::rri(immediate_form, rd, rs1, value))
+                }
+                Operand::Mem { .. } => Err(mismatch("rd, rs1, rs2|imm")),
+            }
+        }
+        AddI | MulI | DivI | RemI | AndI | OrI | XorI | ShlI | ShrI | SarI => {
+            if operands.len() != 3 {
+                return Err(mismatch("rd, rs1, imm"));
+            }
+            Ok(Instruction::rri(
+                opcode,
+                reg(&operands[0], "rd, rs1, imm")?,
+                reg(&operands[1], "rd, rs1, imm")?,
+                imm(&operands[2], "rd, rs1, imm")?,
+            ))
+        }
+        LdW | LdB => {
+            if operands.len() != 2 {
+                return Err(mismatch("rd, [base+imm]"));
+            }
+            let rd = reg(&operands[0], "rd, [base+imm]")?;
+            match &operands[1] {
+                Operand::Mem { base, offset } => {
+                    Ok(Instruction::rri(opcode, rd, *base, layout.resolve_i32(offset, line)?))
+                }
+                _ => Err(mismatch("rd, [base+imm]")),
+            }
+        }
+        StW | StB => {
+            if operands.len() != 2 {
+                return Err(mismatch("[base+imm], rs"));
+            }
+            let rs = reg(&operands[1], "[base+imm], rs")?;
+            match &operands[0] {
+                Operand::Mem { base, offset } => Ok(Instruction {
+                    opcode,
+                    a: base.index() as u8,
+                    b: rs.index() as u8,
+                    c: 0,
+                    imm: layout.resolve_i32(offset, line)?,
+                }),
+                _ => Err(mismatch("[base+imm], rs")),
+            }
+        }
+        Cmp => {
+            if operands.len() != 2 {
+                return Err(mismatch("rs1, rs2"));
+            }
+            Ok(Instruction::rr(opcode, reg(&operands[0], "rs1, rs2")?, reg(&operands[1], "rs1, rs2")?))
+        }
+        CmpI => {
+            if operands.len() != 2 {
+                return Err(mismatch("rs1, imm"));
+            }
+            Ok(Instruction::ri(opcode, reg(&operands[0], "rs1, imm")?, imm(&operands[1], "rs1, imm")?))
+        }
+        Jmp | Jeq | Jne | Jlt | Jle | Jgt | Jge | Jltu | Jgeu | Call => {
+            if operands.len() != 1 {
+                return Err(mismatch("target"));
+            }
+            Ok(Instruction::i(opcode, imm(&operands[0], "target")?))
+        }
+        JmpR | Push | Pop => {
+            if operands.len() != 1 {
+                return Err(mismatch("reg"));
+            }
+            Ok(Instruction::r(opcode, reg(&operands[0], "reg")?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_tvm::isa::Reg;
+    use asc_tvm::machine::Machine;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let source = r#"
+        .text
+        main:
+            movi r1, 10
+            movi r2, 0
+        loop:
+            add  r2, r2, r1
+            subi r1, r1, 1
+            cmpi r1, 0
+            jne  loop
+            halt
+        "#;
+        let program = assemble(source).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(10_000).unwrap();
+        assert_eq!(machine.reg(r(2)), 55);
+    }
+
+    #[test]
+    fn data_labels_and_loads() {
+        let source = r#"
+        .text
+        main:
+            movi r1, table
+            ldw  r2, [r1+4]
+            ldw  r3, [r1+8]
+            add  r4, r2, r3
+            movi r5, answer
+            stw  [r5], r4
+            halt
+        .data
+        table:
+            .word 100, 200, 300
+        answer:
+            .word 0
+        "#;
+        let program = assemble(source).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(1_000).unwrap();
+        assert_eq!(machine.reg(r(4)), 500);
+        let answer_addr = program.symbol("answer").unwrap();
+        assert_eq!(machine.state().load_word(answer_addr).unwrap(), 500);
+    }
+
+    #[test]
+    fn functions_with_call_and_ret() {
+        let source = r#"
+        main:
+            movi r1, 7
+            call square
+            halt
+        square:
+            mul r0, r1, r1
+            ret
+        "#;
+        let program = assemble(source).unwrap();
+        assert_eq!(program.entry(), program.symbol("main").unwrap());
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(1_000).unwrap();
+        assert_eq!(machine.reg(r(0)), 49);
+    }
+
+    #[test]
+    fn entry_defaults_to_zero_without_main() {
+        let program = assemble("start:\n nop\n halt\n").unwrap();
+        assert_eq!(program.entry(), 0);
+    }
+
+    #[test]
+    fn register_alu_with_immediate_third_operand() {
+        let source = "main:\n movi r1, 9\n sub r2, r1, 4\n mul r3, r1, 3\n halt\n";
+        let program = assemble(source).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(100).unwrap();
+        assert_eq!(machine.reg(r(2)), 5);
+        assert_eq!(machine.reg(r(3)), 27);
+    }
+
+    #[test]
+    fn undefined_symbol_reported_with_line() {
+        let err = assemble("main:\n jmp nowhere\n halt\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedSymbol(_)));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a:\n nop\na:\n halt\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn data_directive_in_text_rejected() {
+        let err = assemble("main:\n .word 3\n halt\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn explicit_mem_size_checked() {
+        let source = "main:\n halt\n.data\nbig:\n .space 1024\n";
+        assert!(Assembler::new().mem_size(128).assemble(source).is_err());
+        assert!(Assembler::new().mem_size(8192).assemble(source).is_ok());
+    }
+
+    #[test]
+    fn source_lines_counted_without_comments() {
+        let source = "; header\nmain:\n nop\n halt\n";
+        let program = assemble(source).unwrap();
+        assert_eq!(program.source_lines(), 3);
+    }
+
+    #[test]
+    fn stack_operations_through_aliases() {
+        let source = r#"
+        main:
+            movi r1, 11
+            push r1
+            movi r1, 0
+            pop  r2
+            stw  [sp-4], r2
+            ldw  r3, [sp-4]
+            halt
+        "#;
+        let program = assemble(source).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(100).unwrap();
+        assert_eq!(machine.reg(r(2)), 11);
+        assert_eq!(machine.reg(r(3)), 11);
+    }
+}

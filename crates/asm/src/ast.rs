@@ -1,0 +1,89 @@
+//! Syntactic items produced by the assembler's parser.
+
+use asc_tvm::isa::Reg;
+
+/// A symbolic or literal 32-bit value appearing where an immediate is expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal number (decimal, hex `0x…`, or negative).
+    Number(i64),
+    /// A label reference, optionally with an additive byte offset
+    /// (`table`, `table+8`, `table-4`).
+    Symbol {
+        /// The referenced label name.
+        name: String,
+        /// Additive byte offset applied to the label's address.
+        offset: i64,
+    },
+}
+
+impl Expr {
+    /// A plain symbol with no offset.
+    pub fn symbol(name: impl Into<String>) -> Self {
+        Expr::Symbol { name: name.into(), offset: 0 }
+    }
+}
+
+/// One operand of an instruction as written in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A register such as `r3` or the aliases `sp` / `fp`.
+    Reg(Reg),
+    /// An immediate expression.
+    Imm(Expr),
+    /// A memory operand `[base+offset]` where the offset may be symbolic.
+    Mem {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base register.
+        offset: Expr,
+    },
+}
+
+/// One parsed source item in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `name:` — attaches an address to a symbol.
+    Label(String),
+    /// Switch the current section to `.text`.
+    SectionText,
+    /// Switch the current section to `.data`.
+    SectionData,
+    /// A machine instruction or pseudo-instruction with its operands.
+    Instruction {
+        /// Lower-cased mnemonic as written in the source.
+        mnemonic: String,
+        /// Operands in source order.
+        operands: Vec<Operand>,
+    },
+    /// `.word e, e, …` — 32-bit little-endian data values.
+    Word(Vec<Expr>),
+    /// `.byte e, e, …` — 8-bit data values.
+    Byte(Vec<Expr>),
+    /// `.space n` — `n` zero bytes.
+    Space(u32),
+    /// `.align n` — pad with zero bytes to an `n`-byte boundary.
+    Align(u32),
+}
+
+/// A parsed item together with the 1-based source line it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceItem {
+    /// 1-based line number.
+    pub line: usize,
+    /// The parsed item.
+    pub item: Item,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_symbol_helper_defaults_offset() {
+        assert_eq!(
+            Expr::symbol("loop"),
+            Expr::Symbol { name: "loop".to_string(), offset: 0 }
+        );
+    }
+}

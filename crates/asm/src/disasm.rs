@@ -1,0 +1,85 @@
+//! Disassembler: turn code images back into readable listings.
+//!
+//! Used by the experiment harnesses to report the benchmarks' unique IP
+//! values (Table 1) and by tests that check the assembler round-trips.
+
+use asc_tvm::encode::decode;
+use asc_tvm::error::VmResult;
+use asc_tvm::isa::{Instruction, INSTRUCTION_BYTES};
+
+/// One disassembled instruction with its address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// Address of the instruction in the memory segment.
+    pub addr: u32,
+    /// The decoded instruction.
+    pub instruction: Instruction,
+}
+
+/// Disassembles a code image loaded at address 0.
+///
+/// # Errors
+/// Returns a decode error for the first malformed instruction encountered.
+///
+/// # Examples
+/// ```
+/// use asc_asm::{assemble, disasm::disassemble};
+/// let program = assemble("main:\n movi r1, 3\n halt\n").unwrap();
+/// let lines = disassemble(program.code()).unwrap();
+/// assert_eq!(lines.len(), 2);
+/// assert_eq!(lines[1].addr, 8);
+/// ```
+pub fn disassemble(code: &[u8]) -> VmResult<Vec<Line>> {
+    let mut lines = Vec::with_capacity(code.len() / INSTRUCTION_BYTES as usize);
+    let mut addr = 0u32;
+    for chunk in code.chunks_exact(INSTRUCTION_BYTES as usize) {
+        let mut raw = [0u8; INSTRUCTION_BYTES as usize];
+        raw.copy_from_slice(chunk);
+        lines.push(Line { addr, instruction: decode(&raw, addr)? });
+        addr += INSTRUCTION_BYTES;
+    }
+    Ok(lines)
+}
+
+/// Renders a disassembly as a text listing, one instruction per line.
+pub fn listing(code: &[u8]) -> VmResult<String> {
+    let lines = disassemble(code)?;
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&format!("{:#06x}:  {}\n", line.addr, line.instruction));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::assemble;
+
+    #[test]
+    fn disassembly_matches_source_structure() {
+        let program = assemble(
+            "main:\n movi r1, 5\n loop:\n subi r1, r1, 1\n cmpi r1, 0\n jne loop\n halt\n",
+        )
+        .unwrap();
+        let lines = disassemble(program.code()).unwrap();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0].instruction.to_string(), "movi r1, 5");
+        assert!(lines[1].instruction.to_string().starts_with("addi r1, r1, -1"));
+        assert_eq!(lines.last().unwrap().instruction.to_string(), "halt");
+    }
+
+    #[test]
+    fn listing_contains_addresses() {
+        let program = assemble("main:\n nop\n halt\n").unwrap();
+        let text = listing(program.code()).unwrap();
+        assert!(text.contains("0x0000"));
+        assert!(text.contains("0x0008"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn bad_code_reports_error() {
+        assert!(disassemble(&[0xff, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+}

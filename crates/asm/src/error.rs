@@ -1,0 +1,101 @@
+//! Assembler error types.
+
+use std::fmt;
+
+/// An error produced while assembling TVM source text.
+///
+/// Every variant carries the 1-based source line number so failures in the
+/// benchmark programs can be located immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The specific failure encountered by the assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// A mnemonic that is neither an opcode nor a recognised pseudo-instruction.
+    UnknownMnemonic(String),
+    /// A directive (token starting with `.`) the assembler does not support.
+    UnknownDirective(String),
+    /// An operand could not be parsed (bad register, malformed memory operand, …).
+    BadOperand(String),
+    /// The wrong number or kinds of operands for the given mnemonic.
+    OperandMismatch {
+        /// The mnemonic as written in the source.
+        mnemonic: String,
+        /// A human-readable description of the expected operand shape.
+        expected: &'static str,
+    },
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A label was referenced but never defined.
+    UndefinedSymbol(String),
+    /// A numeric literal did not parse or does not fit in 32 bits.
+    BadNumber(String),
+    /// A structural problem with the file (e.g. missing `halt`, empty program).
+    Malformed(String),
+    /// The assembled image does not fit in the requested memory size.
+    TooLarge {
+        /// Bytes needed by the code and data image.
+        required: usize,
+        /// Bytes available in the requested memory segment.
+        mem_size: usize,
+    },
+}
+
+impl AsmError {
+    /// Creates an error at the given 1-based source line.
+    pub fn at(line: usize, kind: AsmErrorKind) -> Self {
+        AsmError { line, kind }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::BadOperand(o) => write!(f, "cannot parse operand `{o}`"),
+            AsmErrorKind::OperandMismatch { mnemonic, expected } => {
+                write!(f, "`{mnemonic}` expects operands: {expected}")
+            }
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "label `{l}` defined more than once"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::BadNumber(n) => write!(f, "bad numeric literal `{n}`"),
+            AsmErrorKind::Malformed(msg) => write!(f, "{msg}"),
+            AsmErrorKind::TooLarge { required, mem_size } => {
+                write!(f, "image needs {required} bytes but memory is {mem_size} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Convenience alias for assembler results.
+pub type AsmResult<T> = Result<T, AsmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_detail() {
+        let err = AsmError::at(12, AsmErrorKind::UndefinedSymbol("loop_head".into()));
+        let text = err.to_string();
+        assert!(text.contains("line 12"));
+        assert!(text.contains("loop_head"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let err: Box<dyn std::error::Error> =
+            Box::new(AsmError::at(1, AsmErrorKind::Malformed("empty program".into())));
+        assert!(err.to_string().contains("empty program"));
+    }
+}

@@ -1,0 +1,361 @@
+//! Line-oriented parser for TVM assembly source.
+//!
+//! The surface syntax is deliberately small — enough to express the paper's
+//! benchmark kernels comfortably:
+//!
+//! ```text
+//! ; comments run to end of line (also `#`)
+//! .text
+//! main:
+//!     movi  r1, 100          ; register, immediate
+//!     movi  r2, table        ; labels are immediates
+//! loop:
+//!     ldw   r3, [r2+4]       ; memory operands are [base+offset]
+//!     stw   [r2+8], r3
+//!     subi  r1, r1, 1        ; pseudo-instruction (addi with negated imm)
+//!     cmpi  r1, 0
+//!     jne   loop
+//!     halt
+//! .data
+//! table:
+//!     .word 1, 2, 3, -4, 0x10
+//!     .byte 7
+//!     .space 64
+//!     .align 4
+//! ```
+
+use crate::ast::{Expr, Item, Operand, SourceItem};
+use crate::error::{AsmError, AsmErrorKind, AsmResult};
+use asc_tvm::isa::{Reg, FP, SP};
+
+/// Parses an entire source file into items in order of appearance.
+///
+/// # Errors
+/// Returns the first syntactic error encountered, tagged with its line.
+pub fn parse(source: &str) -> AsmResult<Vec<SourceItem>> {
+    let mut items = Vec::new();
+    for (index, raw_line) in source.lines().enumerate() {
+        let line_no = index + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(line, line_no, &mut items)?;
+    }
+    Ok(items)
+}
+
+/// Removes `;` and `#` comments.
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find(|c| c == ';' || c == '#').unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn parse_line(line: &str, line_no: usize, items: &mut Vec<SourceItem>) -> AsmResult<()> {
+    let mut rest = line;
+    // Leading labels (possibly several, e.g. `a: b: movi r1, 0`).
+    while let Some(colon) = find_label_colon(rest) {
+        let (label, tail) = rest.split_at(colon);
+        let label = label.trim();
+        if !is_identifier(label) {
+            return Err(AsmError::at(line_no, AsmErrorKind::BadOperand(label.to_string())));
+        }
+        items.push(SourceItem { line: line_no, item: Item::Label(label.to_string()) });
+        rest = tail[1..].trim();
+        if rest.is_empty() {
+            return Ok(());
+        }
+    }
+
+    if let Some(directive) = rest.strip_prefix('.') {
+        items.push(SourceItem { line: line_no, item: parse_directive(directive, line_no)? });
+        return Ok(());
+    }
+
+    let (mnemonic, operand_text) = match rest.find(char::is_whitespace) {
+        Some(split) => (&rest[..split], rest[split..].trim()),
+        None => (rest, ""),
+    };
+    let operands = parse_operands(operand_text, line_no)?;
+    items.push(SourceItem {
+        line: line_no,
+        item: Item::Instruction { mnemonic: mnemonic.to_lowercase(), operands },
+    });
+    Ok(())
+}
+
+/// Finds the colon terminating a leading label, ignoring colons that appear
+/// after the mnemonic has started (there are none in this grammar, so any
+/// colon before whitespace-delimited operands counts).
+fn find_label_colon(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    let head = &text[..colon];
+    if is_identifier(head.trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_identifier(text: &str) -> bool {
+    !text.is_empty()
+        && text
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit()))
+}
+
+fn parse_directive(directive: &str, line_no: usize) -> AsmResult<Item> {
+    let (name, args) = match directive.find(char::is_whitespace) {
+        Some(split) => (&directive[..split], directive[split..].trim()),
+        None => (directive, ""),
+    };
+    match name {
+        "text" => Ok(Item::SectionText),
+        "data" => Ok(Item::SectionData),
+        "word" => Ok(Item::Word(parse_expr_list(args, line_no)?)),
+        "byte" => Ok(Item::Byte(parse_expr_list(args, line_no)?)),
+        "space" => {
+            let n = parse_number(args)
+                .ok_or_else(|| AsmError::at(line_no, AsmErrorKind::BadNumber(args.to_string())))?;
+            u32::try_from(n)
+                .map(Item::Space)
+                .map_err(|_| AsmError::at(line_no, AsmErrorKind::BadNumber(args.to_string())))
+        }
+        "align" => {
+            let n = parse_number(args)
+                .ok_or_else(|| AsmError::at(line_no, AsmErrorKind::BadNumber(args.to_string())))?;
+            let n = u32::try_from(n)
+                .map_err(|_| AsmError::at(line_no, AsmErrorKind::BadNumber(args.to_string())))?;
+            if n == 0 || !n.is_power_of_two() {
+                return Err(AsmError::at(line_no, AsmErrorKind::BadNumber(args.to_string())));
+            }
+            Ok(Item::Align(n))
+        }
+        other => Err(AsmError::at(line_no, AsmErrorKind::UnknownDirective(other.to_string()))),
+    }
+}
+
+fn parse_expr_list(text: &str, line_no: usize) -> AsmResult<Vec<Expr>> {
+    if text.trim().is_empty() {
+        return Err(AsmError::at(line_no, AsmErrorKind::Malformed("empty value list".into())));
+    }
+    text.split(',')
+        .map(|piece| parse_expr(piece.trim(), line_no))
+        .collect()
+}
+
+/// Splits operand text on top-level commas (commas inside `[...]` do not occur
+/// in this grammar, so a plain split suffices) and parses each piece.
+fn parse_operands(text: &str, line_no: usize) -> AsmResult<Vec<Operand>> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|piece| parse_operand(piece.trim(), line_no))
+        .collect()
+}
+
+fn parse_operand(text: &str, line_no: usize) -> AsmResult<Operand> {
+    if text.is_empty() {
+        return Err(AsmError::at(line_no, AsmErrorKind::BadOperand(text.to_string())));
+    }
+    if let Some(reg) = parse_register(text) {
+        return Ok(Operand::Reg(reg));
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        return parse_mem_operand(inner.trim(), line_no);
+    }
+    Ok(Operand::Imm(parse_expr(text, line_no)?))
+}
+
+fn parse_mem_operand(inner: &str, line_no: usize) -> AsmResult<Operand> {
+    // Grammar: base register optionally followed by +expr or -number.
+    let (base_text, offset_text) = match inner.find(['+', '-']) {
+        Some(pos) => (&inner[..pos], &inner[pos..]),
+        None => (inner, ""),
+    };
+    let base = parse_register(base_text.trim())
+        .ok_or_else(|| AsmError::at(line_no, AsmErrorKind::BadOperand(inner.to_string())))?;
+    let offset = if offset_text.is_empty() {
+        Expr::Number(0)
+    } else if let Some(stripped) = offset_text.strip_prefix('+') {
+        parse_expr(stripped.trim(), line_no)?
+    } else {
+        // Negative literal offset.
+        Expr::Number(
+            parse_number(offset_text.trim())
+                .ok_or_else(|| AsmError::at(line_no, AsmErrorKind::BadNumber(offset_text.to_string())))?,
+        )
+    };
+    Ok(Operand::Mem { base, offset })
+}
+
+/// Parses `r0`…`r15` and the `sp`/`fp` aliases.
+pub fn parse_register(text: &str) -> Option<Reg> {
+    let lower = text.to_ascii_lowercase();
+    match lower.as_str() {
+        "sp" => return Some(SP),
+        "fp" => return Some(FP),
+        _ => {}
+    }
+    let digits = lower.strip_prefix('r')?;
+    let index: u8 = digits.parse().ok()?;
+    Reg::new(index)
+}
+
+fn parse_expr(text: &str, line_no: usize) -> AsmResult<Expr> {
+    if let Some(value) = parse_number(text) {
+        return Ok(Expr::Number(value));
+    }
+    // symbol, symbol+number or symbol-number
+    let split = text[1..].find(['+', '-']).map(|i| i + 1);
+    let (name, offset) = match split {
+        Some(pos) => {
+            let name = &text[..pos];
+            let offset = parse_number(&text[pos..]).ok_or_else(|| {
+                AsmError::at(line_no, AsmErrorKind::BadNumber(text[pos..].to_string()))
+            })?;
+            (name, offset)
+        }
+        None => (text, 0),
+    };
+    if !is_identifier(name) {
+        return Err(AsmError::at(line_no, AsmErrorKind::BadOperand(text.to_string())));
+    }
+    Ok(Expr::Symbol { name: name.to_string(), offset })
+}
+
+/// Parses a decimal or `0x` hexadecimal literal with optional sign.
+pub fn parse_number(text: &str) -> Option<i64> {
+    let text = text.trim();
+    let (negative, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text.strip_prefix('+').unwrap_or(text)),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        digits.parse::<i64>().ok()?
+    };
+    Some(if negative { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labels_instructions_and_directives() {
+        let source = r#"
+        ; a tiny program
+        .text
+        main:
+            movi r1, 10
+        loop: addi r1, r1, -1
+            jne loop
+            halt
+        .data
+        table: .word 1, 0x10, -3
+            .byte 7, 8
+            .space 16
+            .align 8
+        "#;
+        let items = parse(source).unwrap();
+        let labels: Vec<_> = items
+            .iter()
+            .filter_map(|s| match &s.item {
+                Item::Label(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["main", "loop", "table"]);
+        let instruction_count = items
+            .iter()
+            .filter(|s| matches!(s.item, Item::Instruction { .. }))
+            .count();
+        assert_eq!(instruction_count, 4);
+        assert!(items.iter().any(|s| matches!(&s.item, Item::Word(w) if w.len() == 3)));
+        assert!(items.iter().any(|s| matches!(&s.item, Item::Space(16))));
+        assert!(items.iter().any(|s| matches!(&s.item, Item::Align(8))));
+    }
+
+    #[test]
+    fn memory_operands_parse_base_and_offset() {
+        let items = parse("ldw r1, [r2+12]\nstw [sp-4], r3\nldw r4, [r5]").unwrap();
+        match &items[0].item {
+            Item::Instruction { operands, .. } => {
+                assert_eq!(operands[1], Operand::Mem { base: Reg::new(2).unwrap(), offset: Expr::Number(12) });
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+        match &items[1].item {
+            Item::Instruction { operands, .. } => {
+                assert_eq!(operands[0], Operand::Mem { base: SP, offset: Expr::Number(-4) });
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+        match &items[2].item {
+            Item::Instruction { operands, .. } => {
+                assert_eq!(operands[1], Operand::Mem { base: Reg::new(5).unwrap(), offset: Expr::Number(0) });
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbolic_immediates_with_offsets() {
+        let items = parse("movi r1, table+8\nmovi r2, table-4").unwrap();
+        match &items[0].item {
+            Item::Instruction { operands, .. } => {
+                assert_eq!(operands[1], Operand::Imm(Expr::Symbol { name: "table".into(), offset: 8 }));
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+        match &items[1].item {
+            Item::Instruction { operands, .. } => {
+                assert_eq!(operands[1], Operand::Imm(Expr::Symbol { name: "table".into(), offset: -4 }));
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let items = parse("# only comments\n\n   ; nothing\n").unwrap();
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn register_aliases() {
+        assert_eq!(parse_register("sp"), Some(SP));
+        assert_eq!(parse_register("FP"), Some(FP));
+        assert_eq!(parse_register("r7"), Reg::new(7));
+        assert_eq!(parse_register("r16"), None);
+        assert_eq!(parse_register("x1"), None);
+    }
+
+    #[test]
+    fn bad_directive_and_bad_number_report_lines() {
+        let err = parse("nop\n.bogus 3").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownDirective(_)));
+        let err = parse(".space lots").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadNumber(_)));
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(parse_number("42"), Some(42));
+        assert_eq!(parse_number("-7"), Some(-7));
+        assert_eq!(parse_number("0x10"), Some(16));
+        assert_eq!(parse_number("0Xff"), Some(255));
+        assert_eq!(parse_number("ten"), None);
+    }
+
+    #[test]
+    fn align_must_be_power_of_two() {
+        assert!(parse(".align 3").is_err());
+        assert!(parse(".align 4").is_ok());
+    }
+}

@@ -1,0 +1,108 @@
+//! §5.3 micro-benchmarks: simulation rate with and without dependency
+//! tracking, cache lookup latency, predictor update cost and rollout latency.
+
+use asc_core::cache::{CacheEntry, TrajectoryCache};
+use asc_core::config::AscConfig;
+use asc_core::predictor_bank::PredictorBank;
+use asc_tvm::delta::SparseBytes;
+use asc_tvm::deps::DepVector;
+use asc_tvm::exec::transition;
+use asc_tvm::machine::Machine;
+use asc_workloads::registry::{build, Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_transition(c: &mut Criterion) {
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+    let initial = workload.program.initial_state().unwrap();
+    let mut group = c.benchmark_group("transition");
+    group.bench_function("baseline_1k_instructions", |b| {
+        b.iter(|| {
+            let mut state = initial.clone();
+            for _ in 0..1000 {
+                if transition(black_box(&mut state), None).unwrap() == asc_tvm::exec::StepOutcome::Halted {
+                    break;
+                }
+            }
+            state
+        })
+    });
+    group.bench_function("dependency_tracking_1k_instructions", |b| {
+        b.iter(|| {
+            let mut state = initial.clone();
+            let mut deps = DepVector::new(state.len_bytes());
+            for _ in 0..1000 {
+                if transition(black_box(&mut state), Some(&mut deps)).unwrap()
+                    == asc_tvm::exec::StepOutcome::Halted
+                {
+                    break;
+                }
+            }
+            deps.touched()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache_lookup(c: &mut Criterion) {
+    let cache = TrajectoryCache::new(1 << 14);
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+    let state = workload.program.initial_state().unwrap();
+    for i in 0..1000u32 {
+        cache.insert(CacheEntry {
+            rip: 32,
+            start: SparseBytes::from_pairs(vec![(100 + i, (i % 251) as u8), (4, 0)]),
+            end: SparseBytes::from_pairs(vec![(200, 1)]),
+            instructions: 500,
+        });
+    }
+    c.bench_function("cache_lookup_1000_entries", |b| {
+        b.iter(|| cache.peek(black_box(32), black_box(&state)))
+    });
+}
+
+fn bench_predictor_update_and_rollout(c: &mut Criterion) {
+    // Collect occurrence states from the Collatz outer loop and time the
+    // predictor bank's update and rollout paths.
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+    let config = AscConfig::for_tests();
+    let mut machine = Machine::load(&workload.program).unwrap();
+    machine.run(30_000).unwrap();
+    let outcome =
+        asc_core::recognizer::recognize(&workload.program.initial_state().unwrap(), &config).unwrap();
+    let rip = outcome.rip;
+    let mut machine = Machine::from_state(outcome.resume_state.clone());
+    let mut states = Vec::new();
+    while states.len() < 64 && !machine.is_halted() {
+        machine.run_until_ip(rip.ip, 1_000_000).unwrap();
+        states.push(machine.state().clone());
+    }
+    let mut bank = PredictorBank::new(rip.ip, &config);
+    for state in &states {
+        bank.observe(state);
+    }
+    let last = states.last().unwrap().clone();
+    c.bench_function("predictor_bank_observe", |b| {
+        b.iter(|| {
+            let mut fresh = PredictorBank::new(rip.ip, &config);
+            for state in states.iter().take(16) {
+                fresh.observe(black_box(state));
+            }
+            fresh.excited_bits()
+        })
+    });
+    let mut group = c.benchmark_group("rollout_latency");
+    for depth in [1usize, 4, 16, 64] {
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| bank.rollout(black_box(&last), depth).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transition, bench_cache_lookup, bench_predictor_update_and_rollout
+);
+criterion_main!(micro);

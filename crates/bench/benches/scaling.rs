@@ -1,0 +1,45 @@
+//! End-to-end scaling ablations: the cluster model replayed over a measured
+//! trace (cheap once the trace exists), plus the ablation comparisons called
+//! out in DESIGN.md (dependency-masked vs full-state matching is exercised in
+//! the integration tests; here we time the replay itself and the accelerated
+//! in-process runtime).
+
+use asc_bench::config_for;
+use asc_core::cluster::{simulate, PlatformProfile, ScalingMode};
+use asc_core::runtime::LascRuntime;
+use asc_workloads::registry::{build, Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cluster_replay(c: &mut Criterion) {
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+    let runtime = LascRuntime::new(config_for(Scale::Tiny)).unwrap();
+    let report = runtime.measure(&workload.program).unwrap();
+    let profile = PlatformProfile::blue_gene_p();
+    let mut group = c.benchmark_group("cluster_replay");
+    for cores in [32usize, 1024, 16_384] {
+        group.bench_function(format!("cores_{cores}"), |b| {
+            b.iter(|| simulate(black_box(&report), &profile, ScalingMode::Lasc, cores))
+        });
+    }
+    group.finish();
+}
+
+fn bench_accelerated_runtime(c: &mut Criterion) {
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+    let runtime = LascRuntime::new(config_for(Scale::Tiny)).unwrap();
+    c.bench_function("accelerate_collatz_tiny", |b| {
+        b.iter(|| {
+            let report = runtime.accelerate(black_box(&workload.program)).unwrap();
+            assert!(workload.verify(&report.final_state));
+            report.fast_forwarded_instructions
+        })
+    });
+}
+
+criterion_group!(
+    name = scaling;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cluster_replay, bench_accelerated_runtime
+);
+criterion_main!(scaling);

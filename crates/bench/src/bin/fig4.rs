@@ -1,0 +1,36 @@
+//! Reproduces Figure 4: Ising scaling on the 32-core server and Blue Gene/P.
+
+use asc_bench::{measure, print_curve, scale_from_args};
+use asc_core::cluster::{blue_gene_core_counts, server_core_counts, PlatformProfile, ScalingMode};
+use asc_workloads::handpar::amdahl_speedup;
+use asc_workloads::registry::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let (report, description) = measure(Benchmark::Ising, scale);
+    println!("Figure 4: Ising ({description}), {} supersteps, accuracy {:.3}\n",
+             report.supersteps.len(), report.one_step_accuracy());
+
+    let server = PlatformProfile::server_32core();
+    let cores = server_core_counts();
+    println!("# Ideal scaling");
+    for &c in &cores {
+        println!("{c:>8} {:>12.2}", c as f64);
+    }
+    println!();
+    println!("# Hand-parallelized scaling (Amdahl, partition pass = converge fraction)");
+    let sequential_fraction =
+        report.converge_instructions as f64 / report.total_instructions.max(1) as f64;
+    for &c in &cores {
+        println!("{c:>8} {:>12.2}", amdahl_speedup(c, sequential_fraction));
+    }
+    println!();
+    print_curve("LASC cycle-count scaling (32-core server)", &report, &server, ScalingMode::CycleCount, &cores);
+    print_curve("LASC+oracle scaling (32-core server)", &report, &server, ScalingMode::Oracle, &cores);
+    print_curve("LASC scaling (32-core server)", &report, &server, ScalingMode::Lasc, &cores);
+
+    let bluegene = PlatformProfile::blue_gene_p();
+    let bg_cores = blue_gene_core_counts(4096);
+    print_curve("LASC cycle-count scaling (Blue Gene/P)", &report, &bluegene, ScalingMode::CycleCount, &bg_cores);
+    print_curve("LASC scaling (Blue Gene/P)", &report, &bluegene, ScalingMode::Lasc, &bg_cores);
+}

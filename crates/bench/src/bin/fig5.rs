@@ -1,0 +1,22 @@
+//! Reproduces Figure 5: Polybench 2mm scaling on the 32-core server.
+
+use asc_bench::{measure, print_curve, scale_from_args};
+use asc_core::cluster::{server_core_counts, PlatformProfile, ScalingMode};
+use asc_workloads::registry::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let (report, description) = measure(Benchmark::Mm2, scale);
+    println!("Figure 5: 2mm ({description}), {} supersteps, accuracy {:.3}\n",
+             report.supersteps.len(), report.one_step_accuracy());
+    let server = PlatformProfile::server_32core();
+    let cores = server_core_counts();
+    println!("# Ideal scaling");
+    for &c in &cores {
+        println!("{c:>8} {:>12.2}", c as f64);
+    }
+    println!();
+    print_curve("LASC cycle-count scaling (32-core server)", &report, &server, ScalingMode::CycleCount, &cores);
+    print_curve("LASC+oracle scaling (32-core server)", &report, &server, ScalingMode::Oracle, &cores);
+    print_curve("LASC scaling (32-core server)", &report, &server, ScalingMode::Lasc, &cores);
+}

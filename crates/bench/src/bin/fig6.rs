@@ -1,0 +1,51 @@
+//! Reproduces Figure 6: Collatz scaling on the 32-core server and Blue
+//! Gene/P (left, centre) and single-core memoization on the laptop (right).
+
+use asc_bench::{config_for, measure, print_curve, scale_from_args};
+use asc_core::cluster::{blue_gene_core_counts, server_core_counts, PlatformProfile, ScalingMode};
+use asc_core::config::AscConfig;
+use asc_core::runtime::LascRuntime;
+use asc_workloads::collatz;
+use asc_workloads::registry::{collatz_params, Benchmark};
+
+fn main() {
+    let scale = scale_from_args();
+    let (report, description) = measure(Benchmark::Collatz, scale);
+    println!("Figure 6: Collatz ({description}), {} supersteps, accuracy {:.3}\n",
+             report.supersteps.len(), report.one_step_accuracy());
+
+    let server = PlatformProfile::server_32core();
+    let cores = server_core_counts();
+    println!("# Ideal scaling");
+    for &c in &cores {
+        println!("{c:>8} {:>12.2}", c as f64);
+    }
+    println!();
+    print_curve("LASC cycle-count scaling (32-core server)", &report, &server, ScalingMode::CycleCount, &cores);
+    print_curve("LASC scaling (32-core server)", &report, &server, ScalingMode::Lasc, &cores);
+
+    let bluegene = PlatformProfile::blue_gene_p();
+    let bg_cores = blue_gene_core_counts(16_384);
+    print_curve("LASC cycle-count scaling (Blue Gene/P)", &report, &bluegene, ScalingMode::CycleCount, &bg_cores);
+    print_curve("LASC scaling (Blue Gene/P)", &report, &bluegene, ScalingMode::Lasc, &bg_cores);
+
+    // Rightmost plot: single-core generalized memoization on the laptop.
+    let params = collatz_params(scale);
+    let program = collatz::pure_program(&params).expect("pure collatz builds");
+    let config = AscConfig { min_superstep: 8, ..config_for(scale) };
+    let runtime = LascRuntime::new(config).expect("config valid");
+    let (memo_report, series) = runtime.memoize(&program, 2.0).expect("memoization run");
+    let verified = collatz::read_pure_result(&program, &memo_report.final_state).expect("result");
+    assert_eq!(verified, params.count, "memoization must not change results");
+    println!("# LASC single-core memoization (1-core laptop): instructions vs scaling");
+    let step = (series.len() / 40).max(1);
+    for (instructions, scaling) in series.iter().step_by(step) {
+        println!("{instructions:>12} {scaling:>10.3}");
+    }
+    println!(
+        "\nmemoized {} of {} instructions ({} cache hits)",
+        memo_report.fast_forwarded_instructions,
+        memo_report.total_instructions,
+        memo_report.cache_stats.hits
+    );
+}

@@ -1,0 +1,51 @@
+//! Reproduces Table 2: prediction error rates and cache miss rates.
+
+use asc_bench::{config_for, measure, row, scale_from_args};
+use asc_core::cluster::{simulate, PlatformProfile, ScalingMode};
+use asc_core::runtime::LascRuntime;
+use asc_workloads::registry::{build, Benchmark};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 2: prediction error rates and cache miss rates (scale {scale:?})\n");
+    let reports: Vec<_> = Benchmark::ALL.iter().map(|&b| (b, measure(b, scale))).collect();
+
+    let names: Vec<String> = reports.iter().map(|(b, _)| b.name().to_string()).collect();
+    println!("{}", row("", &names));
+    let pct = |v: f64| format!("{:.1}%", v * 100.0);
+    let errors: Vec<_> = reports
+        .iter()
+        .map(|(_, (r, _))| r.ensemble_errors.unwrap_or_default())
+        .collect();
+    println!("{}", row("Equal-weight error rate", &errors.iter().map(|e| pct(e.equal_weight_error_rate)).collect::<Vec<_>>()));
+    println!("{}", row("Hindsight-optimal error", &errors.iter().map(|e| pct(e.hindsight_optimal_error_rate)).collect::<Vec<_>>()));
+    println!("{}", row("Actual (RWMA) error rate", &errors.iter().map(|e| pct(e.actual_error_rate)).collect::<Vec<_>>()));
+    println!("{}", row("Total predictions", &errors.iter().map(|e| e.total_predictions.to_string()).collect::<Vec<_>>()));
+    println!("{}", row("Incorrect predictions", &errors.iter().map(|e| e.incorrect_predictions.to_string()).collect::<Vec<_>>()));
+    // Cache miss rate at 32 cores, from the cluster replay of the trace.
+    let profile = PlatformProfile::server_32core();
+    let miss: Vec<String> = reports
+        .iter()
+        .map(|(_, (r, _))| {
+            let point = simulate(r, &profile, ScalingMode::Lasc, 32);
+            format!("{:.1}%", (1.0 - point.hit_rate) * 100.0)
+        })
+        .collect();
+    println!("{}", row("Cache miss rate (32 cores)", &miss));
+    // In-process accelerated runs (real cache in the loop) as a cross-check.
+    let accel: Vec<String> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let workload = build(b, scale).expect("workload");
+            let runtime = LascRuntime::new(config_for(scale)).expect("config");
+            match runtime.accelerate(&workload.program) {
+                Ok(report) => {
+                    assert!(workload.verify(&report.final_state));
+                    format!("{:.1}%", report.cache_stats.miss_rate() * 100.0)
+                }
+                Err(_) => "n/a".to_string(),
+            }
+        })
+        .collect();
+    println!("{}", row("In-process miss rate", &accel));
+}

@@ -1,0 +1,136 @@
+//! # asc-bench — experiment harnesses reproducing the paper's evaluation
+//!
+//! One binary per table/figure of the paper (§5), plus Criterion
+//! micro-benchmarks for the §5.3 implementation measurements:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — recognizer statistics per benchmark |
+//! | `table2` | Table 2 — prediction error rates and cache miss rates |
+//! | `fig3`   | Figure 3 — ensemble weight matrices |
+//! | `fig4`   | Figure 4 — Ising scaling (32-core server + Blue Gene/P) |
+//! | `fig5`   | Figure 5 — 2mm scaling (32-core server) |
+//! | `fig6`   | Figure 6 — Collatz scaling + single-core memoization |
+//! | `cargo bench` | §5.3 — simulation rate, dependency-tracking overhead, cache lookup, predictor update, rollout latency |
+//!
+//! Every binary accepts an optional scale argument (`tiny`, `small`,
+//! `medium`, `large`; default `small`) controlling the workload size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asc_core::cluster::{self, PlatformProfile, ScalingMode};
+use asc_core::config::AscConfig;
+use asc_core::runtime::{LascRuntime, RunReport};
+use asc_workloads::registry::{build, Benchmark, Scale};
+
+/// Parses the scale argument from the command line (defaults to `medium`,
+/// which leaves recognition a small fraction of total work as in the paper;
+/// use `small`/`tiny` for quick runs).
+pub fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).unwrap_or_default().to_lowercase().as_str() {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "large" => Scale::Large,
+        _ => Scale::Medium,
+    }
+}
+
+/// The runtime configuration used by the experiment harnesses at each scale.
+pub fn config_for(scale: Scale) -> AscConfig {
+    match scale {
+        Scale::Tiny => AscConfig {
+            explore_instructions: 6_000,
+            min_superstep: 50,
+            ..AscConfig::default()
+        },
+        Scale::Small => AscConfig {
+            explore_instructions: 80_000,
+            min_superstep: 200,
+            ..AscConfig::default()
+        },
+        Scale::Medium => AscConfig {
+            explore_instructions: 250_000,
+            min_superstep: 500,
+            ..AscConfig::default()
+        },
+        Scale::Large => AscConfig {
+            explore_instructions: 500_000,
+            min_superstep: 1_000,
+            ..AscConfig::default()
+        },
+    }
+}
+
+/// Runs the measured (instrumented) execution of one benchmark.
+///
+/// # Panics
+/// Panics when the workload cannot be built or the runtime fails — the
+/// harnesses are top-level binaries where aborting with a message is the
+/// desired behaviour.
+pub fn measure(benchmark: Benchmark, scale: Scale) -> (RunReport, String) {
+    let workload = build(benchmark, scale).expect("workload must build");
+    let runtime = LascRuntime::new(config_for(scale)).expect("config must be valid");
+    let report = runtime.measure(&workload.program).expect("measured run must succeed");
+    assert!(
+        workload.verify(&report.final_state),
+        "{benchmark}: measured run produced a wrong result"
+    );
+    (report, workload.description.clone())
+}
+
+/// Formats a row of a fixed-width text table.
+pub fn row(label: &str, cells: &[String]) -> String {
+    let mut line = format!("{label:<28}");
+    for cell in cells {
+        line.push_str(&format!(" {cell:>14}"));
+    }
+    line
+}
+
+/// Formats a floating-point number in scientific notation like the paper.
+pub fn sci(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{value:.1e}")
+    }
+}
+
+/// Prints a scaling curve as a two-column series (cores, scaling).
+pub fn print_curve(title: &str, report: &RunReport, profile: &PlatformProfile, mode: ScalingMode, cores: &[usize]) {
+    println!("# {title}");
+    println!("{:>8} {:>12} {:>10}", "cores", "scaling", "hit_rate");
+    for point in cluster::scaling_curve(report, profile, mode, cores) {
+        println!("{:>8} {:>12.2} {:>10.3}", point.cores, point.scaling, point.hit_rate);
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_valid_for_every_scale() {
+        for scale in [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large] {
+            config_for(scale).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(sci(0.0), "0");
+        assert!(sci(23_000_000.0).contains('e'));
+        let line = row("Total time", &["1".to_string(), "2".to_string()]);
+        assert!(line.contains("Total time"));
+        assert!(line.contains('2'));
+    }
+
+    #[test]
+    fn tiny_measure_runs_end_to_end() {
+        let (report, _) = measure(Benchmark::Collatz, Scale::Tiny);
+        assert!(report.halted);
+        assert!(!report.supersteps.is_empty());
+    }
+}

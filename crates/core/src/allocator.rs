@@ -1,0 +1,128 @@
+//! The allocator: expected-utility scheduling of speculative work (§4.5).
+//!
+//! Given the rollout of predicted future states produced by the predictor
+//! bank, the allocator decides which of them are worth dispatching to
+//! speculative execution. Each candidate's expected utility is the length of
+//! the trajectory that would be cached (one superstep per rollout depth)
+//! multiplied by the probability, under the ensemble's joint distribution
+//! (Eq. 2), that the prediction is correct and the entry will therefore be
+//! used by the main thread. Predictions whose start states are already
+//! covered by the cache are skipped.
+
+use crate::cache::TrajectoryCache;
+use crate::predictor_bank::PredictedState;
+
+/// One unit of speculative work the allocator decided to dispatch.
+#[derive(Debug, Clone)]
+pub struct SpeculationTask {
+    /// How many supersteps ahead of the main thread the start state is.
+    pub depth: usize,
+    /// The predicted start state.
+    pub predicted: PredictedState,
+    /// Expected utility: estimated instructions saved × probability of use.
+    pub expected_utility: f64,
+}
+
+/// Plans which rollout predictions to speculate from.
+///
+/// * `rollouts` — predictions at depths 1..=k produced by
+///   [`PredictorBank::rollout`](crate::predictor_bank::PredictorBank::rollout).
+/// * `superstep_estimate` — mean instructions per superstep, used as the
+///   utility of one cached trajectory.
+/// * `max_tasks` — how many speculative executions can be dispatched (the
+///   number of idle cores in a real deployment).
+/// * `cache`/`rip` — used to skip predictions already covered by an entry.
+///
+/// Tasks are returned in decreasing expected-utility order.
+pub fn plan_speculation(
+    rollouts: Vec<PredictedState>,
+    superstep_estimate: f64,
+    max_tasks: usize,
+    cache: &TrajectoryCache,
+    rip: u32,
+) -> Vec<SpeculationTask> {
+    let mut tasks: Vec<SpeculationTask> = rollouts
+        .into_iter()
+        .filter(|predicted| cache.peek(rip, &predicted.state).is_none())
+        .map(|predicted| {
+            let probability = predicted.log_probability.exp();
+            SpeculationTask {
+                depth: predicted.depth,
+                expected_utility: probability * superstep_estimate.max(1.0),
+                predicted,
+            }
+        })
+        .collect();
+    tasks.sort_by(|a, b| {
+        b.expected_utility
+            .partial_cmp(&a.expected_utility)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    tasks.truncate(max_tasks);
+    tasks
+}
+
+/// The latency model for recursive ("rollout") prediction in the paper's
+/// prototype: the worker speculating `rank` supersteps ahead must first
+/// compute `rank` chained predictions, so its prediction latency grows
+/// linearly with rank (§5.3: ~10³·k µs on Blue Gene/P). Expressed here in
+/// instruction-equivalent cycles so the cluster model can charge it.
+pub fn rollout_latency(rank: usize, cost_per_step: f64) -> f64 {
+    rank as f64 * cost_per_step.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_tvm::state::StateVector;
+
+    fn predicted(depth: usize, log_probability: f64) -> PredictedState {
+        PredictedState { state: StateVector::new(64).unwrap(), log_probability, depth }
+    }
+
+    #[test]
+    fn plans_highest_utility_first_and_respects_budget() {
+        let cache = TrajectoryCache::new(16);
+        let rollouts = vec![
+            predicted(1, -0.01), // very likely
+            predicted(2, -0.2),
+            predicted(3, -2.0), // unlikely
+        ];
+        let tasks = plan_speculation(rollouts, 1_000.0, 2, &cache, 0);
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].depth, 1);
+        assert_eq!(tasks[1].depth, 2);
+        assert!(tasks[0].expected_utility >= tasks[1].expected_utility);
+    }
+
+    #[test]
+    fn skips_predictions_already_cached() {
+        let cache = TrajectoryCache::new(16);
+        let prediction = predicted(1, -0.1);
+        // Insert an entry that matches the predicted state (empty read set
+        // matches anything).
+        cache.insert(crate::cache::CacheEntry {
+            rip: 0,
+            start: asc_tvm::delta::SparseBytes::default(),
+            end: asc_tvm::delta::SparseBytes::default(),
+            instructions: 10,
+        });
+        let tasks = plan_speculation(vec![prediction], 100.0, 4, &cache, 0);
+        assert!(tasks.is_empty());
+    }
+
+    #[test]
+    fn utility_scales_with_probability() {
+        let cache = TrajectoryCache::new(16);
+        let tasks = plan_speculation(vec![predicted(1, 0.0), predicted(2, -1.0)], 100.0, 4, &cache, 0);
+        assert!((tasks[0].expected_utility - 100.0).abs() < 1e-9);
+        assert!((tasks[1].expected_utility - 100.0 * (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollout_latency_is_linear_in_rank() {
+        assert_eq!(rollout_latency(0, 50.0), 0.0);
+        assert_eq!(rollout_latency(10, 50.0), 500.0);
+        assert_eq!(rollout_latency(10, -1.0), 0.0);
+    }
+}

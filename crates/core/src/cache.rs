@@ -1,0 +1,371 @@
+//! The trajectory cache (§4.2).
+//!
+//! Each entry is a compressed pair of start and end states: the *start* keeps
+//! only the bytes the speculative execution read before writing (its true
+//! dependencies) and the *end* keeps only the bytes it wrote. The main thread
+//! matches its current state against entry start sets — a match on just those
+//! bytes is sufficient for correctness — and fast-forwards by applying the
+//! end set, "a translation symmetry in state space".
+//!
+//! The cache is sharded and internally synchronised so speculative worker
+//! threads can insert entries while the main thread queries, mirroring the
+//! paper's distributed per-core cache (the cluster cost model in
+//! [`crate::cluster`] charges the reduction and point-to-point costs that a
+//! distributed realisation adds).
+
+use asc_tvm::delta::SparseBytes;
+use asc_tvm::state::StateVector;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One cached speculative trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Recognized IP value this entry's start state was captured at.
+    pub rip: u32,
+    /// Sparse read-set capture: the bytes (and values) the execution depended on.
+    pub start: SparseBytes,
+    /// Sparse write-set capture: the bytes (and values) the execution produced.
+    pub end: SparseBytes,
+    /// Number of instructions the entry fast-forwards over.
+    pub instructions: u64,
+}
+
+impl CacheEntry {
+    /// Whether the entry's dependencies are satisfied by `state`.
+    pub fn matches(&self, state: &StateVector) -> bool {
+        self.start.matches(state)
+    }
+
+    /// Fast-forwards `state` by applying the entry's write set.
+    pub fn apply(&self, state: &mut StateVector) {
+        self.end.apply(state);
+    }
+
+    /// Size in bits of the query needed to match this entry (Table 1's
+    /// "cache query size" row).
+    pub fn query_bits(&self) -> usize {
+        self.start.encoded_bits()
+    }
+}
+
+/// Counters describing cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups performed.
+    pub queries: u64,
+    /// Number of lookups that returned an entry.
+    pub hits: u64,
+    /// Number of entries inserted.
+    pub inserted: u64,
+    /// Number of entries rejected as duplicates of an existing start set.
+    pub duplicates: u64,
+    /// Number of entries evicted due to the capacity limit.
+    pub evicted: u64,
+    /// Total instructions fast-forwarded by returned entries.
+    pub instructions_served: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries that missed (0 when nothing was queried).
+    pub fn miss_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            1.0 - self.hits as f64 / self.queries as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    by_ip: HashMap<u32, Vec<CacheEntry>>,
+    entries: usize,
+}
+
+/// A concurrent, sharded trajectory cache.
+pub struct TrajectoryCache {
+    shards: Vec<RwLock<Shard>>,
+    capacity_per_shard: usize,
+    queries: AtomicU64,
+    hits: AtomicU64,
+    inserted: AtomicU64,
+    duplicates: AtomicU64,
+    evicted: AtomicU64,
+    instructions_served: AtomicU64,
+}
+
+impl std::fmt::Debug for TrajectoryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrajectoryCache")
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+const SHARD_COUNT: usize = 16;
+
+impl TrajectoryCache {
+    /// Creates a cache holding at most `capacity` entries in total.
+    pub fn new(capacity: usize) -> Self {
+        let capacity_per_shard = capacity.div_ceil(SHARD_COUNT).max(1);
+        TrajectoryCache {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::default())).collect(),
+            capacity_per_shard,
+            queries: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            instructions_served: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, rip: u32) -> &RwLock<Shard> {
+        &self.shards[(rip as usize / 8) % SHARD_COUNT]
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().entries).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an entry. Returns `false` when an entry with an identical
+    /// start set (and at least as many instructions) already exists.
+    pub fn insert(&self, entry: CacheEntry) -> bool {
+        let shard = self.shard_for(entry.rip);
+        let mut guard = shard.write();
+        let bucket = guard.by_ip.entry(entry.rip).or_default();
+        if let Some(existing) = bucket.iter_mut().find(|e| e.start == entry.start) {
+            if existing.instructions >= entry.instructions {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            *existing = entry;
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        bucket.push(entry);
+        guard.entries += 1;
+        if guard.entries > self.capacity_per_shard {
+            // Evict the oldest entry of the largest bucket (FIFO within IP).
+            if let Some((_, bucket)) = guard
+                .by_ip
+                .iter_mut()
+                .max_by_key(|(_, entries)| entries.len())
+            {
+                if !bucket.is_empty() {
+                    bucket.remove(0);
+                    guard.entries -= 1;
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Looks up the longest entry for `rip` whose dependencies match `state`.
+    pub fn lookup(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_for(rip);
+        let guard = shard.read();
+        let best = guard
+            .by_ip
+            .get(&rip)?
+            .iter()
+            .filter(|entry| entry.matches(state))
+            .max_by_key(|entry| entry.instructions)
+            .cloned();
+        if let Some(entry) = &best {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.instructions_served.fetch_add(entry.instructions, Ordering::Relaxed);
+        }
+        best
+    }
+
+    /// Looks up without recording query statistics (used by the recognizer's
+    /// what-if evaluation so it does not pollute the reported hit rates).
+    pub fn peek(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
+        let shard = self.shard_for(rip);
+        let guard = shard.read();
+        guard
+            .by_ip
+            .get(&rip)?
+            .iter()
+            .filter(|entry| entry.matches(state))
+            .max_by_key(|entry| entry.instructions)
+            .cloned()
+    }
+
+    /// Average query size in bits over all stored entries (Table 1).
+    pub fn mean_query_bits(&self) -> f64 {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for shard in &self.shards {
+            let guard = shard.read();
+            for bucket in guard.by_ip.values() {
+                for entry in bucket {
+                    total += entry.query_bits();
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        CacheStats {
+            queries,
+            hits,
+            inserted: self.inserted.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            instructions_served: self.instructions_served.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rip: u32, deps: &[(u32, u8)], outs: &[(u32, u8)], instructions: u64) -> CacheEntry {
+        CacheEntry {
+            rip,
+            start: SparseBytes::from_pairs(deps.to_vec()),
+            end: SparseBytes::from_pairs(outs.to_vec()),
+            instructions,
+        }
+    }
+
+    fn state_with(bytes: &[(usize, u8)]) -> StateVector {
+        let mut s = StateVector::new(256).unwrap();
+        for &(i, v) in bytes {
+            s.set_byte(i, v);
+        }
+        s
+    }
+
+    #[test]
+    fn lookup_matches_on_read_set_only() {
+        let cache = TrajectoryCache::new(16);
+        cache.insert(entry(100, &[(10, 1)], &[(20, 9)], 500));
+        // Matching state: byte 10 == 1, everything else irrelevant.
+        let state = state_with(&[(10, 1), (50, 99)]);
+        let hit = cache.lookup(100, &state).expect("should hit");
+        assert_eq!(hit.instructions, 500);
+        // Mismatching dependency byte misses.
+        let miss_state = state_with(&[(10, 2)]);
+        assert!(cache.lookup(100, &miss_state).is_none());
+        // Different IP misses even with matching bytes.
+        assert!(cache.lookup(101, &state).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.hits, 1);
+        assert!((stats.miss_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_prefers_longest_matching_entry() {
+        let cache = TrajectoryCache::new(256);
+        cache.insert(entry(64, &[(5, 7)], &[(6, 1)], 100));
+        cache.insert(entry(64, &[(5, 7), (8, 3)], &[(6, 2)], 900));
+        // Both entries match this state: the farther end state wins (§3.2 (11)).
+        let state = state_with(&[(5, 7), (8, 3)]);
+        assert_eq!(cache.lookup(64, &state).unwrap().instructions, 900);
+        // Only the shorter matches when byte 8 differs.
+        let state = state_with(&[(5, 7), (8, 4)]);
+        assert_eq!(cache.lookup(64, &state).unwrap().instructions, 100);
+    }
+
+    #[test]
+    fn apply_fast_forwards_write_set_only() {
+        let cache = TrajectoryCache::new(4);
+        cache.insert(entry(0, &[(1, 1)], &[(2, 42), (3, 43)], 10));
+        let mut state = state_with(&[(1, 1), (2, 0), (3, 0), (4, 77)]);
+        let hit = cache.lookup(0, &state).unwrap();
+        hit.apply(&mut state);
+        assert_eq!(state.byte(2), 42);
+        assert_eq!(state.byte(3), 43);
+        assert_eq!(state.byte(4), 77); // untouched
+    }
+
+    #[test]
+    fn duplicate_start_sets_keep_the_longer_entry() {
+        let cache = TrajectoryCache::new(16);
+        assert!(cache.insert(entry(8, &[(1, 1)], &[(2, 2)], 100)));
+        assert!(!cache.insert(entry(8, &[(1, 1)], &[(2, 3)], 50)));
+        assert_eq!(cache.len(), 1);
+        let state = state_with(&[(1, 1)]);
+        assert_eq!(cache.lookup(8, &state).unwrap().instructions, 100);
+        // A longer duplicate replaces the stored one.
+        assert!(!cache.insert(entry(8, &[(1, 1)], &[(2, 4)], 700)));
+        assert_eq!(cache.lookup(8, &state).unwrap().instructions, 700);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_by_eviction() {
+        let cache = TrajectoryCache::new(SHARD_COUNT); // one entry per shard
+        for i in 0..200u32 {
+            cache.insert(entry(8, &[(i, 1)], &[(2, 2)], 10));
+        }
+        assert!(cache.len() <= 2 * SHARD_COUNT);
+        assert!(cache.stats().evicted > 0);
+    }
+
+    #[test]
+    fn peek_does_not_count_as_query() {
+        let cache = TrajectoryCache::new(4);
+        cache.insert(entry(0, &[(1, 1)], &[(2, 2)], 10));
+        let state = state_with(&[(1, 1)]);
+        assert!(cache.peek(0, &state).is_some());
+        assert_eq!(cache.stats().queries, 0);
+    }
+
+    #[test]
+    fn concurrent_insert_and_lookup() {
+        use std::sync::Arc;
+        let cache = Arc::new(TrajectoryCache::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    cache.insert(entry(t * 8, &[(i, t as u8)], &[(200, 1)], 10));
+                    let state = state_with(&[(i as usize, t as u8)]);
+                    cache.lookup(t * 8, &state);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(cache.stats().hits > 0);
+        assert!(cache.len() > 0);
+    }
+
+    #[test]
+    fn mean_query_bits_reflects_read_set_sizes() {
+        let cache = TrajectoryCache::new(8);
+        cache.insert(entry(0, &[(1, 1), (2, 2)], &[(3, 3)], 10));
+        cache.insert(entry(8, &[(1, 1), (2, 2), (3, 3), (4, 4)], &[(5, 5)], 10));
+        // Entries have 2 and 4 dependency bytes at 40 bits each.
+        assert!((cache.mean_query_bits() - 120.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Configuration of the LASC runtime.
+
+use crate::error::{AscError, AscResult};
+
+/// Which predictor complement the runtime builds (§4.4.2 / §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictorComplement {
+    /// The paper's four algorithms: mean, weatherman, logistic, linear.
+    #[default]
+    Default,
+    /// Several learning-rate variants of each algorithm, as when more cores
+    /// are available for hyper-parameter exploration.
+    Extended,
+}
+
+/// Tunable parameters of the LASC runtime.
+///
+/// The defaults reproduce the paper's policies scaled to TVM-sized programs:
+/// supersteps must be long enough to outweigh lookup costs, the recognizer
+/// converges within a bounded exploration prefix, and the allocator rolls
+/// predictions a bounded number of supersteps into the future.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AscConfig {
+    /// Instructions the recognizer observes before scoring candidate IPs.
+    pub explore_instructions: u64,
+    /// Occurrences of each candidate IP used to evaluate its predictability.
+    pub evaluation_occurrences: usize,
+    /// Occurrences of each candidate IP used to train its throw-away
+    /// predictor bank before scored evaluation begins.
+    pub evaluation_training: usize,
+    /// Number of candidate IPs evaluated for predictability.
+    pub candidate_count: usize,
+    /// Minimum number of instructions a superstep must span for speculation
+    /// from it to be worthwhile (the paper uses 10⁴ for its benchmarks; TVM
+    /// programs are smaller so the default is lower but the same idea).
+    pub min_superstep: u64,
+    /// Maximum number of instructions a single speculative execution may run
+    /// before giving up (guards against a wrong prediction running away).
+    pub max_superstep: u64,
+    /// How many supersteps ahead the allocator rolls out predictions.
+    pub rollout_depth: usize,
+    /// Multiplicative weight update applied to a predictor that mispredicts a
+    /// bit (the RWMA `beta`).
+    pub ensemble_beta: f64,
+    /// Which predictor complement to instantiate.
+    pub predictors: PredictorComplement,
+    /// A bit must change at least this many times between occurrences of the
+    /// recognized IP to be treated as an excitation (the paper's default: once).
+    pub excitation_threshold: u32,
+    /// Number of occurrences used to warm up the excitation map before
+    /// predictors start training.
+    pub excitation_warmup: usize,
+    /// Upper bound on the number of excitation bits modelled per recognized
+    /// IP (most frequently changing bits win); bounds learner memory for
+    /// programs that touch fresh output locations every superstep.
+    pub max_excited_bits: usize,
+    /// Maximum number of entries the trajectory cache retains.
+    pub cache_capacity: usize,
+    /// Upper bound on total instructions executed (safety net for tests).
+    pub instruction_budget: u64,
+}
+
+impl Default for AscConfig {
+    fn default() -> Self {
+        AscConfig {
+            explore_instructions: 60_000,
+            evaluation_occurrences: 8,
+            evaluation_training: 10,
+            candidate_count: 12,
+            min_superstep: 200,
+            max_superstep: 2_000_000,
+            rollout_depth: 32,
+            ensemble_beta: 0.5,
+            predictors: PredictorComplement::Default,
+            excitation_threshold: 1,
+            excitation_warmup: 3,
+            max_excited_bits: 4096,
+            cache_capacity: 1 << 16,
+            instruction_budget: 2_000_000_000,
+        }
+    }
+}
+
+impl AscConfig {
+    /// A configuration suited to the small programs used in unit tests.
+    pub fn for_tests() -> Self {
+        AscConfig {
+            explore_instructions: 5_000,
+            evaluation_occurrences: 6,
+            evaluation_training: 10,
+            candidate_count: 8,
+            min_superstep: 50,
+            rollout_depth: 8,
+            ..AscConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`AscError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> AscResult<()> {
+        if self.explore_instructions == 0 {
+            return Err(AscError::InvalidConfig("explore_instructions must be positive".into()));
+        }
+        if self.min_superstep == 0 || self.max_superstep < self.min_superstep {
+            return Err(AscError::InvalidConfig(
+                "superstep bounds must satisfy 0 < min <= max".into(),
+            ));
+        }
+        if self.rollout_depth == 0 {
+            return Err(AscError::InvalidConfig("rollout_depth must be at least 1".into()));
+        }
+        if !(self.ensemble_beta > 0.0 && self.ensemble_beta < 1.0) {
+            return Err(AscError::InvalidConfig("ensemble_beta must be in (0, 1)".into()));
+        }
+        if self.candidate_count == 0 || self.evaluation_occurrences == 0 {
+            return Err(AscError::InvalidConfig(
+                "candidate_count and evaluation_occurrences must be positive".into(),
+            ));
+        }
+        if self.cache_capacity == 0 {
+            return Err(AscError::InvalidConfig("cache_capacity must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        AscConfig::default().validate().unwrap();
+        AscConfig::for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = AscConfig::default();
+        c.rollout_depth = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.ensemble_beta = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.max_superstep = 1;
+        c.min_superstep = 10;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.cache_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+}

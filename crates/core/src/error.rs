@@ -1,0 +1,68 @@
+//! Error types for the ASC runtime.
+
+use asc_tvm::error::VmError;
+use std::fmt;
+
+/// Errors produced by the ASC runtime and its components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AscError {
+    /// The underlying simulator reported an error while executing the program.
+    Vm(VmError),
+    /// The configuration is inconsistent (limits of zero, contradictory modes, …).
+    InvalidConfig(String),
+    /// The recognizer could not find any instruction pointer worth speculating
+    /// on within its exploration budget.
+    NoRecognizedIp,
+    /// The program halted before the runtime finished its exploration phase,
+    /// so there is nothing to speculate on (the run is still correct).
+    ProgramTooShort {
+        /// Instructions the program retired before halting.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for AscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AscError::Vm(e) => write!(f, "simulator error: {e}"),
+            AscError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AscError::NoRecognizedIp => {
+                write!(f, "no predictable instruction pointer found within the exploration budget")
+            }
+            AscError::ProgramTooShort { executed } => {
+                write!(f, "program halted after only {executed} instructions, before speculation began")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AscError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AscError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for AscError {
+    fn from(e: VmError) -> Self {
+        AscError::Vm(e)
+    }
+}
+
+/// Convenience alias for runtime results.
+pub type AscResult<T> = Result<T, AscError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = AscError::from(VmError::DivideByZero { addr: 8 });
+        assert!(err.to_string().contains("division"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(AscError::NoRecognizedIp.to_string().contains("instruction pointer"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Excitation tracking: which bits change between recognized-IP occurrences.
+//!
+//! The paper observes (§4.4) that although a program's state space has 10⁵ to
+//! 10⁷ bits, fewer than a few hundred bits change from one occurrence of the
+//! recognized instruction pointer to the next. LASC learns binary classifiers
+//! only for those *excitations*. The [`ExcitationTracker`] accumulates
+//! change counts from observed occurrence states; once enough occurrences
+//! have been seen it is frozen into an [`ExcitationMap`] that converts full
+//! state vectors to and from the compact [`Observation`] representation the
+//! learners work with.
+
+use asc_learn::features::{ExcitationSchema, Observation};
+use asc_tvm::state::StateVector;
+use std::collections::BTreeMap;
+
+/// Accumulates per-bit change counts between successive occurrence states.
+#[derive(Debug, Clone)]
+pub struct ExcitationTracker {
+    threshold: u32,
+    previous: Option<StateVector>,
+    change_counts: BTreeMap<usize, u32>,
+    observations: usize,
+}
+
+impl ExcitationTracker {
+    /// Creates a tracker; a bit becomes an excitation after it has changed at
+    /// least `threshold` times (the paper's default is once).
+    pub fn new(threshold: u32) -> Self {
+        ExcitationTracker {
+            threshold: threshold.max(1),
+            previous: None,
+            change_counts: BTreeMap::new(),
+            observations: 0,
+        }
+    }
+
+    /// Number of occurrence states observed so far.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Number of distinct bits seen to change at least once.
+    pub fn changed_bits(&self) -> usize {
+        self.change_counts.len()
+    }
+
+    /// Folds in the state at a new occurrence of the recognized IP.
+    pub fn observe(&mut self, state: &StateVector) {
+        if let Some(previous) = &self.previous {
+            for byte_index in previous.diff_bytes(state) {
+                let old = previous.byte(byte_index);
+                let new = state.byte(byte_index);
+                let changed = old ^ new;
+                for bit in 0..8 {
+                    if changed & (1 << bit) != 0 {
+                        *self.change_counts.entry(byte_index * 8 + bit).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        self.previous = Some(state.clone());
+        self.observations += 1;
+    }
+
+    /// Freezes the tracker into a map over the bits that crossed the change
+    /// threshold. Returns `None` when nothing qualifies yet.
+    pub fn build_map(&self) -> Option<ExcitationMap> {
+        self.build_map_with_limit(usize::MAX)
+    }
+
+    /// Like [`ExcitationTracker::build_map`], but keeps at most `max_bits`
+    /// bits (before word expansion), preferring the most frequently changing
+    /// ones. Bounding the excitation set bounds the memory and training cost
+    /// of the per-bit learners for programs (such as `2mm`) that touch a new
+    /// output location on every superstep.
+    pub fn build_map_with_limit(&self, max_bits: usize) -> Option<ExcitationMap> {
+        let mut qualifying: Vec<(usize, u32)> = self
+            .change_counts
+            .iter()
+            .filter(|(_, count)| **count >= self.threshold)
+            .map(|(bit, count)| (*bit, *count))
+            .collect();
+        if qualifying.is_empty() {
+            return None;
+        }
+        if qualifying.len() > max_bits {
+            qualifying.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            qualifying.truncate(max_bits);
+        }
+        Some(ExcitationMap::new(qualifying.into_iter().map(|(bit, _)| bit).collect()))
+    }
+}
+
+/// A frozen set of excitation bits with conversions between full state
+/// vectors and compact observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcitationMap {
+    /// Absolute bit indices of the tracked bits, sorted.
+    bit_indices: Vec<usize>,
+    /// Absolute byte index of the first byte of each tracked aligned 32-bit
+    /// word, sorted; every tracked bit lives in one of these words.
+    word_bytes: Vec<usize>,
+    schema: ExcitationSchema,
+}
+
+impl ExcitationMap {
+    /// Builds a map from absolute bit indices.
+    ///
+    /// The tracked set is expanded to *every* bit of each aligned 32-bit word
+    /// that contains a changed bit. Accumulators, induction variables and
+    /// bump-allocated pointers keep exciting progressively higher bits as a
+    /// program runs; tracking the whole containing word up front means the
+    /// predictors model those carries from the start instead of repeatedly
+    /// discovering "new" excitations (the word is also the granularity the
+    /// linear-regression predictor operates at).
+    pub fn new(bit_indices: Vec<usize>) -> Self {
+        // Tracked words are the aligned 32-bit words containing tracked bits.
+        let mut word_bytes: Vec<usize> = bit_indices.iter().map(|bit| (bit / 32) * 4).collect();
+        word_bytes.sort_unstable();
+        word_bytes.dedup();
+        let bit_indices: Vec<usize> = word_bytes
+            .iter()
+            .flat_map(|byte| (0..32).map(move |offset| byte * 8 + offset))
+            .collect();
+        let bit_homes = bit_indices
+            .iter()
+            .map(|bit| {
+                let word_byte = (bit / 32) * 4;
+                let word_index = word_bytes.binary_search(&word_byte).expect("word must be tracked");
+                (word_index, (bit % 32) as u8)
+            })
+            .collect();
+        let schema = ExcitationSchema::new(word_bytes.len(), bit_homes);
+        ExcitationMap { bit_indices, word_bytes, schema }
+    }
+
+    /// Number of tracked bits.
+    pub fn bit_count(&self) -> usize {
+        self.bit_indices.len()
+    }
+
+    /// Number of tracked 32-bit words.
+    pub fn word_count(&self) -> usize {
+        self.word_bytes.len()
+    }
+
+    /// The tracked absolute bit indices.
+    pub fn bit_indices(&self) -> &[usize] {
+        &self.bit_indices
+    }
+
+    /// The learner-facing schema describing observation shape.
+    pub fn schema(&self) -> &ExcitationSchema {
+        &self.schema
+    }
+
+    /// Extracts the tracked bits and words of a state vector.
+    pub fn observe(&self, state: &StateVector) -> Observation {
+        let bits = self.bit_indices.iter().map(|&bit| state.bit(bit)).collect();
+        let words = self
+            .word_bytes
+            .iter()
+            .map(|&byte| {
+                if byte + 4 <= state.len_bytes() {
+                    state.word(byte)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Observation::new(bits, words)
+    }
+
+    /// Materialises a predicted state: a copy of `base` with the tracked bits
+    /// replaced by `bits`. Untracked bits keep their `base` values, which is
+    /// exactly the paper's sparsity argument — everything that never changed
+    /// between occurrences is carried forward unchanged.
+    ///
+    /// # Panics
+    /// Panics when `bits` does not have one entry per tracked bit.
+    pub fn materialize(&self, base: &StateVector, bits: &[bool]) -> StateVector {
+        assert_eq!(bits.len(), self.bit_indices.len(), "predicted bit vector has wrong arity");
+        let mut state = base.clone();
+        for (&bit_index, &value) in self.bit_indices.iter().zip(bits.iter()) {
+            state.set_bit(bit_index, value);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with(mem: usize, patch: &[(u32, u32)]) -> StateVector {
+        let mut s = StateVector::new(mem).unwrap();
+        for &(addr, value) in patch {
+            s.store_word(addr, value).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn tracker_finds_changing_bits_only() {
+        let mut tracker = ExcitationTracker::new(1);
+        // Word at address 0 counts 1,2,3; word at address 8 stays constant.
+        for i in 1..=3u32 {
+            tracker.observe(&state_with(64, &[(0, i), (8, 0xff)]));
+        }
+        assert_eq!(tracker.observations(), 3);
+        let map = tracker.build_map().expect("some bits changed");
+        // Bits 0 and 1 of the first memory word changed (1->2->3).
+        assert!(map.bit_count() >= 2);
+        let word_base_bit = (asc_tvm::state::MEM_BASE) * 8;
+        assert!(map.bit_indices().contains(&word_base_bit));
+        assert!(map.bit_indices().contains(&(word_base_bit + 1)));
+        // The constant word contributed nothing.
+        let constant_bit = (asc_tvm::state::MEM_BASE + 8) * 8;
+        assert!(!map.bit_indices().iter().any(|&b| (constant_bit..constant_bit + 32).contains(&b)));
+    }
+
+    #[test]
+    fn threshold_filters_rare_changes() {
+        let mut tracker = ExcitationTracker::new(2);
+        // Bit flips once only.
+        tracker.observe(&state_with(32, &[(0, 0)]));
+        tracker.observe(&state_with(32, &[(0, 1)]));
+        tracker.observe(&state_with(32, &[(0, 1)]));
+        assert_eq!(tracker.changed_bits(), 1);
+        assert!(tracker.build_map().is_none());
+        // A second flip crosses the threshold.
+        tracker.observe(&state_with(32, &[(0, 0)]));
+        assert!(tracker.build_map().is_some());
+    }
+
+    #[test]
+    fn map_roundtrips_observation_and_materialisation() {
+        let base = state_with(64, &[(0, 0b1010), (4, 77)]);
+        let changed = state_with(64, &[(0, 0b0110), (4, 78)]);
+        let mut tracker = ExcitationTracker::new(1);
+        tracker.observe(&base);
+        tracker.observe(&changed);
+        let map = tracker.build_map().unwrap();
+        let obs = map.observe(&changed);
+        assert_eq!(obs.bit_count(), map.bit_count());
+        // Materialising the observed bits onto the base reproduces the
+        // changed state exactly (untracked bits were identical already).
+        let rebuilt = map.materialize(&base, &obs.bits);
+        assert_eq!(rebuilt, changed);
+    }
+
+    #[test]
+    fn words_cover_every_tracked_bit() {
+        let map = ExcitationMap::new(vec![5, 37, 36, 100]);
+        // Bits 36 and 37 share a word, so three words — and every bit of each
+        // tracked word is modelled (the word-expansion described on `new`).
+        assert_eq!(map.word_count(), 3);
+        assert_eq!(map.bit_count(), 96);
+        let schema = map.schema();
+        assert_eq!(schema.bit_count, 96);
+        for j in 0..schema.bit_count {
+            let (word, offset) = schema.home(j);
+            assert!(word < schema.word_count);
+            assert!(offset < 32);
+        }
+        // The originally requested bits are all tracked.
+        for bit in [5usize, 36, 37, 100] {
+            assert!(map.bit_indices().contains(&bit));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn materialize_checks_arity() {
+        let map = ExcitationMap::new(vec![0, 1]);
+        let base = StateVector::new(16).unwrap();
+        map.materialize(&base, &[true]);
+    }
+}

@@ -1,0 +1,65 @@
+//! # asc-core — the ASC architecture (LASC runtime)
+//!
+//! This crate implements the paper's primary contribution: an architecture
+//! that automatically scales unmodified sequential programs by treating
+//! execution as a trajectory through state space, predicting future points on
+//! that trajectory with on-line machine learning, speculatively executing
+//! from the predicted points, and fast-forwarding through a dependency-aware
+//! trajectory cache.
+//!
+//! Components (Figure 1 of the paper):
+//!
+//! * [`recognizer`] — finds recognized instruction pointers (RIPs) whose
+//!   occurrences are widely spaced and predictable (§4.3).
+//! * [`excitation`] / [`predictor_bank`] — track which bits change between
+//!   RIP occurrences and train the `asc-learn` ensemble on exactly those
+//!   bits (§4.4).
+//! * [`allocator`] — expected-utility selection of speculative work from
+//!   recursive rollout predictions (§4.5).
+//! * [`speculator`] — executes supersteps from predicted states with
+//!   dependency tracking (§4.1).
+//! * [`cache`] — the sparse, dependency-matched trajectory cache (§4.2).
+//! * [`runtime`] — the LASC main loop: `measure` (instrumented, for the
+//!   experiment harnesses), `accelerate` (cache + speculation in the loop)
+//!   and `memoize` (single-core generalized memoization).
+//! * [`cluster`] — platform cost models that turn a measured trace into the
+//!   paper's scaling curves (32-core server, Blue Gene/P, laptop).
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use asc_core::config::AscConfig;
+//! use asc_core::runtime::LascRuntime;
+//! use asc_workloads::registry::{build, Benchmark, Scale};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = build(Benchmark::Collatz, Scale::Small)?;
+//! let runtime = LascRuntime::new(AscConfig::default())?;
+//! let report = runtime.accelerate(&workload.program)?;
+//! assert!(workload.verify(&report.final_state));
+//! println!("fast-forwarded {} of {} instructions",
+//!          report.fast_forwarded_instructions, report.total_instructions);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod cache;
+pub mod cluster;
+pub mod config;
+pub mod error;
+pub mod excitation;
+pub mod predictor_bank;
+pub mod recognizer;
+pub mod runtime;
+pub mod speculator;
+
+pub use cache::{CacheEntry, CacheStats, TrajectoryCache};
+pub use cluster::{PlatformProfile, ScalingMode, ScalingPoint};
+pub use config::{AscConfig, PredictorComplement};
+pub use error::{AscError, AscResult};
+pub use recognizer::{RecognizedIp, RecognizerOutcome};
+pub use runtime::{LascRuntime, RunReport, SuperstepRecord};

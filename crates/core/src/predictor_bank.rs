@@ -1,0 +1,347 @@
+//! The predictor bank: excitation tracking plus the learning ensemble, bound
+//! to one recognized instruction pointer (§4.4).
+//!
+//! The bank consumes the stream of state vectors observed at the recognized
+//! IP. It first warms up an [`ExcitationTracker`] to discover which bits
+//! actually change, then instantiates the predictor ensemble over exactly
+//! those bits and trains it on every subsequent occurrence. Given a current
+//! state it can produce the maximum-likelihood predicted next state (and
+//! recursive rollouts of it), each materialised as a *full* state vector by
+//! patching only the excitation bits — the paper's sparsity argument made
+//! concrete.
+
+use crate::config::{AscConfig, PredictorComplement};
+use crate::excitation::{ExcitationMap, ExcitationTracker};
+use asc_learn::ensemble::{Ensemble, EnsembleErrors};
+use asc_learn::features::Observation;
+use asc_learn::traits::{default_predictors, extended_predictors};
+use asc_tvm::state::StateVector;
+
+/// A predicted future state together with its probability under the model.
+#[derive(Debug, Clone)]
+pub struct PredictedState {
+    /// The materialised full state vector.
+    pub state: StateVector,
+    /// Natural log of the joint probability assigned by Eq. 2.
+    pub log_probability: f64,
+    /// How many supersteps ahead of the conditioning state this prediction is.
+    pub depth: usize,
+}
+
+/// Excitation tracking + ensemble for one recognized IP.
+pub struct PredictorBank {
+    rip: u32,
+    warmup: usize,
+    beta: f64,
+    max_excited_bits: usize,
+    complement: PredictorComplement,
+    tracker: ExcitationTracker,
+    map: Option<ExcitationMap>,
+    ensemble: Option<Ensemble>,
+    previous: Option<(StateVector, Observation)>,
+    observations: u64,
+    /// Consecutive occurrences whose changes fell substantially outside the
+    /// frozen map.
+    drift: u32,
+    /// Observation count at the last ensemble (re)build, for rate limiting.
+    last_rebuild: u64,
+}
+
+impl std::fmt::Debug for PredictorBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictorBank")
+            .field("rip", &self.rip)
+            .field("observations", &self.observations)
+            .field("excited_bits", &self.excited_bits())
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl PredictorBank {
+    /// Creates a bank for occurrences of `rip` with the given configuration.
+    pub fn new(rip: u32, config: &AscConfig) -> Self {
+        PredictorBank {
+            rip,
+            warmup: config.excitation_warmup.max(2),
+            beta: config.ensemble_beta,
+            max_excited_bits: config.max_excited_bits.max(32),
+            complement: config.predictors,
+            tracker: ExcitationTracker::new(config.excitation_threshold),
+            map: None,
+            ensemble: None,
+            previous: None,
+            observations: 0,
+            drift: 0,
+            last_rebuild: 0,
+        }
+    }
+
+    /// The recognized IP this bank models.
+    pub fn rip(&self) -> u32 {
+        self.rip
+    }
+
+    /// Whether the excitation map has been frozen and the ensemble built.
+    pub fn is_ready(&self) -> bool {
+        self.ensemble.is_some()
+    }
+
+    /// Number of excitation bits currently modelled (0 before readiness).
+    pub fn excited_bits(&self) -> usize {
+        self.map.as_ref().map(|m| m.bit_count()).unwrap_or(0)
+    }
+
+    /// Number of occurrence states observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Error statistics of the ensemble, if it has been built.
+    pub fn errors(&self) -> Option<EnsembleErrors> {
+        self.ensemble.as_ref().map(|e| e.errors())
+    }
+
+    /// The Figure-3 weight matrix: predictor names and per-bit normalised
+    /// weights, if the ensemble has been built.
+    pub fn weight_matrix(&self) -> Option<(Vec<&'static str>, Vec<Vec<f64>>)> {
+        self.ensemble.as_ref().map(|e| (e.predictor_names(), e.weight_matrix()))
+    }
+
+    fn build_ensemble(&mut self) {
+        if let Some(map) = self.tracker.build_map_with_limit(self.max_excited_bits) {
+            let schema = map.schema().clone();
+            let predictors = match self.complement {
+                PredictorComplement::Default => default_predictors(&schema),
+                PredictorComplement::Extended => extended_predictors(&schema),
+            };
+            let bit_count = map.bit_count();
+            self.map = Some(map);
+            self.ensemble = Some(Ensemble::new(predictors, bit_count, self.beta));
+            self.previous = None;
+            self.drift = 0;
+            self.last_rebuild = self.observations;
+        }
+    }
+
+    /// Folds in the state at a new occurrence of the recognized IP, training
+    /// the ensemble on the transition from the previous occurrence.
+    pub fn observe(&mut self, state: &StateVector) {
+        self.observations += 1;
+        self.tracker.observe(state);
+
+        if self.ensemble.is_none() {
+            if self.tracker.observations() > self.warmup {
+                self.build_ensemble();
+            }
+            if self.ensemble.is_none() {
+                return;
+            }
+        }
+
+        // Detect drift: *substantial* changes outside the frozen map mean the
+        // program moved to a new phase; rebuild from the (still accumulating)
+        // tracker. A handful of unmapped bits per superstep — the freshly
+        // written output cell of a kernel like 2mm, which no later superstep
+        // reads — is expected and must not trigger a rebuild.
+        let map = self.map.as_ref().expect("ensemble implies map");
+        let observation = map.observe(state);
+        if let Some((previous_state, previous_observation)) = &self.previous {
+            let unmapped_changed_bits: usize = previous_state
+                .diff_bytes(state)
+                .iter()
+                .map(|&byte| {
+                    (0..8)
+                        .filter(|bit| {
+                            let index = byte * 8 + bit;
+                            (previous_state.bit(index) != state.bit(index))
+                                && map.bit_indices().binary_search(&index).is_err()
+                        })
+                        .count()
+                })
+                .sum();
+            if unmapped_changed_bits > 64 {
+                self.drift += 1;
+            } else {
+                self.drift = 0;
+            }
+            let rebuild_allowed =
+                self.observations >= self.last_rebuild + (self.warmup as u64 + 8);
+            if self.drift >= 3 && rebuild_allowed {
+                // The paper's recognizer calls reset() on its predictors when
+                // program behaviour changes; rebuilding widens the map to the
+                // newly excited bits.
+                self.build_ensemble();
+                let map = self.map.as_ref().expect("rebuild keeps a map");
+                let observation = map.observe(state);
+                self.previous = Some((state.clone(), observation));
+                return;
+            }
+            let ensemble = self.ensemble.as_mut().expect("checked above");
+            ensemble.observe(previous_observation, &observation);
+        }
+        self.previous = Some((state.clone(), observation));
+    }
+
+    /// Predicts the state at the next occurrence of the RIP, conditioned on
+    /// `state`. Returns `None` until the ensemble is ready.
+    pub fn predict_next(&self, state: &StateVector) -> Option<PredictedState> {
+        let (map, ensemble) = (self.map.as_ref()?, self.ensemble.as_ref()?);
+        let observation = map.observe(state);
+        let (bits, log_probability) = ensemble.predict_ml(&observation);
+        Some(PredictedState { state: map.materialize(state, &bits), log_probability, depth: 1 })
+    }
+
+    /// Whether `predicted` agrees with `actual` on every modelled excitation
+    /// bit. This is the accuracy criterion the recognizer uses when scoring
+    /// candidate IPs: bits outside the model (for example freshly written
+    /// output cells that no later superstep reads) do not count against a
+    /// prediction, mirroring how the trajectory cache only requires matches
+    /// on an entry's read set.
+    pub fn prediction_matches(&self, predicted: &StateVector, actual: &StateVector) -> bool {
+        match &self.map {
+            Some(map) => map
+                .bit_indices()
+                .iter()
+                .all(|&bit| predicted.bit(bit) == actual.bit(bit)),
+            None => predicted == actual,
+        }
+    }
+
+    /// Rolls predictions out `depth` supersteps into the future by feeding
+    /// each predicted state back into the model (§4.5.2). Entry `k-1` of the
+    /// result is the prediction `k` supersteps ahead; log-probabilities are
+    /// cumulative along the chain.
+    pub fn rollout(&self, state: &StateVector, depth: usize) -> Vec<PredictedState> {
+        let mut results = Vec::with_capacity(depth);
+        let mut current = state.clone();
+        let mut cumulative_log_probability = 0.0;
+        for k in 1..=depth {
+            match self.predict_next(&current) {
+                Some(predicted) => {
+                    cumulative_log_probability += predicted.log_probability;
+                    current = predicted.state.clone();
+                    results.push(PredictedState {
+                        state: predicted.state,
+                        log_probability: cumulative_log_probability,
+                        depth: k,
+                    });
+                }
+                None => break,
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_asm::assemble;
+    use asc_tvm::machine::Machine;
+    use asc_tvm::program::Program;
+
+    /// A counting loop: at the loop head, r1 decrements and r2 accumulates by
+    /// a constant, so the excitations are exactly predictable.
+    fn counting_program(iterations: i32) -> (Program, u32) {
+        let program = assemble(&format!(
+            r#"
+            main:
+                movi r1, {iterations}
+                movi r2, 0
+            loop:
+                add  r2, r2, 3
+                sub  r1, r1, 1
+                cmpi r1, 0
+                jne  loop
+                halt
+            "#
+        ))
+        .unwrap();
+        let rip = program.symbol("loop").unwrap();
+        (program, rip)
+    }
+
+    fn occurrence_states(program: &Program, rip: u32, count: usize) -> Vec<StateVector> {
+        let mut machine = Machine::load(program).unwrap();
+        let mut states = Vec::new();
+        for _ in 0..count {
+            let (_, _) = machine.run_until_ip(rip, 1_000_000).unwrap();
+            if machine.is_halted() {
+                break;
+            }
+            states.push(machine.state().clone());
+        }
+        states
+    }
+
+    #[test]
+    fn bank_becomes_ready_and_predicts_exactly() {
+        let (program, rip) = counting_program(200);
+        let states = occurrence_states(&program, rip, 40);
+        let config = AscConfig::for_tests();
+        let mut bank = PredictorBank::new(rip, &config);
+        for state in &states[..30] {
+            bank.observe(state);
+        }
+        assert!(bank.is_ready());
+        assert!(bank.excited_bits() > 0);
+        // Prediction from occurrence 30 should equal occurrence 31 exactly.
+        let predicted = bank.predict_next(&states[30]).unwrap();
+        assert_eq!(predicted.state, states[31]);
+        assert!(predicted.log_probability <= 0.0);
+    }
+
+    #[test]
+    fn rollout_chains_predictions() {
+        let (program, rip) = counting_program(200);
+        let states = occurrence_states(&program, rip, 50);
+        let config = AscConfig::for_tests();
+        let mut bank = PredictorBank::new(rip, &config);
+        for state in &states[..35] {
+            bank.observe(state);
+        }
+        let rollout = bank.rollout(&states[35], 5);
+        assert_eq!(rollout.len(), 5);
+        for (k, predicted) in rollout.iter().enumerate() {
+            assert_eq!(predicted.depth, k + 1);
+            assert_eq!(predicted.state, states[35 + k + 1], "rollout depth {} wrong", k + 1);
+        }
+        // Cumulative probability must be non-increasing with depth.
+        for pair in rollout.windows(2) {
+            assert!(pair[1].log_probability <= pair[0].log_probability + 1e-9);
+        }
+    }
+
+    #[test]
+    fn not_ready_before_warmup() {
+        let (program, rip) = counting_program(50);
+        let states = occurrence_states(&program, rip, 3);
+        let config = AscConfig::for_tests();
+        let mut bank = PredictorBank::new(rip, &config);
+        bank.observe(&states[0]);
+        assert!(!bank.is_ready());
+        assert!(bank.predict_next(&states[0]).is_none());
+        assert!(bank.rollout(&states[0], 3).is_empty());
+    }
+
+    #[test]
+    fn errors_reflect_learning_quality() {
+        let (program, rip) = counting_program(300);
+        let states = occurrence_states(&program, rip, 120);
+        let config = AscConfig::for_tests();
+        let mut bank = PredictorBank::new(rip, &config);
+        for state in &states {
+            bank.observe(state);
+        }
+        let errors = bank.errors().unwrap();
+        assert!(errors.total_predictions > 50);
+        // The loop is exactly learnable, so the ensemble should settle down to
+        // a low state-level error rate (early mistakes included).
+        assert!(errors.actual_error_rate < 0.5, "{errors:?}");
+        assert!(errors.hindsight_optimal_error_rate <= errors.equal_weight_error_rate + 1e-9);
+        let (names, matrix) = bank.weight_matrix().unwrap();
+        assert_eq!(names.len(), 4);
+        assert_eq!(matrix.len(), bank.excited_bits());
+    }
+}

@@ -1,0 +1,578 @@
+//! The LASC runtime: the full architecture of Figure 1 wired together.
+//!
+//! Two entry points are provided:
+//!
+//! * [`LascRuntime::measure`] runs the program *unaccelerated* while the
+//!   recognizer, predictors and dependency tracking observe it, producing a
+//!   [`RunReport`] with a per-superstep trace (length, dependency footprint,
+//!   prediction correctness). This trace is what the experiment harnesses
+//!   feed to the [`cluster`](crate::cluster) cost model to obtain the paper's
+//!   scaling curves, and what Tables 1 and 2 are computed from.
+//!
+//! * [`LascRuntime::accelerate`] runs the program *with* the trajectory
+//!   cache in the loop: at every recognized-IP occurrence the main thread
+//!   queries the cache and fast-forwards on a hit; on a miss it trains the
+//!   predictors, asks the allocator for speculative work, executes the
+//!   speculation (inline or on worker threads) and inserts the results into
+//!   the cache. Program results are bit-for-bit identical to sequential
+//!   execution — speculation can only ever skip work, never change it.
+
+use crate::allocator::plan_speculation;
+use crate::cache::{CacheStats, TrajectoryCache};
+use crate::config::AscConfig;
+use crate::error::AscResult;
+use crate::predictor_bank::PredictorBank;
+use crate::recognizer::{recognize, RecognizedIp};
+use crate::speculator::execute_superstep;
+use asc_learn::ensemble::EnsembleErrors;
+use asc_tvm::delta::SparseBytes;
+use asc_tvm::machine::Machine;
+use asc_tvm::program::Program;
+use asc_tvm::state::StateVector;
+
+/// One superstep of the measured (unaccelerated) execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuperstepRecord {
+    /// Index of the superstep, starting at 0 after recognizer convergence.
+    pub index: usize,
+    /// Instructions the superstep spans.
+    pub instructions: u64,
+    /// Bytes in the superstep's dependency (read) set.
+    pub read_bytes: usize,
+    /// Bytes in the superstep's output (write) set.
+    pub write_bytes: usize,
+    /// Size in bits of the sparse cache query this superstep would issue.
+    pub query_bits: usize,
+    /// Whether the one-step prediction made at the previous occurrence
+    /// matched this superstep's start state on its read set (`None` while the
+    /// predictors are still warming up).
+    pub prediction_correct: Option<bool>,
+}
+
+/// Everything a run of the LASC runtime produces.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The recognized IP the run speculated on.
+    pub rip: RecognizedIp,
+    /// Unique IP values observed during recognition (Table 1).
+    pub unique_ips: usize,
+    /// Size of the program's state vector in bits (Table 1).
+    pub state_bits: usize,
+    /// Number of excitation bits the predictors modelled.
+    pub excited_bits: usize,
+    /// Instructions spent before speculation could begin (Table 1's
+    /// "converge time").
+    pub converge_instructions: u64,
+    /// Total instructions the program semantically retired (executed plus
+    /// fast-forwarded).
+    pub total_instructions: u64,
+    /// Instructions the main thread actually executed.
+    pub executed_instructions: u64,
+    /// Instructions skipped by fast-forwarding through cache hits.
+    pub fast_forwarded_instructions: u64,
+    /// Per-superstep trace (populated by [`LascRuntime::measure`]).
+    pub supersteps: Vec<SuperstepRecord>,
+    /// Ensemble error statistics (Table 2), when the predictors trained.
+    pub ensemble_errors: Option<EnsembleErrors>,
+    /// Figure-3 weight matrix: predictor names and per-bit normalised weights.
+    pub weight_matrix: Option<(Vec<&'static str>, Vec<Vec<f64>>)>,
+    /// Trajectory-cache statistics (populated by [`LascRuntime::accelerate`]).
+    pub cache_stats: CacheStats,
+    /// The final state of the program.
+    pub final_state: StateVector,
+    /// Whether the program ran to completion (halted).
+    pub halted: bool,
+}
+
+impl RunReport {
+    /// Mean instructions per superstep (Table 1's "average jump").
+    pub fn mean_superstep(&self) -> f64 {
+        if self.supersteps.is_empty() {
+            self.rip.mean_superstep
+        } else {
+            self.supersteps.iter().map(|s| s.instructions).sum::<u64>() as f64
+                / self.supersteps.len() as f64
+        }
+    }
+
+    /// Mean cache-query size in bits (Table 1's "cache query size").
+    pub fn mean_query_bits(&self) -> f64 {
+        if self.supersteps.is_empty() {
+            return 0.0;
+        }
+        self.supersteps.iter().map(|s| s.query_bits).sum::<usize>() as f64
+            / self.supersteps.len() as f64
+    }
+
+    /// Fraction of scored supersteps whose one-step prediction was correct on
+    /// the read set.
+    pub fn one_step_accuracy(&self) -> f64 {
+        let scored: Vec<bool> = self
+            .supersteps
+            .iter()
+            .filter_map(|s| s.prediction_correct)
+            .collect();
+        if scored.is_empty() {
+            0.0
+        } else {
+            scored.iter().filter(|c| **c).count() as f64 / scored.len() as f64
+        }
+    }
+
+    /// The factor by which fast-forwarding reduced the main thread's work:
+    /// total retired instructions divided by instructions actually executed.
+    pub fn work_scaling(&self) -> f64 {
+        if self.executed_instructions == 0 {
+            1.0
+        } else {
+            self.total_instructions as f64 / self.executed_instructions as f64
+        }
+    }
+}
+
+/// The LASC runtime.
+#[derive(Debug, Clone)]
+pub struct LascRuntime {
+    config: AscConfig,
+}
+
+impl LascRuntime {
+    /// Creates a runtime with the given configuration.
+    ///
+    /// # Errors
+    /// Returns [`AscError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn new(config: AscConfig) -> AscResult<Self> {
+        config.validate()?;
+        Ok(LascRuntime { config })
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &AscConfig {
+        &self.config
+    }
+
+    /// Runs the main thread until the recognized IP has occurred `stride`
+    /// more times (or the program halts / the budget runs out). Returns the
+    /// instructions executed by this call.
+    fn run_one_superstep(
+        machine: &mut Machine,
+        rip: u32,
+        stride: usize,
+        budget: u64,
+    ) -> AscResult<(u64, bool)> {
+        let mut executed = 0u64;
+        for _ in 0..stride.max(1) {
+            let (steps, _) = machine.run_until_ip(rip, budget.saturating_sub(executed).max(1))?;
+            executed += steps;
+            if machine.is_halted() || executed >= budget {
+                break;
+            }
+        }
+        Ok((executed, machine.is_halted()))
+    }
+
+    /// Measured (unaccelerated) execution with full observation; see the
+    /// module documentation.
+    ///
+    /// # Errors
+    /// Propagates recognizer and simulator errors; in particular
+    /// [`AscError::NoRecognizedIp`] / [`AscError::ProgramTooShort`] when the
+    /// program has nothing to speculate on.
+    pub fn measure(&self, program: &Program) -> AscResult<RunReport> {
+        let initial = program.initial_state()?;
+        let outcome = recognize(&initial, &self.config)?;
+        let rip = outcome.rip;
+
+        let mut machine = Machine::from_state(outcome.resume_state.clone());
+        let mut bank = PredictorBank::new(rip.ip, &self.config);
+        let mut supersteps = Vec::new();
+        let mut pending_prediction: Option<StateVector> = None;
+        let mut halted = outcome.halted;
+        let mut index = 0usize;
+
+        while !halted {
+            if outcome.resume_instret + machine.instret() >= self.config.instruction_budget {
+                break;
+            }
+            machine.enable_dep_tracking();
+            let (executed, now_halted) = Self::run_one_superstep(
+                &mut machine,
+                rip.ip,
+                rip.stride,
+                self.config.max_superstep,
+            )?;
+            halted = now_halted;
+            let deps = machine.take_deps().expect("dep tracking was enabled");
+            if executed == 0 {
+                break;
+            }
+            let read_set = deps.read_set();
+            let write_set = deps.write_set();
+            let query = SparseBytes::capture(machine.state(), read_set.iter().copied());
+            let state = machine.state().clone();
+
+            let prediction_correct = pending_prediction.take().map(|predicted| {
+                read_set.iter().all(|&byte| predicted.byte(byte) == state.byte(byte))
+            });
+            supersteps.push(SuperstepRecord {
+                index,
+                instructions: executed,
+                read_bytes: read_set.len(),
+                write_bytes: write_set.len(),
+                query_bits: query.encoded_bits(),
+                prediction_correct,
+            });
+            index += 1;
+
+            if !halted {
+                bank.observe(&state);
+                if bank.is_ready() {
+                    pending_prediction = bank.predict_next(&state).map(|p| p.state);
+                }
+            }
+        }
+
+        let executed_instructions = outcome.resume_instret + machine.instret();
+        Ok(RunReport {
+            rip,
+            unique_ips: outcome.unique_ips,
+            state_bits: initial.len_bits(),
+            excited_bits: bank.excited_bits(),
+            converge_instructions: outcome.instructions_spent,
+            total_instructions: executed_instructions,
+            executed_instructions,
+            fast_forwarded_instructions: 0,
+            supersteps,
+            ensemble_errors: bank.errors(),
+            weight_matrix: bank.weight_matrix(),
+            cache_stats: CacheStats::default(),
+            final_state: machine.into_state(),
+            halted,
+        })
+    }
+
+    /// Accelerated execution: the trajectory cache, predictors, allocator and
+    /// speculative execution are all in the loop. Speculative supersteps are
+    /// executed inline (deterministically) so the run is reproducible; the
+    /// *semantics* are identical to running them on spare cores, which is how
+    /// the cluster model accounts for them.
+    ///
+    /// # Errors
+    /// Propagates recognizer and simulator errors.
+    pub fn accelerate(&self, program: &Program) -> AscResult<RunReport> {
+        let initial = program.initial_state()?;
+        let outcome = recognize(&initial, &self.config)?;
+        let rip = outcome.rip;
+        let cache = TrajectoryCache::new(self.config.cache_capacity);
+
+        let mut machine = Machine::from_state(outcome.resume_state.clone());
+        let mut bank = PredictorBank::new(rip.ip, &self.config);
+        let mut fast_forwarded = 0u64;
+        let mut halted = outcome.halted;
+        let mut superstep_estimate = rip.mean_superstep;
+
+        while !halted {
+            if outcome.resume_instret + machine.instret() >= self.config.instruction_budget {
+                break;
+            }
+            // The main thread is at a recognized-IP occurrence (or at the very
+            // start of the post-recognition phase): consult the cache first.
+            if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
+                entry.apply(machine.state_mut());
+                fast_forwarded += entry.instructions;
+                bank.observe(&machine.state().clone());
+                continue;
+            }
+
+            // Miss: train on this occurrence and dispatch speculative work.
+            let state = machine.state().clone();
+            bank.observe(&state);
+            if bank.is_ready() {
+                let rollouts = bank.rollout(&state, self.config.rollout_depth);
+                let tasks = plan_speculation(
+                    rollouts,
+                    superstep_estimate,
+                    self.config.rollout_depth,
+                    &cache,
+                    rip.ip,
+                );
+                for task in tasks {
+                    if let Ok(result) = execute_superstep(
+                        &task.predicted.state,
+                        rip.ip,
+                        rip.stride,
+                        self.config.max_superstep,
+                    ) {
+                        if let Some(speculation) = result.completed() {
+                            if speculation.reached_rip || speculation.halted {
+                                cache.insert(speculation.entry);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Execute the current superstep on the main thread.
+            let (executed, now_halted) = Self::run_one_superstep(
+                &mut machine,
+                rip.ip,
+                rip.stride,
+                self.config.max_superstep,
+            )?;
+            halted = now_halted;
+            if executed == 0 {
+                break;
+            }
+            superstep_estimate = 0.9 * superstep_estimate + 0.1 * executed as f64;
+        }
+
+        let executed_instructions = outcome.resume_instret + machine.instret();
+        Ok(RunReport {
+            rip,
+            unique_ips: outcome.unique_ips,
+            state_bits: initial.len_bits(),
+            excited_bits: bank.excited_bits(),
+            converge_instructions: outcome.instructions_spent,
+            total_instructions: executed_instructions + fast_forwarded,
+            executed_instructions,
+            fast_forwarded_instructions: fast_forwarded,
+            supersteps: Vec::new(),
+            ensemble_errors: bank.errors(),
+            weight_matrix: bank.weight_matrix(),
+            cache_stats: cache.stats(),
+            final_state: machine.into_state(),
+            halted,
+        })
+    }
+
+    /// Single-core generalized memoization (Figure 6, rightmost plot): no
+    /// prediction and no speculative threads — the cache is populated from the
+    /// program's *own past* supersteps, and execution fast-forwards whenever
+    /// the current state matches one of them on its dependency set. Returns
+    /// the run report plus a time series of `(virtual instructions retired,
+    /// scaling so far)` sampled at every recognized-IP occurrence, where the
+    /// scaling denominator charges `query_overhead` extra instruction-
+    /// equivalents per cache consultation.
+    ///
+    /// # Errors
+    /// Propagates recognizer and simulator errors.
+    pub fn memoize(
+        &self,
+        program: &Program,
+        query_overhead: f64,
+    ) -> AscResult<(RunReport, Vec<(u64, f64)>)> {
+        let initial = program.initial_state()?;
+        // Memoization wants *frequently recurring* states rather than
+        // predictable successors, so instead of the full two-phase recognizer
+        // it profiles IP occurrences and picks the most frequently observed
+        // candidate (with a stride that still satisfies the minimum-superstep
+        // rule). This is the "recognizer still detects frequently occurring
+        // IP values" behaviour the paper describes for the laptop experiment.
+        let mut profiling = Machine::from_state(initial.clone());
+        let mut profiler = crate::recognizer::IpProfiler::new();
+        let mut profile_halted = false;
+        while profiling.instret() < self.config.explore_instructions {
+            match profiling.step()? {
+                asc_tvm::exec::StepOutcome::Continue => {
+                    profiler.record(profiling.state().ip(), profiling.instret());
+                }
+                asc_tvm::exec::StepOutcome::Halted => {
+                    profile_halted = true;
+                    break;
+                }
+            }
+        }
+        let candidate = profiler
+            .candidates(self.config.min_superstep, self.config.candidate_count, profiling.instret())
+            .into_iter()
+            .max_by_key(|c| c.occurrences)
+            .ok_or(crate::error::AscError::NoRecognizedIp)?;
+        let rip = RecognizedIp {
+            ip: candidate.ip,
+            stride: candidate.stride,
+            mean_superstep: candidate.mean_gap * candidate.stride as f64,
+            accuracy: 0.0,
+            score: 0.0,
+        };
+        let outcome = crate::recognizer::RecognizerOutcome {
+            rip,
+            evaluated: vec![rip],
+            unique_ips: profiler.unique_ips(),
+            instructions_spent: profiling.instret(),
+            resume_state: profiling.state().clone(),
+            resume_instret: profiling.instret(),
+            halted: profile_halted,
+        };
+        let cache = TrajectoryCache::new(self.config.cache_capacity);
+
+        let mut machine = Machine::from_state(outcome.resume_state.clone());
+        let mut fast_forwarded = 0u64;
+        let mut overhead = 0.0f64;
+        let mut halted = outcome.halted;
+        let mut series = Vec::new();
+
+        while !halted {
+            if outcome.resume_instret + machine.instret() >= self.config.instruction_budget {
+                break;
+            }
+            overhead += query_overhead;
+            if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
+                entry.apply(machine.state_mut());
+                fast_forwarded += entry.instructions;
+            } else {
+                // Execute the superstep with dependency tracking and remember
+                // it: the program's own past becomes the cache contents.
+                let start_state = machine.state().clone();
+                machine.enable_dep_tracking();
+                let (executed, now_halted) = Self::run_one_superstep(
+                    &mut machine,
+                    rip.ip,
+                    rip.stride,
+                    self.config.max_superstep,
+                )?;
+                halted = now_halted;
+                let deps = machine.take_deps().expect("dep tracking was enabled");
+                if executed == 0 {
+                    break;
+                }
+                cache.insert(crate::cache::CacheEntry {
+                    rip: rip.ip,
+                    start: SparseBytes::capture(&start_state, deps.read_set().into_iter()),
+                    end: SparseBytes::capture(machine.state(), deps.write_set().into_iter()),
+                    instructions: executed,
+                });
+            }
+            let virtual_instructions =
+                outcome.resume_instret + machine.instret() + fast_forwarded;
+            let real_cost = (outcome.resume_instret + machine.instret()) as f64 + overhead;
+            series.push((
+                virtual_instructions,
+                virtual_instructions as f64 / real_cost.max(1.0),
+            ));
+        }
+
+        let executed_instructions = outcome.resume_instret + machine.instret();
+        let report = RunReport {
+            rip,
+            unique_ips: outcome.unique_ips,
+            state_bits: initial.len_bits(),
+            excited_bits: 0,
+            converge_instructions: outcome.instructions_spent,
+            total_instructions: executed_instructions + fast_forwarded,
+            executed_instructions,
+            fast_forwarded_instructions: fast_forwarded,
+            supersteps: Vec::new(),
+            ensemble_errors: None,
+            weight_matrix: None,
+            cache_stats: cache.stats(),
+            final_state: machine.into_state(),
+            halted,
+        };
+        Ok((report, series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AscError;
+    use asc_workloads::registry::{build, Benchmark, Scale};
+    use asc_workloads::{collatz, ising};
+
+    fn test_runtime() -> LascRuntime {
+        LascRuntime::new(AscConfig::for_tests()).unwrap()
+    }
+
+    #[test]
+    fn measure_collatz_produces_a_trace_and_high_accuracy() {
+        let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+        let report = test_runtime().measure(&workload.program).unwrap();
+        assert!(report.halted);
+        assert!(workload.verify(&report.final_state), "measure must not change results");
+        assert!(report.supersteps.len() > 20, "expected many supersteps, got {}", report.supersteps.len());
+        assert!(report.mean_superstep() >= 50.0);
+        assert!(report.one_step_accuracy() > 0.6, "accuracy {}", report.one_step_accuracy());
+        assert!(report.converge_instructions > 0);
+        assert!(report.state_bits > 0);
+        assert!(report.mean_query_bits() > 0.0);
+        // Prediction error statistics exist and are internally consistent.
+        let errors = report.ensemble_errors.unwrap();
+        assert!(errors.total_predictions > 10);
+        assert!(errors.hindsight_optimal_error_rate <= errors.equal_weight_error_rate + 1e-9);
+    }
+
+    #[test]
+    fn measure_ising_tracks_pointer_chasing() {
+        // Size the exploration window so the recognizer profiles well into the
+        // list walk (the init phase alone is ~18k instructions here).
+        let params = ising::IsingParams { nodes: 64, spins: 24, reps: 4, seed: 3 };
+        let program = ising::program(&params).unwrap();
+        let config = AscConfig { explore_instructions: 22_000, ..AscConfig::for_tests() };
+        let report = LascRuntime::new(config).unwrap().measure(&program).unwrap();
+        assert!(report.halted);
+        assert!(report.one_step_accuracy() > 0.5, "accuracy {}", report.one_step_accuracy());
+        let got = ising::read_result(&program, &report.final_state, &params).unwrap();
+        assert_eq!(got, ising::reference(&params));
+    }
+
+    #[test]
+    fn accelerate_collatz_is_correct_and_skips_work() {
+        let params = collatz::CollatzParams { start: 2, count: 500 };
+        let program = collatz::program(&params).unwrap();
+        let report = test_runtime().accelerate(&program).unwrap();
+        assert!(report.halted);
+        let got = collatz::read_result(&program, &report.final_state).unwrap();
+        assert_eq!(got, collatz::reference(&params), "speculation must not change results");
+        // The cache must have produced real fast-forwarding.
+        assert!(report.fast_forwarded_instructions > 0, "{report:?}");
+        assert!(report.cache_stats.hits > 0);
+        assert!(report.work_scaling() > 1.2, "work scaling {}", report.work_scaling());
+    }
+
+    #[test]
+    fn accelerate_ising_is_correct_and_hits_cache() {
+        let params = ising::IsingParams { nodes: 64, spins: 24, reps: 4, seed: 9 };
+        let program = ising::program(&params).unwrap();
+        let config = AscConfig { explore_instructions: 22_000, ..AscConfig::for_tests() };
+        let report = LascRuntime::new(config).unwrap().accelerate(&program).unwrap();
+        assert!(report.halted);
+        let got = ising::read_result(&program, &report.final_state, &params).unwrap();
+        assert_eq!(got, ising::reference(&params));
+        assert!(report.cache_stats.queries > 0);
+    }
+
+    #[test]
+    fn memoize_collatz_reuses_shared_subsequences_correctly() {
+        // The Collatz inner loop revisits values (every sequence ends
+        // …16, 8, 4, 2, 1), so with a fine-grained recognized IP single-core
+        // memoization produces real fast-forwarding — Figure 6's rightmost
+        // plot — without changing the program's results.
+        let params = collatz::CollatzParams { start: 2, count: 400 };
+        let program = collatz::pure_program(&params).unwrap();
+        let config = AscConfig { min_superstep: 8, ..AscConfig::for_tests() };
+        let (report, series) = LascRuntime::new(config).unwrap().memoize(&program, 2.0).unwrap();
+        assert!(report.halted);
+        let verified = collatz::read_pure_result(&program, &report.final_state).unwrap();
+        assert_eq!(verified, params.count, "memoization must not change results");
+        assert!(report.fast_forwarded_instructions > 0, "{report:?}");
+        assert!(!series.is_empty());
+        // Virtual progress is monotone in the series.
+        for pair in series.windows(2) {
+            assert!(pair[1].0 >= pair[0].0);
+        }
+    }
+
+    #[test]
+    fn straight_line_program_reports_a_clean_error() {
+        let program = asc_asm::assemble("main:\n movi r1, 1\n halt\n").unwrap();
+        let err = test_runtime().measure(&program).unwrap_err();
+        assert!(matches!(err, AscError::ProgramTooShort { .. } | AscError::NoRecognizedIp));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let config = AscConfig { rollout_depth: 0, ..AscConfig::default() };
+        assert!(LascRuntime::new(config).is_err());
+    }
+}

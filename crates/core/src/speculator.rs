@@ -1,0 +1,242 @@
+//! Speculative superstep execution (§3.2 (E), §4.1).
+//!
+//! A speculative worker receives a (usually predicted) start state, resets a
+//! dependency vector to all-`null`, and calls the transition function in a
+//! loop until it reaches the recognized IP again (one superstep), the program
+//! halts, or it exhausts its instruction allowance. The accumulated
+//! dependency vector is then used to build the compressed cache entry: the
+//! read set keyed on the *start* state and the write set keyed on the *end*
+//! state.
+
+use crate::cache::CacheEntry;
+use crate::error::AscResult;
+use asc_tvm::delta::SparseBytes;
+use asc_tvm::deps::DepVector;
+use asc_tvm::error::VmError;
+use asc_tvm::exec::{transition, StepOutcome};
+use asc_tvm::state::StateVector;
+
+/// Outcome of one speculative superstep execution.
+#[derive(Debug, Clone)]
+pub struct SuperstepOutcome {
+    /// The cache entry summarising the execution.
+    pub entry: CacheEntry,
+    /// The full end state (used by recursive speculation and by tests).
+    pub end_state: StateVector,
+    /// Whether the execution ended because it reached the recognized IP
+    /// (`stride` times); `false` means it halted or ran out of budget.
+    pub reached_rip: bool,
+    /// Whether the program halted during the execution.
+    pub halted: bool,
+    /// Number of instructions executed.
+    pub instructions: u64,
+    /// Number of state bytes in the read (dependency) set.
+    pub read_bytes: usize,
+    /// Number of state bytes in the write (output) set.
+    pub write_bytes: usize,
+}
+
+/// How a speculative execution ended.
+#[derive(Debug, Clone)]
+pub enum SpeculationResult {
+    /// The superstep completed; a cache entry is available.
+    Completed(Box<SuperstepOutcome>),
+    /// Execution faulted (invalid opcode, wild access, division by zero).
+    /// Expected when speculating from a mispredicted state; the result is
+    /// simply discarded.
+    Faulted {
+        /// Instructions executed before the fault.
+        instructions: u64,
+        /// The fault itself.
+        error: VmError,
+    },
+}
+
+impl SpeculationResult {
+    /// The completed outcome, if any.
+    pub fn completed(self) -> Option<SuperstepOutcome> {
+        match self {
+            SpeculationResult::Completed(outcome) => Some(*outcome),
+            SpeculationResult::Faulted { .. } => None,
+        }
+    }
+}
+
+/// Executes one speculative superstep from `start`.
+///
+/// Execution stops after the IP equals `rip` `stride` times (checked after
+/// each instruction), when the program halts, or after `max_instructions`.
+///
+/// # Errors
+/// Never returns `Err` for faults *inside* the speculative execution — those
+/// are reported as [`SpeculationResult::Faulted`] because they are an
+/// expected consequence of mispredicted start states. The `Result` wrapper
+/// exists for future-proofing of caller signatures.
+pub fn execute_superstep(
+    start: &StateVector,
+    rip: u32,
+    stride: usize,
+    max_instructions: u64,
+) -> AscResult<SpeculationResult> {
+    let mut state = start.clone();
+    let mut deps = DepVector::new(state.len_bytes());
+    let mut instructions = 0u64;
+    let mut occurrences = 0usize;
+    let mut reached_rip = false;
+    let mut halted = false;
+
+    while instructions < max_instructions {
+        match transition(&mut state, Some(&mut deps)) {
+            Ok(StepOutcome::Continue) => {
+                instructions += 1;
+                if state.ip() == rip {
+                    occurrences += 1;
+                    if occurrences >= stride.max(1) {
+                        reached_rip = true;
+                        break;
+                    }
+                }
+            }
+            Ok(StepOutcome::Halted) => {
+                halted = true;
+                break;
+            }
+            Err(error) => {
+                return Ok(SpeculationResult::Faulted { instructions, error });
+            }
+        }
+    }
+
+    let read_set = deps.read_set();
+    let write_set = deps.write_set();
+    let entry = CacheEntry {
+        rip: start.ip(),
+        start: SparseBytes::capture(start, read_set.iter().copied()),
+        end: SparseBytes::capture(&state, write_set.iter().copied()),
+        instructions,
+    };
+    Ok(SpeculationResult::Completed(Box::new(SuperstepOutcome {
+        entry,
+        end_state: state,
+        reached_rip,
+        halted,
+        instructions,
+        read_bytes: read_set.len(),
+        write_bytes: write_set.len(),
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_asm::assemble;
+    use asc_tvm::machine::Machine;
+
+    /// A loop whose head (address of `loop:`) is a natural recognized IP.
+    fn looping_program() -> (asc_tvm::program::Program, u32) {
+        let program = assemble(
+            r#"
+            main:
+                movi r1, 100
+                movi r2, 0
+            loop:
+                add  r2, r2, r1
+                sub  r1, r1, 1
+                cmpi r1, 0
+                jne  loop
+                halt
+            "#,
+        )
+        .unwrap();
+        let rip = program.symbol("loop").unwrap();
+        (program, rip)
+    }
+
+    #[test]
+    fn superstep_reaches_next_rip_occurrence() {
+        let (program, rip) = looping_program();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_until_ip(rip, 1_000).unwrap();
+        let start = machine.state().clone();
+        let result = execute_superstep(&start, rip, 1, 10_000).unwrap();
+        let outcome = result.completed().unwrap();
+        assert!(outcome.reached_rip);
+        assert_eq!(outcome.instructions, 4); // one loop iteration
+        assert!(outcome.read_bytes > 0);
+        assert!(outcome.write_bytes > 0);
+        // The entry must match the state it was captured from and fast-forward
+        // a copy of it to the true end state on every written byte.
+        assert!(outcome.entry.matches(&start));
+        let mut forwarded = start.clone();
+        outcome.entry.apply(&mut forwarded);
+        assert_eq!(forwarded, outcome.end_state);
+    }
+
+    #[test]
+    fn entry_reusable_from_a_different_full_state() {
+        // The paper's key point: matching on the read set lets one entry be
+        // reused even when unrelated parts of the state differ.
+        let (program, rip) = looping_program();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_until_ip(rip, 1_000).unwrap();
+        let start = machine.state().clone();
+        let outcome = execute_superstep(&start, rip, 1, 10_000).unwrap().completed().unwrap();
+
+        // Perturb memory far away from anything the loop touches.
+        let mut other = start.clone();
+        other.store_word(4000, 0xdead_beef).unwrap();
+        assert!(outcome.entry.matches(&other));
+        // Apply and confirm it equals direct execution from the perturbed state.
+        let direct = execute_superstep(&other, rip, 1, 10_000).unwrap().completed().unwrap();
+        let mut forwarded = other.clone();
+        outcome.entry.apply(&mut forwarded);
+        assert_eq!(forwarded, direct.end_state);
+    }
+
+    #[test]
+    fn stride_crosses_multiple_occurrences() {
+        let (program, rip) = looping_program();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_until_ip(rip, 1_000).unwrap();
+        let start = machine.state().clone();
+        let outcome = execute_superstep(&start, rip, 5, 10_000).unwrap().completed().unwrap();
+        assert!(outcome.reached_rip);
+        assert_eq!(outcome.instructions, 20); // five iterations
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let (program, rip) = looping_program();
+        let start = program.initial_state().unwrap();
+        let outcome = execute_superstep(&start, rip, 1_000_000, 50).unwrap().completed().unwrap();
+        assert!(!outcome.reached_rip);
+        assert!(!outcome.halted);
+        assert_eq!(outcome.instructions, 50);
+    }
+
+    #[test]
+    fn halting_superstep_reported() {
+        let (program, rip) = looping_program();
+        let start = program.initial_state().unwrap();
+        // The whole program is ~402 instructions; a large budget halts first.
+        let outcome = execute_superstep(&start, rip + 4096, 1, 100_000).unwrap().completed().unwrap();
+        assert!(outcome.halted);
+        assert!(!outcome.reached_rip);
+    }
+
+    #[test]
+    fn fault_from_garbage_state_is_contained() {
+        let (program, rip) = looping_program();
+        let mut garbage = program.initial_state().unwrap();
+        garbage.set_ip(3); // misaligned into the middle of an instruction
+        let result = execute_superstep(&garbage, rip, 1, 1_000).unwrap();
+        match result {
+            SpeculationResult::Faulted { .. } => {}
+            SpeculationResult::Completed(outcome) => {
+                // Depending on the bytes this may decode as something valid;
+                // either way nothing panicked and the outcome is well-formed.
+                assert!(outcome.instructions <= 1_000);
+            }
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Regret-minimizing combination of predictors (§4.5.1).
+//!
+//! The allocator combines the per-bit predictions of wildly different
+//! learners with the Randomized Weighted Majority Algorithm (RWMA): every
+//! `(bit, predictor)` pair carries a weight, weights of predictors that get a
+//! bit wrong are multiplied by `beta < 1`, and the ensemble's prediction for
+//! a bit is the weight-normalised vote. The classic regret bound guarantees
+//! that, per bit, the ensemble's mistake count stays within a constant factor
+//! (plus a logarithmic term) of the best single predictor chosen in
+//! hindsight — which is exactly the comparison Table 2 of the paper reports.
+
+use crate::features::Observation;
+use crate::traits::BitPredictor;
+use rand::Rng;
+
+/// Aggregate error statistics in the shape of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnsembleErrors {
+    /// Fraction of whole-state predictions that would have been wrong with
+    /// every predictor weighted equally.
+    pub equal_weight_error_rate: f64,
+    /// Fraction wrong when clairvoyantly using the single best predictor for
+    /// each bit (chosen in hindsight).
+    pub hindsight_optimal_error_rate: f64,
+    /// Fraction wrong using the actual regret-minimised weights.
+    pub actual_error_rate: f64,
+    /// Total number of whole-state predictions scored.
+    pub total_predictions: u64,
+    /// Number of whole-state predictions the ensemble got wrong.
+    pub incorrect_predictions: u64,
+}
+
+/// The per-bit weighted ensemble.
+pub struct Ensemble {
+    predictors: Vec<Box<dyn BitPredictor>>,
+    /// `weights[j][p]` is the weight of predictor `p` on bit `j`.
+    weights: Vec<Vec<f64>>,
+    beta: f64,
+    /// Per observation, per bit: bitmask of predictors that got the bit wrong.
+    mistake_log: Vec<Vec<u16>>,
+    /// Whole-state mistakes of the weighted ensemble.
+    ensemble_mistakes: u64,
+    /// Whole-state mistakes of the equal-weight vote.
+    equal_weight_mistakes: u64,
+    observations: u64,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("predictors", &self.predictor_names())
+            .field("bits", &self.weights.len())
+            .field("beta", &self.beta)
+            .field("observations", &self.observations)
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Creates an ensemble over `bit_count` tracked bits.
+    ///
+    /// # Panics
+    /// Panics when there are no predictors, more than 16 predictors (the
+    /// mistake log packs per-predictor flags into a `u16`), or `beta` is not
+    /// in `(0, 1)`.
+    pub fn new(predictors: Vec<Box<dyn BitPredictor>>, bit_count: usize, beta: f64) -> Self {
+        assert!(!predictors.is_empty(), "ensemble needs at least one predictor");
+        assert!(predictors.len() <= 16, "at most 16 predictors are supported");
+        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0, 1)");
+        let weights = vec![vec![1.0; predictors.len()]; bit_count];
+        Ensemble {
+            predictors,
+            weights,
+            beta,
+            mistake_log: Vec::new(),
+            ensemble_mistakes: 0,
+            equal_weight_mistakes: 0,
+            observations: 0,
+        }
+    }
+
+    /// Names of the member predictors, in weight-matrix row order.
+    pub fn predictor_names(&self) -> Vec<&'static str> {
+        self.predictors.iter().map(|p| p.name()).collect()
+    }
+
+    /// Number of tracked bits.
+    pub fn bit_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of observed transitions.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Probability that bit `j` of the next observation is 1, combining every
+    /// predictor by its current weight.
+    pub fn predict_bit(&self, current: &Observation, j: usize) -> f64 {
+        let weights = match self.weights.get(j) {
+            Some(w) => w,
+            None => return 0.5,
+        };
+        let mut numerator = 0.0;
+        let mut denominator = 0.0;
+        for (p, predictor) in self.predictors.iter().enumerate() {
+            let probability = predictor.predict(current, j).clamp(0.0, 1.0);
+            numerator += weights[p] * probability;
+            denominator += weights[p];
+        }
+        if denominator <= 0.0 {
+            0.5
+        } else {
+            numerator / denominator
+        }
+    }
+
+    /// Per-bit probabilities for the whole next observation (the paper's
+    /// Eq. 2 factors).
+    pub fn predict_distribution(&self, current: &Observation) -> Vec<f64> {
+        (0..self.bit_count()).map(|j| self.predict_bit(current, j)).collect()
+    }
+
+    /// The maximum-likelihood prediction: every bit rounded to its most
+    /// probable value, together with the joint log-probability under Eq. 2.
+    pub fn predict_ml(&self, current: &Observation) -> (Vec<bool>, f64) {
+        let distribution = self.predict_distribution(current);
+        let mut bits = Vec::with_capacity(distribution.len());
+        let mut log_probability = 0.0;
+        for p in distribution {
+            let bit = p >= 0.5;
+            bits.push(bit);
+            let bit_probability = if bit { p } else { 1.0 - p };
+            log_probability += bit_probability.max(1e-12).ln();
+        }
+        (bits, log_probability)
+    }
+
+    /// Alternate predictions generated by flipping the most uncertain bits of
+    /// the maximum-likelihood prediction (§4.4: "the second and third most
+    /// likely predictions, and so on"). Returns up to `count` predictions in
+    /// decreasing probability order, starting with the ML prediction.
+    pub fn predict_top(&self, current: &Observation, count: usize) -> Vec<(Vec<bool>, f64)> {
+        let distribution = self.predict_distribution(current);
+        let (ml_bits, ml_log_probability) = self.predict_ml(current);
+        let mut results = vec![(ml_bits.clone(), ml_log_probability)];
+        if count <= 1 || distribution.is_empty() {
+            results.truncate(count.max(1));
+            return results;
+        }
+        // Rank bits by how uncertain they are (probability closest to 0.5).
+        let mut by_uncertainty: Vec<usize> = (0..distribution.len()).collect();
+        by_uncertainty.sort_by(|&a, &b| {
+            (distribution[a] - 0.5)
+                .abs()
+                .partial_cmp(&(distribution[b] - 0.5).abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &j in by_uncertainty.iter().take(count.saturating_sub(1)) {
+            let mut flipped = ml_bits.clone();
+            flipped[j] = !flipped[j];
+            let p = distribution[j];
+            let old = if ml_bits[j] { p } else { 1.0 - p };
+            let new = 1.0 - old;
+            let log_probability = ml_log_probability - old.max(1e-12).ln() + new.max(1e-12).ln();
+            results.push((flipped, log_probability));
+        }
+        results
+    }
+
+    /// Draws a prediction for bit `j` randomly, proportionally to the current
+    /// weights (the "randomized" in RWMA). Exposed for completeness; the
+    /// allocator uses the deterministic weighted vote.
+    pub fn predict_bit_randomized<R: Rng>(&self, current: &Observation, j: usize, rng: &mut R) -> bool {
+        let weights = match self.weights.get(j) {
+            Some(w) => w,
+            None => return rng.gen_bool(0.5),
+        };
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return rng.gen_bool(0.5);
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        for (p, predictor) in self.predictors.iter().enumerate() {
+            pick -= weights[p];
+            if pick <= 0.0 {
+                return predictor.predict(current, j) >= 0.5;
+            }
+        }
+        self.predictors.last().map(|p| p.predict(current, j) >= 0.5).unwrap_or(false)
+    }
+
+    /// Observes one transition: scores every predictor (and the ensemble
+    /// itself) on the realised `next` observation, updates the RWMA weights,
+    /// and then lets every predictor train on the new example.
+    pub fn observe(&mut self, prev: &Observation, next: &Observation) {
+        let bit_count = self.bit_count().min(next.bits.len());
+        let mut mistakes_this_observation = vec![0u16; bit_count];
+        let mut ensemble_wrong = false;
+        let mut equal_weight_wrong = false;
+
+        for j in 0..bit_count {
+            let actual = next.bits[j];
+            // Score the weighted ensemble before updating anything.
+            if (self.predict_bit(prev, j) >= 0.5) != actual {
+                ensemble_wrong = true;
+            }
+            // Equal-weight vote: average the probabilities.
+            let mut equal = 0.0;
+            for predictor in &self.predictors {
+                equal += predictor.predict(prev, j).clamp(0.0, 1.0);
+            }
+            if (equal / self.predictors.len() as f64 >= 0.5) != actual {
+                equal_weight_wrong = true;
+            }
+            // Score individual predictors and apply the multiplicative update.
+            for (p, predictor) in self.predictors.iter().enumerate() {
+                let predicted = predictor.predict(prev, j) >= 0.5;
+                if predicted != actual {
+                    mistakes_this_observation[j] |= 1 << p;
+                    self.weights[j][p] *= self.beta;
+                }
+            }
+            // Keep weights from underflowing to zero for every predictor.
+            let max = self.weights[j].iter().cloned().fold(0.0, f64::max);
+            if max < 1e-9 {
+                for w in &mut self.weights[j] {
+                    *w /= max.max(1e-300);
+                }
+            }
+        }
+
+        self.mistake_log.push(mistakes_this_observation);
+        self.observations += 1;
+        if ensemble_wrong {
+            self.ensemble_mistakes += 1;
+        }
+        if equal_weight_wrong {
+            self.equal_weight_mistakes += 1;
+        }
+
+        // Finally train the member predictors on the new example.
+        for predictor in &mut self.predictors {
+            predictor.observe_transition(prev, next);
+        }
+        for j in 0..bit_count {
+            let actual = next.bits[j];
+            for predictor in &mut self.predictors {
+                predictor.update(prev, j, actual);
+            }
+        }
+    }
+
+    /// The current weight matrix: `weights[bit][predictor]`, normalised per
+    /// bit so each row sums to 1 (the shading of the paper's Figure 3).
+    pub fn weight_matrix(&self) -> Vec<Vec<f64>> {
+        self.weights
+            .iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum();
+                if total <= 0.0 {
+                    vec![1.0 / row.len() as f64; row.len()]
+                } else {
+                    row.iter().map(|w| w / total).collect()
+                }
+            })
+            .collect()
+    }
+
+    /// Error statistics in the shape of Table 2.
+    pub fn errors(&self) -> EnsembleErrors {
+        let total = self.observations;
+        if total == 0 {
+            return EnsembleErrors::default();
+        }
+        // Hindsight-optimal: pick, per bit, the predictor with the fewest
+        // mistakes over the whole log, then count the observations where that
+        // assignment still got at least one bit wrong.
+        let bit_count = self.bit_count();
+        let predictor_count = self.predictors.len();
+        let mut per_bit_errors = vec![vec![0u64; predictor_count]; bit_count];
+        for observation in &self.mistake_log {
+            for (j, mask) in observation.iter().enumerate() {
+                for p in 0..predictor_count {
+                    if mask & (1 << p) != 0 {
+                        per_bit_errors[j][p] += 1;
+                    }
+                }
+            }
+        }
+        let best_per_bit: Vec<usize> = per_bit_errors
+            .iter()
+            .map(|errors| {
+                errors
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, count)| **count)
+                    .map(|(p, _)| p)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut hindsight_mistakes = 0u64;
+        for observation in &self.mistake_log {
+            let wrong = observation
+                .iter()
+                .enumerate()
+                .any(|(j, mask)| mask & (1 << best_per_bit[j]) != 0);
+            if wrong {
+                hindsight_mistakes += 1;
+            }
+        }
+        EnsembleErrors {
+            equal_weight_error_rate: self.equal_weight_mistakes as f64 / total as f64,
+            hindsight_optimal_error_rate: hindsight_mistakes as f64 / total as f64,
+            actual_error_rate: self.ensemble_mistakes as f64 / total as f64,
+            total_predictions: total,
+            incorrect_predictions: self.ensemble_mistakes,
+        }
+    }
+
+    /// Resets every predictor and all weights (used when the recognizer
+    /// abandons the current RIP).
+    pub fn reset(&mut self) {
+        for predictor in &mut self.predictors {
+            predictor.reset();
+        }
+        for row in &mut self.weights {
+            row.fill(1.0);
+        }
+        self.mistake_log.clear();
+        self.ensemble_mistakes = 0;
+        self.equal_weight_mistakes = 0;
+        self.observations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::ExcitationSchema;
+    use crate::traits::default_predictors;
+
+    /// A deliberately terrible predictor: always predicts the complement of
+    /// the weatherman, to give the ensemble something to down-weight.
+    struct Contrarian;
+    impl BitPredictor for Contrarian {
+        fn name(&self) -> &'static str {
+            "contrarian"
+        }
+        fn update(&mut self, _prev: &Observation, _j: usize, _actual: bool) {}
+        fn predict(&self, current: &Observation, j: usize) -> f64 {
+            if j < current.bit_count() && current.bit(j) {
+                0.05
+            } else {
+                0.95
+            }
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn constant_schema(bits: usize) -> ExcitationSchema {
+        ExcitationSchema::new(1, (0..bits).map(|b| (0, b as u8)).collect())
+    }
+
+    fn obs_of(word: u32, bits: usize) -> Observation {
+        Observation::new((0..bits).map(|b| (word >> b) & 1 == 1).collect(), vec![word])
+    }
+
+    #[test]
+    fn downweights_the_bad_predictor() {
+        let schema = constant_schema(4);
+        let mut predictors = default_predictors(&schema);
+        predictors.push(Box::new(Contrarian));
+        let contrarian_index = predictors.len() - 1;
+        let mut ensemble = Ensemble::new(predictors, 4, 0.5);
+        // A constant sequence: weatherman and mean are perfect, contrarian is
+        // always wrong.
+        let value = obs_of(0b1010, 4);
+        for _ in 0..20 {
+            ensemble.observe(&value, &value);
+        }
+        let matrix = ensemble.weight_matrix();
+        for row in &matrix {
+            assert!(row[contrarian_index] < 0.05, "contrarian still has weight {row:?}");
+        }
+        // And the ensemble's own predictions are correct.
+        let (bits, _) = ensemble.predict_ml(&value);
+        assert_eq!(bits, value.bits);
+    }
+
+    #[test]
+    fn errors_track_equal_weight_vs_actual() {
+        let schema = constant_schema(4);
+        let mut predictors = default_predictors(&schema);
+        // Enough contrarians to outvote the good predictors under equal
+        // weighting (their confident wrong probabilities dominate the mean).
+        for _ in 0..6 {
+            predictors.push(Box::new(Contrarian));
+        }
+        let mut ensemble = Ensemble::new(predictors, 4, 0.5);
+        let value = obs_of(0b0110, 4);
+        for _ in 0..40 {
+            ensemble.observe(&value, &value);
+        }
+        let errors = ensemble.errors();
+        assert_eq!(errors.total_predictions, 40);
+        // Equal weighting keeps being wrong; the weighted ensemble recovers.
+        assert!(errors.equal_weight_error_rate > 0.6, "{errors:?}");
+        assert!(errors.actual_error_rate < 0.35, "{errors:?}");
+        assert!(errors.hindsight_optimal_error_rate <= errors.actual_error_rate + 1e-9);
+    }
+
+    #[test]
+    fn regret_is_bounded_relative_to_best_predictor() {
+        // A toggling bit: weatherman is always wrong, logistic learns it,
+        // mean hovers at 0.5. The ensemble must end up close to hindsight
+        // optimal, which is the RWMA guarantee Table 2 relies on.
+        let schema = constant_schema(1);
+        let mut ensemble = Ensemble::new(default_predictors(&schema), 1, 0.5);
+        let mut value = false;
+        for _ in 0..300 {
+            let prev = Observation::new(vec![value], vec![value as u32]);
+            value = !value;
+            let next = Observation::new(vec![value], vec![value as u32]);
+            ensemble.observe(&prev, &next);
+        }
+        let errors = ensemble.errors();
+        assert!(
+            errors.actual_error_rate < errors.hindsight_optimal_error_rate + 0.15,
+            "actual {:.3} vs hindsight {:.3}",
+            errors.actual_error_rate,
+            errors.hindsight_optimal_error_rate
+        );
+    }
+
+    #[test]
+    fn predict_top_orders_by_probability() {
+        let schema = constant_schema(4);
+        let mut ensemble = Ensemble::new(default_predictors(&schema), 4, 0.5);
+        let value = obs_of(0b1100, 4);
+        for _ in 0..10 {
+            ensemble.observe(&value, &value);
+        }
+        let top = ensemble.predict_top(&value, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1);
+        assert!(top[0].1 >= top[2].1);
+        assert_eq!(top[0].0, value.bits);
+        // Alternates differ from the ML prediction in exactly one bit.
+        let differences: usize = top[1].0.iter().zip(top[0].0.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(differences, 1);
+    }
+
+    #[test]
+    fn randomized_prediction_is_well_formed() {
+        let schema = constant_schema(2);
+        let mut ensemble = Ensemble::new(default_predictors(&schema), 2, 0.5);
+        let value = obs_of(0b11, 2);
+        for _ in 0..10 {
+            ensemble.observe(&value, &value);
+        }
+        let mut rng = rand::thread_rng();
+        let mut ones = 0;
+        for _ in 0..50 {
+            if ensemble.predict_bit_randomized(&value, 0, &mut rng) {
+                ones += 1;
+            }
+        }
+        // After ten consistent observations nearly every draw should be 1.
+        assert!(ones > 40);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let schema = constant_schema(2);
+        let mut ensemble = Ensemble::new(default_predictors(&schema), 2, 0.5);
+        let value = obs_of(0b01, 2);
+        ensemble.observe(&value, &value);
+        assert_eq!(ensemble.observations(), 1);
+        ensemble.reset();
+        assert_eq!(ensemble.observations(), 0);
+        assert_eq!(ensemble.errors(), EnsembleErrors::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        let schema = constant_schema(1);
+        Ensemble::new(default_predictors(&schema), 1, 1.5);
+    }
+}

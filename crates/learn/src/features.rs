@@ -1,0 +1,159 @@
+//! Feature representation shared by all predictors.
+//!
+//! The paper's predictors never see the whole 10⁵–10⁷-bit state vector: they
+//! are trained only on the program's *excitations* — the bits that actually
+//! change between successive occurrences of the recognized instruction
+//! pointer (§4.4). The ASC runtime extracts those bits (and the 32-bit words
+//! that contain them) into an [`Observation`]; the [`ExcitationSchema`]
+//! records how the two views line up so bit-level and word-level predictors
+//! can cooperate.
+
+/// Describes the shape of observations: how many excited bits there are and
+/// which excited word each bit belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExcitationSchema {
+    /// Number of tracked (excited) bits.
+    pub bit_count: usize,
+    /// Number of tracked 32-bit words (each containing at least one excited bit).
+    pub word_count: usize,
+    /// For every tracked bit: `(word_index, bit_offset_within_word)`.
+    pub bit_homes: Vec<(usize, u8)>,
+}
+
+impl ExcitationSchema {
+    /// Creates a schema, validating that every bit home refers to a valid word.
+    ///
+    /// # Panics
+    /// Panics when a bit's home word index is out of range; schemas are built
+    /// by the excitation tracker, so this indicates an internal bug.
+    pub fn new(word_count: usize, bit_homes: Vec<(usize, u8)>) -> Self {
+        for &(word, offset) in &bit_homes {
+            assert!(word < word_count, "bit home word {word} out of range");
+            assert!(offset < 32, "bit offset {offset} out of range");
+        }
+        ExcitationSchema { bit_count: bit_homes.len(), word_count, bit_homes }
+    }
+
+    /// The `(word, offset)` home of tracked bit `j`.
+    ///
+    /// # Panics
+    /// Panics when `j` is out of range.
+    pub fn home(&self, j: usize) -> (usize, u8) {
+        self.bit_homes[j]
+    }
+}
+
+/// The values of the excited bits and words of one state-vector snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Observation {
+    /// Value of each tracked bit.
+    pub bits: Vec<bool>,
+    /// Value of each tracked 32-bit word.
+    pub words: Vec<u32>,
+}
+
+impl Observation {
+    /// Creates an observation from raw bit and word values.
+    pub fn new(bits: Vec<bool>, words: Vec<u32>) -> Self {
+        Observation { bits, words }
+    }
+
+    /// Number of tracked bits.
+    pub fn bit_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The tracked bit `j`.
+    ///
+    /// # Panics
+    /// Panics when `j` is out of range.
+    pub fn bit(&self, j: usize) -> bool {
+        self.bits[j]
+    }
+
+    /// The tracked word `w`.
+    ///
+    /// # Panics
+    /// Panics when `w` is out of range.
+    pub fn word(&self, w: usize) -> u32 {
+        self.words[w]
+    }
+
+    /// Dense `{0, 1}` feature vector with a leading bias term, the input
+    /// representation used by the logistic-regression predictor.
+    pub fn features_with_bias(&self) -> Vec<f64> {
+        let mut x = Vec::with_capacity(self.bits.len() + 1);
+        x.push(1.0);
+        x.extend(self.bits.iter().map(|b| if *b { 1.0 } else { 0.0 }));
+        x
+    }
+
+    /// Builds an observation whose word values are patched with predicted
+    /// bits. Used by the allocator when rolling predictions forward: the
+    /// predicted bit vector is turned back into a full observation so it can
+    /// be fed to the predictors as the next conditioning state.
+    pub fn from_predicted_bits(schema: &ExcitationSchema, template: &Observation, bits: &[bool]) -> Self {
+        assert_eq!(bits.len(), schema.bit_count, "predicted bit vector has wrong arity");
+        let mut words = template.words.clone();
+        for (j, &bit) in bits.iter().enumerate() {
+            let (word, offset) = schema.home(j);
+            if bit {
+                words[word] |= 1 << offset;
+            } else {
+                words[word] &= !(1 << offset);
+            }
+        }
+        Observation { bits: bits.to_vec(), words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_two_words() -> ExcitationSchema {
+        // Track bits 0 and 5 of word 0, bit 31 of word 1.
+        ExcitationSchema::new(2, vec![(0, 0), (0, 5), (1, 31)])
+    }
+
+    #[test]
+    fn schema_homes() {
+        let schema = schema_two_words();
+        assert_eq!(schema.bit_count, 3);
+        assert_eq!(schema.home(1), (0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn schema_rejects_bad_word() {
+        ExcitationSchema::new(1, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn features_with_bias_has_leading_one() {
+        let obs = Observation::new(vec![true, false, true], vec![0, 0]);
+        assert_eq!(obs.features_with_bias(), vec![1.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn predicted_bits_patch_words() {
+        let schema = schema_two_words();
+        let template = Observation::new(vec![false, false, false], vec![0, 0]);
+        let obs = Observation::from_predicted_bits(&schema, &template, &[true, true, true]);
+        assert_eq!(obs.words[0], 0b10_0001);
+        assert_eq!(obs.words[1], 1 << 31);
+        assert_eq!(obs.bits, vec![true, true, true]);
+        // Clearing bits works too.
+        let cleared = Observation::from_predicted_bits(&schema, &obs, &[false, true, false]);
+        assert_eq!(cleared.words[0], 0b10_0000);
+        assert_eq!(cleared.words[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn predicted_bits_require_full_vector() {
+        let schema = schema_two_words();
+        let template = Observation::new(vec![false; 3], vec![0, 0]);
+        Observation::from_predicted_bits(&schema, &template, &[true]);
+    }
+}

@@ -1,0 +1,54 @@
+//! # asc-learn — on-line learning for the ASC runtime
+//!
+//! LASC "turns the problem of automatically scaling sequential computation
+//! into a set of machine learning problems" (§4). This crate contains those
+//! learning pieces, independent of any simulator details:
+//!
+//! * the feature representation over a program's *excitations*
+//!   ([`features`]),
+//! * the predictor interface every learner implements ([`traits`]),
+//! * the paper's four prediction algorithms: [`mean`], [`weatherman`],
+//!   per-bit [`logistic`] regression and word-level [`linear`] regression,
+//! * the Randomized Weighted Majority ensemble that combines them with
+//!   bounded regret ([`ensemble`]),
+//! * small accuracy-tracking utilities ([`metrics`]).
+//!
+//! The `asc-core` crate extracts observations from state vectors and feeds
+//! them to an [`ensemble::Ensemble`]; everything here operates purely on
+//! those observations, which keeps the learners unit-testable in isolation.
+//!
+//! ```
+//! use asc_learn::features::{ExcitationSchema, Observation};
+//! use asc_learn::traits::default_predictors;
+//! use asc_learn::ensemble::Ensemble;
+//!
+//! // One tracked 32-bit word, all of whose bits are excitations.
+//! let schema = ExcitationSchema::new(1, (0..32).map(|b| (0, b)).collect());
+//! let mut ensemble = Ensemble::new(default_predictors(&schema), 32, 0.5);
+//!
+//! // Train on a counter that increments by one per superstep…
+//! let obs = |v: u32| Observation::new((0..32).map(|b| (v >> b) & 1 == 1).collect(), vec![v]);
+//! for i in 0..32u32 {
+//!     ensemble.observe(&obs(i), &obs(i + 1));
+//! }
+//! // …and the ensemble predicts the next value.
+//! let (bits, _) = ensemble.predict_ml(&obs(32));
+//! let predicted: u32 = bits.iter().enumerate().map(|(b, &set)| (set as u32) << b).sum();
+//! assert_eq!(predicted, 33);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod features;
+pub mod linear;
+pub mod logistic;
+pub mod mean;
+pub mod metrics;
+pub mod traits;
+pub mod weatherman;
+
+pub use ensemble::{Ensemble, EnsembleErrors};
+pub use features::{ExcitationSchema, Observation};
+pub use traits::{default_predictors, extended_predictors, BitPredictor};

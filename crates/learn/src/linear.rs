@@ -1,0 +1,360 @@
+//! On-line linear (polynomial) regression over 32-bit words (§4.4.2).
+//!
+//! Where logistic regression treats every bit independently, this predictor
+//! works at the feature level the paper describes for integer-valued
+//! quantities such as loop induction variables and bump-allocated pointers:
+//! it interprets each excited 32-bit word as a signed integer `φᵢ(x)` and
+//! fits `φ̂ᵢ(x') = w₀ + Σₖ wₖ·φᵢ(x)ᵏ`.
+//!
+//! The model is trained on-line after every observation. We use the
+//! recursive-least-squares form of on-line linear regression (accumulated
+//! normal equations with exponential forgetting) rather than plain SGD: for
+//! exactly affine sequences — `i, i+1, i+2, …`, `ptr, ptr+56, ptr+112, …` —
+//! it converges to the *bit-exact* relationship after a handful of
+//! observations, which is what the trajectory cache needs. The forgetting
+//! factor plays the role of the learning rate: the paper runs several
+//! instances with different hyper-parameters and lets the ensemble choose.
+
+use crate::features::{ExcitationSchema, Observation};
+use crate::traits::BitPredictor;
+
+/// Normalisation applied to word values before regression, keeping the
+/// accumulated moments well-conditioned for typical addresses and counters.
+const SCALE: f64 = 65536.0;
+
+/// Per-word recursive least-squares polynomial regression.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    schema: ExcitationSchema,
+    /// Polynomial degree `K` (1 = affine).
+    degree: usize,
+    /// Exponential forgetting applied to the moment matrices per observation.
+    adaptivity: f64,
+    models: Vec<WordModel>,
+}
+
+#[derive(Debug, Clone)]
+struct WordModel {
+    /// Accumulated `Xᵀ X` (dimension `(degree+1)²`, row major).
+    xtx: Vec<f64>,
+    /// Accumulated `Xᵀ y`.
+    xty: Vec<f64>,
+    /// Solved coefficients (refreshed after every observation).
+    coefficients: Vec<f64>,
+    /// Exponentially weighted mean absolute prediction error, in word units.
+    residual: f64,
+    observations: u64,
+}
+
+impl WordModel {
+    fn new(degree: usize) -> Self {
+        let dim = degree + 1;
+        WordModel {
+            xtx: vec![0.0; dim * dim],
+            xty: vec![0.0; dim],
+            coefficients: vec![0.0; dim],
+            residual: f64::INFINITY,
+            observations: 0,
+        }
+    }
+}
+
+fn powers(value: f64, degree: usize) -> Vec<f64> {
+    let mut x = Vec::with_capacity(degree + 1);
+    let mut acc = 1.0;
+    for _ in 0..=degree {
+        x.push(acc);
+        acc *= value;
+    }
+    x
+}
+
+/// Solves `A·w = b` for a small symmetric positive-definite system using
+/// Gaussian elimination with partial pivoting. Returns `None` when the system
+/// is singular (e.g. a constant word, which the ridge term normally prevents).
+fn solve(a: &[f64], b: &[f64], dim: usize) -> Option<Vec<f64>> {
+    let mut m = vec![0.0f64; dim * (dim + 1)];
+    for row in 0..dim {
+        for col in 0..dim {
+            m[row * (dim + 1) + col] = a[row * dim + col];
+        }
+        m[row * (dim + 1) + dim] = b[row];
+    }
+    for col in 0..dim {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..dim {
+            if m[row * (dim + 1) + col].abs() > m[pivot * (dim + 1) + col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot * (dim + 1) + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..=dim {
+                m.swap(col * (dim + 1) + k, pivot * (dim + 1) + k);
+            }
+        }
+        let diag = m[col * (dim + 1) + col];
+        for row in 0..dim {
+            if row == col {
+                continue;
+            }
+            let factor = m[row * (dim + 1) + col] / diag;
+            for k in col..=dim {
+                m[row * (dim + 1) + k] -= factor * m[col * (dim + 1) + k];
+            }
+        }
+    }
+    Some((0..dim).map(|row| m[row * (dim + 1) + dim] / m[row * (dim + 1) + row]).collect())
+}
+
+impl LinearRegression {
+    /// Creates a linear-regression predictor for the given excitation schema.
+    ///
+    /// `adaptivity` in `(0, 1)` controls how quickly old observations are
+    /// forgotten (larger adapts faster but is noisier).
+    ///
+    /// # Panics
+    /// Panics when `adaptivity` is outside `(0, 1)`.
+    pub fn new(schema: ExcitationSchema, adaptivity: f64) -> Self {
+        assert!(adaptivity > 0.0 && adaptivity < 1.0, "adaptivity must be in (0, 1)");
+        let models = (0..schema.word_count).map(|_| WordModel::new(1)).collect();
+        LinearRegression { schema, degree: 1, adaptivity, models }
+    }
+
+    /// Sets the polynomial degree `K` (1 = affine, the default).
+    ///
+    /// # Panics
+    /// Panics when `degree` is 0 or greater than 4.
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        assert!((1..=4).contains(&degree), "degree must be between 1 and 4");
+        self.degree = degree;
+        self.models = (0..self.schema.word_count).map(|_| WordModel::new(degree)).collect();
+        self
+    }
+
+    /// Predicted value of tracked word `w` given the current observation, or
+    /// `None` before the model has converged to a usable fit.
+    pub fn predict_word(&self, current: &Observation, w: usize) -> Option<i64> {
+        let model = self.models.get(w)?;
+        if model.observations < 2 {
+            return None;
+        }
+        let x = powers(current.words.get(w).copied()? as i32 as f64 / SCALE, self.degree);
+        let y: f64 = model.coefficients.iter().zip(x.iter()).map(|(c, xi)| c * xi).sum();
+        Some((y * SCALE).round() as i64)
+    }
+
+    /// Exponentially weighted mean absolute error of word `w`, in word units.
+    pub fn residual(&self, w: usize) -> f64 {
+        self.models.get(w).map(|m| m.residual).unwrap_or(f64::INFINITY)
+    }
+}
+
+impl BitPredictor for LinearRegression {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn observe_transition(&mut self, prev: &Observation, next: &Observation) {
+        if prev.words.len() != self.schema.word_count || next.words.len() != self.schema.word_count {
+            return;
+        }
+        let dim = self.degree + 1;
+        for w in 0..self.schema.word_count {
+            // Residual of the *previous* fit, before folding in this sample.
+            let predicted = self.predict_word(prev, w);
+            let model = &mut self.models[w];
+            let x = powers(prev.words[w] as i32 as f64 / SCALE, self.degree);
+            let y = next.words[w] as i32 as f64 / SCALE;
+            if let Some(p) = predicted {
+                let err = (p - next.words[w] as i32 as i64).abs() as f64;
+                model.residual = if model.residual.is_finite() {
+                    0.9 * model.residual + 0.1 * err
+                } else {
+                    err
+                };
+            }
+            let keep = 1.0 - self.adaptivity;
+            for v in model.xtx.iter_mut() {
+                *v *= keep;
+            }
+            for v in model.xty.iter_mut() {
+                *v *= keep;
+            }
+            for row in 0..dim {
+                for col in 0..dim {
+                    model.xtx[row * dim + col] += x[row] * x[col];
+                }
+                model.xty[row] += x[row] * y;
+            }
+            // Ridge term keeps the system well-posed for constant words. It
+            // is scaled relative to each diagonal entry so it never biases
+            // the fit of well-conditioned (e.g. exactly affine) sequences.
+            let mut ridge = model.xtx.clone();
+            for d in 0..dim {
+                let relative = ridge[d * dim + d].abs() * 1e-9;
+                ridge[d * dim + d] += relative.max(1e-12);
+            }
+            if let Some(coefficients) = solve(&ridge, &model.xty, dim) {
+                model.coefficients = coefficients;
+            }
+            model.observations += 1;
+        }
+    }
+
+    fn update(&mut self, _prev: &Observation, _j: usize, _actual: bool) {
+        // Training happens at word granularity in `observe_transition`.
+    }
+
+    fn predict(&self, current: &Observation, j: usize) -> f64 {
+        if j >= self.schema.bit_count {
+            return 0.5;
+        }
+        let (word, offset) = self.schema.home(j);
+        match self.predict_word(current, word) {
+            Some(value) => {
+                let bit = (value as u64 >> offset) & 1 == 1;
+                // Confidence tracks how well the word model has been doing.
+                let residual = self.residual(word);
+                let confidence = if residual < 0.5 {
+                    0.97
+                } else if residual < 4.0 {
+                    0.75
+                } else {
+                    0.55
+                };
+                if bit {
+                    confidence
+                } else {
+                    1.0 - confidence
+                }
+            }
+            None => 0.5,
+        }
+    }
+
+    fn reset(&mut self) {
+        for model in &mut self.models {
+            *model = WordModel::new(self.degree);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(words: usize) -> ExcitationSchema {
+        let mut homes = Vec::new();
+        for w in 0..words {
+            for bit in 0..32 {
+                homes.push((w, bit as u8));
+            }
+        }
+        ExcitationSchema::new(words, homes)
+    }
+
+    fn obs_words(words: &[u32]) -> Observation {
+        let mut bits = Vec::new();
+        for &w in words {
+            for bit in 0..32 {
+                bits.push((w >> bit) & 1 == 1);
+            }
+        }
+        Observation::new(bits, words.to_vec())
+    }
+
+    #[test]
+    fn learns_an_induction_variable_exactly() {
+        let mut p = LinearRegression::new(schema(1), 0.1);
+        for i in 0u32..30 {
+            p.observe_transition(&obs_words(&[i]), &obs_words(&[i + 1]));
+        }
+        assert_eq!(p.predict_word(&obs_words(&[30]), 0), Some(31));
+        assert_eq!(p.predict_word(&obs_words(&[1000]), 0), Some(1001));
+        assert!(p.residual(0) < 0.5);
+    }
+
+    #[test]
+    fn learns_a_pointer_stride() {
+        // Bump-allocated node addresses with a 132-byte stride, as in Ising.
+        let mut p = LinearRegression::new(schema(1), 0.1);
+        let base = 0x1_0000u32;
+        for i in 0u32..40 {
+            p.observe_transition(&obs_words(&[base + i * 132]), &obs_words(&[base + (i + 1) * 132]));
+        }
+        assert_eq!(
+            p.predict_word(&obs_words(&[base + 40 * 132]), 0),
+            Some((base + 41 * 132) as i64)
+        );
+    }
+
+    #[test]
+    fn learns_a_constant_word() {
+        let mut p = LinearRegression::new(schema(1), 0.1);
+        for _ in 0..20 {
+            p.observe_transition(&obs_words(&[7777]), &obs_words(&[7777]));
+        }
+        assert_eq!(p.predict_word(&obs_words(&[7777]), 0), Some(7777));
+    }
+
+    #[test]
+    fn bit_predictions_follow_the_word_prediction() {
+        let mut p = LinearRegression::new(schema(1), 0.1);
+        for i in 0u32..40 {
+            p.observe_transition(&obs_words(&[i]), &obs_words(&[i + 1]));
+        }
+        // From 7 (0b0111) the next value is 8 (0b1000).
+        let current = obs_words(&[7]);
+        assert!(p.predict(&current, 3) > 0.9); // bit 3 becomes 1
+        assert!(p.predict(&current, 0) < 0.1); // bit 0 becomes 0
+        assert!(p.predict(&current, 1) < 0.1);
+    }
+
+    #[test]
+    fn negative_values_are_handled() {
+        // A counter counting down through zero.
+        let mut p = LinearRegression::new(schema(1), 0.1);
+        for i in 0i32..30 {
+            let a = (5 - i) as u32;
+            let b = (4 - i) as u32;
+            p.observe_transition(&obs_words(&[a]), &obs_words(&[b]));
+        }
+        assert_eq!(p.predict_word(&obs_words(&[(-30i32) as u32]), 0), Some(-31));
+    }
+
+    #[test]
+    fn unseen_model_is_uncertain_and_reset_forgets() {
+        let mut p = LinearRegression::new(schema(1), 0.1);
+        assert_eq!(p.predict(&obs_words(&[3]), 0), 0.5);
+        for i in 0u32..20 {
+            p.observe_transition(&obs_words(&[i]), &obs_words(&[i + 1]));
+        }
+        assert!(p.predict_word(&obs_words(&[5]), 0).is_some());
+        p.reset();
+        assert!(p.predict_word(&obs_words(&[5]), 0).is_none());
+    }
+
+    #[test]
+    fn quadratic_relationship_with_degree_two() {
+        // next = current²/SCALE-ish relationships are rare in programs, but the
+        // degree-2 model should at least fit a parabola on normalised inputs.
+        let mut p = LinearRegression::new(schema(1), 0.05).with_degree(2);
+        for i in 0u32..60 {
+            let x = i * 100;
+            let y = (i * i) as u32;
+            p.observe_transition(&obs_words(&[x]), &obs_words(&[y]));
+        }
+        let predicted = p.predict_word(&obs_words(&[50 * 100]), 0).unwrap();
+        assert!((predicted - 2500).abs() <= 25, "predicted {predicted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptivity")]
+    fn rejects_bad_adaptivity() {
+        LinearRegression::new(schema(1), 1.5);
+    }
+}

@@ -1,0 +1,180 @@
+//! On-line logistic regression, one binary classifier per tracked bit (§4.4.2).
+//!
+//! For each excited bit `j` the model keeps a weight vector `w_j` over the
+//! `{bias} ∪ {excited bits}` feature representation of the conditioning
+//! state, predicts `σ(w_j · x)`, and performs one stochastic-gradient-descent
+//! step per new observation — exactly the fast on-line form described in the
+//! paper. Logistic regression is the general-purpose member of the predictor
+//! complement: it can latch onto *any* linearly separable relationship
+//! between the current excitations and a future bit (the paper highlights the
+//! flags-register bits where it is "absolutely crucial").
+
+use crate::features::Observation;
+use crate::traits::BitPredictor;
+
+/// Per-bit logistic regression trained by SGD.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// `weights[j]` is the weight vector (bias first) for tracked bit `j`.
+    weights: Vec<Vec<f64>>,
+    learning_rate: f64,
+    feature_dim: usize,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Creates a model for `bit_count` tracked bits with the given SGD
+    /// learning rate.
+    ///
+    /// # Panics
+    /// Panics when the learning rate is not positive and finite.
+    pub fn new(bit_count: usize, learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0 && learning_rate.is_finite(), "learning rate must be positive");
+        LogisticRegression {
+            weights: vec![Vec::new(); bit_count],
+            learning_rate,
+            feature_dim: bit_count + 1,
+        }
+    }
+
+    fn ensure_bit(&mut self, j: usize) {
+        if j >= self.weights.len() {
+            self.weights.resize(j + 1, Vec::new());
+        }
+        if self.weights[j].is_empty() {
+            self.weights[j] = vec![0.0; self.feature_dim];
+        }
+    }
+
+    fn raw_score(&self, x: &[f64], j: usize) -> f64 {
+        match self.weights.get(j) {
+            Some(w) if !w.is_empty() => {
+                w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl BitPredictor for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+
+    fn update(&mut self, prev: &Observation, j: usize, actual: bool) {
+        let x = prev.features_with_bias();
+        // The feature dimension is fixed by the excitation schema; if an
+        // observation with a different arity appears the bank is being
+        // rebuilt, so skip rather than corrupt the weights.
+        if x.len() != self.feature_dim {
+            self.feature_dim = x.len();
+            for w in &mut self.weights {
+                w.clear();
+            }
+        }
+        self.ensure_bit(j);
+        let prediction = sigmoid(self.raw_score(&x, j));
+        let target = if actual { 1.0 } else { 0.0 };
+        let gradient_scale = self.learning_rate * (target - prediction);
+        for (wi, xi) in self.weights[j].iter_mut().zip(x.iter()) {
+            *wi += gradient_scale * xi;
+        }
+    }
+
+    fn predict(&self, current: &Observation, j: usize) -> f64 {
+        let x = current.features_with_bias();
+        if x.len() != self.feature_dim {
+            return 0.5;
+        }
+        sigmoid(self.raw_score(&x, j))
+    }
+
+    fn reset(&mut self) {
+        for w in &mut self.weights {
+            w.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(bits: &[bool]) -> Observation {
+        Observation::new(bits.to_vec(), vec![])
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_monotone() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999);
+        assert!(sigmoid(-40.0) < 0.001);
+        assert!(sigmoid(1.0) > sigmoid(-1.0));
+        // No overflow at extremes.
+        assert!(sigmoid(1e6).is_finite());
+        assert!(sigmoid(-1e6).is_finite());
+    }
+
+    #[test]
+    fn learns_identity_relationship() {
+        // Bit 0 of the next observation equals bit 1 of the current one.
+        let mut p = LogisticRegression::new(2, 0.5);
+        for i in 0..200 {
+            let b = i % 2 == 0;
+            let current = obs(&[i % 3 == 0, b]);
+            p.update(&current, 0, b);
+        }
+        assert!(p.predict(&obs(&[false, true]), 0) > 0.85);
+        assert!(p.predict(&obs(&[false, false]), 0) < 0.15);
+    }
+
+    #[test]
+    fn learns_negation_relationship() {
+        // Next bit 0 is the complement of current bit 0 (a toggling flag).
+        let mut p = LogisticRegression::new(1, 0.5);
+        let mut value = false;
+        for _ in 0..300 {
+            let current = obs(&[value]);
+            value = !value;
+            p.update(&current, 0, value);
+        }
+        assert!(p.predict(&obs(&[false]), 0) > 0.8);
+        assert!(p.predict(&obs(&[true]), 0) < 0.2);
+    }
+
+    #[test]
+    fn learns_constant_bias() {
+        let mut p = LogisticRegression::new(1, 0.5);
+        for i in 0..100 {
+            p.update(&obs(&[i % 2 == 0]), 0, true);
+        }
+        assert!(p.predict(&obs(&[true]), 0) > 0.9);
+        assert!(p.predict(&obs(&[false]), 0) > 0.9);
+    }
+
+    #[test]
+    fn unseen_model_is_uncertain_and_reset_forgets() {
+        let mut p = LogisticRegression::new(1, 0.5);
+        assert!((p.predict(&obs(&[true]), 0) - 0.5).abs() < 1e-12);
+        for _ in 0..50 {
+            p.update(&obs(&[true]), 0, true);
+        }
+        assert!(p.predict(&obs(&[true]), 0) > 0.8);
+        p.reset();
+        assert!((p.predict(&obs(&[true]), 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_learning_rate() {
+        LogisticRegression::new(4, 0.0);
+    }
+}

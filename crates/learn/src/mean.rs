@@ -1,0 +1,102 @@
+//! The `mean` predictor: predicts each bit's running mean (§4.4.2).
+//!
+//! "The mean predictor simply learns the mean value of each bit and issues
+//! predictions by rounding." It is trivially simple, yet the paper's Figure 3
+//! shows it carrying real weight on the Ising benchmark — bits that are
+//! almost always 0 (or 1) are predicted essentially for free.
+
+use crate::features::Observation;
+use crate::traits::BitPredictor;
+
+/// Per-bit running mean with rounding.
+#[derive(Debug, Clone)]
+pub struct MeanPredictor {
+    ones: Vec<u64>,
+    total: Vec<u64>,
+}
+
+impl MeanPredictor {
+    /// Creates a mean predictor for `bit_count` tracked bits.
+    pub fn new(bit_count: usize) -> Self {
+        MeanPredictor { ones: vec![0; bit_count], total: vec![0; bit_count] }
+    }
+
+    /// The empirical mean of bit `j`, or 0.5 before any observation.
+    pub fn mean(&self, j: usize) -> f64 {
+        if j >= self.total.len() || self.total[j] == 0 {
+            0.5
+        } else {
+            self.ones[j] as f64 / self.total[j] as f64
+        }
+    }
+}
+
+impl BitPredictor for MeanPredictor {
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+
+    fn update(&mut self, _prev: &Observation, j: usize, actual: bool) {
+        if j >= self.total.len() {
+            // Excitation sets only ever grow when the recognizer resets the
+            // whole bank, but be robust to a larger index.
+            self.ones.resize(j + 1, 0);
+            self.total.resize(j + 1, 0);
+        }
+        self.total[j] += 1;
+        if actual {
+            self.ones[j] += 1;
+        }
+    }
+
+    fn predict(&self, _current: &Observation, j: usize) -> f64 {
+        self.mean(j)
+    }
+
+    fn reset(&mut self) {
+        self.ones.fill(0);
+        self.total.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(bits: &[bool]) -> Observation {
+        Observation::new(bits.to_vec(), vec![])
+    }
+
+    #[test]
+    fn converges_to_empirical_mean() {
+        let mut p = MeanPredictor::new(1);
+        let x = obs(&[false]);
+        for i in 0..10 {
+            p.update(&x, 0, i % 4 == 0); // 1 in 4 observations are 1
+        }
+        assert!((p.predict(&x, 0) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_bit_is_uncertain() {
+        let p = MeanPredictor::new(2);
+        assert_eq!(p.predict(&obs(&[false, false]), 1), 0.5);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut p = MeanPredictor::new(1);
+        let x = obs(&[true]);
+        p.update(&x, 0, true);
+        assert!(p.predict(&x, 0) > 0.9);
+        p.reset();
+        assert_eq!(p.predict(&x, 0), 0.5);
+    }
+
+    #[test]
+    fn tolerates_out_of_range_updates() {
+        let mut p = MeanPredictor::new(1);
+        p.update(&obs(&[true]), 5, true);
+        assert!(p.predict(&obs(&[true]), 5) > 0.9);
+    }
+}

@@ -1,0 +1,140 @@
+//! Small online accuracy-tracking helpers used across the runtime.
+
+/// Tracks hit/miss counts and exposes rates; used for cache statistics and
+//  per-predictor accuracy summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitRate {
+    hits: u64,
+    total: u64,
+}
+
+impl HitRate {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        HitRate::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Number of successful trials.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of failed trials.
+    pub fn misses(&self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// Total number of trials.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of successful trials (0 when nothing was recorded).
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of failed trials (0 when nothing was recorded).
+    pub fn miss_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.rate()
+        }
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &HitRate) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+/// An exponentially weighted moving average, used for adaptive thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    value: Option<f64>,
+    alpha: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { value: None, alpha }
+    }
+
+    /// Folds in a new sample.
+    pub fn update(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            Some(current) => current + self.alpha * (sample - current),
+            None => sample,
+        });
+    }
+
+    /// The current average, or `None` before any sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_basic() {
+        let mut rate = HitRate::new();
+        assert_eq!(rate.rate(), 0.0);
+        rate.record(true);
+        rate.record(true);
+        rate.record(false);
+        assert_eq!(rate.hits(), 2);
+        assert_eq!(rate.misses(), 1);
+        assert!((rate.rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rate.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_merge() {
+        let mut a = HitRate::new();
+        a.record(true);
+        let mut b = HitRate::new();
+        b.record(false);
+        b.record(true);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.hits(), 2);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut avg = Ewma::new(0.5);
+        assert!(avg.value().is_none());
+        for _ in 0..20 {
+            avg.update(10.0);
+        }
+        assert!((avg.value().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! The predictor interface (paper §4.4.1).
+//!
+//! Each predictor must implement `update`, `predict` and `reset`; predictors
+//! are free to extract whatever features they want from the conditioning
+//! observation but must express their predictions at the bit level, so the
+//! allocator can mix and match predictors per bit with the regret-minimizing
+//! ensemble.
+
+use crate::features::{ExcitationSchema, Observation};
+
+/// An online learner that predicts individual bits of the next observation.
+///
+/// The contract mirrors §4.4.1 of the paper: `update(x, j)` folds in the
+/// newly observed value of bit `j` given the previous conditioning state,
+/// `predict(x, j)` returns the probability that bit `j` of the *next*
+/// observation will be 1 given the current state `x`, and `reset()` discards
+/// the model (used when the recognizer abandons an instruction pointer).
+pub trait BitPredictor: Send {
+    /// Short name used in weight-matrix reports (Figure 3).
+    fn name(&self) -> &'static str;
+
+    /// Called once per observed transition, before the per-bit updates, with
+    /// both endpoints. Word-level predictors (linear regression) use this to
+    /// run their word-granularity updates; bit-level predictors can ignore it.
+    fn observe_transition(&mut self, prev: &Observation, next: &Observation) {
+        let _ = (prev, next);
+    }
+
+    /// Updates the model for bit `j`, given that the observation following
+    /// `prev` had value `actual` for that bit.
+    fn update(&mut self, prev: &Observation, j: usize, actual: bool);
+
+    /// Probability in `[0, 1]` that bit `j` of the observation following
+    /// `current` will be 1.
+    fn predict(&self, current: &Observation, j: usize) -> f64;
+
+    /// Discards the learned model and starts from scratch.
+    fn reset(&mut self);
+}
+
+/// Constructs the paper's default predictor complement for a given schema:
+/// `mean`, `weatherman`, logistic regression and linear regression, the
+/// latter two at several learning rates (the paper runs multiple instances
+/// of each and lets the ensemble pick, §4.4.2).
+pub fn default_predictors(schema: &ExcitationSchema) -> Vec<Box<dyn BitPredictor>> {
+    use crate::linear::LinearRegression;
+    use crate::logistic::LogisticRegression;
+    use crate::mean::MeanPredictor;
+    use crate::weatherman::Weatherman;
+
+    vec![
+        Box::new(MeanPredictor::new(schema.bit_count)),
+        Box::new(Weatherman::new()),
+        Box::new(LogisticRegression::new(schema.bit_count, 0.5)),
+        Box::new(LinearRegression::new(schema.clone(), 0.1)),
+    ]
+}
+
+/// Constructs a wider complement with multiple learning rates per algorithm,
+/// used when more cores are available for hyper-parameter exploration
+/// (this is how the paper explains cache miss rates dropping below the
+/// single-core error rate, §5.2).
+pub fn extended_predictors(schema: &ExcitationSchema) -> Vec<Box<dyn BitPredictor>> {
+    use crate::linear::LinearRegression;
+    use crate::logistic::LogisticRegression;
+    use crate::mean::MeanPredictor;
+    use crate::weatherman::Weatherman;
+
+    vec![
+        Box::new(MeanPredictor::new(schema.bit_count)),
+        Box::new(Weatherman::new()),
+        Box::new(LogisticRegression::new(schema.bit_count, 0.1)),
+        Box::new(LogisticRegression::new(schema.bit_count, 0.5)),
+        Box::new(LogisticRegression::new(schema.bit_count, 2.0)),
+        Box::new(LinearRegression::new(schema.clone(), 0.02)),
+        Box::new(LinearRegression::new(schema.clone(), 0.1)),
+        Box::new(LinearRegression::new(schema.clone(), 0.5)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_complement_has_four_predictors() {
+        let schema = ExcitationSchema::new(1, vec![(0, 0), (0, 1)]);
+        let predictors = default_predictors(&schema);
+        let names: Vec<_> = predictors.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["mean", "weatherman", "logistic", "linear"]);
+    }
+
+    #[test]
+    fn extended_complement_is_larger() {
+        let schema = ExcitationSchema::new(1, vec![(0, 0)]);
+        assert!(extended_predictors(&schema).len() > default_predictors(&schema).len());
+    }
+}

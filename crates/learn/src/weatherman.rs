@@ -1,0 +1,86 @@
+//! The `weatherman` predictor: tomorrow will be like today (§4.4.2).
+//!
+//! "The weatherman predictor predicts that the next value of each bit will be
+//! its current value." It is the perfect predictor for the large class of
+//! state bytes that change *rarely* between recognized-IP occurrences — the
+//! minimum-energy tracker in the Ising kernel, saturated loop bounds, flags
+//! that settle — which is exactly where Figure 3 shows it earning weight.
+
+use crate::features::Observation;
+use crate::traits::BitPredictor;
+
+/// Predicts that each bit keeps its current value.
+#[derive(Debug, Clone, Default)]
+pub struct Weatherman {
+    /// Confidence assigned to the persistence prediction.
+    confidence: f64,
+}
+
+impl Weatherman {
+    /// Creates a weatherman predictor with the default confidence (0.9).
+    pub fn new() -> Self {
+        Weatherman { confidence: 0.9 }
+    }
+
+    /// Creates a weatherman with an explicit confidence in `(0.5, 1.0]`.
+    ///
+    /// # Panics
+    /// Panics when `confidence` is not greater than 0.5 and at most 1.0.
+    pub fn with_confidence(confidence: f64) -> Self {
+        assert!(confidence > 0.5 && confidence <= 1.0, "confidence must be in (0.5, 1.0]");
+        Weatherman { confidence }
+    }
+}
+
+impl BitPredictor for Weatherman {
+    fn name(&self) -> &'static str {
+        "weatherman"
+    }
+
+    fn update(&mut self, _prev: &Observation, _j: usize, _actual: bool) {
+        // Stateless: persistence needs no training.
+    }
+
+    fn predict(&self, current: &Observation, j: usize) -> f64 {
+        if j < current.bit_count() && current.bit(j) {
+            self.confidence
+        } else {
+            1.0 - self.confidence
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_persistence() {
+        let p = Weatherman::new();
+        let x = Observation::new(vec![true, false], vec![]);
+        assert!(p.predict(&x, 0) > 0.5);
+        assert!(p.predict(&x, 1) < 0.5);
+    }
+
+    #[test]
+    fn confidence_is_configurable() {
+        let p = Weatherman::with_confidence(0.99);
+        let x = Observation::new(vec![true], vec![]);
+        assert!((p.predict(&x, 0) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn rejects_useless_confidence() {
+        Weatherman::with_confidence(0.3);
+    }
+
+    #[test]
+    fn out_of_range_bit_defaults_to_zero_prediction() {
+        let p = Weatherman::new();
+        let x = Observation::new(vec![], vec![]);
+        assert!(p.predict(&x, 3) < 0.5);
+    }
+}

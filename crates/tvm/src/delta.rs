@@ -1,0 +1,286 @@
+//! Sparse state representations and binary deltas.
+//!
+//! Cache entries in ASC are "compressed pairs of start and end states": only
+//! the bytes in the read set (start) and write set (end) are stored, as a
+//! sorted sparse list of `(index, value)` pairs ([`SparseBytes`]). Queries to
+//! the distributed cache are additionally compressed as a binary difference
+//! against the previous query ([`Delta`]); the paper uses the Myers
+//! difference algorithm, and this module provides an equivalent run-based
+//! byte-delta codec whose encoded size feeds the "cache query size" row of
+//! Table 1.
+
+use crate::state::StateVector;
+use bytes::{BufMut, BytesMut};
+
+/// A sparse, sorted set of `(byte index, value)` pairs drawn from a state
+/// vector.
+///
+/// # Examples
+/// ```
+/// use asc_tvm::delta::SparseBytes;
+/// use asc_tvm::state::StateVector;
+/// let mut s = StateVector::new(64).unwrap();
+/// s.set_byte(10, 7);
+/// let sparse = SparseBytes::capture(&s, [10usize, 20usize]);
+/// assert!(sparse.matches(&s));
+/// let mut other = s.clone();
+/// other.set_byte(10, 8);
+/// assert!(!sparse.matches(&other));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SparseBytes {
+    entries: Vec<(u32, u8)>,
+}
+
+impl SparseBytes {
+    /// Captures the values of `indices` from `state`.
+    ///
+    /// Indices are deduplicated and stored sorted.
+    pub fn capture(state: &StateVector, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut entries: Vec<(u32, u8)> = indices
+            .into_iter()
+            .map(|i| (i as u32, state.byte(i)))
+            .collect();
+        entries.sort_unstable_by_key(|(i, _)| *i);
+        entries.dedup_by_key(|(i, _)| *i);
+        SparseBytes { entries }
+    }
+
+    /// Builds a sparse set directly from `(index, value)` pairs.
+    pub fn from_pairs(mut pairs: Vec<(u32, u8)>) -> Self {
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        pairs.dedup_by_key(|(i, _)| *i);
+        SparseBytes { entries: pairs }
+    }
+
+    /// Number of bytes captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Whether `state` agrees with every captured byte.
+    ///
+    /// Indices beyond the end of `state` never match.
+    pub fn matches(&self, state: &StateVector) -> bool {
+        self.entries
+            .iter()
+            .all(|&(i, v)| (i as usize) < state.len_bytes() && state.byte(i as usize) == v)
+    }
+
+    /// Number of captured bytes that disagree with `state`.
+    pub fn mismatches(&self, state: &StateVector) -> usize {
+        self.entries
+            .iter()
+            .filter(|&&(i, v)| (i as usize) >= state.len_bytes() || state.byte(i as usize) != v)
+            .count()
+    }
+
+    /// Writes every captured byte into `state` (the cache "fast-forward").
+    ///
+    /// Indices beyond the end of `state` are ignored; in practice all
+    /// captures come from states of the same machine.
+    pub fn apply(&self, state: &mut StateVector) {
+        for &(i, v) in &self.entries {
+            if (i as usize) < state.len_bytes() {
+                state.set_byte(i as usize, v);
+            }
+        }
+    }
+
+    /// A stable 64-bit hash of the contents, used as a cheap cache index key.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the sorted (index, value) stream: deterministic across
+        // runs, unlike the default hasher.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &(i, v) in &self.entries {
+            for byte in i.to_le_bytes().into_iter().chain([v]) {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// Size in bits of the serialized sparse representation (5 bytes per
+    /// entry: a 32-bit index plus the value). This is what Table 1 reports as
+    /// the cache query size.
+    pub fn encoded_bits(&self) -> usize {
+        self.entries.len() * (4 + 1) * 8
+    }
+}
+
+impl FromIterator<(u32, u8)> for SparseBytes {
+    fn from_iter<T: IntoIterator<Item = (u32, u8)>>(iter: T) -> Self {
+        SparseBytes::from_pairs(iter.into_iter().collect())
+    }
+}
+
+/// A run-based binary difference between two equal-length byte strings.
+///
+/// Encodes the positions and replacement bytes of every maximal differing
+/// run. Applied to the "old" string it reproduces the "new" string. Used to
+/// model the compressed cache query/response messages of §4.2.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Delta {
+    runs: Vec<(u32, Vec<u8>)>,
+    total_len: usize,
+}
+
+impl Delta {
+    /// Computes the delta that transforms `old` into `new`.
+    ///
+    /// # Panics
+    /// Panics when the two slices have different lengths; deltas are only
+    /// meaningful between state vectors of the same machine.
+    pub fn diff(old: &[u8], new: &[u8]) -> Self {
+        assert_eq!(old.len(), new.len(), "delta requires equal-length states");
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        while i < old.len() {
+            if old[i] == new[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < old.len() && old[i] != new[i] {
+                i += 1;
+            }
+            runs.push((start as u32, new[start..i].to_vec()));
+        }
+        Delta { runs, total_len: old.len() }
+    }
+
+    /// Applies the delta to `old`, producing the "new" byte string.
+    ///
+    /// # Panics
+    /// Panics when `old` does not have the length the delta was computed for.
+    pub fn apply(&self, old: &[u8]) -> Vec<u8> {
+        assert_eq!(old.len(), self.total_len, "delta applied to wrong-length state");
+        let mut out = old.to_vec();
+        for (start, bytes) in &self.runs {
+            out[*start as usize..*start as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        out
+    }
+
+    /// Number of differing runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total number of differing bytes.
+    pub fn changed_bytes(&self) -> usize {
+        self.runs.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Serializes the delta (for size accounting and transport modelling).
+    ///
+    /// Format: `u32` run count, then per run a `u32` offset, `u32` length and
+    /// the raw bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(4 + self.runs.len() * 8 + self.changed_bytes());
+        buf.put_u32_le(self.runs.len() as u32);
+        for (start, bytes) in &self.runs {
+            buf.put_u32_le(*start);
+            buf.put_u32_le(bytes.len() as u32);
+            buf.put_slice(bytes);
+        }
+        buf.to_vec()
+    }
+
+    /// Size in bits of the serialized delta.
+    pub fn encoded_bits(&self) -> usize {
+        self.to_bytes().len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_capture_sorts_and_dedups() {
+        let mut s = StateVector::new(32).unwrap();
+        s.set_byte(5, 50);
+        s.set_byte(3, 30);
+        let sparse = SparseBytes::capture(&s, [5usize, 3, 5, 3]);
+        let pairs: Vec<_> = sparse.iter().collect();
+        assert_eq!(pairs, vec![(3, 30), (5, 50)]);
+        assert_eq!(sparse.len(), 2);
+        assert_eq!(sparse.encoded_bits(), 2 * 40);
+    }
+
+    #[test]
+    fn sparse_match_apply_roundtrip() {
+        let mut a = StateVector::new(64).unwrap();
+        a.set_byte(10, 1);
+        a.set_byte(20, 2);
+        let sparse = SparseBytes::capture(&a, [10usize, 20]);
+        let mut b = StateVector::new(64).unwrap();
+        assert!(!sparse.matches(&b));
+        assert_eq!(sparse.mismatches(&b), 2);
+        sparse.apply(&mut b);
+        assert!(sparse.matches(&b));
+        assert_eq!(sparse.mismatches(&b), 0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_values_and_indices() {
+        let a = SparseBytes::from_pairs(vec![(1, 1), (2, 2)]);
+        let b = SparseBytes::from_pairs(vec![(1, 1), (2, 3)]);
+        let c = SparseBytes::from_pairs(vec![(1, 1), (3, 2)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let old = vec![0u8; 100];
+        let mut new = old.clone();
+        new[3] = 1;
+        new[4] = 2;
+        new[50] = 9;
+        let delta = Delta::diff(&old, &new);
+        assert_eq!(delta.run_count(), 2);
+        assert_eq!(delta.changed_bytes(), 3);
+        assert_eq!(delta.apply(&old), new);
+    }
+
+    #[test]
+    fn delta_of_identical_states_is_empty_and_small() {
+        let bytes = vec![7u8; 1000];
+        let delta = Delta::diff(&bytes, &bytes);
+        assert_eq!(delta.run_count(), 0);
+        assert_eq!(delta.changed_bytes(), 0);
+        assert!(delta.encoded_bits() <= 64);
+        assert_eq!(delta.apply(&bytes), bytes);
+    }
+
+    #[test]
+    fn delta_is_much_smaller_than_full_state_for_sparse_changes() {
+        let old = vec![0u8; 100_000];
+        let mut new = old.clone();
+        for i in (0..100).map(|k| k * 7) {
+            new[i * 10] = 0xff;
+        }
+        let delta = Delta::diff(&old, &new);
+        assert!(delta.encoded_bits() < old.len() * 8 / 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn delta_requires_equal_lengths() {
+        let _ = Delta::diff(&[1, 2, 3], &[1, 2]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Binary encoding and decoding of TVM instructions.
+//!
+//! Instructions are a fixed [`INSTRUCTION_BYTES`]-byte record:
+//! `[opcode, a, b, c, imm as little-endian i32]`. A fixed width keeps the
+//! instruction fetch dependency footprint uniform and makes the instruction
+//! pointer arithmetic in the recognizer and cache trivially predictable.
+
+use crate::error::{VmError, VmResult};
+use crate::isa::{Instruction, Opcode, INSTRUCTION_BYTES, NUM_REGS};
+
+/// Encodes one instruction into its 8-byte representation.
+///
+/// # Examples
+/// ```
+/// use asc_tvm::encode::{encode, decode};
+/// use asc_tvm::isa::{Instruction, Opcode, Reg};
+/// let i = Instruction::rri(Opcode::AddI, Reg::new(1).unwrap(), Reg::new(2).unwrap(), -5);
+/// let bytes = encode(&i);
+/// assert_eq!(decode(&bytes, 0).unwrap(), i);
+/// ```
+pub fn encode(instruction: &Instruction) -> [u8; INSTRUCTION_BYTES as usize] {
+    let mut out = [0u8; INSTRUCTION_BYTES as usize];
+    out[0] = instruction.opcode.to_byte();
+    out[1] = instruction.a;
+    out[2] = instruction.b;
+    out[3] = instruction.c;
+    out[4..8].copy_from_slice(&instruction.imm.to_le_bytes());
+    out
+}
+
+/// Encodes a sequence of instructions into a flat code image.
+pub fn encode_all(instructions: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(instructions.len() * INSTRUCTION_BYTES as usize);
+    for i in instructions {
+        out.extend_from_slice(&encode(i));
+    }
+    out
+}
+
+/// Decodes the instruction stored in `bytes`.
+///
+/// `addr` is only used to produce a useful error message.
+///
+/// # Errors
+/// Returns [`VmError::InvalidOpcode`] for an unknown opcode byte and
+/// [`VmError::InvalidRegister`] when a register field used by that opcode is
+/// out of range.
+pub fn decode(bytes: &[u8; INSTRUCTION_BYTES as usize], addr: u32) -> VmResult<Instruction> {
+    let opcode = Opcode::from_byte(bytes[0])
+        .ok_or(VmError::InvalidOpcode { opcode: bytes[0], addr })?;
+    let instruction = Instruction {
+        opcode,
+        a: bytes[1],
+        b: bytes[2],
+        c: bytes[3],
+        imm: i32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+    };
+    validate_registers(&instruction, addr)?;
+    Ok(instruction)
+}
+
+/// Checks that every register field the opcode actually uses is in range.
+fn validate_registers(instruction: &Instruction, addr: u32) -> VmResult<()> {
+    use Opcode::*;
+    let check = |reg: u8| -> VmResult<()> {
+        if (reg as usize) < NUM_REGS {
+            Ok(())
+        } else {
+            Err(VmError::InvalidRegister { reg, addr })
+        }
+    };
+    match instruction.opcode {
+        Halt | Nop | Ret | Jmp | Jeq | Jne | Jlt | Jle | Jgt | Jge | Jltu | Jgeu | Call => Ok(()),
+        MovI | CmpI | JmpR | Push | Pop => check(instruction.a),
+        Mov | Neg | Not | Cmp | LdW | LdB | StW | StB | AddI | MulI | DivI | RemI | AndI | OrI
+        | XorI | ShlI | ShrI | SarI => {
+            check(instruction.a)?;
+            check(instruction.b)
+        }
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar => {
+            check(instruction.a)?;
+            check(instruction.b)?;
+            check(instruction.c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_every_opcode() {
+        for &op in Opcode::ALL {
+            let instruction = Instruction { opcode: op, a: 1, b: 2, c: 3, imm: -123456 };
+            let decoded = decode(&encode(&instruction), 0).unwrap();
+            assert_eq!(decoded, instruction, "roundtrip failed for {op}");
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_detected() {
+        let bytes = [0xfe, 0, 0, 0, 0, 0, 0, 0];
+        let err = decode(&bytes, 0x80).unwrap_err();
+        assert_eq!(err, VmError::InvalidOpcode { opcode: 0xfe, addr: 0x80 });
+    }
+
+    #[test]
+    fn invalid_register_detected_only_when_used() {
+        // `jmp` ignores register fields entirely, so junk there is fine.
+        let jmp = Instruction { opcode: Opcode::Jmp, a: 200, b: 200, c: 200, imm: 8 };
+        assert!(decode(&encode(&jmp), 0).is_ok());
+        // `add` uses all three fields.
+        let add = Instruction { opcode: Opcode::Add, a: 1, b: 16, c: 0, imm: 0 };
+        let err = decode(&encode(&add), 16).unwrap_err();
+        assert_eq!(err, VmError::InvalidRegister { reg: 16, addr: 16 });
+    }
+
+    #[test]
+    fn encode_all_concatenates() {
+        let program = vec![
+            Instruction::ri(Opcode::MovI, r(1), 7),
+            Instruction::bare(Opcode::Halt),
+        ];
+        let image = encode_all(&program);
+        assert_eq!(image.len(), 16);
+        assert_eq!(image[0], Opcode::MovI.to_byte());
+        assert_eq!(image[8], Opcode::Halt.to_byte());
+    }
+
+    #[test]
+    fn negative_immediates_roundtrip() {
+        let i = Instruction::ri(Opcode::MovI, r(0), i32::MIN);
+        assert_eq!(decode(&encode(&i), 0).unwrap().imm, i32::MIN);
+    }
+}

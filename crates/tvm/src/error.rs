@@ -1,0 +1,126 @@
+//! Error types for the trajectory-based functional simulator.
+
+use std::fmt;
+
+/// Errors that can occur while decoding or executing TVM instructions.
+///
+/// Every variant carries enough context (addresses, opcodes) to diagnose a
+/// failing program without re-running it under a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The byte at the faulting address does not encode a known opcode.
+    InvalidOpcode {
+        /// Raw opcode byte that failed to decode.
+        opcode: u8,
+        /// Memory address of the instruction.
+        addr: u32,
+    },
+    /// A load, store or instruction fetch touched memory outside the state
+    /// vector.
+    MemoryOutOfBounds {
+        /// First byte address of the faulting access.
+        addr: u32,
+        /// Access width in bytes.
+        len: u32,
+        /// Size of the memory segment in bytes.
+        mem_size: u32,
+    },
+    /// An integer division or remainder by zero.
+    DivideByZero {
+        /// Address of the faulting instruction.
+        addr: u32,
+    },
+    /// A register index outside `0..NUM_REGS` appeared in an instruction.
+    InvalidRegister {
+        /// The faulting register index.
+        reg: u8,
+        /// Address of the faulting instruction.
+        addr: u32,
+    },
+    /// The program exceeded the caller-supplied instruction budget.
+    InstructionBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// The requested state vector would be smaller than the fixed header.
+    StateTooSmall {
+        /// Requested total size in bytes.
+        requested: usize,
+        /// Minimum size in bytes.
+        minimum: usize,
+    },
+    /// A program image did not fit into the configured memory segment.
+    ProgramTooLarge {
+        /// Size of the program image in bytes.
+        image: usize,
+        /// Size of the memory segment in bytes.
+        mem_size: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::InvalidOpcode { opcode, addr } => {
+                write!(f, "invalid opcode {opcode:#04x} at address {addr:#x}")
+            }
+            VmError::MemoryOutOfBounds { addr, len, mem_size } => write!(
+                f,
+                "memory access of {len} bytes at {addr:#x} is outside the {mem_size}-byte segment"
+            ),
+            VmError::DivideByZero { addr } => {
+                write!(f, "division by zero at address {addr:#x}")
+            }
+            VmError::InvalidRegister { reg, addr } => {
+                write!(f, "invalid register r{reg} at address {addr:#x}")
+            }
+            VmError::InstructionBudgetExceeded { budget } => {
+                write!(f, "instruction budget of {budget} exceeded")
+            }
+            VmError::StateTooSmall { requested, minimum } => write!(
+                f,
+                "state vector of {requested} bytes is smaller than the {minimum}-byte header"
+            ),
+            VmError::ProgramTooLarge { image, mem_size } => write!(
+                f,
+                "program image of {image} bytes does not fit in {mem_size} bytes of memory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Convenience alias used throughout the simulator.
+pub type VmResult<T> = Result<T, VmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = VmError::InvalidOpcode { opcode: 0xff, addr: 0x40 };
+        let text = err.to_string();
+        assert!(text.contains("0xff"));
+        assert!(text.contains("0x40"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            VmError::DivideByZero { addr: 8 },
+            VmError::DivideByZero { addr: 8 }
+        );
+        assert_ne!(
+            VmError::DivideByZero { addr: 8 },
+            VmError::DivideByZero { addr: 16 }
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(VmError::InstructionBudgetExceeded { budget: 10 });
+        assert!(err.to_string().contains("10"));
+    }
+}

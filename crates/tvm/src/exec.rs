@@ -1,0 +1,654 @@
+//! The transition function: execute one instruction on a state vector.
+//!
+//! This is the paper's `transition(uint8_t *x, uint8_t *g, int n)`: it has no
+//! hidden state and refers to no globals. It fetches the instruction pointed
+//! to by the IP stored *inside* the state vector, simulates it, writes the
+//! resulting changes back into the state vector, and (optionally) updates the
+//! per-byte dependency vector `g` on every read and write it performs —
+//! including the IP, flags, register file and instruction fetch itself.
+
+use crate::deps::DepVector;
+use crate::error::{VmError, VmResult};
+use crate::isa::{Flags, Instruction, Opcode, Reg, INSTRUCTION_BYTES, SP};
+use crate::state::{StateVector, FLAGS_OFFSET, IP_OFFSET, REG_OFFSET};
+#[cfg(test)]
+use crate::state::MEM_BASE;
+use crate::encode::decode;
+
+/// What happened when a single instruction executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction completed and execution may continue.
+    Continue,
+    /// A `halt` instruction executed; the state vector is final.
+    Halted,
+}
+
+/// Accessor that funnels every state-vector access through dependency
+/// tracking when a dependency vector is supplied.
+struct Ctx<'a> {
+    state: &'a mut StateVector,
+    deps: Option<&'a mut DepVector>,
+}
+
+impl<'a> Ctx<'a> {
+    #[inline]
+    fn note_read(&mut self, index: usize, len: usize) {
+        if let Some(deps) = self.deps.as_deref_mut() {
+            deps.note_read_range(index, len);
+        }
+    }
+
+    #[inline]
+    fn note_write(&mut self, index: usize, len: usize) {
+        if let Some(deps) = self.deps.as_deref_mut() {
+            deps.note_write_range(index, len);
+        }
+    }
+
+    /// Reads a 32-bit word at an absolute state byte index.
+    #[inline]
+    fn read_word_at(&mut self, index: usize) -> u32 {
+        self.note_read(index, 4);
+        self.state.word(index)
+    }
+
+    /// Writes a 32-bit word at an absolute state byte index.
+    #[inline]
+    fn write_word_at(&mut self, index: usize, value: u32) {
+        self.note_write(index, 4);
+        self.state.set_word(index, value);
+    }
+
+    #[inline]
+    fn read_reg(&mut self, reg: u8) -> u32 {
+        self.read_word_at(REG_OFFSET + reg as usize * 4)
+    }
+
+    #[inline]
+    fn write_reg(&mut self, reg: u8, value: u32) {
+        self.write_word_at(REG_OFFSET + reg as usize * 4, value);
+    }
+
+    #[inline]
+    fn read_ip(&mut self) -> u32 {
+        self.read_word_at(IP_OFFSET)
+    }
+
+    #[inline]
+    fn write_ip(&mut self, value: u32) {
+        self.write_word_at(IP_OFFSET, value);
+    }
+
+    #[inline]
+    fn read_flags(&mut self) -> Flags {
+        Flags::from_word(self.read_word_at(FLAGS_OFFSET))
+    }
+
+    #[inline]
+    fn write_flags(&mut self, flags: Flags) {
+        self.write_word_at(FLAGS_OFFSET, flags.to_word());
+    }
+
+    /// Fetches the 8 instruction bytes at memory address `addr`.
+    fn fetch(&mut self, addr: u32) -> VmResult<[u8; INSTRUCTION_BYTES as usize]> {
+        let index = self.state.mem_index(addr, INSTRUCTION_BYTES)?;
+        self.note_read(index, INSTRUCTION_BYTES as usize);
+        let mut bytes = [0u8; INSTRUCTION_BYTES as usize];
+        bytes.copy_from_slice(&self.state.as_bytes()[index..index + INSTRUCTION_BYTES as usize]);
+        Ok(bytes)
+    }
+
+    fn load_word(&mut self, addr: u32) -> VmResult<u32> {
+        let index = self.state.mem_index(addr, 4)?;
+        Ok(self.read_word_at(index))
+    }
+
+    fn store_word(&mut self, addr: u32, value: u32) -> VmResult<()> {
+        let index = self.state.mem_index(addr, 4)?;
+        self.write_word_at(index, value);
+        Ok(())
+    }
+
+    fn load_byte(&mut self, addr: u32) -> VmResult<u32> {
+        let index = self.state.mem_index(addr, 1)?;
+        self.note_read(index, 1);
+        Ok(self.state.byte(index) as u32)
+    }
+
+    fn store_byte(&mut self, addr: u32, value: u8) -> VmResult<()> {
+        let index = self.state.mem_index(addr, 1)?;
+        self.note_write(index, 1);
+        self.state.set_byte(index, value);
+        Ok(())
+    }
+}
+
+/// Executes exactly one instruction.
+///
+/// When `deps` is supplied, every byte read or written — IP, flags, register
+/// file, instruction fetch and data memory — is recorded in the dependency
+/// finite-state machine, exactly as the paper's speculative workers do. Pass
+/// `None` for untracked (main-thread or ground-truth) execution.
+///
+/// # Errors
+/// Propagates decode errors ([`VmError::InvalidOpcode`],
+/// [`VmError::InvalidRegister`]), [`VmError::MemoryOutOfBounds`] for wild
+/// loads/stores/fetches and [`VmError::DivideByZero`].
+///
+/// # Examples
+/// ```
+/// # use asc_tvm::{state::StateVector, exec::{transition, StepOutcome}};
+/// # use asc_tvm::encode::encode_all;
+/// # use asc_tvm::isa::{Instruction, Opcode, Reg};
+/// let mut state = StateVector::new(256)?;
+/// let image = encode_all(&[
+///     Instruction::ri(Opcode::MovI, Reg::new(1).unwrap(), 21),
+///     Instruction::rri(Opcode::MulI, Reg::new(1).unwrap(), Reg::new(1).unwrap(), 2),
+///     Instruction::bare(Opcode::Halt),
+/// ]);
+/// state.write_mem(0, &image)?;
+/// while transition(&mut state, None)? == StepOutcome::Continue {}
+/// assert_eq!(state.reg(Reg::new(1).unwrap()), 42);
+/// # Ok::<(), asc_tvm::error::VmError>(())
+/// ```
+pub fn transition(state: &mut StateVector, deps: Option<&mut DepVector>) -> VmResult<StepOutcome> {
+    let mut ctx = Ctx { state, deps };
+
+    let ip = ctx.read_ip();
+    let raw = ctx.fetch(ip)?;
+    let instruction = decode(&raw, ip)?;
+    let next_ip = ip.wrapping_add(INSTRUCTION_BYTES);
+
+    use Opcode::*;
+    let outcome = match instruction.opcode {
+        Halt => {
+            // Leave the IP pointing at the halt instruction so a halted state
+            // is a fixed point of the transition function.
+            ctx.write_ip(ip);
+            return Ok(StepOutcome::Halted);
+        }
+        Nop => {
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        MovI => {
+            ctx.write_reg(instruction.a, instruction.imm as u32);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        Mov => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, v);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        Neg => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, (v as i32).wrapping_neg() as u32);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        Not => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, !v);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar => {
+            let lhs = ctx.read_reg(instruction.b);
+            let rhs = ctx.read_reg(instruction.c);
+            let value = alu(instruction.opcode, lhs, rhs, ip)?;
+            ctx.write_reg(instruction.a, value);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        AddI | MulI | DivI | RemI | AndI | OrI | XorI | ShlI | ShrI | SarI => {
+            let lhs = ctx.read_reg(instruction.b);
+            let rhs = instruction.imm as u32;
+            let op = match instruction.opcode {
+                AddI => Add,
+                MulI => Mul,
+                DivI => Div,
+                RemI => Rem,
+                AndI => And,
+                OrI => Or,
+                XorI => Xor,
+                ShlI => Shl,
+                ShrI => Shr,
+                SarI => Sar,
+                _ => unreachable!("immediate ALU mapping"),
+            };
+            let value = alu(op, lhs, rhs, ip)?;
+            ctx.write_reg(instruction.a, value);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        LdW => {
+            let base = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            let value = ctx.load_word(addr)?;
+            ctx.write_reg(instruction.a, value);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        LdB => {
+            let base = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            let value = ctx.load_byte(addr)?;
+            ctx.write_reg(instruction.a, value);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        StW => {
+            let base = ctx.read_reg(instruction.a);
+            let value = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            ctx.store_word(addr, value)?;
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        StB => {
+            let base = ctx.read_reg(instruction.a);
+            let value = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            ctx.store_byte(addr, value as u8)?;
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        Cmp => {
+            let lhs = ctx.read_reg(instruction.a);
+            let rhs = ctx.read_reg(instruction.b);
+            ctx.write_flags(Flags::compare(lhs, rhs));
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        CmpI => {
+            let lhs = ctx.read_reg(instruction.a);
+            ctx.write_flags(Flags::compare(lhs, instruction.imm as u32));
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        Jmp => {
+            ctx.write_ip(instruction.imm as u32);
+            StepOutcome::Continue
+        }
+        Jeq | Jne | Jlt | Jle | Jgt | Jge | Jltu | Jgeu => {
+            let flags = ctx.read_flags();
+            let taken = match instruction.opcode {
+                Jeq => flags.eq,
+                Jne => !flags.eq,
+                Jlt => flags.lt_signed,
+                Jle => flags.lt_signed || flags.eq,
+                Jgt => !flags.lt_signed && !flags.eq,
+                Jge => !flags.lt_signed,
+                Jltu => flags.lt_unsigned,
+                Jgeu => !flags.lt_unsigned,
+                _ => unreachable!("conditional jump mapping"),
+            };
+            ctx.write_ip(if taken { instruction.imm as u32 } else { next_ip });
+            StepOutcome::Continue
+        }
+        JmpR => {
+            let target = ctx.read_reg(instruction.a);
+            ctx.write_ip(target);
+            StepOutcome::Continue
+        }
+        Call => {
+            let sp = ctx.read_reg(SP.index() as u8).wrapping_sub(4);
+            ctx.store_word(sp, next_ip)?;
+            ctx.write_reg(SP.index() as u8, sp);
+            ctx.write_ip(instruction.imm as u32);
+            StepOutcome::Continue
+        }
+        Ret => {
+            let sp = ctx.read_reg(SP.index() as u8);
+            let target = ctx.load_word(sp)?;
+            ctx.write_reg(SP.index() as u8, sp.wrapping_add(4));
+            ctx.write_ip(target);
+            StepOutcome::Continue
+        }
+        Push => {
+            let value = ctx.read_reg(instruction.a);
+            let sp = ctx.read_reg(SP.index() as u8).wrapping_sub(4);
+            ctx.store_word(sp, value)?;
+            ctx.write_reg(SP.index() as u8, sp);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+        Pop => {
+            let sp = ctx.read_reg(SP.index() as u8);
+            let value = ctx.load_word(sp)?;
+            ctx.write_reg(SP.index() as u8, sp.wrapping_add(4));
+            ctx.write_reg(instruction.a, value);
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+    };
+    Ok(outcome)
+}
+
+/// Three-register ALU semantics shared by the register and immediate forms.
+fn alu(op: Opcode, lhs: u32, rhs: u32, addr: u32) -> VmResult<u32> {
+    use Opcode::*;
+    Ok(match op {
+        Add => lhs.wrapping_add(rhs),
+        Sub => lhs.wrapping_sub(rhs),
+        Mul => lhs.wrapping_mul(rhs),
+        Div => {
+            if rhs == 0 {
+                return Err(VmError::DivideByZero { addr });
+            }
+            ((lhs as i32).wrapping_div(rhs as i32)) as u32
+        }
+        Rem => {
+            if rhs == 0 {
+                return Err(VmError::DivideByZero { addr });
+            }
+            ((lhs as i32).wrapping_rem(rhs as i32)) as u32
+        }
+        And => lhs & rhs,
+        Or => lhs | rhs,
+        Xor => lhs ^ rhs,
+        Shl => lhs.wrapping_shl(rhs & 31),
+        Shr => lhs.wrapping_shr(rhs & 31),
+        Sar => ((lhs as i32).wrapping_shr(rhs & 31)) as u32,
+        other => unreachable!("{other} is not an ALU opcode"),
+    })
+}
+
+/// Decodes (without executing) the instruction the state vector's IP points
+/// at. Useful for tracing, the disassembler and the recognizer's diagnostics.
+///
+/// # Errors
+/// Returns the same errors as instruction fetch and decode.
+pub fn current_instruction(state: &StateVector) -> VmResult<Instruction> {
+    let ip = state.ip();
+    let index = state.mem_index(ip, INSTRUCTION_BYTES)?;
+    let mut raw = [0u8; INSTRUCTION_BYTES as usize];
+    raw.copy_from_slice(&state.as_bytes()[index..index + INSTRUCTION_BYTES as usize]);
+    decode(&raw, ip)
+}
+
+/// Returns the register that an instruction writes, if any. Used by
+/// diagnostic tooling; not needed by the execution engine itself.
+pub fn destination_register(instruction: &Instruction) -> Option<Reg> {
+    use Opcode::*;
+    match instruction.opcode {
+        MovI | Mov | Neg | Not | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar
+        | AddI | MulI | DivI | RemI | AndI | OrI | XorI | ShlI | ShrI | SarI | LdW | LdB | Pop => {
+            Reg::new(instruction.a)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_all;
+    use crate::isa::Instruction as I;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    /// Builds a state vector with the given program loaded at address 0 and
+    /// the stack pointer at the top of memory.
+    fn machine_with(program: &[I], mem: usize) -> StateVector {
+        let mut state = StateVector::new(mem).unwrap();
+        state.write_mem(0, &encode_all(program)).unwrap();
+        state.set_reg(SP, mem as u32);
+        state
+    }
+
+    fn run(state: &mut StateVector, max: usize) -> usize {
+        let mut executed = 0;
+        for _ in 0..max {
+            match transition(state, None).unwrap() {
+                StepOutcome::Continue => executed += 1,
+                StepOutcome::Halted => return executed,
+            }
+        }
+        panic!("program did not halt within {max} instructions");
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut state = machine_with(
+            &[
+                I::ri(Opcode::MovI, r(1), 6),
+                I::ri(Opcode::MovI, r(2), 7),
+                I::rrr(Opcode::Mul, r(3), r(1), r(2)),
+                I::rri(Opcode::AddI, r(3), r(3), -2),
+                I::bare(Opcode::Halt),
+            ],
+            256,
+        );
+        run(&mut state, 100);
+        assert_eq!(state.reg(r(3)), 40);
+    }
+
+    #[test]
+    fn halted_state_is_fixed_point() {
+        let mut state = machine_with(&[I::bare(Opcode::Halt)], 64);
+        assert_eq!(transition(&mut state, None).unwrap(), StepOutcome::Halted);
+        let snapshot = state.clone();
+        assert_eq!(transition(&mut state, None).unwrap(), StepOutcome::Halted);
+        assert_eq!(state, snapshot);
+    }
+
+    #[test]
+    fn signed_division_and_negative_numbers() {
+        let mut state = machine_with(
+            &[
+                I::ri(Opcode::MovI, r(1), -17),
+                I::ri(Opcode::MovI, r(2), 5),
+                I::rrr(Opcode::Div, r(3), r(1), r(2)),
+                I::rrr(Opcode::Rem, r(4), r(1), r(2)),
+                I::bare(Opcode::Halt),
+            ],
+            256,
+        );
+        run(&mut state, 100);
+        assert_eq!(state.reg(r(3)) as i32, -3);
+        assert_eq!(state.reg(r(4)) as i32, -2);
+    }
+
+    #[test]
+    fn divide_by_zero_is_an_error() {
+        let mut state = machine_with(
+            &[I::ri(Opcode::MovI, r(1), 3), I::rri(Opcode::DivI, r(2), r(1), 0)],
+            128,
+        );
+        transition(&mut state, None).unwrap();
+        let err = transition(&mut state, None).unwrap_err();
+        assert_eq!(err, VmError::DivideByZero { addr: 8 });
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_memory() {
+        let mut state = machine_with(
+            &[
+                I::ri(Opcode::MovI, r(1), 200),          // base address
+                I::ri(Opcode::MovI, r(2), 0x1234_5678u32 as i32),
+                I::rri(Opcode::StW, r(1), r(2), 4),      // mem[204] = r2
+                I::rri(Opcode::LdW, r(3), r(1), 4),      // r3 = mem[204]
+                I::rri(Opcode::LdB, r(4), r(1), 4),      // r4 = low byte
+                I::bare(Opcode::Halt),
+            ],
+            512,
+        );
+        run(&mut state, 100);
+        assert_eq!(state.reg(r(3)), 0x1234_5678);
+        assert_eq!(state.reg(r(4)), 0x78);
+        assert_eq!(state.load_word(204).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn store_byte_only_touches_one_byte() {
+        let mut state = machine_with(
+            &[
+                I::ri(Opcode::MovI, r(1), 300),
+                I::ri(Opcode::MovI, r(2), 0xAABBCCDDu32 as i32),
+                I::rri(Opcode::StW, r(1), r(2), 0),
+                I::ri(Opcode::MovI, r(3), 0x11),
+                I::rri(Opcode::StB, r(1), r(3), 1),
+                I::bare(Opcode::Halt),
+            ],
+            512,
+        );
+        run(&mut state, 100);
+        assert_eq!(state.load_word(300).unwrap(), 0xAABB11DD);
+    }
+
+    #[test]
+    fn conditional_branches_signed_and_unsigned() {
+        // r3 counts taken signed branches, r4 counts taken unsigned branches.
+        let mut state = machine_with(
+            &[
+                I::ri(Opcode::MovI, r(1), -1),
+                I::ri(Opcode::MovI, r(2), 1),
+                I::rr(Opcode::Cmp, r(1), r(2)),
+                I::i(Opcode::Jlt, 5 * 8),        // taken: -1 < 1 signed
+                I::bare(Opcode::Halt),
+                I::ri(Opcode::MovI, r(3), 1),
+                I::rr(Opcode::Cmp, r(1), r(2)),
+                I::i(Opcode::Jltu, 9 * 8),       // not taken: 0xffffffff > 1 unsigned
+                I::ri(Opcode::MovI, r(4), 1),
+                I::bare(Opcode::Halt),
+            ],
+            512,
+        );
+        run(&mut state, 100);
+        assert_eq!(state.reg(r(3)), 1);
+        assert_eq!(state.reg(r(4)), 1);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        // r1 = 10; do { r2 += r1; r1 -= 1 } while (r1 != 0)
+        let mut state = machine_with(
+            &[
+                I::ri(Opcode::MovI, r(1), 10),
+                I::ri(Opcode::MovI, r(2), 0),
+                I::rrr(Opcode::Add, r(2), r(2), r(1)), // addr 16
+                I::rri(Opcode::AddI, r(1), r(1), -1),
+                I::ri(Opcode::CmpI, r(1), 0),
+                I::i(Opcode::Jne, 16),
+                I::bare(Opcode::Halt),
+            ],
+            512,
+        );
+        let executed = run(&mut state, 1000);
+        assert_eq!(state.reg(r(2)), 55);
+        assert_eq!(executed, 2 + 4 * 10);
+    }
+
+    #[test]
+    fn call_ret_push_pop() {
+        // main: r1 = 5; call f; halt     f: push r1; r1 = r1 * 3; pop r2; ret
+        let mut state = machine_with(
+            &[
+                I::ri(Opcode::MovI, r(1), 5),
+                I::i(Opcode::Call, 4 * 8),
+                I::bare(Opcode::Halt),
+                I::bare(Opcode::Nop),
+                I::r(Opcode::Push, r(1)),          // addr 32
+                I::rri(Opcode::MulI, r(1), r(1), 3),
+                I::r(Opcode::Pop, r(2)),
+                I::bare(Opcode::Ret),
+            ],
+            1024,
+        );
+        run(&mut state, 100);
+        assert_eq!(state.reg(r(1)), 15);
+        assert_eq!(state.reg(r(2)), 5);
+        // Stack pointer restored.
+        assert_eq!(state.reg(SP), 1024);
+    }
+
+    #[test]
+    fn out_of_bounds_fetch_is_an_error() {
+        let mut state = StateVector::new(64).unwrap();
+        state.set_ip(1000);
+        assert!(matches!(
+            transition(&mut state, None),
+            Err(VmError::MemoryOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn dependency_tracking_reads_and_writes() {
+        let mut state = machine_with(
+            &[
+                I::ri(Opcode::MovI, r(1), 100),
+                I::rri(Opcode::LdW, r(2), r(1), 0), // reads mem[100..104]
+                I::rri(Opcode::StW, r(1), r(2), 8), // writes mem[108..112]
+                I::bare(Opcode::Halt),
+            ],
+            512,
+        );
+        state.store_word(100, 7).unwrap();
+        let mut deps = DepVector::new(state.len_bytes());
+        for _ in 0..3 {
+            transition(&mut state, Some(&mut deps)).unwrap();
+        }
+        let read_set = deps.read_set();
+        let write_set = deps.write_set();
+        // The loaded memory words are dependencies; the stored word is an output.
+        for offset in 0..4 {
+            assert!(read_set.contains(&(MEM_BASE + 100 + offset)));
+            assert!(write_set.contains(&(MEM_BASE + 108 + offset)));
+            assert!(!read_set.contains(&(MEM_BASE + 108 + offset)));
+        }
+        // The IP is both read and written.
+        assert!(read_set.contains(&IP_OFFSET));
+        assert!(write_set.contains(&IP_OFFSET));
+        // Instruction bytes are dependencies.
+        assert!(read_set.contains(&MEM_BASE));
+        // r1 was written before ever being read, so it is *not* a dependency.
+        assert!(!read_set.contains(&(REG_OFFSET + 4)));
+        assert!(write_set.contains(&(REG_OFFSET + 4)));
+    }
+
+    #[test]
+    fn untracked_and_tracked_execution_agree() {
+        let program = [
+            I::ri(Opcode::MovI, r(1), 3),
+            I::ri(Opcode::MovI, r(2), 4),
+            I::rrr(Opcode::Mul, r(3), r(1), r(2)),
+            I::rri(Opcode::StW, r(3), r(3), 50),
+            I::bare(Opcode::Halt),
+        ];
+        let mut plain = machine_with(&program, 256);
+        let mut tracked = machine_with(&program, 256);
+        let mut deps = DepVector::new(tracked.len_bytes());
+        loop {
+            let a = transition(&mut plain, None).unwrap();
+            let b = transition(&mut tracked, Some(&mut deps)).unwrap();
+            assert_eq!(a, b);
+            if a == StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_eq!(plain, tracked);
+    }
+
+    #[test]
+    fn current_instruction_decodes_without_side_effects() {
+        let state = machine_with(&[I::ri(Opcode::MovI, r(7), 9)], 64);
+        let snapshot = state.clone();
+        let instruction = current_instruction(&state).unwrap();
+        assert_eq!(instruction, I::ri(Opcode::MovI, r(7), 9));
+        assert_eq!(state, snapshot);
+    }
+
+    #[test]
+    fn destination_register_classification() {
+        assert_eq!(destination_register(&I::ri(Opcode::MovI, r(3), 1)), Some(r(3)));
+        assert_eq!(destination_register(&I::bare(Opcode::Halt)), None);
+        assert_eq!(destination_register(&I::i(Opcode::Jmp, 0)), None);
+        assert_eq!(destination_register(&I::r(Opcode::Pop, r(2))), Some(r(2)));
+    }
+}

@@ -1,0 +1,283 @@
+//! The Collatz benchmark kernel (paper §5.1, third benchmark).
+//!
+//! The outer loop iterates over a range of positive integers; the inner loop
+//! performs the notoriously chaotic Collatz property test (`n/2` when even,
+//! `3n+1` when odd) until the value converges to 1, then counts the integer
+//! as verified. The outer loop is trivially parallel — which the ASC
+//! recognizer discovers automatically — and the chaotic inner loop contains
+//! shared final subsequences that the trajectory cache memoizes (Figure 6).
+
+use crate::error::{WorkloadError, WorkloadResult};
+use asc_asm::Assembler;
+use asc_tvm::program::Program;
+use asc_tvm::state::StateVector;
+
+/// Parameters of the Collatz kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollatzParams {
+    /// First integer tested.
+    pub start: u32,
+    /// Number of consecutive integers tested.
+    pub count: u32,
+}
+
+impl Default for CollatzParams {
+    fn default() -> Self {
+        // A laptop-scale default; the experiment harnesses pick their own sizes.
+        CollatzParams { start: 2, count: 200 }
+    }
+}
+
+/// Result of the Collatz kernel: what the program writes back to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollatzResult {
+    /// Number of integers whose sequence converged to 1.
+    pub verified: u32,
+    /// Largest number of inner-loop steps observed for any tested integer.
+    pub max_steps: u32,
+}
+
+/// Generates the TVM assembly source for the kernel.
+///
+/// The program mirrors the paper's 15-line C kernel: an outer loop over
+/// integers and an inner `while (n != 1)` loop applying the 3n+1 rule.
+pub fn source(params: &CollatzParams) -> String {
+    format!(
+        r#"; Collatz conjecture kernel ({count} integers starting at {start})
+.text
+main:
+    movi r1, {start}        ; n, the integer under test
+    movi r2, {count}        ; remaining outer iterations
+    movi r5, 0              ; verified counter
+    movi r7, 0              ; maximum steps seen
+outer:
+    mov  r3, r1             ; working copy of n
+    movi r6, 0              ; steps for this n
+inner:
+    cmpi r3, 1
+    jeq  converged
+    and  r4, r3, 1
+    cmpi r4, 0
+    jne  odd
+    shr  r3, r3, 1
+    jmp  step
+odd:
+    mul  r3, r3, 3
+    add  r3, r3, 1
+step:
+    add  r6, r6, 1
+    jmp  inner
+converged:
+    add  r5, r5, 1          ; one more integer verified
+    cmp  r7, r6
+    jge  no_new_max
+    mov  r7, r6
+no_new_max:
+    add  r1, r1, 1
+    sub  r2, r2, 1
+    cmpi r2, 0
+    jne  outer
+    movi r8, verified
+    stw  [r8], r5
+    movi r8, max_steps
+    stw  [r8], r7
+    halt
+.data
+verified:
+    .word 0
+max_steps:
+    .word 0
+"#,
+        start = params.start,
+        count = params.count,
+    )
+}
+
+/// Assembles the kernel into a loadable program.
+///
+/// # Errors
+/// Returns [`WorkloadError::Assembly`] if the generated source fails to
+/// assemble (which would indicate a bug in this module).
+pub fn program(params: &CollatzParams) -> WorkloadResult<Program> {
+    Assembler::new()
+        .headroom(4 * 1024)
+        .assemble(&source(params))
+        .map_err(WorkloadError::from)
+}
+
+/// Pure-Rust reference implementation with identical arithmetic.
+pub fn reference(params: &CollatzParams) -> CollatzResult {
+    let mut verified = 0u32;
+    let mut max_steps = 0u32;
+    for i in 0..params.count {
+        let mut n = params.start.wrapping_add(i);
+        let mut steps = 0u32;
+        while n != 1 {
+            if n % 2 == 0 {
+                n /= 2;
+            } else {
+                n = n.wrapping_mul(3).wrapping_add(1);
+            }
+            steps += 1;
+        }
+        verified += 1;
+        max_steps = max_steps.max(steps);
+    }
+    CollatzResult { verified, max_steps }
+}
+
+/// Reads the kernel's result back out of a final state vector.
+///
+/// # Errors
+/// Returns [`WorkloadError::MissingSymbol`] when the program was not built by
+/// [`program`], or a VM error if the recorded addresses are out of range.
+pub fn read_result(program: &Program, state: &StateVector) -> WorkloadResult<CollatzResult> {
+    let verified_addr = program
+        .symbol("verified")
+        .ok_or_else(|| WorkloadError::MissingSymbol("verified".into()))?;
+    let max_addr = program
+        .symbol("max_steps")
+        .ok_or_else(|| WorkloadError::MissingSymbol("max_steps".into()))?;
+    Ok(CollatzResult {
+        verified: state.load_word(verified_addr)?,
+        max_steps: state.load_word(max_addr)?,
+    })
+}
+
+/// An estimate of the kernel's total instruction count, used by experiment
+/// harnesses to size runs without executing them first.
+pub fn estimated_instructions(params: &CollatzParams) -> u64 {
+    // ~7 instructions per inner step, ~85 steps on average for small ranges,
+    // plus ~10 per outer iteration.
+    params.count as u64 * (7 * 85 + 10)
+}
+
+
+/// A "pure" variant of the kernel that only verifies convergence (no
+/// per-integer step counting). Its inner loop depends on nothing but the
+/// working value, so single-core generalized memoization (Figure 6, right)
+/// can reuse the shared final subsequences every Collatz sequence ends with.
+pub fn pure_source(params: &CollatzParams) -> String {
+    format!(
+        r#"; Pure Collatz verification kernel ({count} integers starting at {start})
+.text
+main:
+    movi r1, {start}
+    movi r2, {count}
+    movi r5, 0
+outer:
+    mov  r3, r1
+inner:
+    cmpi r3, 1
+    jeq  converged
+    and  r4, r3, 1
+    cmpi r4, 0
+    jne  odd
+    shr  r3, r3, 1
+    jmp  inner
+odd:
+    mul  r3, r3, 3
+    add  r3, r3, 1
+    jmp  inner
+converged:
+    add  r5, r5, 1
+    add  r1, r1, 1
+    sub  r2, r2, 1
+    cmpi r2, 0
+    jne  outer
+    movi r8, verified
+    stw  [r8], r5
+    halt
+.data
+verified:
+    .word 0
+"#,
+        start = params.start,
+        count = params.count,
+    )
+}
+
+/// Assembles the pure (memoization-friendly) kernel variant.
+///
+/// # Errors
+/// Returns [`WorkloadError::Assembly`] if the generated source fails to
+/// assemble.
+pub fn pure_program(params: &CollatzParams) -> WorkloadResult<Program> {
+    Assembler::new()
+        .headroom(4 * 1024)
+        .assemble(&pure_source(params))
+        .map_err(WorkloadError::from)
+}
+
+/// Reads the pure kernel's verified count from a final state.
+///
+/// # Errors
+/// Returns [`WorkloadError::MissingSymbol`] for foreign programs.
+pub fn read_pure_result(program: &Program, state: &StateVector) -> WorkloadResult<u32> {
+    let addr = program
+        .symbol("verified")
+        .ok_or_else(|| WorkloadError::MissingSymbol("verified".into()))?;
+    Ok(state.load_word(addr)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_tvm::machine::Machine;
+
+    #[test]
+    fn kernel_matches_reference_small() {
+        let params = CollatzParams { start: 2, count: 30 };
+        let program = program(&params).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(10_000_000).unwrap();
+        let got = read_result(&program, machine.state()).unwrap();
+        assert_eq!(got, reference(&params));
+        assert_eq!(got.verified, 30);
+    }
+
+    #[test]
+    fn kernel_matches_reference_larger_range() {
+        let params = CollatzParams { start: 1_000, count: 50 };
+        let program = program(&params).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(50_000_000).unwrap();
+        let got = read_result(&program, machine.state()).unwrap();
+        assert_eq!(got, reference(&params));
+    }
+
+    #[test]
+    fn pure_variant_counts_verified_integers() {
+        let params = CollatzParams { start: 2, count: 40 };
+        let program = pure_program(&params).unwrap();
+        let mut machine = asc_tvm::machine::Machine::load(&program).unwrap();
+        machine.run_to_halt(10_000_000).unwrap();
+        assert_eq!(read_pure_result(&program, machine.state()).unwrap(), 40);
+    }
+
+    #[test]
+    fn reference_known_value() {
+        // 27 famously takes 111 steps.
+        let result = reference(&CollatzParams { start: 27, count: 1 });
+        assert_eq!(result.max_steps, 111);
+        assert_eq!(result.verified, 1);
+    }
+
+    #[test]
+    fn source_lines_are_counted() {
+        let params = CollatzParams::default();
+        let program = program(&params).unwrap();
+        // The paper lists Collatz at 15 lines of C; our assembly is small too.
+        assert!(program.source_lines() > 10 && program.source_lines() < 60);
+    }
+
+    #[test]
+    fn estimated_instructions_is_same_order_as_actual() {
+        let params = CollatzParams { start: 2, count: 20 };
+        let program = program(&params).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        let actual = machine.run_to_halt(10_000_000).unwrap();
+        let estimate = estimated_instructions(&params);
+        assert!(estimate > actual / 20 && estimate < actual * 20);
+    }
+}

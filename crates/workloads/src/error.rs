@@ -1,0 +1,67 @@
+//! Error types for workload construction and result extraction.
+
+use asc_asm::AsmError;
+use asc_tvm::error::VmError;
+use std::fmt;
+
+/// Errors raised while building a benchmark program or reading its results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The generated assembly failed to assemble (a bug in the generator).
+    Assembly(AsmError),
+    /// The simulator reported an error while reading results.
+    Vm(VmError),
+    /// A result symbol expected by the reader is missing from the program.
+    MissingSymbol(String),
+    /// Parameters are outside the supported range.
+    InvalidParams(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Assembly(e) => write!(f, "generated assembly failed to assemble: {e}"),
+            WorkloadError::Vm(e) => write!(f, "simulator error: {e}"),
+            WorkloadError::MissingSymbol(s) => write!(f, "program does not export symbol `{s}`"),
+            WorkloadError::InvalidParams(msg) => write!(f, "invalid workload parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Assembly(e) => Some(e),
+            WorkloadError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AsmError> for WorkloadError {
+    fn from(e: AsmError) -> Self {
+        WorkloadError::Assembly(e)
+    }
+}
+
+impl From<VmError> for WorkloadError {
+    fn from(e: VmError) -> Self {
+        WorkloadError::Vm(e)
+    }
+}
+
+/// Convenience alias for workload results.
+pub type WorkloadResult<T> = Result<T, WorkloadError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = WorkloadError::MissingSymbol("answer".into());
+        assert!(err.to_string().contains("answer"));
+        let err = WorkloadError::Vm(VmError::DivideByZero { addr: 4 });
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

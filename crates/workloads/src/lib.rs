@@ -1,0 +1,35 @@
+//! # asc-workloads — the paper's benchmark kernels for the TVM
+//!
+//! The ASC paper evaluates three unmodified sequential programs (§5.1):
+//! `Ising` (pointer-based linked-list energy minimisation), `2mm`
+//! (Polybench `D = alpha*A*B*C + beta*D`) and `Collatz` (chaotic property
+//! testing). This crate re-authors those kernels for the TVM ISA, generates
+//! them at several problem scales, and pairs each with a pure-Rust reference
+//! implementation so every run of the ASC runtime can be checked for
+//! correctness — speculation must never change program results.
+//!
+//! ```
+//! use asc_workloads::registry::{build, Benchmark, Scale};
+//! use asc_tvm::machine::Machine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = build(Benchmark::Collatz, Scale::Tiny)?;
+//! let mut machine = Machine::load(&workload.program)?;
+//! machine.run_to_halt(100_000_000)?;
+//! assert!(workload.verify(machine.state()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collatz;
+pub mod error;
+pub mod handpar;
+pub mod ising;
+pub mod mm2;
+pub mod registry;
+
+pub use error::{WorkloadError, WorkloadResult};
+pub use registry::{build, Benchmark, BuiltWorkload, Scale};

@@ -1,0 +1,339 @@
+//! The `2mm` benchmark kernel (paper §5.1, second benchmark).
+//!
+//! Computes `D = alpha*A*B*C + beta*D` over square integer matrices, exactly
+//! like the Polybench/C `2mm` kernel the paper uses: a first triple loop
+//! forms `TMP = alpha*(A×B)`, a second triple loop forms `D = TMP×C + beta*D`,
+//! and a final pass folds `D` into a checksum so the result is a single
+//! memory word that tests can compare against the reference implementation.
+//!
+//! The kernel's affine loop nest is what a conventional parallelizing
+//! compiler targets; in ASC it is discovered dynamically by the recognizer
+//! and the linear-regression predictor (which learns the induction
+//! variables and row/column addresses).
+
+use crate::error::{WorkloadError, WorkloadResult};
+use asc_asm::Assembler;
+use asc_tvm::program::Program;
+use asc_tvm::state::StateVector;
+use std::fmt::Write as _;
+
+/// Parameters of the 2mm kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mm2Params {
+    /// Matrices are `n × n`.
+    pub n: usize,
+    /// The `alpha` scalar.
+    pub alpha: i32,
+    /// The `beta` scalar.
+    pub beta: i32,
+}
+
+impl Default for Mm2Params {
+    fn default() -> Self {
+        Mm2Params { n: 16, alpha: 3, beta: 2 }
+    }
+}
+
+/// Result of the 2mm kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mm2Result {
+    /// Wrapping sum of every element of the final `D` matrix.
+    pub checksum: i32,
+    /// The final `D` matrix in row-major order.
+    pub d: Vec<i32>,
+}
+
+/// Deterministic initial value generators shared by the program generator and
+/// the reference implementation (mirroring Polybench's `init_array`).
+fn init_a(i: usize, j: usize) -> i32 {
+    ((i * 7 + j * 3) % 13) as i32 - 6
+}
+fn init_b(i: usize, j: usize) -> i32 {
+    ((i * 5 + j * 11) % 17) as i32 - 8
+}
+fn init_c(i: usize, j: usize) -> i32 {
+    ((i + j * 2) % 9) as i32 - 4
+}
+fn init_d(i: usize, j: usize) -> i32 {
+    ((i * 3 + j) % 7) as i32 - 3
+}
+
+fn emit_matrix(out: &mut String, label: &str, n: usize, f: fn(usize, usize) -> i32) {
+    let _ = writeln!(out, "{label}:");
+    for i in 0..n {
+        let row: Vec<String> = (0..n).map(|j| f(i, j).to_string()).collect();
+        let _ = writeln!(out, "    .word {}", row.join(", "));
+    }
+}
+
+/// Generates the TVM assembly source for the kernel.
+pub fn source(params: &Mm2Params) -> String {
+    let n = params.n;
+    let mut text = format!(
+        r#"; 2mm kernel: D = alpha*A*B*C + beta*D over {n}x{n} matrices
+.text
+main:
+    movi r8, {n}
+    movi r9, {alpha}
+    movi r10, {beta}
+    ; ---- phase 1: TMP = alpha * (A x B) ----
+    movi r1, 0              ; i
+p1_i:
+    movi r2, 0              ; j
+p1_j:
+    movi r4, 0              ; acc
+    movi r3, 0              ; k
+p1_k:
+    mul  r5, r1, r8
+    add  r5, r5, r3
+    mul  r5, r5, 4
+    movi r6, mat_a
+    add  r5, r5, r6
+    ldw  r5, [r5]           ; A[i][k]
+    mul  r6, r3, r8
+    add  r6, r6, r2
+    mul  r6, r6, 4
+    movi r7, mat_b
+    add  r6, r6, r7
+    ldw  r6, [r6]           ; B[k][j]
+    mul  r5, r5, r6
+    add  r4, r4, r5
+    add  r3, r3, 1
+    cmp  r3, r8
+    jlt  p1_k
+    mul  r4, r4, r9         ; alpha * acc
+    mul  r5, r1, r8
+    add  r5, r5, r2
+    mul  r5, r5, 4
+    movi r6, mat_tmp
+    add  r5, r5, r6
+    stw  [r5], r4           ; TMP[i][j]
+    add  r2, r2, 1
+    cmp  r2, r8
+    jlt  p1_j
+    add  r1, r1, 1
+    cmp  r1, r8
+    jlt  p1_i
+    ; ---- phase 2: D = TMP x C + beta * D ----
+    movi r1, 0
+p2_i:
+    movi r2, 0
+p2_j:
+    movi r4, 0
+    movi r3, 0
+p2_k:
+    mul  r5, r1, r8
+    add  r5, r5, r3
+    mul  r5, r5, 4
+    movi r6, mat_tmp
+    add  r5, r5, r6
+    ldw  r5, [r5]           ; TMP[i][k]
+    mul  r6, r3, r8
+    add  r6, r6, r2
+    mul  r6, r6, 4
+    movi r7, mat_c
+    add  r6, r6, r7
+    ldw  r6, [r6]           ; C[k][j]
+    mul  r5, r5, r6
+    add  r4, r4, r5
+    add  r3, r3, 1
+    cmp  r3, r8
+    jlt  p2_k
+    mul  r5, r1, r8
+    add  r5, r5, r2
+    mul  r5, r5, 4
+    movi r6, mat_d
+    add  r5, r5, r6
+    ldw  r7, [r5]           ; old D[i][j]
+    mul  r7, r7, r10
+    add  r7, r7, r4
+    stw  [r5], r7           ; new D[i][j]
+    add  r2, r2, 1
+    cmp  r2, r8
+    jlt  p2_j
+    add  r1, r1, 1
+    cmp  r1, r8
+    jlt  p2_i
+    ; ---- checksum of D ----
+    movi r1, 0
+    movi r4, 0
+    mul  r5, r8, r8
+chk:
+    mul  r6, r1, 4
+    movi r7, mat_d
+    add  r6, r6, r7
+    ldw  r6, [r6]
+    add  r4, r4, r6
+    add  r1, r1, 1
+    cmp  r1, r5
+    jlt  chk
+    movi r6, checksum
+    stw  [r6], r4
+    halt
+.data
+checksum:
+    .word 0
+"#,
+        n = n,
+        alpha = params.alpha,
+        beta = params.beta,
+    );
+    emit_matrix(&mut text, "mat_a", n, init_a);
+    emit_matrix(&mut text, "mat_b", n, init_b);
+    emit_matrix(&mut text, "mat_c", n, init_c);
+    emit_matrix(&mut text, "mat_d", n, init_d);
+    let _ = writeln!(text, "mat_tmp:\n    .space {}", 4 * n * n);
+    text
+}
+
+/// Assembles the kernel into a loadable program.
+///
+/// # Errors
+/// Returns [`WorkloadError::InvalidParams`] for degenerate sizes and
+/// [`WorkloadError::Assembly`] if the generated source fails to assemble.
+pub fn program(params: &Mm2Params) -> WorkloadResult<Program> {
+    if params.n == 0 || params.n > 256 {
+        return Err(WorkloadError::InvalidParams(format!(
+            "matrix size {} must be between 1 and 256",
+            params.n
+        )));
+    }
+    Assembler::new()
+        .headroom(16 * 1024)
+        .assemble(&source(params))
+        .map_err(WorkloadError::from)
+}
+
+/// Pure-Rust reference implementation with identical (wrapping) arithmetic.
+pub fn reference(params: &Mm2Params) -> Mm2Result {
+    let n = params.n;
+    let at = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0i32; n * n];
+    let mut b = vec![0i32; n * n];
+    let mut c = vec![0i32; n * n];
+    let mut d = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[at(i, j)] = init_a(i, j);
+            b[at(i, j)] = init_b(i, j);
+            c[at(i, j)] = init_c(i, j);
+            d[at(i, j)] = init_d(i, j);
+        }
+    }
+    let mut tmp = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[at(i, k)].wrapping_mul(b[at(k, j)]));
+            }
+            tmp[at(i, j)] = acc.wrapping_mul(params.alpha);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for k in 0..n {
+                acc = acc.wrapping_add(tmp[at(i, k)].wrapping_mul(c[at(k, j)]));
+            }
+            d[at(i, j)] = d[at(i, j)].wrapping_mul(params.beta).wrapping_add(acc);
+        }
+    }
+    let checksum = d.iter().fold(0i32, |s, v| s.wrapping_add(*v));
+    Mm2Result { checksum, d }
+}
+
+/// Reads the kernel's result back out of a final state vector.
+///
+/// # Errors
+/// Returns [`WorkloadError::MissingSymbol`] when the program was not built by
+/// [`program`], or a VM error if memory reads fail.
+pub fn read_result(
+    program: &Program,
+    state: &StateVector,
+    params: &Mm2Params,
+) -> WorkloadResult<Mm2Result> {
+    let checksum_addr = program
+        .symbol("checksum")
+        .ok_or_else(|| WorkloadError::MissingSymbol("checksum".into()))?;
+    let d_addr = program
+        .symbol("mat_d")
+        .ok_or_else(|| WorkloadError::MissingSymbol("mat_d".into()))?;
+    let n = params.n;
+    let mut d = Vec::with_capacity(n * n);
+    for index in 0..(n * n) {
+        d.push(state.load_word(d_addr + 4 * index as u32)? as i32);
+    }
+    Ok(Mm2Result { checksum: state.load_word(checksum_addr)? as i32, d })
+}
+
+/// An estimate of the kernel's total instruction count.
+pub fn estimated_instructions(params: &Mm2Params) -> u64 {
+    let n = params.n as u64;
+    // Two triple loops at ~16 instructions per innermost iteration plus the
+    // per-(i,j) epilogues and the checksum pass.
+    2 * n * n * (16 * n + 14) + n * n * 9 + 20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_tvm::machine::Machine;
+
+    #[test]
+    fn kernel_matches_reference_small() {
+        let params = Mm2Params { n: 6, alpha: 3, beta: 2 };
+        let program = program(&params).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(10_000_000).unwrap();
+        let got = read_result(&program, machine.state(), &params).unwrap();
+        let want = reference(&params);
+        assert_eq!(got.d, want.d);
+        assert_eq!(got.checksum, want.checksum);
+    }
+
+    #[test]
+    fn kernel_matches_reference_non_trivial_scalars() {
+        let params = Mm2Params { n: 9, alpha: -2, beta: 5 };
+        let program = program(&params).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(50_000_000).unwrap();
+        let got = read_result(&program, machine.state(), &params).unwrap();
+        assert_eq!(got, reference(&params));
+    }
+
+    #[test]
+    fn reference_identity_sanity() {
+        // With alpha=1, beta=0 the result is exactly (A*B)*C.
+        let params = Mm2Params { n: 3, alpha: 1, beta: 0 };
+        let result = reference(&params);
+        // Hand-compute one element: D[0][0] = sum_k (sum_m A[0][m]B[m][k]) * C[k][0]
+        let n = 3;
+        let mut expect = 0i64;
+        for k in 0..n {
+            let mut tmp = 0i64;
+            for m in 0..n {
+                tmp += init_a(0, m) as i64 * init_b(m, k) as i64;
+            }
+            expect += tmp * init_c(k, 0) as i64;
+        }
+        assert_eq!(result.d[0] as i64, expect);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(program(&Mm2Params { n: 0, alpha: 1, beta: 1 }).is_err());
+        assert!(program(&Mm2Params { n: 1000, alpha: 1, beta: 1 }).is_err());
+    }
+
+    #[test]
+    fn estimated_instructions_close_to_actual() {
+        let params = Mm2Params { n: 8, alpha: 3, beta: 2 };
+        let program = program(&params).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        let actual = machine.run_to_halt(10_000_000).unwrap();
+        let estimate = estimated_instructions(&params);
+        let ratio = estimate as f64 / actual as f64;
+        assert!(ratio > 0.5 && ratio < 2.0, "estimate {estimate} vs actual {actual}");
+    }
+}

@@ -1,0 +1,229 @@
+//! A uniform registry over the three benchmark kernels.
+//!
+//! The experiment harnesses, integration tests and examples all need to treat
+//! "a benchmark" generically: build the program at some scale, run it under
+//! the ASC runtime, and verify that the final state still contains the right
+//! answer. [`BuiltWorkload`] packages exactly that.
+
+use crate::collatz::{self, CollatzParams};
+use crate::error::WorkloadResult;
+use crate::ising::{self, IsingParams};
+use crate::mm2::{self, Mm2Params};
+use asc_tvm::program::Program;
+use asc_tvm::state::StateVector;
+use std::fmt;
+
+/// The three benchmarks evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Pointer-chasing linked-list energy minimisation.
+    Ising,
+    /// Polybench-style `D = alpha*A*B*C + beta*D`.
+    Mm2,
+    /// Collatz conjecture property testing.
+    Collatz,
+}
+
+impl Benchmark {
+    /// All benchmarks in the order the paper's tables list them.
+    pub const ALL: [Benchmark; 3] = [Benchmark::Ising, Benchmark::Mm2, Benchmark::Collatz];
+
+    /// The display name used in tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Ising => "Ising",
+            Benchmark::Mm2 => "2mm",
+            Benchmark::Collatz => "Collatz",
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How big a problem instance to build.
+///
+/// `Tiny` suits unit tests (well under a million instructions), `Small` suits
+/// integration tests and examples, `Medium` suits the experiment harnesses
+/// that regenerate the paper's tables and figures, and `Large` approaches the
+/// relative structure of the paper's runs while staying laptop-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Hundreds of thousands of instructions or fewer.
+    Tiny,
+    /// A few million instructions.
+    Small,
+    /// Tens of millions of instructions.
+    Medium,
+    /// On the order of a hundred million instructions.
+    Large,
+}
+
+/// A benchmark program built at a particular scale, with enough metadata to
+/// run it, size it and verify its final state.
+pub struct BuiltWorkload {
+    /// Which benchmark this is.
+    pub benchmark: Benchmark,
+    /// The scale it was built at.
+    pub scale: Scale,
+    /// The loadable program image.
+    pub program: Program,
+    /// Human-readable parameter description for reports.
+    pub description: String,
+    /// Estimated dynamic instruction count (order of magnitude).
+    pub estimated_instructions: u64,
+    verifier: Box<dyn Fn(&Program, &StateVector) -> bool + Send + Sync>,
+}
+
+impl fmt::Debug for BuiltWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BuiltWorkload")
+            .field("benchmark", &self.benchmark)
+            .field("scale", &self.scale)
+            .field("description", &self.description)
+            .field("estimated_instructions", &self.estimated_instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BuiltWorkload {
+    /// Checks that a final state vector contains the benchmark's correct
+    /// answer (as computed by the pure-Rust reference implementation).
+    pub fn verify(&self, state: &StateVector) -> bool {
+        (self.verifier)(&self.program, state)
+    }
+}
+
+/// Parameter presets for every benchmark × scale combination.
+pub fn ising_params(scale: Scale) -> IsingParams {
+    match scale {
+        Scale::Tiny => IsingParams { nodes: 16, spins: 16, reps: 2, seed: 0x5eed },
+        Scale::Small => IsingParams { nodes: 64, spins: 32, reps: 8, seed: 0x5eed },
+        Scale::Medium => IsingParams { nodes: 250, spins: 48, reps: 24, seed: 0x5eed },
+        Scale::Large => IsingParams { nodes: 2000, spins: 64, reps: 24, seed: 0x5eed },
+    }
+}
+
+/// Parameter presets for 2mm.
+pub fn mm2_params(scale: Scale) -> Mm2Params {
+    match scale {
+        Scale::Tiny => Mm2Params { n: 10, alpha: 3, beta: 2 },
+        Scale::Small => Mm2Params { n: 24, alpha: 3, beta: 2 },
+        Scale::Medium => Mm2Params { n: 48, alpha: 3, beta: 2 },
+        Scale::Large => Mm2Params { n: 96, alpha: 3, beta: 2 },
+    }
+}
+
+/// Parameter presets for Collatz.
+pub fn collatz_params(scale: Scale) -> CollatzParams {
+    match scale {
+        Scale::Tiny => CollatzParams { start: 2, count: 300 },
+        Scale::Small => CollatzParams { start: 2, count: 3_000 },
+        Scale::Medium => CollatzParams { start: 2, count: 20_000 },
+        Scale::Large => CollatzParams { start: 2, count: 120_000 },
+    }
+}
+
+/// Builds a benchmark at the requested scale.
+///
+/// # Errors
+/// Propagates assembly or parameter errors from the benchmark generators.
+pub fn build(benchmark: Benchmark, scale: Scale) -> WorkloadResult<BuiltWorkload> {
+    match benchmark {
+        Benchmark::Ising => {
+            let params = ising_params(scale);
+            let program = ising::program(&params)?;
+            let expected = ising::reference(&params);
+            Ok(BuiltWorkload {
+                benchmark,
+                scale,
+                program,
+                description: format!(
+                    "{} nodes x {} spins, {} passes",
+                    params.nodes, params.spins, params.reps
+                ),
+                estimated_instructions: ising::estimated_instructions(&params),
+                verifier: Box::new(move |program, state| {
+                    ising::read_result(program, state, &params)
+                        .map(|result| result == expected)
+                        .unwrap_or(false)
+                }),
+            })
+        }
+        Benchmark::Mm2 => {
+            let params = mm2_params(scale);
+            let program = mm2::program(&params)?;
+            let expected = mm2::reference(&params);
+            Ok(BuiltWorkload {
+                benchmark,
+                scale,
+                program,
+                description: format!("{n}x{n} matrices, alpha={a}, beta={b}", n = params.n, a = params.alpha, b = params.beta),
+                estimated_instructions: mm2::estimated_instructions(&params),
+                verifier: Box::new(move |program, state| {
+                    mm2::read_result(program, state, &params)
+                        .map(|result| result == expected)
+                        .unwrap_or(false)
+                }),
+            })
+        }
+        Benchmark::Collatz => {
+            let params = collatz_params(scale);
+            let program = collatz::program(&params)?;
+            let expected = collatz::reference(&params);
+            Ok(BuiltWorkload {
+                benchmark,
+                scale,
+                program,
+                description: format!("integers {}..{}", params.start, params.start + params.count),
+                estimated_instructions: collatz::estimated_instructions(&params),
+                verifier: Box::new(move |program, state| {
+                    collatz::read_result(program, state)
+                        .map(|result| result == expected)
+                        .unwrap_or(false)
+                }),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_tvm::machine::Machine;
+
+    #[test]
+    fn every_benchmark_builds_at_tiny_scale_and_verifies() {
+        for benchmark in Benchmark::ALL {
+            let workload = build(benchmark, Scale::Tiny).unwrap();
+            let mut machine = Machine::load(&workload.program).unwrap();
+            machine.run_to_halt(50_000_000).unwrap();
+            assert!(
+                workload.verify(machine.state()),
+                "{benchmark} did not verify at tiny scale"
+            );
+            // A wrong state must not verify.
+            let fresh = workload.program.initial_state().unwrap();
+            assert!(!workload.verify(&fresh));
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered_by_estimated_work() {
+        for benchmark in Benchmark::ALL {
+            let tiny = build(benchmark, Scale::Tiny).unwrap().estimated_instructions;
+            let small = build(benchmark, Scale::Small).unwrap().estimated_instructions;
+            let medium = build(benchmark, Scale::Medium).unwrap().estimated_instructions;
+            assert!(tiny < small && small < medium, "{benchmark} scales out of order");
+        }
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        let names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["Ising", "2mm", "Collatz"]);
+    }
+}

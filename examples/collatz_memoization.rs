@@ -1,0 +1,35 @@
+//! Reproduce the rightmost plot of Figure 6: single-core generalized
+//! memoization of the Collatz kernel — no prediction, no extra cores, just
+//! the program's own past trajectory reused through the cache.
+//!
+//! ```sh
+//! cargo run --release --example collatz_memoization
+//! ```
+
+use asc_core::config::AscConfig;
+use asc_core::runtime::LascRuntime;
+use asc_workloads::collatz::{pure_program, read_pure_result, CollatzParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = CollatzParams { start: 2, count: 5_000 };
+    let program = pure_program(&params)?;
+    let config = AscConfig { min_superstep: 8, ..AscConfig::default() };
+    let runtime = LascRuntime::new(config)?;
+    let (report, series) = runtime.memoize(&program, 2.0)?;
+
+    assert_eq!(read_pure_result(&program, &report.final_state)?, params.count);
+    println!("verified {} integers", params.count);
+    println!(
+        "memoized {} of {} instructions ({} cache hits, {} entries inserted)",
+        report.fast_forwarded_instructions,
+        report.total_instructions,
+        report.cache_stats.hits,
+        report.cache_stats.inserted
+    );
+    println!("\nscaling over time (instructions retired vs scaling):");
+    let step = (series.len() / 20).max(1);
+    for (instructions, scaling) in series.iter().step_by(step) {
+        println!("  {:>12} {:>8.3}", instructions, scaling);
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Bring your own program: write a kernel in TVM assembly, assemble it, and
+//! let ASC discover and exploit its loop structure automatically — the
+//! "straightforward to program" contract of the paper.
+//!
+//! ```sh
+//! cargo run --release --example custom_program
+//! ```
+
+use asc_asm::assemble;
+use asc_core::config::AscConfig;
+use asc_core::runtime::LascRuntime;
+use asc_tvm::isa::Reg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A sequential kernel: sum of f(i) = 3*i + 7 over i = 1..=100_000,
+    // written as an ordinary loop with no parallel annotations of any kind.
+    let program = assemble(
+        r#"
+        main:
+            movi r1, 100000      ; i
+            movi r2, 0           ; accumulator
+        loop:
+            mul  r3, r1, 3
+            add  r3, r3, 7
+            add  r2, r2, r3
+            sub  r1, r1, 1
+            cmpi r1, 0
+            jne  loop
+            movi r4, result
+            stw  [r4], r2
+            halt
+        .data
+        result:
+            .word 0
+        "#,
+    )?;
+
+    let runtime = LascRuntime::new(AscConfig::default())?;
+    let report = runtime.accelerate(&program)?;
+
+    let expected: u64 = (1..=100_000u64).map(|i| 3 * i + 7).sum();
+    let got = report.final_state.load_word(program.symbol("result").unwrap())?;
+    assert_eq!(got, expected as u32, "ASC must preserve the program's result");
+
+    println!("result            : {got} (correct)");
+    println!("recognized IP     : {:#x}", report.rip.ip);
+    println!("fast-forwarded    : {} of {} instructions", report.fast_forwarded_instructions, report.total_instructions);
+    println!("work scaling      : {:.2}x", report.work_scaling());
+    println!("final r2          : {}", report.final_state.reg(Reg::new(2).unwrap()));
+    Ok(())
+}

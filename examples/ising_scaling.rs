@@ -1,0 +1,39 @@
+//! Reproduce the shape of Figure 4 for the pointer-chasing Ising kernel:
+//! measure an instrumented run, then replay it against the 32-core-server
+//! and Blue Gene/P cost models at increasing core counts.
+//!
+//! ```sh
+//! cargo run --release --example ising_scaling
+//! ```
+
+use asc_core::cluster::{blue_gene_core_counts, scaling_curve, PlatformProfile, ScalingMode};
+use asc_core::config::AscConfig;
+use asc_core::runtime::LascRuntime;
+use asc_workloads::registry::{build, Benchmark, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = build(Benchmark::Ising, Scale::Small)?;
+    let config = AscConfig { explore_instructions: 80_000, ..AscConfig::default() };
+    let runtime = LascRuntime::new(config)?;
+    let report = runtime.measure(&workload.program)?;
+    assert!(workload.verify(&report.final_state));
+    println!(
+        "Ising: {} supersteps of ≈{:.0} instructions, one-step prediction accuracy {:.1}%",
+        report.supersteps.len(),
+        report.mean_superstep(),
+        report.one_step_accuracy() * 100.0
+    );
+
+    let server = PlatformProfile::server_32core();
+    println!("\n32-core server:");
+    for point in scaling_curve(&report, &server, ScalingMode::Lasc, &[1, 2, 4, 8, 16, 32]) {
+        println!("  {:>5} cores -> {:>7.2}x (hit rate {:.1}%)", point.cores, point.scaling, point.hit_rate * 100.0);
+    }
+
+    let bluegene = PlatformProfile::blue_gene_p();
+    println!("\nBlue Gene/P:");
+    for point in scaling_curve(&report, &bluegene, ScalingMode::Lasc, &blue_gene_core_counts(4096)) {
+        println!("  {:>5} cores -> {:>7.2}x (hit rate {:.1}%)", point.cores, point.scaling, point.hit_rate * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Quickstart: run an unmodified sequential TVM program under the LASC
+//! runtime and watch it fast-forward through the trajectory cache.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use asc_core::config::AscConfig;
+use asc_core::runtime::LascRuntime;
+use asc_workloads::registry::{build, Benchmark, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = build(Benchmark::Collatz, Scale::Small)?;
+    println!("benchmark : {} ({})", workload.benchmark, workload.description);
+
+    let runtime = LascRuntime::new(AscConfig::default())?;
+    let report = runtime.accelerate(&workload.program)?;
+
+    assert!(workload.verify(&report.final_state), "speculation never changes results");
+    println!("recognized IP     : {:#x} (superstep ≈ {:.0} instructions)", report.rip.ip, report.rip.mean_superstep);
+    println!("converge time     : {} instructions", report.converge_instructions);
+    println!("total work        : {} instructions", report.total_instructions);
+    println!("executed          : {} instructions", report.executed_instructions);
+    println!("fast-forwarded    : {} instructions", report.fast_forwarded_instructions);
+    println!("cache             : {} hits / {} queries", report.cache_stats.hits, report.cache_stats.queries);
+    println!("work scaling      : {:.2}x", report.work_scaling());
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! # asc — facade crate for the ASC (Automatically Scalable Computation) reproduction
+//!
+//! Re-exports the workspace crates so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`tvm`] — the trajectory-based functional simulator (state vectors,
+//!   dependency tracking, transition function).
+//! * [`asm`] — the assembler for the TVM ISA.
+//! * [`learn`] — on-line predictors and the regret-minimizing ensemble.
+//! * [`core`] — the ASC architecture: recognizer, trajectory cache,
+//!   allocator, speculation, the LASC runtime and the cluster scaling model.
+//! * [`workloads`] — the paper's three benchmarks (Ising, 2mm, Collatz).
+
+#![forbid(unsafe_code)]
+
+pub use asc_asm as asm;
+pub use asc_core as core;
+pub use asc_learn as learn;
+pub use asc_tvm as tvm;
+pub use asc_workloads as workloads;

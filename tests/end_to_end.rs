@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: every benchmark, assembled by `asc-asm`,
+//! executed by `asc-tvm`, accelerated by `asc-core`, must produce exactly the
+//! results of its pure-Rust reference implementation — and the scaling
+//! machinery must report sane numbers on top of the measured traces.
+
+use asc::core::cluster::{simulate, PlatformProfile, ScalingMode};
+use asc::core::config::AscConfig;
+use asc::core::runtime::LascRuntime;
+use asc::tvm::machine::Machine;
+use asc::workloads::registry::{build, Benchmark, Scale};
+
+/// A runtime configuration sized for the `Tiny` workloads used in these
+/// tests (the library defaults are tuned for much longer programs).
+fn tiny_config() -> AscConfig {
+    AscConfig {
+        explore_instructions: 5_000,
+        evaluation_occurrences: 6,
+        evaluation_training: 10,
+        candidate_count: 8,
+        min_superstep: 50,
+        rollout_depth: 8,
+        ..AscConfig::default()
+    }
+}
+
+/// Per-benchmark configuration: the Ising kernel has a long initialisation
+/// phase, so its exploration window must reach into the list walk.
+fn config_for(benchmark: Benchmark) -> AscConfig {
+    match benchmark {
+        Benchmark::Ising => AscConfig { explore_instructions: 25_000, ..tiny_config() },
+        _ => tiny_config(),
+    }
+}
+
+/// The Ising `Tiny` preset is too short to leave room for acceleration after
+/// recognition, so integration tests run it at `Small` scale.
+fn scale_for(benchmark: Benchmark) -> Scale {
+    match benchmark {
+        Benchmark::Ising => Scale::Small,
+        _ => Scale::Tiny,
+    }
+}
+
+#[test]
+fn every_benchmark_runs_sequentially_and_verifies() {
+    for benchmark in Benchmark::ALL {
+        let workload = build(benchmark, Scale::Tiny).unwrap();
+        let mut machine = Machine::load(&workload.program).unwrap();
+        machine.run_to_halt(200_000_000).unwrap();
+        assert!(workload.verify(machine.state()), "{benchmark} sequential run failed to verify");
+    }
+}
+
+#[test]
+fn accelerated_runs_preserve_results_for_every_benchmark() {
+    for benchmark in Benchmark::ALL {
+        let workload = build(benchmark, scale_for(benchmark)).unwrap();
+        let runtime = LascRuntime::new(config_for(benchmark)).unwrap();
+        let report = runtime.accelerate(&workload.program).unwrap();
+        assert!(report.halted, "{benchmark} did not finish under acceleration");
+        assert!(
+            workload.verify(&report.final_state),
+            "{benchmark} accelerated run changed the program's results"
+        );
+    }
+}
+
+#[test]
+fn measured_traces_scale_on_the_cluster_model() {
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+    let runtime = LascRuntime::new(tiny_config()).unwrap();
+    let report = runtime.measure(&workload.program).unwrap();
+    assert!(workload.verify(&report.final_state));
+    assert!(report.one_step_accuracy() > 0.5);
+
+    let server = PlatformProfile::server_32core();
+    let p1 = simulate(&report, &server, ScalingMode::Lasc, 1);
+    let p8 = simulate(&report, &server, ScalingMode::Lasc, 8);
+    let p32 = simulate(&report, &server, ScalingMode::Lasc, 32);
+    assert_eq!(p1.scaling, 1.0);
+    // With Tiny supersteps (~100 instructions) the per-hit query cost bounds
+    // scaling well below the core count; larger scales use longer supersteps.
+    assert!(p8.scaling > 1.4, "{p8:?}");
+    assert!(p32.scaling >= p8.scaling * 0.8, "{p32:?} vs {p8:?}");
+    // Oracle and cycle-count idealisations can only help.
+    let oracle = simulate(&report, &server, ScalingMode::Oracle, 32);
+    let cycle = simulate(&report, &server, ScalingMode::CycleCount, 32);
+    assert!(oracle.scaling + 1e-9 >= p32.scaling);
+    assert!(cycle.scaling + 1e-9 >= p32.scaling);
+}
+
+#[test]
+fn fast_forwarding_skips_a_meaningful_fraction_of_work() {
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+    let runtime = LascRuntime::new(tiny_config()).unwrap();
+    let report = runtime.accelerate(&workload.program).unwrap();
+    assert!(workload.verify(&report.final_state));
+    assert!(
+        report.fast_forwarded_instructions * 2 > report.executed_instructions,
+        "expected substantial fast-forwarding, got {} vs {} executed",
+        report.fast_forwarded_instructions,
+        report.executed_instructions
+    );
+}

@@ -1,0 +1,95 @@
+//! Property-based tests over the core data structures and invariants:
+//! instruction encoding, dependency tracking, sparse captures, deltas and the
+//! determinism of the transition function.
+
+use asc::tvm::delta::{Delta, SparseBytes};
+use asc::tvm::deps::{DepStatus, DepVector};
+use asc::tvm::encode::{decode, encode};
+use asc::tvm::exec::{transition, StepOutcome};
+use asc::tvm::isa::{Instruction, Opcode};
+use asc::tvm::state::StateVector;
+use proptest::prelude::*;
+
+fn arbitrary_opcode() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(Opcode::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn instruction_encoding_roundtrips(op in arbitrary_opcode(), a in 0u8..16, b in 0u8..16, c in 0u8..16, imm in any::<i32>()) {
+        let instruction = Instruction { opcode: op, a, b, c, imm };
+        let decoded = decode(&encode(&instruction), 0).unwrap();
+        prop_assert_eq!(decoded, instruction);
+    }
+
+    #[test]
+    fn dependency_fsm_read_and_write_sets_are_disjoint_unions(ops in prop::collection::vec((any::<bool>(), 0usize..32), 0..200)) {
+        let mut deps = DepVector::new(32);
+        for (is_read, index) in ops {
+            if is_read {
+                deps.note_read(index);
+            } else {
+                deps.note_write(index);
+            }
+        }
+        // Every touched byte is in the read set, the write set, or both; and
+        // read-only bytes have status Read, write-only bytes Written.
+        for index in 0..32 {
+            let status = deps.status(index);
+            let in_read = deps.read_set().contains(&index);
+            let in_write = deps.write_set().contains(&index);
+            match status {
+                DepStatus::Null => prop_assert!(!in_read && !in_write),
+                DepStatus::Read => prop_assert!(in_read && !in_write),
+                DepStatus::Written => prop_assert!(!in_read && in_write),
+                DepStatus::WrittenAfterRead => prop_assert!(in_read && in_write),
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_capture_apply_restores_captured_bytes(values in prop::collection::vec(any::<u8>(), 64), indices in prop::collection::vec(0usize..64, 1..32)) {
+        let mut state = StateVector::new(64).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            state.set_byte(i, *v);
+        }
+        let capture = SparseBytes::capture(&state, indices.iter().copied());
+        prop_assert!(capture.matches(&state));
+        // Applying the capture to a zeroed state makes it match.
+        let mut blank = StateVector::new(64).unwrap();
+        capture.apply(&mut blank);
+        prop_assert!(capture.matches(&blank));
+    }
+
+    #[test]
+    fn delta_roundtrips_arbitrary_states(old in prop::collection::vec(any::<u8>(), 256), changes in prop::collection::vec((0usize..256, any::<u8>()), 0..64)) {
+        let mut new = old.clone();
+        for (index, value) in changes {
+            new[index] = value;
+        }
+        let delta = Delta::diff(&old, &new);
+        prop_assert_eq!(delta.apply(&old), new);
+    }
+
+    #[test]
+    fn transition_is_deterministic_and_dep_tracking_is_transparent(iterations in 1i32..60) {
+        // A small loop program; executing it twice (with and without
+        // dependency tracking) must give byte-identical states.
+        let program = asc::asm::assemble(&format!(
+            "main:\n movi r1, {iterations}\nloop:\n add r2, r2, r1\n sub r1, r1, 1\n cmpi r1, 0\n jne loop\n halt\n"
+        )).unwrap();
+        let mut a = program.initial_state().unwrap();
+        let mut b = program.initial_state().unwrap();
+        let mut deps = DepVector::new(b.len_bytes());
+        loop {
+            let ra = transition(&mut a, None).unwrap();
+            let rb = transition(&mut b, Some(&mut deps)).unwrap();
+            prop_assert_eq!(ra, rb);
+            if ra == StepOutcome::Halted {
+                break;
+            }
+        }
+        prop_assert_eq!(a, b);
+        prop_assert!(deps.touched() > 0);
+    }
+}
