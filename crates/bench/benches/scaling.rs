@@ -37,9 +37,35 @@ fn bench_accelerated_runtime(c: &mut Criterion) {
     });
 }
 
+fn bench_worker_pool_wall_clock(c: &mut Criterion) {
+    // Inline (workers = 0) vs a real worker pool, in the paper's regime:
+    // supersteps long enough (≥ min_superstep instructions) that executing
+    // speculation dominates predicting it. Offloading those supersteps to
+    // workers must beat paying for them inline on the main thread. Results
+    // are asserted identical to the pure-Rust reference either way.
+    let workload = build(Benchmark::Collatz, Scale::Small).unwrap();
+    for workers in [0usize, 2, 4] {
+        let config = asc_core::config::AscConfig {
+            explore_instructions: 20_000,
+            min_superstep: 5_000,
+            rollout_depth: 8,
+            workers,
+            ..asc_core::config::AscConfig::default()
+        };
+        let runtime = LascRuntime::new(config).unwrap();
+        c.bench_function(format!("accelerate_collatz_small_workers_{workers}"), |b| {
+            b.iter(|| {
+                let report = runtime.accelerate(black_box(&workload.program)).unwrap();
+                assert!(workload.verify(&report.final_state));
+                report.fast_forwarded_instructions
+            })
+        });
+    }
+}
+
 criterion_group!(
     name = scaling;
     config = Criterion::default().sample_size(10);
-    targets = bench_cluster_replay, bench_accelerated_runtime
+    targets = bench_cluster_replay, bench_accelerated_runtime, bench_worker_pool_wall_clock
 );
 criterion_main!(scaling);

@@ -15,9 +15,20 @@
 
 use asc_tvm::delta::SparseBytes;
 use asc_tvm::state::StateVector;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Read-locks a shard, recovering from a poisoned lock: the cache's data is
+/// plain byte maps, so a worker panic mid-insert cannot leave logical
+/// invariants broken that matter for a best-effort cache.
+fn read_shard(shard: &RwLock<Shard>) -> RwLockReadGuard<'_, Shard> {
+    shard.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_shard(shard: &RwLock<Shard>) -> RwLockWriteGuard<'_, Shard> {
+    shard.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One cached speculative trajectory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,8 +70,12 @@ pub struct CacheStats {
     pub hits: u64,
     /// Number of entries inserted.
     pub inserted: u64,
-    /// Number of entries rejected as duplicates of an existing start set.
+    /// Number of entries rejected as duplicates of an existing start set
+    /// that already fast-forwards at least as far.
     pub duplicates: u64,
+    /// Number of existing entries replaced by a longer trajectory with the
+    /// same start set.
+    pub replaced: u64,
     /// Number of entries evicted due to the capacity limit.
     pub evicted: u64,
     /// Total instructions fast-forwarded by returned entries.
@@ -85,6 +100,13 @@ struct Shard {
 }
 
 /// A concurrent, sharded trajectory cache.
+///
+/// Entries are sharded by a hash of their start-set key bytes (indices and
+/// values), not by recognized IP: a typical run speculates on a *single* IP,
+/// so IP-based sharding would funnel every concurrent worker insert through
+/// one lock. Hash sharding spreads inserts across all shards; lookups scan
+/// the shards under cheap read locks (once per superstep, against worker
+/// inserts happening once per speculative superstep — reads dominate).
 pub struct TrajectoryCache {
     shards: Vec<RwLock<Shard>>,
     capacity_per_shard: usize,
@@ -92,6 +114,7 @@ pub struct TrajectoryCache {
     hits: AtomicU64,
     inserted: AtomicU64,
     duplicates: AtomicU64,
+    replaced: AtomicU64,
     evicted: AtomicU64,
     instructions_served: AtomicU64,
 }
@@ -118,18 +141,22 @@ impl TrajectoryCache {
             hits: AtomicU64::new(0),
             inserted: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
+            replaced: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             instructions_served: AtomicU64::new(0),
         }
     }
 
-    fn shard_for(&self, rip: u32) -> &RwLock<Shard> {
-        &self.shards[(rip as usize / 8) % SHARD_COUNT]
+    /// The shard an entry lives in: keyed on the start-set contents so that
+    /// the entries of a single-rip run (the common case) spread across every
+    /// shard instead of serializing concurrent worker inserts on one lock.
+    fn shard_for(&self, start: &SparseBytes) -> &RwLock<Shard> {
+        &self.shards[(start.fingerprint() as usize) % SHARD_COUNT]
     }
 
     /// Number of entries currently stored.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().entries).sum()
+        self.shards.iter().map(|s| read_shard(s).entries).sum()
     }
 
     /// Whether the cache is empty.
@@ -137,11 +164,15 @@ impl TrajectoryCache {
         self.len() == 0
     }
 
-    /// Inserts an entry. Returns `false` when an entry with an identical
-    /// start set (and at least as many instructions) already exists.
+    /// Inserts an entry. Returns `true` when the cache's contents changed:
+    /// either a fresh entry was stored or an existing entry with the same
+    /// start set was replaced by this longer trajectory (counted in the
+    /// `replaced` statistic). Returns `false` — counting a `duplicate` —
+    /// only when an identical start set already fast-forwards at least as
+    /// far.
     pub fn insert(&self, entry: CacheEntry) -> bool {
-        let shard = self.shard_for(entry.rip);
-        let mut guard = shard.write();
+        let shard = self.shard_for(&entry.start);
+        let mut guard = write_shard(shard);
         let bucket = guard.by_ip.entry(entry.rip).or_default();
         if let Some(existing) = bucket.iter_mut().find(|e| e.start == entry.start) {
             if existing.instructions >= entry.instructions {
@@ -149,8 +180,8 @@ impl TrajectoryCache {
                 return false;
             }
             *existing = entry;
-            self.duplicates.fetch_add(1, Ordering::Relaxed);
-            return false;
+            self.replaced.fetch_add(1, Ordering::Relaxed);
+            return true;
         }
         bucket.push(entry);
         guard.entries += 1;
@@ -172,18 +203,29 @@ impl TrajectoryCache {
         true
     }
 
+    /// The longest entry for `rip` whose dependencies match `state`,
+    /// scanning every shard (entries for one rip are hash-spread across all
+    /// of them).
+    fn best_match(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
+        let mut best: Option<CacheEntry> = None;
+        for shard in &self.shards {
+            let guard = read_shard(shard);
+            let Some(bucket) = guard.by_ip.get(&rip) else { continue };
+            for entry in bucket {
+                if entry.matches(state)
+                    && best.as_ref().is_none_or(|b| entry.instructions > b.instructions)
+                {
+                    best = Some(entry.clone());
+                }
+            }
+        }
+        best
+    }
+
     /// Looks up the longest entry for `rip` whose dependencies match `state`.
     pub fn lookup(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let shard = self.shard_for(rip);
-        let guard = shard.read();
-        let best = guard
-            .by_ip
-            .get(&rip)?
-            .iter()
-            .filter(|entry| entry.matches(state))
-            .max_by_key(|entry| entry.instructions)
-            .cloned();
+        let best = self.best_match(rip, state);
         if let Some(entry) = &best {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.instructions_served.fetch_add(entry.instructions, Ordering::Relaxed);
@@ -194,15 +236,7 @@ impl TrajectoryCache {
     /// Looks up without recording query statistics (used by the recognizer's
     /// what-if evaluation so it does not pollute the reported hit rates).
     pub fn peek(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
-        let shard = self.shard_for(rip);
-        let guard = shard.read();
-        guard
-            .by_ip
-            .get(&rip)?
-            .iter()
-            .filter(|entry| entry.matches(state))
-            .max_by_key(|entry| entry.instructions)
-            .cloned()
+        self.best_match(rip, state)
     }
 
     /// Average query size in bits over all stored entries (Table 1).
@@ -210,7 +244,7 @@ impl TrajectoryCache {
         let mut total = 0usize;
         let mut count = 0usize;
         for shard in &self.shards {
-            let guard = shard.read();
+            let guard = read_shard(shard);
             for bucket in guard.by_ip.values() {
                 for entry in bucket {
                     total += entry.query_bits();
@@ -234,6 +268,7 @@ impl TrajectoryCache {
             hits,
             inserted: self.inserted.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
+            replaced: self.replaced.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
             instructions_served: self.instructions_served.load(Ordering::Relaxed),
         }
@@ -309,14 +344,42 @@ mod tests {
     fn duplicate_start_sets_keep_the_longer_entry() {
         let cache = TrajectoryCache::new(16);
         assert!(cache.insert(entry(8, &[(1, 1)], &[(2, 2)], 100)));
+        // A shorter duplicate is rejected.
         assert!(!cache.insert(entry(8, &[(1, 1)], &[(2, 3)], 50)));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().duplicates, 1);
+        assert_eq!(cache.stats().replaced, 0);
         let state = state_with(&[(1, 1)]);
         assert_eq!(cache.lookup(8, &state).unwrap().instructions, 100);
-        // A longer duplicate replaces the stored one.
-        assert!(!cache.insert(entry(8, &[(1, 1)], &[(2, 4)], 700)));
+        // A longer duplicate replaces the stored one — counted as a
+        // replacement, not a duplicate, and reported as a cache change.
+        assert!(cache.insert(entry(8, &[(1, 1)], &[(2, 4)], 700)));
         assert_eq!(cache.lookup(8, &state).unwrap().instructions, 700);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().duplicates, 1);
+        assert_eq!(cache.stats().replaced, 1);
+    }
+
+    #[test]
+    fn single_rip_entries_spread_across_shards() {
+        // The common case is one recognized IP for the whole run; sharding
+        // must still spread its entries so concurrent worker inserts do not
+        // serialize on a single lock.
+        let cache = TrajectoryCache::new(1024);
+        for i in 0..64u32 {
+            cache.insert(entry(32, &[(i, 1)], &[(200, 1)], 10));
+        }
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|shard| read_shard(shard).entries > 0)
+            .count();
+        assert!(populated > SHARD_COUNT / 2, "only {populated} shards used");
+        // Entries stay reachable by rip regardless of which shard they chose.
+        for i in 0..64u32 {
+            let state = state_with(&[(i as usize, 1)]);
+            assert!(cache.peek(32, &state).is_some(), "entry {i} unreachable");
+        }
     }
 
     #[test]

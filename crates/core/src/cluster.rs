@@ -236,6 +236,7 @@ mod tests {
             ensemble_errors: None,
             weight_matrix: None,
             cache_stats: Default::default(),
+            speculation: None,
             final_state: StateVector::new(16).unwrap(),
             halted: true,
         }

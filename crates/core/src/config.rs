@@ -58,6 +58,15 @@ pub struct AscConfig {
     pub cache_capacity: usize,
     /// Upper bound on total instructions executed (safety net for tests).
     pub instruction_budget: u64,
+    /// Number of speculation worker threads [`accelerate`] runs supersteps
+    /// on concurrently with the main thread. `0` executes speculation inline
+    /// on the main thread (deterministic scheduling, useful for tests and
+    /// single-core machines). Results are bit-for-bit identical either way —
+    /// workers only ever *add* cache entries whose application is equivalent
+    /// to executing the skipped instructions.
+    ///
+    /// [`accelerate`]: crate::runtime::LascRuntime::accelerate
+    pub workers: usize,
 }
 
 impl Default for AscConfig {
@@ -77,6 +86,7 @@ impl Default for AscConfig {
             max_excited_bits: 4096,
             cache_capacity: 1 << 16,
             instruction_budget: 2_000_000_000,
+            workers: 0,
         }
     }
 }
@@ -122,6 +132,11 @@ impl AscConfig {
         }
         if self.cache_capacity == 0 {
             return Err(AscError::InvalidConfig("cache_capacity must be positive".into()));
+        }
+        if self.workers > 4096 {
+            return Err(AscError::InvalidConfig(
+                "workers must be at most 4096 (0 runs speculation inline)".into(),
+            ));
         }
         Ok(())
     }

@@ -56,6 +56,7 @@ pub mod predictor_bank;
 pub mod recognizer;
 pub mod runtime;
 pub mod speculator;
+pub mod workers;
 
 pub use cache::{CacheEntry, CacheStats, TrajectoryCache};
 pub use cluster::{PlatformProfile, ScalingMode, ScalingPoint};
@@ -63,3 +64,4 @@ pub use config::{AscConfig, PredictorComplement};
 pub use error::{AscError, AscResult};
 pub use recognizer::{RecognizedIp, RecognizerOutcome};
 pub use runtime::{LascRuntime, RunReport, SuperstepRecord};
+pub use workers::{PoolStats, SpeculationJob, SpeculationPool};

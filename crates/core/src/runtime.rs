@@ -16,6 +16,50 @@
 //!   speculation (inline or on worker threads) and inserts the results into
 //!   the cache. Program results are bit-for-bit identical to sequential
 //!   execution — speculation can only ever skip work, never change it.
+//!
+//! # The dispatch → speculate → insert pipeline
+//!
+//! With [`AscConfig::workers`] > 0, `accelerate` runs the paper's
+//! multi-core architecture for real rather than simulating it:
+//!
+//! 1. **Dispatch.** At every cache miss the main thread trains the
+//!    predictor bank on the observed state, rolls predictions
+//!    `rollout_depth` supersteps into the future, and hands the
+//!    expected-utility-ranked [`SpeculationTask`]s to a persistent
+//!    [`SpeculationPool`] as non-blocking jobs. A full queue *drops* work
+//!    instead of stalling the main thread — speculation is strictly
+//!    opportunistic.
+//! 2. **Speculate.** Each worker thread executes one superstep from its
+//!    predicted start state with full per-byte dependency tracking (the
+//!    paper's `g` vector), concurrently with the main thread executing the
+//!    present superstep.
+//! 3. **Insert.** Completed supersteps become compressed cache entries
+//!    (read-set keyed start, write-set keyed end) inserted into the sharded,
+//!    thread-safe [`TrajectoryCache`]; the main thread picks them up at its
+//!    next recognized-IP occurrence and fast-forwards.
+//!
+//! Determinism of *results* is scheduling-independent: an entry is applied
+//! only when its entire read set matches the live state, so the worst a
+//! racing, stale or dropped speculation can do is fail to save work. Which
+//! supersteps are skipped (and therefore the reported cache statistics) may
+//! vary between runs; `final_state` never does. `workers == 0` executes the
+//! same tasks inline on the main thread, giving a fully reproducible run.
+//!
+//! # Interpreter cost model
+//!
+//! The main thread's hot loop uses the TVM's monomorphized transition
+//! entry points (see [`asc_tvm::exec::DepSink`]): untracked execution runs
+//! with the zero-cost `NoDeps` sink and a decoded-instruction cache, so
+//! retiring an instruction pays neither a dependency-tracking branch per
+//! state access nor a fetch+decode of the raw 8 instruction bytes.
+//! Speculative workers run the same generic code monomorphized over a real
+//! `DepVector` — tracking cost is paid exactly where the architecture needs
+//! the information, on the spare cores.
+//!
+//! [`SpeculationTask`]: crate::allocator::SpeculationTask
+//! [`SpeculationPool`]: crate::workers::SpeculationPool
+//! [`TrajectoryCache`]: crate::cache::TrajectoryCache
+//! [`AscConfig::workers`]: crate::config::AscConfig::workers
 
 use crate::allocator::plan_speculation;
 use crate::cache::{CacheStats, TrajectoryCache};
@@ -24,11 +68,13 @@ use crate::error::AscResult;
 use crate::predictor_bank::PredictorBank;
 use crate::recognizer::{recognize, RecognizedIp};
 use crate::speculator::execute_superstep;
+use crate::workers::{PoolStats, SpeculationJob, SpeculationPool};
 use asc_learn::ensemble::EnsembleErrors;
 use asc_tvm::delta::SparseBytes;
 use asc_tvm::machine::Machine;
 use asc_tvm::program::Program;
 use asc_tvm::state::StateVector;
+use std::sync::Arc;
 
 /// One superstep of the measured (unaccelerated) execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +124,11 @@ pub struct RunReport {
     pub weight_matrix: Option<(Vec<&'static str>, Vec<Vec<f64>>)>,
     /// Trajectory-cache statistics (populated by [`LascRuntime::accelerate`]).
     pub cache_stats: CacheStats,
+    /// Speculation-pool statistics when [`AscConfig::workers`] > 0
+    /// (populated by [`LascRuntime::accelerate`]).
+    ///
+    /// [`AscConfig::workers`]: crate::config::AscConfig::workers
+    pub speculation: Option<PoolStats>,
     /// The final state of the program.
     pub final_state: StateVector,
     /// Whether the program ran to completion (halted).
@@ -247,16 +298,21 @@ impl LascRuntime {
             ensemble_errors: bank.errors(),
             weight_matrix: bank.weight_matrix(),
             cache_stats: CacheStats::default(),
+            speculation: None,
             final_state: machine.into_state(),
             halted,
         })
     }
 
     /// Accelerated execution: the trajectory cache, predictors, allocator and
-    /// speculative execution are all in the loop. Speculative supersteps are
-    /// executed inline (deterministically) so the run is reproducible; the
-    /// *semantics* are identical to running them on spare cores, which is how
-    /// the cluster model accounts for them.
+    /// speculative execution are all in the loop. With
+    /// [`AscConfig::workers`](crate::config::AscConfig::workers) > 0,
+    /// speculative supersteps run concurrently on a persistent worker pool
+    /// while the main thread keeps executing (see the module documentation
+    /// for the pipeline); with `workers == 0` they execute inline, which
+    /// makes the whole run — statistics included — reproducible. Final
+    /// program state is bit-for-bit identical to sequential execution in
+    /// both modes.
     ///
     /// # Errors
     /// Propagates recognizer and simulator errors.
@@ -264,7 +320,9 @@ impl LascRuntime {
         let initial = program.initial_state()?;
         let outcome = recognize(&initial, &self.config)?;
         let rip = outcome.rip;
-        let cache = TrajectoryCache::new(self.config.cache_capacity);
+        let cache = Arc::new(TrajectoryCache::new(self.config.cache_capacity));
+        let mut pool = (self.config.workers > 0)
+            .then(|| SpeculationPool::new(self.config.workers, Arc::clone(&cache)));
 
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut bank = PredictorBank::new(rip.ip, &self.config);
@@ -279,7 +337,7 @@ impl LascRuntime {
             // The main thread is at a recognized-IP occurrence (or at the very
             // start of the post-recognition phase): consult the cache first.
             if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
-                entry.apply(machine.state_mut());
+                machine.apply_sparse(&entry.end);
                 fast_forwarded += entry.instructions;
                 bank.observe(&machine.state().clone());
                 continue;
@@ -288,7 +346,13 @@ impl LascRuntime {
             // Miss: train on this occurrence and dispatch speculative work.
             let state = machine.state().clone();
             bank.observe(&state);
-            if bank.is_ready() {
+            // Re-planning is skipped while the pool is saturated: the
+            // predictor rollout is expensive, and a saturated pool means the
+            // predictions from the previous occurrence are still being
+            // speculated — re-deriving (largely overlapping) ones would only
+            // be deduplicated at dispatch anyway.
+            let pool_saturated = pool.as_ref().is_some_and(SpeculationPool::is_saturated);
+            if bank.is_ready() && !pool_saturated {
                 let rollouts = bank.rollout(&state, self.config.rollout_depth);
                 let tasks = plan_speculation(
                     rollouts,
@@ -298,7 +362,16 @@ impl LascRuntime {
                     rip.ip,
                 );
                 for task in tasks {
-                    if let Ok(result) = execute_superstep(
+                    if let Some(pool) = pool.as_mut() {
+                        // Hand the superstep to a worker; the main thread
+                        // continues immediately. A full queue drops the task.
+                        pool.dispatch(SpeculationJob {
+                            start: task.predicted.state,
+                            rip: rip.ip,
+                            stride: rip.stride,
+                            max_instructions: self.config.max_superstep,
+                        });
+                    } else if let Ok(result) = execute_superstep(
                         &task.predicted.state,
                         rip.ip,
                         rip.stride,
@@ -327,6 +400,9 @@ impl LascRuntime {
             superstep_estimate = 0.9 * superstep_estimate + 0.1 * executed as f64;
         }
 
+        // Joining the pool before snapshotting makes the reported cache and
+        // speculation statistics stable (all in-flight inserts land).
+        let speculation = pool.map(SpeculationPool::shutdown);
         let executed_instructions = outcome.resume_instret + machine.instret();
         Ok(RunReport {
             rip,
@@ -341,6 +417,7 @@ impl LascRuntime {
             ensemble_errors: bank.errors(),
             weight_matrix: bank.weight_matrix(),
             cache_stats: cache.stats(),
+            speculation,
             final_state: machine.into_state(),
             halted,
         })
@@ -418,7 +495,7 @@ impl LascRuntime {
             }
             overhead += query_overhead;
             if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
-                entry.apply(machine.state_mut());
+                machine.apply_sparse(&entry.end);
                 fast_forwarded += entry.instructions;
             } else {
                 // Execute the superstep with dependency tracking and remember
@@ -466,6 +543,7 @@ impl LascRuntime {
             ensemble_errors: None,
             weight_matrix: None,
             cache_stats: cache.stats(),
+            speculation: None,
             final_state: machine.into_state(),
             halted,
         };

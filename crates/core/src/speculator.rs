@@ -13,7 +13,7 @@ use crate::error::AscResult;
 use asc_tvm::delta::SparseBytes;
 use asc_tvm::deps::DepVector;
 use asc_tvm::error::VmError;
-use asc_tvm::exec::{transition, StepOutcome};
+use asc_tvm::exec::{transition_cached, DecodedCache, StepOutcome};
 use asc_tvm::state::StateVector;
 
 /// Outcome of one speculative superstep execution.
@@ -80,13 +80,17 @@ pub fn execute_superstep(
 ) -> AscResult<SpeculationResult> {
     let mut state = start.clone();
     let mut deps = DepVector::new(state.len_bytes());
+    // Tracked *and* decode-cached: monomorphized over both, so a worker
+    // pays decoding once per instruction slot rather than once per retired
+    // instruction (supersteps are loops by construction).
+    let mut icache = DecodedCache::new(&state);
     let mut instructions = 0u64;
     let mut occurrences = 0usize;
     let mut reached_rip = false;
     let mut halted = false;
 
     while instructions < max_instructions {
-        match transition(&mut state, Some(&mut deps)) {
+        match transition_cached(&mut state, &mut deps, &mut icache) {
             Ok(StepOutcome::Continue) => {
                 instructions += 1;
                 if state.ip() == rip {

@@ -1,0 +1,436 @@
+//! The parallel speculation engine: a persistent pool of worker threads
+//! turning spare cores into sequential speedup (§4.1, Figure 1).
+//!
+//! The paper's whole premise is that idle cores can execute *predicted*
+//! future supersteps while the main thread runs the present one. This module
+//! provides that execution substrate: [`SpeculationPool`] owns N OS threads,
+//! each looping over a shared job queue. A job is a predicted start state
+//! plus superstep bounds; a worker runs
+//! [`execute_superstep`](crate::speculator::execute_superstep) with full
+//! dependency tracking and, when the superstep completed usefully (reached
+//! the recognized IP again or halted), inserts the compressed trajectory
+//! into the shared, thread-safe [`TrajectoryCache`].
+//!
+//! Correctness never depends on scheduling: a cache entry is applied by the
+//! main thread only when its full read set matches the live state, so a
+//! late, dropped or faulted speculation can cost at most a missed
+//! fast-forward opportunity. That is what keeps accelerated results
+//! bit-for-bit identical to sequential execution regardless of worker count.
+//!
+//! Dispatch is non-blocking: the queue is bounded (a few jobs per worker)
+//! and [`SpeculationPool::dispatch`] drops work when it is full rather than
+//! stalling the main thread — mirroring the paper's allocator, which only
+//! schedules speculation onto cores that are actually idle.
+
+use crate::cache::TrajectoryCache;
+use crate::speculator::{execute_superstep, SpeculationResult};
+use asc_tvm::state::StateVector;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Hash of the full state bytes: identifies a start state cheaply so the
+/// pool can refuse to speculate from the same state twice concurrently.
+fn state_fingerprint(state: &StateVector) -> u64 {
+    asc_tvm::delta::fnv1a(state.as_bytes().iter().copied())
+}
+
+/// A job plus its precomputed start-state fingerprint (computed once at
+/// dispatch, reused by the worker for in-flight bookkeeping).
+struct QueuedJob {
+    job: SpeculationJob,
+    fingerprint: u64,
+}
+
+/// Removes a fingerprint from the in-flight set when dropped, so the entry
+/// is released even if superstep execution or the cache insert panics —
+/// a leaked fingerprint would otherwise saturate the pool permanently and
+/// silently disable speculation.
+struct InflightGuard<'a> {
+    inflight: &'a Mutex<HashSet<u64>>,
+    fingerprint: u64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&self.fingerprint);
+    }
+}
+
+/// One unit of speculative work: run a superstep from `start`.
+#[derive(Debug, Clone)]
+pub struct SpeculationJob {
+    /// The (predicted) start state to execute from.
+    pub start: StateVector,
+    /// The recognized IP whose next occurrence ends the superstep.
+    pub rip: u32,
+    /// How many occurrences of `rip` one superstep spans.
+    pub stride: usize,
+    /// Instruction allowance before the speculation gives up.
+    pub max_instructions: u64,
+}
+
+/// Counters describing what a pool did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs accepted onto the queue.
+    pub dispatched: u64,
+    /// Jobs rejected because the queue was full (all workers busy).
+    pub dropped: u64,
+    /// Jobs rejected because an identical start state was already queued or
+    /// executing (re-planned predictions between occurrences).
+    pub deduplicated: u64,
+    /// Supersteps that completed (reached the rip or halted).
+    pub completed: u64,
+    /// Supersteps that faulted from a mispredicted start state.
+    pub faulted: u64,
+    /// Supersteps that ran out of budget before reaching the rip.
+    pub exhausted: u64,
+    /// Completed supersteps whose entry changed the cache.
+    pub inserted: u64,
+}
+
+#[derive(Default)]
+struct SharedCounters {
+    completed: AtomicU64,
+    faulted: AtomicU64,
+    exhausted: AtomicU64,
+    inserted: AtomicU64,
+}
+
+/// A persistent pool of speculation worker threads feeding a shared
+/// trajectory cache.
+pub struct SpeculationPool {
+    sender: Option<SyncSender<QueuedJob>>,
+    handles: Vec<JoinHandle<()>>,
+    counters: Arc<SharedCounters>,
+    /// Fingerprints of start states queued or executing right now; prevents
+    /// wasting workers on duplicate speculation when the main thread
+    /// re-plans overlapping rollouts at consecutive occurrences.
+    inflight: Arc<Mutex<HashSet<u64>>>,
+    dispatched: u64,
+    dropped: u64,
+    deduplicated: u64,
+}
+
+impl std::fmt::Debug for SpeculationPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeculationPool")
+            .field("workers", &self.handles.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SpeculationPool {
+    /// Spawns `workers` threads inserting into `cache`.
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero — callers decide between inline and
+    /// pooled speculation, a zero-thread pool is always a caller bug.
+    pub fn new(workers: usize, cache: Arc<TrajectoryCache>) -> Self {
+        assert!(workers > 0, "a speculation pool needs at least one worker");
+        // A shallow queue: speculative work goes stale quickly (the main
+        // thread moves on), so buffering deeply only wastes memory on
+        // predictions that will be outdated by the time a worker frees up.
+        let (sender, receiver) = sync_channel::<QueuedJob>(workers * 4);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let counters = Arc::new(SharedCounters::default());
+        let inflight = Arc::new(Mutex::new(HashSet::new()));
+        let handles = (0..workers)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                let cache = Arc::clone(&cache);
+                let counters = Arc::clone(&counters);
+                let inflight = Arc::clone(&inflight);
+                std::thread::Builder::new()
+                    .name(format!("asc-speculator-{index}"))
+                    .spawn(move || worker_loop(&receiver, &cache, &counters, &inflight))
+                    .expect("spawning a speculation worker failed")
+            })
+            .collect();
+        SpeculationPool {
+            sender: Some(sender),
+            handles,
+            counters,
+            inflight,
+            dispatched: 0,
+            dropped: 0,
+            deduplicated: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Number of jobs currently queued or executing.
+    pub fn pending(&self) -> usize {
+        self.inflight.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Whether the pool has at least as much queued/executing work as it has
+    /// workers. The runtime uses this to skip re-planning (the expensive
+    /// predictor rollout) while a previous batch is still in flight.
+    pub fn is_saturated(&self) -> bool {
+        self.pending() >= self.workers()
+    }
+
+    /// Queues a job without blocking. Returns `false` when the job was
+    /// rejected: either an identical start state is already in flight
+    /// (counted in `deduplicated`) or every worker is busy and the queue is
+    /// full (counted in `dropped`).
+    pub fn dispatch(&mut self, job: SpeculationJob) -> bool {
+        let fingerprint = state_fingerprint(&job.start);
+        {
+            let mut inflight =
+                self.inflight.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !inflight.insert(fingerprint) {
+                self.deduplicated += 1;
+                return false;
+            }
+        }
+        let sender = self.sender.as_ref().expect("pool already shut down");
+        match sender.try_send(QueuedJob { job, fingerprint }) {
+            Ok(()) => {
+                self.dispatched += 1;
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.inflight
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .remove(&fingerprint);
+                self.dropped += 1;
+                false
+            }
+        }
+    }
+
+    /// A snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            dispatched: self.dispatched,
+            dropped: self.dropped,
+            deduplicated: self.deduplicated,
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            faulted: self.counters.faulted.load(Ordering::Relaxed),
+            exhausted: self.counters.exhausted.load(Ordering::Relaxed),
+            inserted: self.counters.inserted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the queue, drains outstanding jobs and joins every worker,
+    /// returning the final counters.
+    pub fn shutdown(mut self) -> PoolStats {
+        self.sender = None; // closing the channel ends every worker loop
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for SpeculationPool {
+    fn drop(&mut self) {
+        self.sender = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    receiver: &Mutex<Receiver<QueuedJob>>,
+    cache: &TrajectoryCache,
+    counters: &SharedCounters,
+    inflight: &Mutex<HashSet<u64>>,
+) {
+    loop {
+        // Take the lock only to receive; execution happens unlocked so
+        // workers genuinely run concurrently.
+        let queued = {
+            let guard = receiver.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(QueuedJob { job, fingerprint }) = queued else { return };
+        // Released on every exit path, including panics mid-execution;
+        // afterwards, identical predictions are filtered by the
+        // cache-coverage check instead.
+        let _inflight = InflightGuard { inflight, fingerprint };
+        match execute_superstep(&job.start, job.rip, job.stride, job.max_instructions) {
+            Ok(SpeculationResult::Completed(outcome)) => {
+                if outcome.reached_rip || outcome.halted {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    if cache.insert(outcome.entry) {
+                        counters.inserted.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    counters.exhausted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(SpeculationResult::Faulted { .. }) | Err(_) => {
+                // Faults are the expected price of mispredicted start
+                // states; the result is simply discarded (§4.1).
+                counters.faulted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_asm::assemble;
+    use asc_tvm::machine::Machine;
+
+    fn looping_program() -> (asc_tvm::program::Program, u32) {
+        let program = assemble(
+            r#"
+            main:
+                movi r1, 200
+                movi r2, 0
+            loop:
+                add  r2, r2, r1
+                sub  r1, r1, 1
+                cmpi r1, 0
+                jne  loop
+                halt
+            "#,
+        )
+        .unwrap();
+        let rip = program.symbol("loop").unwrap();
+        (program, rip)
+    }
+
+    #[test]
+    fn workers_execute_jobs_and_fill_the_cache() {
+        let (program, rip) = looping_program();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_until_ip(rip, 1_000).unwrap();
+
+        let cache = Arc::new(TrajectoryCache::new(1024));
+        let mut pool = SpeculationPool::new(4, Arc::clone(&cache));
+        assert_eq!(pool.workers(), 4);
+
+        // Dispatch one job per loop iteration state.
+        let mut dispatched = 0;
+        for _ in 0..32 {
+            let job = SpeculationJob {
+                start: machine.state().clone(),
+                rip,
+                stride: 1,
+                max_instructions: 10_000,
+            };
+            // Retry briefly: the queue is bounded and this test dispatches
+            // faster than tiny supersteps complete.
+            for _ in 0..1000 {
+                if pool.dispatch(job.clone()) {
+                    dispatched += 1;
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            machine.run_until_ip(rip, 1_000).unwrap();
+        }
+        assert!(dispatched > 0);
+        let stats = pool.shutdown();
+        assert_eq!(stats.completed + stats.faulted + stats.exhausted, stats.dispatched);
+        assert!(stats.inserted > 0);
+        assert!(cache.len() > 0);
+
+        // Every inserted entry fast-forwards correctly: applying it to a
+        // matching state must equal direct execution.
+        let mut check = Machine::load(&program).unwrap();
+        check.run_until_ip(rip, 1_000).unwrap();
+        if let Some(entry) = cache.peek(rip, check.state()) {
+            let mut forwarded = check.state().clone();
+            entry.apply(&mut forwarded);
+            let mut direct = Machine::from_state(check.state().clone());
+            direct.run_until_ip(rip, 10_000).unwrap();
+            assert_eq!(&forwarded, direct.state());
+        }
+    }
+
+    #[test]
+    fn full_queue_drops_instead_of_blocking() {
+        let (program, rip) = looping_program();
+        let start = program.initial_state().unwrap();
+        let cache = Arc::new(TrajectoryCache::new(64));
+        let mut pool = SpeculationPool::new(1, Arc::clone(&cache));
+        // Flood with slow, *distinct* jobs (whole-program budget); the
+        // bounded queue must reject some without blocking this thread.
+        for i in 0..256u32 {
+            let mut state = start.clone();
+            state.set_reg_index(1, i);
+            pool.dispatch(SpeculationJob {
+                start: state,
+                rip,
+                stride: usize::MAX,
+                max_instructions: 1_000,
+            });
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.dispatched + stats.dropped + stats.deduplicated, 256);
+        assert!(stats.dropped > 0, "{stats:?}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn duplicate_start_states_are_dispatched_once() {
+        // An endless spin keeps the single worker busy for the whole test,
+        // so the in-flight set deterministically contains the first job.
+        let program = assemble("spin:\n jmp spin\n").unwrap();
+        let start = program.initial_state().unwrap();
+        let cache = Arc::new(TrajectoryCache::new(64));
+        let mut pool = SpeculationPool::new(1, Arc::clone(&cache));
+        let job = SpeculationJob {
+            start,
+            rip: 8, // never reached: the IP stays at the spin
+            stride: 1,
+            max_instructions: 2_000_000,
+        };
+        assert!(pool.dispatch(job.clone()));
+        // While the first copy is queued or executing, identical start
+        // states are refused without consuming queue slots.
+        for _ in 0..8 {
+            assert!(!pool.dispatch(job.clone()));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.dispatched, 1);
+        assert_eq!(stats.deduplicated, 8);
+        assert_eq!(stats.dropped, 0);
+        assert!(pool.pending() >= 1);
+        let final_stats = pool.shutdown();
+        // The spin exhausts its budget without reaching the rip.
+        assert_eq!(final_stats.exhausted, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_outstanding_work() {
+        let (program, rip) = looping_program();
+        let start = program.initial_state().unwrap();
+        let cache = Arc::new(TrajectoryCache::new(64));
+        let mut pool = SpeculationPool::new(2, Arc::clone(&cache));
+        let mut dispatched = 0;
+        for _ in 0..8 {
+            if pool.dispatch(SpeculationJob {
+                start: start.clone(),
+                rip,
+                stride: 1,
+                max_instructions: 10_000,
+            }) {
+                dispatched += 1;
+            }
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.dispatched, dispatched);
+        assert_eq!(stats.completed + stats.faulted + stats.exhausted, dispatched);
+    }
+}

@@ -1,0 +1,217 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository has no network access, so the
+//! real crates.io `criterion` cannot be fetched. This crate implements the
+//! small API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros and [`black_box`] — with a simple
+//! calibrate-then-sample timing loop that reports min/median/max
+//! nanoseconds per iteration.
+//!
+//! `cargo bench -- --test` runs every benchmark exactly once (smoke mode),
+//! mirroring real criterion's behaviour, which is what CI uses.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Drives one benchmark routine: the routine calls [`Bencher::iter`] with the
+/// closure to time, and the harness records total elapsed time per batch.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn with_iters(iters: u64) -> Self {
+        Bencher { iters: iters.max(1), elapsed: Duration::ZERO }
+    }
+
+    /// Times `routine` over this batch's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion conventionally pass; ignore them.
+                "--bench" | "--noplot" | "--quiet" | "-q" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { sample_size: 20, test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut bencher = Bencher::with_iters(1);
+            f(&mut bencher);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Calibrate the per-sample iteration count so one sample takes a few
+        // milliseconds, then collect `sample_size` samples.
+        let mut iters = 1u64;
+        loop {
+            let mut bencher = Bencher::with_iters(iters);
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(2) || iters >= 1 << 22 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher::with_iters(iters);
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{id:<55} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.4} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.4} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.4} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.2} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_routine() {
+        let mut bencher = Bencher::with_iters(10);
+        let mut count = 0u64;
+        bencher.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -10,8 +10,8 @@
 //! hindsight — which is exactly the comparison Table 2 of the paper reports.
 
 use crate::features::Observation;
+use crate::rng::Rng;
 use crate::traits::BitPredictor;
-use rand::Rng;
 
 /// Aggregate error statistics in the shape of the paper's Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -180,7 +180,7 @@ impl Ensemble {
         if total <= 0.0 {
             return rng.gen_bool(0.5);
         }
-        let mut pick = rng.gen_range(0.0..total);
+        let mut pick = rng.gen_range_f64(0.0, total);
         for (p, predictor) in self.predictors.iter().enumerate() {
             pick -= weights[p];
             if pick <= 0.0 {
@@ -459,7 +459,7 @@ mod tests {
         for _ in 0..10 {
             ensemble.observe(&value, &value);
         }
-        let mut rng = rand::thread_rng();
+        let mut rng = crate::rng::XorShiftRng::new(0xA5C_5EED);
         let mut ones = 0;
         for _ in 0..50 {
             if ensemble.predict_bit_randomized(&value, 0, &mut rng) {

@@ -46,6 +46,7 @@ pub mod linear;
 pub mod logistic;
 pub mod mean;
 pub mod metrics;
+pub mod rng;
 pub mod traits;
 pub mod weatherman;
 

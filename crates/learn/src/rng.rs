@@ -1,0 +1,91 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The build environment is offline, so the `rand` crate is unavailable; the
+//! only consumer of randomness in this workspace is the RWMA ensemble's
+//! randomized prediction draw, for which a seedable xorshift generator is
+//! entirely sufficient — and determinism is a feature: runs reproduce.
+
+/// Source of uniform random numbers, the subset of `rand::Rng` this
+/// workspace needs.
+pub trait Rng {
+    /// The next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 high bits give a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A Bernoulli draw that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from `[low, high)`.
+    fn gen_range_f64(&mut self, low: f64, high: f64) -> f64 {
+        low + self.gen_f64() * (high - low)
+    }
+}
+
+/// Marsaglia's xorshift64* generator: tiny, fast and good enough for
+/// weighted sampling.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed (zero is remapped to a fixed odd
+    /// constant, since the all-zero state is a fixed point of xorshift).
+    pub fn new(seed: u64) -> Self {
+        XorShiftRng { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+    }
+}
+
+impl Rng for XorShiftRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = XorShiftRng::new(42);
+        let mut b = XorShiftRng::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = XorShiftRng::new(7);
+        for _ in 0..1000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = XorShiftRng::new(11);
+        let ones = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_900..3_100).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut rng = XorShiftRng::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

@@ -10,7 +10,17 @@
 //! Table 1.
 
 use crate::state::StateVector;
-use bytes::{BufMut, BytesMut};
+
+/// FNV-1a over a byte stream: a cheap, deterministic 64-bit hash used for
+/// cache sharding and duplicate-work detection across the workspace.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
 
 /// A sparse, sorted set of `(byte index, value)` pairs drawn from a state
 /// vector.
@@ -101,14 +111,7 @@ impl SparseBytes {
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a over the sorted (index, value) stream: deterministic across
         // runs, unlike the default hasher.
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for &(i, v) in &self.entries {
-            for byte in i.to_le_bytes().into_iter().chain([v]) {
-                hash ^= byte as u64;
-                hash = hash.wrapping_mul(0x100_0000_01b3);
-            }
-        }
-        hash
+        fnv1a(self.entries.iter().flat_map(|&(i, v)| i.to_le_bytes().into_iter().chain([v])))
     }
 
     /// Size in bits of the serialized sparse representation (5 bytes per
@@ -188,14 +191,14 @@ impl Delta {
     /// Format: `u32` run count, then per run a `u32` offset, `u32` length and
     /// the raw bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(4 + self.runs.len() * 8 + self.changed_bytes());
-        buf.put_u32_le(self.runs.len() as u32);
+        let mut buf = Vec::with_capacity(4 + self.runs.len() * 8 + self.changed_bytes());
+        buf.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
         for (start, bytes) in &self.runs {
-            buf.put_u32_le(*start);
-            buf.put_u32_le(bytes.len() as u32);
-            buf.put_slice(bytes);
+            buf.extend_from_slice(&start.to_le_bytes());
+            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            buf.extend_from_slice(bytes);
         }
-        buf.to_vec()
+        buf
     }
 
     /// Size in bits of the serialized delta.

@@ -6,13 +6,26 @@
 //! resulting changes back into the state vector, and (optionally) updates the
 //! per-byte dependency vector `g` on every read and write it performs —
 //! including the IP, flags, register file and instruction fetch itself.
+//!
+//! ## Monomorphized hot path
+//!
+//! Dependency tracking is abstracted behind the [`DepSink`] trait rather
+//! than an `Option<&mut DepVector>`: the main thread executes with
+//! [`NoDeps`], whose recording methods are empty and compile away entirely,
+//! while speculative workers pass a [`DepVector`]. Each combination is a
+//! separate monomorphization, so the untracked path carries no per-access
+//! branches.
+//!
+//! Instruction decoding is likewise abstracted behind [`DecodeCache`]: a
+//! [`DecodedCache`] memoizes the decoded form of each (8-byte-aligned)
+//! instruction slot, invalidated on stores into the covered region, so a hot
+//! loop stops re-decoding the same 8 raw bytes on every retired instruction.
+//! [`NoDecodeCache`] is the zero-cost "always decode" impl.
 
 use crate::deps::DepVector;
 use crate::error::{VmError, VmResult};
 use crate::isa::{Flags, Instruction, Opcode, Reg, INSTRUCTION_BYTES, SP};
-use crate::state::{StateVector, FLAGS_OFFSET, IP_OFFSET, REG_OFFSET};
-#[cfg(test)]
-use crate::state::MEM_BASE;
+use crate::state::{StateVector, FLAGS_OFFSET, IP_OFFSET, MEM_BASE, REG_OFFSET};
 use crate::encode::decode;
 
 /// What happened when a single instruction executed.
@@ -24,26 +37,151 @@ pub enum StepOutcome {
     Halted,
 }
 
-/// Accessor that funnels every state-vector access through dependency
-/// tracking when a dependency vector is supplied.
-struct Ctx<'a> {
-    state: &'a mut StateVector,
-    deps: Option<&'a mut DepVector>,
+/// Receiver for the byte-granularity access trace of a transition.
+///
+/// The two implementations are [`NoDeps`] (methods compile to nothing; the
+/// main thread's zero-cost path) and [`DepVector`] (the paper's `g` vector,
+/// used by speculative workers and the measured runtime).
+pub trait DepSink {
+    /// Records a read of `len` consecutive state bytes starting at `index`.
+    fn note_read(&mut self, index: usize, len: usize);
+    /// Records a write of `len` consecutive state bytes starting at `index`.
+    fn note_write(&mut self, index: usize, len: usize);
 }
 
-impl<'a> Ctx<'a> {
+/// The zero-cost [`DepSink`]: both methods are empty and inline away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDeps;
+
+impl DepSink for NoDeps {
+    #[inline(always)]
+    fn note_read(&mut self, _index: usize, _len: usize) {}
+    #[inline(always)]
+    fn note_write(&mut self, _index: usize, _len: usize) {}
+}
+
+impl DepSink for DepVector {
     #[inline]
     fn note_read(&mut self, index: usize, len: usize) {
-        if let Some(deps) = self.deps.as_deref_mut() {
-            deps.note_read_range(index, len);
+        self.note_read_range(index, len);
+    }
+    #[inline]
+    fn note_write(&mut self, index: usize, len: usize) {
+        self.note_write_range(index, len);
+    }
+}
+
+/// Source of decoded instructions for the fetch stage, keyed on
+/// memory-segment addresses (the same addresses the IP holds).
+pub trait DecodeCache {
+    /// A previously decoded instruction for the slot at memory address
+    /// `addr`, if still valid. A populated slot also certifies that the
+    /// 8-byte fetch range at `addr` is in bounds (memory never resizes), so
+    /// hits skip the bounds re-check.
+    fn cached(&self, addr: u32) -> Option<Instruction>;
+    /// Remembers the decoded instruction for the slot at `addr`.
+    fn remember(&mut self, addr: u32, instruction: Instruction);
+    /// Invalidates any cached slots overlapping the written address range.
+    fn invalidate(&mut self, addr: u32, len: u32);
+}
+
+/// The zero-cost [`DecodeCache`]: never caches, so every fetch decodes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDecodeCache;
+
+impl DecodeCache for NoDecodeCache {
+    #[inline(always)]
+    fn cached(&self, _addr: u32) -> Option<Instruction> {
+        None
+    }
+    #[inline(always)]
+    fn remember(&mut self, _addr: u32, _instruction: Instruction) {}
+    #[inline(always)]
+    fn invalidate(&mut self, _addr: u32, _len: u32) {}
+}
+
+/// A decoded-instruction cache over the state vector's memory segment.
+///
+/// One slot per 8-byte-aligned instruction position. The code region of a
+/// TVM program is immutable in practice, but the cache does not assume so:
+/// stores into covered bytes invalidate the overlapping slots, and the
+/// machine clears the cache when state bytes are patched from outside the
+/// transition function (fast-forwards, direct `state_mut` access). Results
+/// therefore stay bit-for-bit identical to uncached execution even for
+/// self-modifying programs.
+#[derive(Debug, Clone)]
+pub struct DecodedCache {
+    slots: Vec<Option<Instruction>>,
+}
+
+impl DecodedCache {
+    /// Creates an empty cache sized for `state`'s memory segment.
+    pub fn new(state: &StateVector) -> Self {
+        // Only addresses with a full in-bounds 8-byte fetch get a slot, so a
+        // populated slot certifies bounds.
+        let instruction_positions = state.mem_size() / INSTRUCTION_BYTES as usize;
+        DecodedCache { slots: vec![None; instruction_positions] }
+    }
+
+    /// Forgets every cached slot.
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+}
+
+impl DecodeCache for DecodedCache {
+    #[inline]
+    fn cached(&self, addr: u32) -> Option<Instruction> {
+        if addr % INSTRUCTION_BYTES != 0 {
+            return None;
+        }
+        self.slots.get((addr / INSTRUCTION_BYTES) as usize).copied().flatten()
+    }
+
+    #[inline]
+    fn remember(&mut self, addr: u32, instruction: Instruction) {
+        if addr % INSTRUCTION_BYTES != 0 {
+            return;
+        }
+        if let Some(slot) = self.slots.get_mut((addr / INSTRUCTION_BYTES) as usize) {
+            *slot = Some(instruction);
         }
     }
 
     #[inline]
-    fn note_write(&mut self, index: usize, len: usize) {
-        if let Some(deps) = self.deps.as_deref_mut() {
-            deps.note_write_range(index, len);
+    fn invalidate(&mut self, addr: u32, len: u32) {
+        if len == 0 {
+            return;
         }
+        let first = (addr / INSTRUCTION_BYTES) as usize;
+        let last = ((addr + len - 1) / INSTRUCTION_BYTES) as usize;
+        for slot in first..=last.min(self.slots.len().saturating_sub(1)) {
+            if let Some(entry) = self.slots.get_mut(slot) {
+                *entry = None;
+            }
+        }
+    }
+}
+
+/// Accessor that funnels every state-vector access through the dependency
+/// sink, and every memory store through decode-cache invalidation. Both
+/// type parameters monomorphize: with [`NoDeps`] + [`NoDecodeCache`] the
+/// recording calls vanish entirely.
+struct Ctx<'a, D: DepSink, C: DecodeCache> {
+    state: &'a mut StateVector,
+    deps: &'a mut D,
+    code: &'a mut C,
+}
+
+impl<'a, D: DepSink, C: DecodeCache> Ctx<'a, D, C> {
+    #[inline]
+    fn note_read(&mut self, index: usize, len: usize) {
+        self.deps.note_read(index, len);
+    }
+
+    #[inline]
+    fn note_write(&mut self, index: usize, len: usize) {
+        self.deps.note_write(index, len);
     }
 
     /// Reads a 32-bit word at an absolute state byte index.
@@ -90,13 +228,24 @@ impl<'a> Ctx<'a> {
         self.write_word_at(FLAGS_OFFSET, flags.to_word());
     }
 
-    /// Fetches the 8 instruction bytes at memory address `addr`.
-    fn fetch(&mut self, addr: u32) -> VmResult<[u8; INSTRUCTION_BYTES as usize]> {
+    /// Fetches and decodes the instruction at memory address `addr`,
+    /// consulting the decode cache first. The fetch read is recorded in the
+    /// dependency sink whether or not the decode was cached — the executed
+    /// trajectory depends on those bytes either way. A cache hit skips both
+    /// the decode and the bounds check (a populated slot certifies the fetch
+    /// range; memory never resizes).
+    fn fetch_decoded(&mut self, addr: u32) -> VmResult<Instruction> {
+        if let Some(instruction) = self.code.cached(addr) {
+            self.note_read(MEM_BASE + addr as usize, INSTRUCTION_BYTES as usize);
+            return Ok(instruction);
+        }
         let index = self.state.mem_index(addr, INSTRUCTION_BYTES)?;
         self.note_read(index, INSTRUCTION_BYTES as usize);
         let mut bytes = [0u8; INSTRUCTION_BYTES as usize];
         bytes.copy_from_slice(&self.state.as_bytes()[index..index + INSTRUCTION_BYTES as usize]);
-        Ok(bytes)
+        let instruction = decode(&bytes, addr)?;
+        self.code.remember(addr, instruction);
+        Ok(instruction)
     }
 
     fn load_word(&mut self, addr: u32) -> VmResult<u32> {
@@ -106,6 +255,7 @@ impl<'a> Ctx<'a> {
 
     fn store_word(&mut self, addr: u32, value: u32) -> VmResult<()> {
         let index = self.state.mem_index(addr, 4)?;
+        self.code.invalidate(addr, 4);
         self.write_word_at(index, value);
         Ok(())
     }
@@ -118,6 +268,7 @@ impl<'a> Ctx<'a> {
 
     fn store_byte(&mut self, addr: u32, value: u8) -> VmResult<()> {
         let index = self.state.mem_index(addr, 1)?;
+        self.code.invalidate(addr, 1);
         self.note_write(index, 1);
         self.state.set_byte(index, value);
         Ok(())
@@ -153,11 +304,36 @@ impl<'a> Ctx<'a> {
 /// # Ok::<(), asc_tvm::error::VmError>(())
 /// ```
 pub fn transition(state: &mut StateVector, deps: Option<&mut DepVector>) -> VmResult<StepOutcome> {
-    let mut ctx = Ctx { state, deps };
+    match deps {
+        Some(deps) => transition_with(state, deps),
+        None => transition_with(state, &mut NoDeps),
+    }
+}
+
+/// Executes exactly one instruction with a monomorphized dependency sink.
+///
+/// Pass [`NoDeps`] for the zero-cost untracked path or a
+/// [`DepVector`] for tracked execution; see [`transition`] for semantics
+/// and errors.
+pub fn transition_with<D: DepSink>(state: &mut StateVector, deps: &mut D) -> VmResult<StepOutcome> {
+    transition_cached(state, deps, &mut NoDecodeCache)
+}
+
+/// Executes exactly one instruction with a monomorphized dependency sink and
+/// decode cache. This is the hottest entry point: the main thread runs it as
+/// `transition_cached(state, &mut NoDeps, &mut DecodedCache)`, which neither
+/// branches on dependency tracking nor re-decodes cached instructions.
+///
+/// See [`transition`] for semantics and errors.
+pub fn transition_cached<D: DepSink, C: DecodeCache>(
+    state: &mut StateVector,
+    deps: &mut D,
+    code: &mut C,
+) -> VmResult<StepOutcome> {
+    let mut ctx = Ctx { state, deps, code };
 
     let ip = ctx.read_ip();
-    let raw = ctx.fetch(ip)?;
-    let instruction = decode(&raw, ip)?;
+    let instruction = ctx.fetch_decoded(ip)?;
     let next_ip = ip.wrapping_add(INSTRUCTION_BYTES);
 
     use Opcode::*;
@@ -642,6 +818,113 @@ mod tests {
         let instruction = current_instruction(&state).unwrap();
         assert_eq!(instruction, I::ri(Opcode::MovI, r(7), 9));
         assert_eq!(state, snapshot);
+    }
+
+    /// Runs a program twice — plain and with a [`DecodedCache`] — and
+    /// asserts byte-identical final states and outcomes.
+    fn assert_cached_execution_matches(program: &[I], mem: usize, max: usize) {
+        let mut plain = machine_with(program, mem);
+        let mut cached = machine_with(program, mem);
+        let mut cache = DecodedCache::new(&cached);
+        for _ in 0..max {
+            let a = transition(&mut plain, None).unwrap();
+            let b = transition_cached(&mut cached, &mut NoDeps, &mut cache).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(plain, cached);
+            if a == StepOutcome::Halted {
+                return;
+            }
+        }
+        panic!("program did not halt within {max} instructions");
+    }
+
+    #[test]
+    fn decoded_cache_execution_is_identical_on_loops() {
+        assert_cached_execution_matches(
+            &[
+                I::ri(Opcode::MovI, r(1), 10),
+                I::ri(Opcode::MovI, r(2), 0),
+                I::rrr(Opcode::Add, r(2), r(2), r(1)),
+                I::rri(Opcode::AddI, r(1), r(1), -1),
+                I::ri(Opcode::CmpI, r(1), 0),
+                I::i(Opcode::Jne, 16),
+                I::bare(Opcode::Halt),
+            ],
+            512,
+            1000,
+        );
+    }
+
+    #[test]
+    fn decoded_cache_invalidated_by_store_into_code() {
+        // Self-modifying program: overwrite the instruction at address 24
+        // (initially `movi r2, 1`) with `movi r2, 99` before re-running it.
+        // addr 24's first execution caches its decoded form; the store must
+        // invalidate that slot or the second pass would retire stale code.
+        let movi_r2_99 = crate::encode::encode(&I::ri(Opcode::MovI, r(2), 99));
+        let lo = i32::from_le_bytes([movi_r2_99[0], movi_r2_99[1], movi_r2_99[2], movi_r2_99[3]]);
+        let hi = i32::from_le_bytes([movi_r2_99[4], movi_r2_99[5], movi_r2_99[6], movi_r2_99[7]]);
+        assert_cached_execution_matches(
+            &[
+                I::ri(Opcode::MovI, r(5), 24),            // 0: target address
+                I::ri(Opcode::MovI, r(6), lo),            // 8
+                I::ri(Opcode::MovI, r(7), hi),            // 16
+                I::ri(Opcode::MovI, r(2), 1),             // 24: will be overwritten
+                I::ri(Opcode::CmpI, r(2), 99),            // 32
+                I::i(Opcode::Jeq, 9 * 8),                 // 40: halt once patched
+                I::rri(Opcode::StW, r(5), r(6), 0),       // 48: patch low word
+                I::rri(Opcode::StW, r(5), r(7), 4),       // 56: patch high word
+                I::i(Opcode::Jmp, 24),                    // 64: rerun patched instr
+                I::bare(Opcode::Halt),                    // 72
+            ],
+            512,
+            1000,
+        );
+    }
+
+    #[test]
+    fn decoded_cache_ignores_unaligned_slots() {
+        let state = machine_with(&[I::bare(Opcode::Halt)], 64);
+        let mut cache = DecodedCache::new(&state);
+        let instruction = I::bare(Opcode::Nop);
+        cache.remember(4, instruction); // unaligned: not cached
+        assert_eq!(cache.cached(4), None);
+        cache.remember(8, instruction);
+        assert_eq!(cache.cached(8), Some(instruction));
+        // Invalidation of any overlapping byte clears the slot.
+        cache.invalidate(9, 1);
+        assert_eq!(cache.cached(8), None);
+        // Addresses whose 8-byte fetch would leave memory have no slot, so
+        // they are never cached (a populated slot certifies bounds).
+        cache.remember(64, instruction);
+        assert_eq!(cache.cached(64), None);
+    }
+
+    #[test]
+    fn tracked_and_cached_execution_agree_on_dependencies() {
+        let program = [
+            I::ri(Opcode::MovI, r(1), 100),
+            I::rri(Opcode::LdW, r(2), r(1), 0),
+            I::rri(Opcode::StW, r(1), r(2), 8),
+            I::bare(Opcode::Halt),
+        ];
+        let mut plain = machine_with(&program, 512);
+        let mut cached = machine_with(&program, 512);
+        let mut deps_plain = DepVector::new(plain.len_bytes());
+        let mut deps_cached = DepVector::new(cached.len_bytes());
+        let mut cache = DecodedCache::new(&cached);
+        loop {
+            let a = transition(&mut plain, Some(&mut deps_plain)).unwrap();
+            let b = transition_cached(&mut cached, &mut deps_cached, &mut cache).unwrap();
+            assert_eq!(a, b);
+            if a == StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_eq!(plain, cached);
+        // Cached decode must not change the recorded dependency footprint:
+        // the fetch reads are noted even on cache hits.
+        assert_eq!(deps_plain, deps_cached);
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod state;
 
 pub use deps::{DepStatus, DepVector};
 pub use error::{VmError, VmResult};
-pub use exec::{transition, StepOutcome};
+pub use exec::{
+    transition, transition_cached, transition_with, DecodeCache, DecodedCache, DepSink, NoDecodeCache,
+    NoDeps, StepOutcome,
+};
 pub use isa::{Flags, Instruction, Opcode, Reg};
 pub use machine::{Machine, RunExit};
 pub use program::Program;

@@ -7,9 +7,10 @@
 //! prototype; the ASC runtime builds on it but higher layers can also use it
 //! directly to run TVM programs to completion.
 
+use crate::delta::SparseBytes;
 use crate::deps::DepVector;
 use crate::error::{VmError, VmResult};
-use crate::exec::{transition, StepOutcome};
+use crate::exec::{transition_cached, DecodeCache, DecodedCache, NoDeps, StepOutcome};
 use crate::isa::Reg;
 use crate::program::Program;
 use crate::state::StateVector;
@@ -49,6 +50,10 @@ pub enum RunExit {
 pub struct Machine {
     state: StateVector,
     deps: Option<DepVector>,
+    /// Decoded-instruction cache for the immutable code region; kept
+    /// coherent by store invalidation inside the transition function and
+    /// cleared whenever state bytes are patched from outside it.
+    icache: DecodedCache,
     instret: u64,
     halted: bool,
 }
@@ -56,7 +61,8 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine from an explicit initial state.
     pub fn from_state(state: StateVector) -> Self {
-        Machine { state, deps: None, instret: 0, halted: false }
+        let icache = DecodedCache::new(&state);
+        Machine { state, deps: None, icache, instret: 0, halted: false }
     }
 
     /// Loads a program image into a fresh machine.
@@ -90,8 +96,25 @@ impl Machine {
     }
 
     /// Mutable access to the state vector (used by the cache to fast-forward).
+    ///
+    /// Conservatively clears the decoded-instruction cache, since the caller
+    /// may overwrite code bytes; prefer [`Machine::apply_sparse`] for
+    /// fast-forwards, which invalidates only the touched slots.
     pub fn state_mut(&mut self) -> &mut StateVector {
+        self.icache.clear();
         &mut self.state
+    }
+
+    /// Applies a sparse byte patch (a trajectory-cache fast-forward) to the
+    /// state, invalidating exactly the decoded-instruction slots the patch
+    /// touches.
+    pub fn apply_sparse(&mut self, patch: &SparseBytes) {
+        for (index, _) in patch.iter() {
+            if let Some(addr) = (index as usize).checked_sub(crate::state::MEM_BASE) {
+                self.icache.invalidate(addr as u32, 1);
+            }
+        }
+        patch.apply(&mut self.state);
     }
 
     /// Consumes the machine and returns its state vector.
@@ -125,7 +148,13 @@ impl Machine {
         if self.halted {
             return Ok(StepOutcome::Halted);
         }
-        let outcome = transition(&mut self.state, self.deps.as_mut())?;
+        // Both arms are fully monomorphized: the untracked (main-thread)
+        // path pays neither an Option branch per access nor a re-decode per
+        // retired instruction.
+        let outcome = match self.deps.as_mut() {
+            Some(deps) => transition_cached(&mut self.state, deps, &mut self.icache)?,
+            None => transition_cached(&mut self.state, &mut NoDeps, &mut self.icache)?,
+        };
         match outcome {
             StepOutcome::Continue => self.instret += 1,
             StepOutcome::Halted => self.halted = true,

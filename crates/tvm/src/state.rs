@@ -124,16 +124,16 @@ impl StateVector {
     }
 
     /// Reads a little-endian 32-bit word at absolute byte index `index`.
+    #[inline]
     pub fn word(&self, index: usize) -> u32 {
-        u32::from_le_bytes([
-            self.bytes[index],
-            self.bytes[index + 1],
-            self.bytes[index + 2],
-            self.bytes[index + 3],
-        ])
+        let bytes: [u8; 4] = self.bytes[index..index + 4]
+            .try_into()
+            .expect("word read in bounds");
+        u32::from_le_bytes(bytes)
     }
 
     /// Writes a little-endian 32-bit word at absolute byte index `index`.
+    #[inline]
     pub fn set_word(&mut self, index: usize, value: u32) {
         self.bytes[index..index + 4].copy_from_slice(&value.to_le_bytes());
     }

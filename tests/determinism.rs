@@ -1,0 +1,116 @@
+//! Cross-thread determinism: the paper's core invariant is that speculation
+//! can only ever *skip* work, never change results. Running `accelerate`
+//! with a pool of concurrent speculation workers must therefore produce a
+//! `final_state` bit-for-bit identical to the inline (workers = 0) run — on
+//! every benchmark, despite the nondeterministic scheduling of worker
+//! inserts into the trajectory cache.
+
+use asc::core::config::AscConfig;
+use asc::core::runtime::LascRuntime;
+use asc::workloads::registry::{build, Benchmark, Scale};
+
+fn tiny_config() -> AscConfig {
+    AscConfig {
+        explore_instructions: 5_000,
+        evaluation_occurrences: 6,
+        evaluation_training: 10,
+        candidate_count: 8,
+        min_superstep: 50,
+        rollout_depth: 8,
+        ..AscConfig::default()
+    }
+}
+
+fn config_for(benchmark: Benchmark, workers: usize) -> AscConfig {
+    let base = match benchmark {
+        // Ising's init phase is long; the exploration window must reach the
+        // list walk (same sizing as the end-to-end tests).
+        Benchmark::Ising => AscConfig { explore_instructions: 25_000, ..tiny_config() },
+        _ => tiny_config(),
+    };
+    AscConfig { workers, ..base }
+}
+
+fn scale_for(benchmark: Benchmark) -> Scale {
+    match benchmark {
+        Benchmark::Ising => Scale::Small,
+        _ => Scale::Tiny,
+    }
+}
+
+/// `workers = 4` must match `workers = 0` bit-for-bit on the final state.
+#[test]
+fn parallel_speculation_is_bit_identical_to_inline_on_every_benchmark() {
+    for benchmark in Benchmark::ALL {
+        let workload = build(benchmark, scale_for(benchmark)).unwrap();
+
+        let inline_report = LascRuntime::new(config_for(benchmark, 0))
+            .unwrap()
+            .accelerate(&workload.program)
+            .unwrap();
+        let parallel_report = LascRuntime::new(config_for(benchmark, 4))
+            .unwrap()
+            .accelerate(&workload.program)
+            .unwrap();
+
+        assert!(inline_report.halted, "{benchmark}: inline run did not halt");
+        assert!(parallel_report.halted, "{benchmark}: parallel run did not halt");
+        assert_eq!(
+            inline_report.final_state.as_bytes(),
+            parallel_report.final_state.as_bytes(),
+            "{benchmark}: workers = 4 diverged from inline execution"
+        );
+        // Both runs also verify against the pure-Rust reference.
+        assert!(
+            workload.verify(&parallel_report.final_state),
+            "{benchmark}: parallel run produced a wrong result"
+        );
+        // The pool really ran: work was dispatched to workers.
+        let stats = parallel_report.speculation.expect("workers > 0 must report pool stats");
+        assert!(stats.dispatched > 0, "{benchmark}: no speculation dispatched ({stats:?})");
+        assert_eq!(
+            stats.dispatched,
+            stats.completed + stats.faulted + stats.exhausted,
+            "{benchmark}: pool shutdown lost jobs ({stats:?})"
+        );
+    }
+}
+
+/// Parallel speculation must also be identical to plain sequential
+/// execution, not merely to the inline-speculation mode.
+#[test]
+fn parallel_speculation_matches_plain_sequential_execution() {
+    use asc::tvm::machine::Machine;
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+
+    let mut sequential = Machine::load(&workload.program).unwrap();
+    sequential.run_to_halt(200_000_000).unwrap();
+
+    let report = LascRuntime::new(config_for(Benchmark::Collatz, 4))
+        .unwrap()
+        .accelerate(&workload.program)
+        .unwrap();
+    assert!(report.halted);
+    assert_eq!(
+        sequential.state().as_bytes(),
+        report.final_state.as_bytes(),
+        "accelerated final state diverged from sequential execution"
+    );
+}
+
+/// Worker counts beyond the rollout width still behave (threads idle but
+/// nothing deadlocks or diverges).
+#[test]
+fn oversubscribed_worker_pool_is_safe() {
+    let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+    let inline_report = LascRuntime::new(config_for(Benchmark::Collatz, 0))
+        .unwrap()
+        .accelerate(&workload.program)
+        .unwrap();
+    let report = LascRuntime::new(config_for(Benchmark::Collatz, 16))
+        .unwrap()
+        .accelerate(&workload.program)
+        .unwrap();
+    assert!(report.halted);
+    assert_eq!(inline_report.final_state.as_bytes(), report.final_state.as_bytes());
+}

@@ -1,32 +1,56 @@
 //! Property-based tests over the core data structures and invariants:
 //! instruction encoding, dependency tracking, sparse captures, deltas and the
 //! determinism of the transition function.
+//!
+//! The build environment is offline, so instead of `proptest` these use a
+//! seeded in-repo generator ([`asc::learn::rng::XorShiftRng`]) driving many
+//! randomized cases per property — deterministic across runs, so a failure
+//! reproduces exactly.
 
+use asc::learn::rng::{Rng, XorShiftRng};
 use asc::tvm::delta::{Delta, SparseBytes};
 use asc::tvm::deps::{DepStatus, DepVector};
 use asc::tvm::encode::{decode, encode};
 use asc::tvm::exec::{transition, StepOutcome};
 use asc::tvm::isa::{Instruction, Opcode};
 use asc::tvm::state::StateVector;
-use proptest::prelude::*;
 
-fn arbitrary_opcode() -> impl Strategy<Value = Opcode> {
-    prop::sample::select(Opcode::ALL.to_vec())
+const CASES: usize = 256;
+
+fn gen_index(rng: &mut XorShiftRng, bound: usize) -> usize {
+    (rng.next_u64() % bound as u64) as usize
 }
 
-proptest! {
-    #[test]
-    fn instruction_encoding_roundtrips(op in arbitrary_opcode(), a in 0u8..16, b in 0u8..16, c in 0u8..16, imm in any::<i32>()) {
-        let instruction = Instruction { opcode: op, a, b, c, imm };
-        let decoded = decode(&encode(&instruction), 0).unwrap();
-        prop_assert_eq!(decoded, instruction);
-    }
+fn gen_u8(rng: &mut XorShiftRng) -> u8 {
+    rng.next_u64() as u8
+}
 
-    #[test]
-    fn dependency_fsm_read_and_write_sets_are_disjoint_unions(ops in prop::collection::vec((any::<bool>(), 0usize..32), 0..200)) {
+#[test]
+fn instruction_encoding_roundtrips() {
+    let mut rng = XorShiftRng::new(0x5eed_0001);
+    for _ in 0..CASES {
+        let opcode = Opcode::ALL[gen_index(&mut rng, Opcode::ALL.len())];
+        let instruction = Instruction {
+            opcode,
+            a: (rng.next_u64() % 16) as u8,
+            b: (rng.next_u64() % 16) as u8,
+            c: (rng.next_u64() % 16) as u8,
+            imm: rng.next_u64() as u32 as i32,
+        };
+        let decoded = decode(&encode(&instruction), 0).unwrap();
+        assert_eq!(decoded, instruction);
+    }
+}
+
+#[test]
+fn dependency_fsm_read_and_write_sets_are_disjoint_unions() {
+    let mut rng = XorShiftRng::new(0x5eed_0002);
+    for _ in 0..CASES {
         let mut deps = DepVector::new(32);
-        for (is_read, index) in ops {
-            if is_read {
+        let ops = gen_index(&mut rng, 200);
+        for _ in 0..ops {
+            let index = gen_index(&mut rng, 32);
+            if rng.gen_bool(0.5) {
                 deps.note_read(index);
             } else {
                 deps.note_write(index);
@@ -39,42 +63,54 @@ proptest! {
             let in_read = deps.read_set().contains(&index);
             let in_write = deps.write_set().contains(&index);
             match status {
-                DepStatus::Null => prop_assert!(!in_read && !in_write),
-                DepStatus::Read => prop_assert!(in_read && !in_write),
-                DepStatus::Written => prop_assert!(!in_read && in_write),
-                DepStatus::WrittenAfterRead => prop_assert!(in_read && in_write),
+                DepStatus::Null => assert!(!in_read && !in_write),
+                DepStatus::Read => assert!(in_read && !in_write),
+                DepStatus::Written => assert!(!in_read && in_write),
+                DepStatus::WrittenAfterRead => assert!(in_read && in_write),
             }
         }
     }
+}
 
-    #[test]
-    fn sparse_capture_apply_restores_captured_bytes(values in prop::collection::vec(any::<u8>(), 64), indices in prop::collection::vec(0usize..64, 1..32)) {
+#[test]
+fn sparse_capture_apply_restores_captured_bytes() {
+    let mut rng = XorShiftRng::new(0x5eed_0003);
+    for _ in 0..CASES {
         let mut state = StateVector::new(64).unwrap();
-        for (i, v) in values.iter().enumerate() {
-            state.set_byte(i, *v);
+        for i in 0..state.len_bytes() {
+            state.set_byte(i, gen_u8(&mut rng));
         }
+        let count = 1 + gen_index(&mut rng, 31);
+        let indices: Vec<usize> = (0..count).map(|_| gen_index(&mut rng, 64)).collect();
         let capture = SparseBytes::capture(&state, indices.iter().copied());
-        prop_assert!(capture.matches(&state));
+        assert!(capture.matches(&state));
         // Applying the capture to a zeroed state makes it match.
         let mut blank = StateVector::new(64).unwrap();
         capture.apply(&mut blank);
-        prop_assert!(capture.matches(&blank));
+        assert!(capture.matches(&blank));
     }
+}
 
-    #[test]
-    fn delta_roundtrips_arbitrary_states(old in prop::collection::vec(any::<u8>(), 256), changes in prop::collection::vec((0usize..256, any::<u8>()), 0..64)) {
+#[test]
+fn delta_roundtrips_arbitrary_states() {
+    let mut rng = XorShiftRng::new(0x5eed_0004);
+    for _ in 0..CASES {
+        let old: Vec<u8> = (0..256).map(|_| gen_u8(&mut rng)).collect();
         let mut new = old.clone();
-        for (index, value) in changes {
-            new[index] = value;
+        for _ in 0..gen_index(&mut rng, 64) {
+            let index = gen_index(&mut rng, 256);
+            new[index] = gen_u8(&mut rng);
         }
         let delta = Delta::diff(&old, &new);
-        prop_assert_eq!(delta.apply(&old), new);
+        assert_eq!(delta.apply(&old), new);
     }
+}
 
-    #[test]
-    fn transition_is_deterministic_and_dep_tracking_is_transparent(iterations in 1i32..60) {
-        // A small loop program; executing it twice (with and without
-        // dependency tracking) must give byte-identical states.
+#[test]
+fn transition_is_deterministic_and_dep_tracking_is_transparent() {
+    // A small loop program; executing it twice (with and without dependency
+    // tracking) must give byte-identical states.
+    for iterations in (1i32..60).step_by(7) {
         let program = asc::asm::assemble(&format!(
             "main:\n movi r1, {iterations}\nloop:\n add r2, r2, r1\n sub r1, r1, 1\n cmpi r1, 0\n jne loop\n halt\n"
         )).unwrap();
@@ -84,12 +120,12 @@ proptest! {
         loop {
             let ra = transition(&mut a, None).unwrap();
             let rb = transition(&mut b, Some(&mut deps)).unwrap();
-            prop_assert_eq!(ra, rb);
+            assert_eq!(ra, rb);
             if ra == StepOutcome::Halted {
                 break;
             }
         }
-        prop_assert_eq!(a, b);
-        prop_assert!(deps.touched() > 0);
+        assert_eq!(a, b);
+        assert!(deps.touched() > 0);
     }
 }
