@@ -76,12 +76,13 @@ impl Assembler {
         };
 
         let entry = layout.symbols.get("main").copied().unwrap_or(0);
-        let mut program = Program::new(code, entry, mem_size)
-            .map_err(|_| AsmError::at(0, AsmErrorKind::TooLarge { required: image_end, mem_size }))?;
+        let mut program = Program::new(code, entry, mem_size).map_err(|_| {
+            AsmError::at(0, AsmErrorKind::TooLarge { required: image_end, mem_size })
+        })?;
         if !data.is_empty() {
-            program = program
-                .with_data(layout.data_base, data)
-                .map_err(|_| AsmError::at(0, AsmErrorKind::TooLarge { required: image_end, mem_size }))?;
+            program = program.with_data(layout.data_base, data).map_err(|_| {
+                AsmError::at(0, AsmErrorKind::TooLarge { required: image_end, mem_size })
+            })?;
         }
         for (name, addr) in &layout.symbols {
             program = program.with_symbol(name.clone(), *addr);
@@ -276,7 +277,7 @@ fn emit_data(items: &[SourceItem], layout: &Layout) -> AsmResult<Vec<u8>> {
                 }
             }
             Item::Space(n) if section == Section::Data => {
-                bytes.extend(std::iter::repeat(0u8).take(*n as usize));
+                bytes.extend(std::iter::repeat_n(0u8, *n as usize));
             }
             Item::Align(n) if section == Section::Data => {
                 while bytes.len() % *n as usize != 0 {
@@ -298,7 +299,10 @@ fn lower_instruction(
     layout: &Layout,
 ) -> AsmResult<Instruction> {
     let mismatch = |expected: &'static str| {
-        AsmError::at(line, AsmErrorKind::OperandMismatch { mnemonic: mnemonic.to_string(), expected })
+        AsmError::at(
+            line,
+            AsmErrorKind::OperandMismatch { mnemonic: mnemonic.to_string(), expected },
+        )
     };
     let reg = |operand: &Operand, expected: &'static str| -> AsmResult<Reg> {
         match operand {
@@ -339,7 +343,11 @@ fn lower_instruction(
             if operands.len() != 2 {
                 return Err(mismatch("rd, imm"));
             }
-            Ok(Instruction::ri(opcode, reg(&operands[0], "rd, imm")?, imm(&operands[1], "rd, imm")?))
+            Ok(Instruction::ri(
+                opcode,
+                reg(&operands[0], "rd, imm")?,
+                imm(&operands[1], "rd, imm")?,
+            ))
         }
         Mov | Neg | Not => {
             if operands.len() != 2 {
@@ -420,13 +428,21 @@ fn lower_instruction(
             if operands.len() != 2 {
                 return Err(mismatch("rs1, rs2"));
             }
-            Ok(Instruction::rr(opcode, reg(&operands[0], "rs1, rs2")?, reg(&operands[1], "rs1, rs2")?))
+            Ok(Instruction::rr(
+                opcode,
+                reg(&operands[0], "rs1, rs2")?,
+                reg(&operands[1], "rs1, rs2")?,
+            ))
         }
         CmpI => {
             if operands.len() != 2 {
                 return Err(mismatch("rs1, imm"));
             }
-            Ok(Instruction::ri(opcode, reg(&operands[0], "rs1, imm")?, imm(&operands[1], "rs1, imm")?))
+            Ok(Instruction::ri(
+                opcode,
+                reg(&operands[0], "rs1, imm")?,
+                imm(&operands[1], "rs1, imm")?,
+            ))
         }
         Jmp | Jeq | Jne | Jlt | Jle | Jgt | Jge | Jltu | Jgeu | Call => {
             if operands.len() != 1 {

@@ -81,9 +81,6 @@ mod tests {
 
     #[test]
     fn expr_symbol_helper_defaults_offset() {
-        assert_eq!(
-            Expr::symbol("loop"),
-            Expr::Symbol { name: "loop".to_string(), offset: 0 }
-        );
+        assert_eq!(Expr::symbol("loop"), Expr::Symbol { name: "loop".to_string(), offset: 0 });
     }
 }

@@ -47,7 +47,7 @@ pub fn parse(source: &str) -> AsmResult<Vec<SourceItem>> {
 
 /// Removes `;` and `#` comments.
 fn strip_comment(line: &str) -> &str {
-    let cut = line.find(|c| c == ';' || c == '#').unwrap_or(line.len());
+    let cut = line.find([';', '#']).unwrap_or(line.len());
     &line[..cut]
 }
 
@@ -140,9 +140,7 @@ fn parse_expr_list(text: &str, line_no: usize) -> AsmResult<Vec<Expr>> {
     if text.trim().is_empty() {
         return Err(AsmError::at(line_no, AsmErrorKind::Malformed("empty value list".into())));
     }
-    text.split(',')
-        .map(|piece| parse_expr(piece.trim(), line_no))
-        .collect()
+    text.split(',').map(|piece| parse_expr(piece.trim(), line_no)).collect()
 }
 
 /// Splits operand text on top-level commas (commas inside `[...]` do not occur
@@ -151,9 +149,7 @@ fn parse_operands(text: &str, line_no: usize) -> AsmResult<Vec<Operand>> {
     if text.is_empty() {
         return Ok(Vec::new());
     }
-    text.split(',')
-        .map(|piece| parse_operand(piece.trim(), line_no))
-        .collect()
+    text.split(',').map(|piece| parse_operand(piece.trim(), line_no)).collect()
 }
 
 fn parse_operand(text: &str, line_no: usize) -> AsmResult<Operand> {
@@ -183,10 +179,9 @@ fn parse_mem_operand(inner: &str, line_no: usize) -> AsmResult<Operand> {
         parse_expr(stripped.trim(), line_no)?
     } else {
         // Negative literal offset.
-        Expr::Number(
-            parse_number(offset_text.trim())
-                .ok_or_else(|| AsmError::at(line_no, AsmErrorKind::BadNumber(offset_text.to_string())))?,
-        )
+        Expr::Number(parse_number(offset_text.trim()).ok_or_else(|| {
+            AsmError::at(line_no, AsmErrorKind::BadNumber(offset_text.to_string()))
+        })?)
     };
     Ok(Operand::Mem { base, offset })
 }
@@ -270,10 +265,8 @@ mod tests {
             })
             .collect();
         assert_eq!(labels, vec!["main", "loop", "table"]);
-        let instruction_count = items
-            .iter()
-            .filter(|s| matches!(s.item, Item::Instruction { .. }))
-            .count();
+        let instruction_count =
+            items.iter().filter(|s| matches!(s.item, Item::Instruction { .. })).count();
         assert_eq!(instruction_count, 4);
         assert!(items.iter().any(|s| matches!(&s.item, Item::Word(w) if w.len() == 3)));
         assert!(items.iter().any(|s| matches!(&s.item, Item::Space(16))));
@@ -285,7 +278,10 @@ mod tests {
         let items = parse("ldw r1, [r2+12]\nstw [sp-4], r3\nldw r4, [r5]").unwrap();
         match &items[0].item {
             Item::Instruction { operands, .. } => {
-                assert_eq!(operands[1], Operand::Mem { base: Reg::new(2).unwrap(), offset: Expr::Number(12) });
+                assert_eq!(
+                    operands[1],
+                    Operand::Mem { base: Reg::new(2).unwrap(), offset: Expr::Number(12) }
+                );
             }
             other => panic!("unexpected item {other:?}"),
         }
@@ -297,7 +293,10 @@ mod tests {
         }
         match &items[2].item {
             Item::Instruction { operands, .. } => {
-                assert_eq!(operands[1], Operand::Mem { base: Reg::new(5).unwrap(), offset: Expr::Number(0) });
+                assert_eq!(
+                    operands[1],
+                    Operand::Mem { base: Reg::new(5).unwrap(), offset: Expr::Number(0) }
+                );
             }
             other => panic!("unexpected item {other:?}"),
         }
@@ -308,13 +307,19 @@ mod tests {
         let items = parse("movi r1, table+8\nmovi r2, table-4").unwrap();
         match &items[0].item {
             Item::Instruction { operands, .. } => {
-                assert_eq!(operands[1], Operand::Imm(Expr::Symbol { name: "table".into(), offset: 8 }));
+                assert_eq!(
+                    operands[1],
+                    Operand::Imm(Expr::Symbol { name: "table".into(), offset: 8 })
+                );
             }
             other => panic!("unexpected item {other:?}"),
         }
         match &items[1].item {
             Item::Instruction { operands, .. } => {
-                assert_eq!(operands[1], Operand::Imm(Expr::Symbol { name: "table".into(), offset: -4 }));
+                assert_eq!(
+                    operands[1],
+                    Operand::Imm(Expr::Symbol { name: "table".into(), offset: -4 })
+                );
             }
             other => panic!("unexpected item {other:?}"),
         }

@@ -70,7 +70,8 @@ mod seed_dispatch {
             let index = self.state.mem_index(addr, INSTRUCTION_BYTES)?;
             self.note_read(index, INSTRUCTION_BYTES as usize);
             let mut bytes = [0u8; INSTRUCTION_BYTES as usize];
-            bytes.copy_from_slice(&self.state.as_bytes()[index..index + INSTRUCTION_BYTES as usize]);
+            bytes
+                .copy_from_slice(&self.state.as_bytes()[index..index + INSTRUCTION_BYTES as usize]);
             Ok(bytes)
         }
 
@@ -128,7 +129,10 @@ mod seed_dispatch {
     }
 
     /// The seed's `transition`, byte-for-byte in structure.
-    pub fn transition(state: &mut StateVector, deps: Option<&mut DepVector>) -> VmResult<StepOutcome> {
+    pub fn transition(
+        state: &mut StateVector,
+        deps: Option<&mut DepVector>,
+    ) -> VmResult<StepOutcome> {
         let mut ctx = Ctx { state, deps };
 
         let ip = ctx.read_word_at(IP_OFFSET);
@@ -239,7 +243,10 @@ mod seed_dispatch {
             }
             CmpI => {
                 let lhs = ctx.read_reg(instruction.a);
-                ctx.write_word_at(FLAGS_OFFSET, Flags::compare(lhs, instruction.imm as u32).to_word());
+                ctx.write_word_at(
+                    FLAGS_OFFSET,
+                    Flags::compare(lhs, instruction.imm as u32).to_word(),
+                );
                 ctx.write_word_at(IP_OFFSET, next_ip);
                 StepOutcome::Continue
             }
@@ -343,7 +350,9 @@ fn bench_transition(c: &mut Criterion) {
         b.iter(|| {
             let mut state = initial.clone();
             for _ in 0..1000 {
-                if transition(black_box(&mut state), None).unwrap() == asc_tvm::exec::StepOutcome::Halted {
+                if transition(black_box(&mut state), None).unwrap()
+                    == asc_tvm::exec::StepOutcome::Halted
+                {
                     break;
                 }
             }
@@ -422,7 +431,8 @@ fn bench_predictor_update_and_rollout(c: &mut Criterion) {
     let mut machine = Machine::load(&workload.program).unwrap();
     machine.run(30_000).unwrap();
     let outcome =
-        asc_core::recognizer::recognize(&workload.program.initial_state().unwrap(), &config).unwrap();
+        asc_core::recognizer::recognize(&workload.program.initial_state().unwrap(), &config)
+            .unwrap();
     let rip = outcome.rip;
     let mut machine = Machine::from_state(outcome.resume_state.clone());
     let mut states = Vec::new();

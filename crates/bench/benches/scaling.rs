@@ -4,7 +4,7 @@
 //! the integration tests; here we time the replay itself and the accelerated
 //! in-process runtime).
 
-use asc_bench::config_for;
+use asc_bench::{config_for, small_collatz_config};
 use asc_core::cluster::{simulate, PlatformProfile, ScalingMode};
 use asc_core::runtime::LascRuntime;
 use asc_workloads::registry::{build, Benchmark, Scale};
@@ -38,22 +38,32 @@ fn bench_accelerated_runtime(c: &mut Criterion) {
 }
 
 fn bench_worker_pool_wall_clock(c: &mut Criterion) {
-    // Inline (workers = 0) vs a real worker pool, in the paper's regime:
-    // supersteps long enough (≥ min_superstep instructions) that executing
-    // speculation dominates predicting it. Offloading those supersteps to
-    // workers must beat paying for them inline on the main thread. Results
-    // are asserted identical to the pure-Rust reference either way.
+    // Inline (workers = 0) vs a real worker pool with PR 1's miss-driven
+    // dispatch (the planner explicitly disabled, so these stay comparable
+    // across PRs as the miss-driven anchor). Results are asserted identical
+    // to the pure-Rust reference either way.
     let workload = build(Benchmark::Collatz, Scale::Small).unwrap();
     for workers in [0usize, 2, 4] {
-        let config = asc_core::config::AscConfig {
-            explore_instructions: 20_000,
-            min_superstep: 5_000,
-            rollout_depth: 8,
-            workers,
-            ..asc_core::config::AscConfig::default()
-        };
-        let runtime = LascRuntime::new(config).unwrap();
+        let runtime = LascRuntime::new(small_collatz_config(workers, false)).unwrap();
         c.bench_function(format!("accelerate_collatz_small_workers_{workers}"), |b| {
+            b.iter(|| {
+                let report = runtime.accelerate(black_box(&workload.program)).unwrap();
+                assert!(workload.verify(&report.final_state));
+                report.fast_forwarded_instructions
+            })
+        });
+    }
+}
+
+fn bench_planner_wall_clock(c: &mut Criterion) {
+    // The continuous-speculation planner on the same workload and worker
+    // counts as the miss-driven anchor above. The planner's higher hit rate
+    // shows up as fast-forwarded instructions; wall-clock parity or better
+    // is the bar on core-starved machines, a win on real multicore.
+    let workload = build(Benchmark::Collatz, Scale::Small).unwrap();
+    for workers in [2usize, 4] {
+        let runtime = LascRuntime::new(small_collatz_config(workers, true)).unwrap();
+        c.bench_function(format!("accelerate_collatz_small_planner_{workers}"), |b| {
             b.iter(|| {
                 let report = runtime.accelerate(black_box(&workload.program)).unwrap();
                 assert!(workload.verify(&report.final_state));
@@ -66,6 +76,7 @@ fn bench_worker_pool_wall_clock(c: &mut Criterion) {
 criterion_group!(
     name = scaling;
     config = Criterion::default().sample_size(10);
-    targets = bench_cluster_replay, bench_accelerated_runtime, bench_worker_pool_wall_clock
+    targets = bench_cluster_replay, bench_accelerated_runtime, bench_worker_pool_wall_clock,
+        bench_planner_wall_clock
 );
 criterion_main!(scaling);

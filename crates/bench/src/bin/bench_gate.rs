@@ -1,0 +1,216 @@
+//! CI bench-regression gate: compares a fresh Criterion JSON-lines report
+//! (see the `CRITERION_JSON` support in the in-repo `criterion` shim)
+//! against a committed baseline and fails when any gated benchmark's
+//! fastest-iteration time regressed beyond the tolerance.
+//!
+//! ```sh
+//! CRITERION_JSON=BENCH_planner.json cargo bench -p asc-bench --bench scaling
+//! cargo run -p asc-bench --bin bench_gate -- BENCH_planner.json bench/baseline.json
+//! ```
+//!
+//! Only benchmarks present in the *baseline* are gated; the current report
+//! may contain more. A gated benchmark missing from the current report is an
+//! error (a renamed or deleted bench must not silently pass the gate). No
+//! dependencies: the JSON-lines records are flat objects with known keys,
+//! parsed by hand.
+//!
+//! **Caveat — the baseline is machine-relative.** `bench/baseline.json`
+//! records absolute times from whatever host committed it, so the gate is
+//! only meaningful on comparable hardware: on a faster CI runner a real
+//! regression can hide inside the hardware delta, and on a slower one the
+//! gate fails with no code change. When the runner hardware class changes,
+//! re-record the baseline there (run the `CRITERION_JSON` command above on
+//! the runner and commit the result) rather than widening the tolerance.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Default allowed slowdown before the gate fails: current ≤ baseline × 1.2.
+const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One parsed benchmark record. The gate compares `min_ns` — the fastest
+/// observed iteration — because it is by far the most stable statistic on
+/// shared CI runners: medians absorb scheduler noise in the slow direction
+/// only, so two identical builds can differ by 20% in median while their
+/// minima agree within a few percent.
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    min_ns: f64,
+}
+
+/// Extracts the string value of `"key":"…"` from a flat JSON object line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut value = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(value),
+            '\\' => value.push(chars.next()?),
+            other => value.push(other),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key":<number>` from a flat JSON object
+/// line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a JSON-lines bench report into id → record, keeping the last
+/// record per id (a re-run bench supersedes its earlier appearance).
+fn parse_report(text: &str, path: &str) -> Result<BTreeMap<String, Record>, String> {
+    let mut records = BTreeMap::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let id = string_field(line, "id")
+            .ok_or_else(|| format!("{path}:{}: no \"id\" field in {line:?}", index + 1))?;
+        let min_ns = number_field(line, "min_ns")
+            .ok_or_else(|| format!("{path}:{}: no \"min_ns\" field in {line:?}", index + 1))?;
+        if !(min_ns.is_finite() && min_ns > 0.0) {
+            return Err(format!("{path}:{}: non-positive minimum for {id}", index + 1));
+        }
+        records.insert(id, Record { min_ns });
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no benchmark records found"));
+    }
+    Ok(records)
+}
+
+fn format_ms(nanos: f64) -> String {
+    format!("{:.1}ms", nanos / 1e6)
+}
+
+fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<bool, String> {
+    let current_text = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read current report {current_path}: {e}"))?;
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let current = parse_report(&current_text, current_path)?;
+    let baseline = parse_report(&baseline_text, baseline_path)?;
+
+    let mut failed = false;
+    println!(
+        "{:<45} {:>10} {:>10} {:>8}  verdict (tolerance +{:.0}%)",
+        "benchmark",
+        "baseline",
+        "current",
+        "ratio",
+        tolerance * 100.0
+    );
+    for (id, base) in &baseline {
+        let Some(now) = current.get(id) else {
+            println!("{id:<45} {:>10} {:>10} {:>8}  MISSING from current report", "-", "-", "-");
+            failed = true;
+            continue;
+        };
+        let ratio = now.min_ns / base.min_ns;
+        let regressed = ratio > 1.0 + tolerance;
+        println!(
+            "{:<45} {:>10} {:>10} {:>7.2}x  {}",
+            id,
+            format_ms(base.min_ns),
+            format_ms(now.min_ns),
+            ratio,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= regressed;
+    }
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut paths = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerance" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => tolerance = v,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative number (e.g. 0.2)");
+                    return ExitCode::from(2);
+                }
+            },
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [current, baseline] = paths.as_slice() else {
+        eprintln!("usage: bench_gate [--tolerance 0.2] <current.json> <baseline.json>");
+        return ExitCode::from(2);
+    };
+    match run(current, baseline, tolerance) {
+        Ok(false) => {
+            println!("bench gate passed");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            eprintln!("bench gate FAILED: regression beyond {:.0}%", tolerance * 100.0);
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("bench gate error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_json_lines() {
+        let text = concat!(
+            "{\"id\":\"a/b\",\"median_ns\":1500000,\"min_ns\":1,\"max_ns\":2,\"samples\":10}\n",
+            "{\"id\":\"c\",\"median_ns\":2.5e8,\"min_ns\":1,\"max_ns\":2,\"samples\":10}\n",
+        );
+        let report = parse_report(text, "test").unwrap();
+        assert_eq!(report.len(), 2);
+        assert!((report["a/b"].min_ns - 1.0).abs() < 1e-9);
+        assert!((report["c"].min_ns - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn later_records_supersede_earlier_ones() {
+        let text = concat!("{\"id\":\"a\",\"min_ns\":100}\n", "{\"id\":\"a\",\"min_ns\":200}\n",);
+        let report = parse_report(text, "test").unwrap();
+        assert_eq!(report["a"].min_ns, 200.0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_report("{\"min_ns\":1}\n", "test").is_err());
+        assert!(parse_report("{\"id\":\"a\",\"min_ns\":-4}\n", "test").is_err());
+        assert!(parse_report("", "test").is_err());
+    }
+
+    #[test]
+    fn escaped_ids_round_trip() {
+        let text = "{\"id\":\"we\\\"ird\\\\name\",\"min_ns\":5}\n";
+        let report = parse_report(text, "test").unwrap();
+        assert!(report.contains_key("we\"ird\\name"));
+    }
+
+    #[test]
+    fn gate_logic_spots_regressions() {
+        let base = Record { min_ns: 100.0 };
+        // 19% slower passes at 20% tolerance, 21% fails.
+        assert!(119.0 / base.min_ns <= 1.2);
+        assert!(121.0 / base.min_ns > 1.2);
+    }
+}

@@ -11,22 +11,26 @@ fn main() {
             println!("{benchmark}: no weight matrix (predictors never trained)");
             continue;
         };
-        println!("# Figure 3 — {benchmark}: rows = predictors, columns = {} excited bits", matrix.len());
+        println!(
+            "# Figure 3 — {benchmark}: rows = predictors, columns = {} excited bits",
+            matrix.len()
+        );
         // ASCII heat map: one row per predictor, one character per bit.
         let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
         for (p, name) in names.iter().enumerate() {
             let mut line = format!("{name:>12} |");
             for weights in &matrix {
                 let w = weights.get(p).copied().unwrap_or(0.0);
-                let shade = shades[((w * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1)];
+                let shade = shades
+                    [((w * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1)];
                 line.push(shade);
             }
             println!("{line}|");
         }
         // Average weight per predictor (summary row).
         for (p, name) in names.iter().enumerate() {
-            let mean: f64 =
-                matrix.iter().map(|w| w.get(p).copied().unwrap_or(0.0)).sum::<f64>() / matrix.len().max(1) as f64;
+            let mean: f64 = matrix.iter().map(|w| w.get(p).copied().unwrap_or(0.0)).sum::<f64>()
+                / matrix.len().max(1) as f64;
             println!("{name:>12}: mean weight {mean:.3}");
         }
         println!();

@@ -8,8 +8,11 @@ use asc_workloads::registry::Benchmark;
 fn main() {
     let scale = scale_from_args();
     let (report, description) = measure(Benchmark::Ising, scale);
-    println!("Figure 4: Ising ({description}), {} supersteps, accuracy {:.3}\n",
-             report.supersteps.len(), report.one_step_accuracy());
+    println!(
+        "Figure 4: Ising ({description}), {} supersteps, accuracy {:.3}\n",
+        report.supersteps.len(),
+        report.one_step_accuracy()
+    );
 
     let server = PlatformProfile::server_32core();
     let cores = server_core_counts();
@@ -25,12 +28,30 @@ fn main() {
         println!("{c:>8} {:>12.2}", amdahl_speedup(c, sequential_fraction));
     }
     println!();
-    print_curve("LASC cycle-count scaling (32-core server)", &report, &server, ScalingMode::CycleCount, &cores);
-    print_curve("LASC+oracle scaling (32-core server)", &report, &server, ScalingMode::Oracle, &cores);
+    print_curve(
+        "LASC cycle-count scaling (32-core server)",
+        &report,
+        &server,
+        ScalingMode::CycleCount,
+        &cores,
+    );
+    print_curve(
+        "LASC+oracle scaling (32-core server)",
+        &report,
+        &server,
+        ScalingMode::Oracle,
+        &cores,
+    );
     print_curve("LASC scaling (32-core server)", &report, &server, ScalingMode::Lasc, &cores);
 
     let bluegene = PlatformProfile::blue_gene_p();
     let bg_cores = blue_gene_core_counts(4096);
-    print_curve("LASC cycle-count scaling (Blue Gene/P)", &report, &bluegene, ScalingMode::CycleCount, &bg_cores);
+    print_curve(
+        "LASC cycle-count scaling (Blue Gene/P)",
+        &report,
+        &bluegene,
+        ScalingMode::CycleCount,
+        &bg_cores,
+    );
     print_curve("LASC scaling (Blue Gene/P)", &report, &bluegene, ScalingMode::Lasc, &bg_cores);
 }

@@ -7,8 +7,11 @@ use asc_workloads::registry::Benchmark;
 fn main() {
     let scale = scale_from_args();
     let (report, description) = measure(Benchmark::Mm2, scale);
-    println!("Figure 5: 2mm ({description}), {} supersteps, accuracy {:.3}\n",
-             report.supersteps.len(), report.one_step_accuracy());
+    println!(
+        "Figure 5: 2mm ({description}), {} supersteps, accuracy {:.3}\n",
+        report.supersteps.len(),
+        report.one_step_accuracy()
+    );
     let server = PlatformProfile::server_32core();
     let cores = server_core_counts();
     println!("# Ideal scaling");
@@ -16,7 +19,19 @@ fn main() {
         println!("{c:>8} {:>12.2}", c as f64);
     }
     println!();
-    print_curve("LASC cycle-count scaling (32-core server)", &report, &server, ScalingMode::CycleCount, &cores);
-    print_curve("LASC+oracle scaling (32-core server)", &report, &server, ScalingMode::Oracle, &cores);
+    print_curve(
+        "LASC cycle-count scaling (32-core server)",
+        &report,
+        &server,
+        ScalingMode::CycleCount,
+        &cores,
+    );
+    print_curve(
+        "LASC+oracle scaling (32-core server)",
+        &report,
+        &server,
+        ScalingMode::Oracle,
+        &cores,
+    );
     print_curve("LASC scaling (32-core server)", &report, &server, ScalingMode::Lasc, &cores);
 }

@@ -11,8 +11,11 @@ use asc_workloads::registry::{collatz_params, Benchmark};
 fn main() {
     let scale = scale_from_args();
     let (report, description) = measure(Benchmark::Collatz, scale);
-    println!("Figure 6: Collatz ({description}), {} supersteps, accuracy {:.3}\n",
-             report.supersteps.len(), report.one_step_accuracy());
+    println!(
+        "Figure 6: Collatz ({description}), {} supersteps, accuracy {:.3}\n",
+        report.supersteps.len(),
+        report.one_step_accuracy()
+    );
 
     let server = PlatformProfile::server_32core();
     let cores = server_core_counts();
@@ -21,12 +24,24 @@ fn main() {
         println!("{c:>8} {:>12.2}", c as f64);
     }
     println!();
-    print_curve("LASC cycle-count scaling (32-core server)", &report, &server, ScalingMode::CycleCount, &cores);
+    print_curve(
+        "LASC cycle-count scaling (32-core server)",
+        &report,
+        &server,
+        ScalingMode::CycleCount,
+        &cores,
+    );
     print_curve("LASC scaling (32-core server)", &report, &server, ScalingMode::Lasc, &cores);
 
     let bluegene = PlatformProfile::blue_gene_p();
     let bg_cores = blue_gene_core_counts(16_384);
-    print_curve("LASC cycle-count scaling (Blue Gene/P)", &report, &bluegene, ScalingMode::CycleCount, &bg_cores);
+    print_curve(
+        "LASC cycle-count scaling (Blue Gene/P)",
+        &report,
+        &bluegene,
+        ScalingMode::CycleCount,
+        &bg_cores,
+    );
     print_curve("LASC scaling (Blue Gene/P)", &report, &bluegene, ScalingMode::Lasc, &bg_cores);
 
     // Rightmost plot: single-core generalized memoization on the laptop.

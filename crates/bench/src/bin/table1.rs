@@ -14,10 +14,16 @@ fn main() {
         reports.iter().map(|(_, (r, d))| f(r, d)).collect()
     };
     println!("{}", row("Total time (instr)", &cell(&|r, _| sci(r.total_instructions as f64))));
-    println!("{}", row("Converge time (instr)", &cell(&|r, _| sci(r.converge_instructions as f64))));
+    println!(
+        "{}",
+        row("Converge time (instr)", &cell(&|r, _| sci(r.converge_instructions as f64)))
+    );
     println!("{}", row("Average jump (instr)", &cell(&|r, _| sci(r.mean_superstep()))));
     println!("{}", row("State vector size (bits)", &cell(&|r, _| sci(r.state_bits as f64))));
-    println!("{}", row("Cache query size (bits)", &cell(&|r, _| format!("{:.0}", r.mean_query_bits()))));
+    println!(
+        "{}",
+        row("Cache query size (bits)", &cell(&|r, _| format!("{:.0}", r.mean_query_bits())))
+    );
     let source_lines: Vec<String> = reports
         .iter()
         .map(|(b, _)| {

@@ -13,15 +13,43 @@ fn main() {
     let names: Vec<String> = reports.iter().map(|(b, _)| b.name().to_string()).collect();
     println!("{}", row("", &names));
     let pct = |v: f64| format!("{:.1}%", v * 100.0);
-    let errors: Vec<_> = reports
-        .iter()
-        .map(|(_, (r, _))| r.ensemble_errors.unwrap_or_default())
-        .collect();
-    println!("{}", row("Equal-weight error rate", &errors.iter().map(|e| pct(e.equal_weight_error_rate)).collect::<Vec<_>>()));
-    println!("{}", row("Hindsight-optimal error", &errors.iter().map(|e| pct(e.hindsight_optimal_error_rate)).collect::<Vec<_>>()));
-    println!("{}", row("Actual (RWMA) error rate", &errors.iter().map(|e| pct(e.actual_error_rate)).collect::<Vec<_>>()));
-    println!("{}", row("Total predictions", &errors.iter().map(|e| e.total_predictions.to_string()).collect::<Vec<_>>()));
-    println!("{}", row("Incorrect predictions", &errors.iter().map(|e| e.incorrect_predictions.to_string()).collect::<Vec<_>>()));
+    let errors: Vec<_> =
+        reports.iter().map(|(_, (r, _))| r.ensemble_errors.unwrap_or_default()).collect();
+    println!(
+        "{}",
+        row(
+            "Equal-weight error rate",
+            &errors.iter().map(|e| pct(e.equal_weight_error_rate)).collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "Hindsight-optimal error",
+            &errors.iter().map(|e| pct(e.hindsight_optimal_error_rate)).collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "Actual (RWMA) error rate",
+            &errors.iter().map(|e| pct(e.actual_error_rate)).collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "Total predictions",
+            &errors.iter().map(|e| e.total_predictions.to_string()).collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "Incorrect predictions",
+            &errors.iter().map(|e| e.incorrect_predictions.to_string()).collect::<Vec<_>>()
+        )
+    );
     // Cache miss rate at 32 cores, from the cluster replay of the trace.
     let profile = PlatformProfile::server_32core();
     let miss: Vec<String> = reports

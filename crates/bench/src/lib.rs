@@ -39,27 +39,38 @@ pub fn scale_from_args() -> Scale {
 /// The runtime configuration used by the experiment harnesses at each scale.
 pub fn config_for(scale: Scale) -> AscConfig {
     match scale {
-        Scale::Tiny => AscConfig {
-            explore_instructions: 6_000,
-            min_superstep: 50,
-            ..AscConfig::default()
-        },
-        Scale::Small => AscConfig {
-            explore_instructions: 80_000,
-            min_superstep: 200,
-            ..AscConfig::default()
-        },
-        Scale::Medium => AscConfig {
-            explore_instructions: 250_000,
-            min_superstep: 500,
-            ..AscConfig::default()
-        },
+        Scale::Tiny => {
+            AscConfig { explore_instructions: 6_000, min_superstep: 50, ..AscConfig::default() }
+        }
+        Scale::Small => {
+            AscConfig { explore_instructions: 80_000, min_superstep: 200, ..AscConfig::default() }
+        }
+        Scale::Medium => {
+            AscConfig { explore_instructions: 250_000, min_superstep: 500, ..AscConfig::default() }
+        }
         Scale::Large => AscConfig {
             explore_instructions: 500_000,
             min_superstep: 1_000,
             ..AscConfig::default()
         },
     }
+}
+
+/// The configuration of the `accelerate_collatz_small_*` scaling benches and
+/// the `planner_comparison` example: the paper's worker-pool regime, with
+/// supersteps long enough (≥ `min_superstep` instructions) that executing
+/// speculation dominates predicting it. Kept here so the bench and the
+/// example can never drift apart.
+pub fn small_collatz_config(workers: usize, planner: bool) -> AscConfig {
+    let mut config = AscConfig {
+        explore_instructions: 20_000,
+        min_superstep: 5_000,
+        rollout_depth: 8,
+        workers,
+        ..AscConfig::default()
+    };
+    config.planner.enabled = planner;
+    config
 }
 
 /// Runs the measured (instrumented) execution of one benchmark.
@@ -98,7 +109,13 @@ pub fn sci(value: f64) -> String {
 }
 
 /// Prints a scaling curve as a two-column series (cores, scaling).
-pub fn print_curve(title: &str, report: &RunReport, profile: &PlatformProfile, mode: ScalingMode, cores: &[usize]) {
+pub fn print_curve(
+    title: &str,
+    report: &RunReport,
+    profile: &PlatformProfile,
+    mode: ScalingMode,
+    cores: &[usize],
+) {
     println!("# {title}");
     println!("{:>8} {:>12} {:>10}", "cores", "scaling", "hit_rate");
     for point in cluster::scaling_curve(report, profile, mode, cores) {

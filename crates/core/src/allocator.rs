@@ -54,9 +54,7 @@ pub fn plan_speculation(
         })
         .collect();
     tasks.sort_by(|a, b| {
-        b.expected_utility
-            .partial_cmp(&a.expected_utility)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        b.expected_utility.partial_cmp(&a.expected_utility).unwrap_or(std::cmp::Ordering::Equal)
     });
     tasks.truncate(max_tasks);
     tasks
@@ -114,7 +112,8 @@ mod tests {
     #[test]
     fn utility_scales_with_probability() {
         let cache = TrajectoryCache::new(16);
-        let tasks = plan_speculation(vec![predicted(1, 0.0), predicted(2, -1.0)], 100.0, 4, &cache, 0);
+        let tasks =
+            plan_speculation(vec![predicted(1, 0.0), predicted(2, -1.0)], 100.0, 4, &cache, 0);
         assert!((tasks[0].expected_utility - 100.0).abs() < 1e-9);
         assert!((tasks[1].expected_utility - 100.0 * (-1.0f64).exp()).abs() < 1e-9);
     }

@@ -187,10 +187,8 @@ impl TrajectoryCache {
         guard.entries += 1;
         if guard.entries > self.capacity_per_shard {
             // Evict the oldest entry of the largest bucket (FIFO within IP).
-            if let Some((_, bucket)) = guard
-                .by_ip
-                .iter_mut()
-                .max_by_key(|(_, entries)| entries.len())
+            if let Some((_, bucket)) =
+                guard.by_ip.iter_mut().max_by_key(|(_, entries)| entries.len())
             {
                 if !bucket.is_empty() {
                     bucket.remove(0);
@@ -369,11 +367,7 @@ mod tests {
         for i in 0..64u32 {
             cache.insert(entry(32, &[(i, 1)], &[(200, 1)], 10));
         }
-        let populated = cache
-            .shards
-            .iter()
-            .filter(|shard| read_shard(shard).entries > 0)
-            .count();
+        let populated = cache.shards.iter().filter(|shard| read_shard(shard).entries > 0).count();
         assert!(populated > SHARD_COUNT / 2, "only {populated} shards used");
         // Entries stay reachable by rip regardless of which shard they chose.
         for i in 0..64u32 {
@@ -420,7 +414,7 @@ mod tests {
             handle.join().unwrap();
         }
         assert!(cache.stats().hits > 0);
-        assert!(cache.len() > 0);
+        assert!(!cache.is_empty());
     }
 
     #[test]

@@ -104,7 +104,12 @@ pub struct ScalingPoint {
 }
 
 /// Replays a measured trace against the platform model for one core count.
-pub fn simulate(report: &RunReport, profile: &PlatformProfile, mode: ScalingMode, cores: usize) -> ScalingPoint {
+pub fn simulate(
+    report: &RunReport,
+    profile: &PlatformProfile,
+    mode: ScalingMode,
+    cores: usize,
+) -> ScalingPoint {
     let cores = cores.clamp(1, profile.max_cores);
     let lengths: Vec<f64> = report.supersteps.iter().map(|s| s.instructions as f64).collect();
     let correct: Vec<bool> = report
@@ -149,14 +154,13 @@ pub fn simulate(report: &RunReport, profile: &PlatformProfile, mode: ScalingMode
         // Main thread executes superstep t itself.
         time += lengths[t];
         let mut advanced = 1usize;
-        for index in t + 1..round_end {
+        for (index, &length) in lengths.iter().enumerate().take(round_end).skip(t + 1) {
             // Query the distributed cache (max-reduction + winner transfer).
             time += query_cost;
             queries += 1;
             let rank = (index - t) as f64;
             let chain_valid = (t..index).all(|i| correct[i]);
-            let ready_time =
-                dispatch_time + profile.rollout_cost_per_step * rank + lengths[index];
+            let ready_time = dispatch_time + profile.rollout_cost_per_step * rank + length;
             if chain_valid {
                 let wait = (ready_time - time).max(0.0);
                 if wait + p2p_cost < lengths[index] {
@@ -215,7 +219,13 @@ mod tests {
     /// given per-superstep prediction accuracy pattern.
     fn synthetic_report(n: usize, length: u64, correct: impl Fn(usize) -> bool) -> RunReport {
         RunReport {
-            rip: RecognizedIp { ip: 0, stride: 1, mean_superstep: length as f64, accuracy: 1.0, score: length as f64 },
+            rip: RecognizedIp {
+                ip: 0,
+                stride: 1,
+                mean_superstep: length as f64,
+                accuracy: 1.0,
+                score: length as f64,
+            },
             unique_ips: 10,
             state_bits: 1024,
             excited_bits: 32,
@@ -237,6 +247,7 @@ mod tests {
             weight_matrix: None,
             cache_stats: Default::default(),
             speculation: None,
+            planner: None,
             final_state: StateVector::new(16).unwrap(),
             halted: true,
         }
@@ -268,7 +279,8 @@ mod tests {
         let report = synthetic_report(2000, 10_000, |i| i % 4 != 3);
         let profile = PlatformProfile::server_32core();
         let p32 = simulate(&report, &profile, ScalingMode::Lasc, 32);
-        let perfect = simulate(&synthetic_report(2000, 10_000, |_| true), &profile, ScalingMode::Lasc, 32);
+        let perfect =
+            simulate(&synthetic_report(2000, 10_000, |_| true), &profile, ScalingMode::Lasc, 32);
         assert!(p32.scaling < perfect.scaling * 0.5, "{p32:?} vs {perfect:?}");
         assert!(p32.scaling > 1.5);
     }

@@ -13,6 +13,59 @@ pub enum PredictorComplement {
     Extended,
 }
 
+/// Cadence and horizon knobs of the continuous-speculation planner thread.
+///
+/// With [`AscConfig::workers`] > 0 and `enabled`, [`accelerate`] spawns a
+/// planner that consumes the main thread's stream of recognized-IP
+/// occurrences from a bounded drop-oldest channel and keeps the speculation
+/// pool's queue topped up with predicted future supersteps *continuously*,
+/// instead of re-planning only at cache misses. The planner owns the
+/// predictor bank and the worker pool; it re-plans when an occurrence
+/// invalidates the predicted trajectory and tops the queue up again whenever
+/// a cache insert lands. It only ever chooses *which* speculations run —
+/// main-thread results stay bit-for-bit identical with the planner on or
+/// off.
+///
+/// [`accelerate`]: crate::runtime::LascRuntime::accelerate
+/// [`AscConfig::workers`]: AscConfig::workers
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Whether the planner thread runs (ignored when `workers == 0`; inline
+    /// speculation has no pool to feed). Disabled, a worker-pool run uses the
+    /// PR 1 miss-driven dispatch instead.
+    pub enabled: bool,
+    /// How many predicted supersteps ahead of the main thread the planner
+    /// keeps planned (its rollout horizon). The plan is extended back to this
+    /// depth whenever confirmations consume its front.
+    pub horizon: usize,
+    /// Capacity of the occurrence channel from the main thread. The channel
+    /// never blocks the sender: when full, the *oldest* queued occurrence is
+    /// dropped — a late planner should anchor on fresh states, not stale
+    /// ones.
+    pub channel_capacity: usize,
+    /// How often the planner pays the full predictor-bank update (excitation
+    /// tracking + drift detection, ~80µs on TVM-sized states) instead of the
+    /// cheap incremental ensemble-only path. 1 trains fully on every
+    /// occurrence; the default keeps discovery alive at a fraction of the
+    /// cost.
+    pub full_observe_interval: usize,
+    /// Milliseconds the planner waits for an occurrence before waking up
+    /// anyway to re-check for landed cache inserts and top the queue up.
+    pub idle_poll_ms: u64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            enabled: true,
+            horizon: 8,
+            channel_capacity: 64,
+            full_observe_interval: 16,
+            idle_poll_ms: 1,
+        }
+    }
+}
+
 /// Tunable parameters of the LASC runtime.
 ///
 /// The defaults reproduce the paper's policies scaled to TVM-sized programs:
@@ -67,6 +120,9 @@ pub struct AscConfig {
     ///
     /// [`accelerate`]: crate::runtime::LascRuntime::accelerate
     pub workers: usize,
+    /// Continuous-speculation planner knobs; see [`PlannerConfig`]. Only
+    /// consulted when `workers > 0`.
+    pub planner: PlannerConfig,
 }
 
 impl Default for AscConfig {
@@ -87,6 +143,7 @@ impl Default for AscConfig {
             cache_capacity: 1 << 16,
             instruction_budget: 2_000_000_000,
             workers: 0,
+            planner: PlannerConfig::default(),
         }
     }
 }
@@ -138,6 +195,21 @@ impl AscConfig {
                 "workers must be at most 4096 (0 runs speculation inline)".into(),
             ));
         }
+        if self.planner.enabled {
+            if self.planner.horizon == 0 {
+                return Err(AscError::InvalidConfig("planner horizon must be at least 1".into()));
+            }
+            if self.planner.channel_capacity == 0 {
+                return Err(AscError::InvalidConfig(
+                    "planner channel_capacity must be at least 1".into(),
+                ));
+            }
+            if self.planner.full_observe_interval == 0 {
+                return Err(AscError::InvalidConfig(
+                    "planner full_observe_interval must be at least 1".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -154,21 +226,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = AscConfig::default();
-        c.rollout_depth = 0;
+        let c = AscConfig { rollout_depth: 0, ..AscConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = AscConfig { ensemble_beta: 1.0, ..AscConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = AscConfig { max_superstep: 1, min_superstep: 10, ..AscConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = AscConfig { cache_capacity: 0, ..AscConfig::default() };
         assert!(c.validate().is_err());
 
         let mut c = AscConfig::default();
-        c.ensemble_beta = 1.0;
+        c.planner.horizon = 0;
         assert!(c.validate().is_err());
 
         let mut c = AscConfig::default();
-        c.max_superstep = 1;
-        c.min_superstep = 10;
+        c.planner.channel_capacity = 0;
         assert!(c.validate().is_err());
 
+        // Disabled planner knobs are not validated: the planner never runs.
         let mut c = AscConfig::default();
-        c.cache_capacity = 0;
-        assert!(c.validate().is_err());
+        c.planner.enabled = false;
+        c.planner.horizon = 0;
+        assert!(c.validate().is_ok());
     }
 }

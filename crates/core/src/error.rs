@@ -30,7 +30,10 @@ impl fmt::Display for AscError {
                 write!(f, "no predictable instruction pointer found within the exploration budget")
             }
             AscError::ProgramTooShort { executed } => {
-                write!(f, "program halted after only {executed} instructions, before speculation began")
+                write!(
+                    f,
+                    "program halted after only {executed} instructions, before speculation began"
+                )
             }
         }
     }

@@ -126,7 +126,8 @@ impl ExcitationMap {
             .iter()
             .map(|bit| {
                 let word_byte = (bit / 32) * 4;
-                let word_index = word_bytes.binary_search(&word_byte).expect("word must be tracked");
+                let word_index =
+                    word_bytes.binary_search(&word_byte).expect("word must be tracked");
                 (word_index, (bit % 32) as u8)
             })
             .collect();
@@ -160,13 +161,7 @@ impl ExcitationMap {
         let words = self
             .word_bytes
             .iter()
-            .map(|&byte| {
-                if byte + 4 <= state.len_bytes() {
-                    state.word(byte)
-                } else {
-                    0
-                }
-            })
+            .map(|&byte| if byte + 4 <= state.len_bytes() { state.word(byte) } else { 0 })
             .collect();
         Observation::new(bits, words)
     }

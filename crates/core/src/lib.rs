@@ -16,6 +16,10 @@
 //!   bits (§4.4).
 //! * [`allocator`] — expected-utility selection of speculative work from
 //!   recursive rollout predictions (§4.5).
+//! * [`planner`] — the continuous-speculation planner thread that owns
+//!   speculation cadence: it consumes the main thread's occurrence stream
+//!   and keeps the worker pool topped up with predicted supersteps instead
+//!   of waiting for cache misses.
 //! * [`speculator`] — executes supersteps from predicted states with
 //!   dependency tracking (§4.1).
 //! * [`cache`] — the sparse, dependency-matched trajectory cache (§4.2).
@@ -52,6 +56,7 @@ pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod excitation;
+pub mod planner;
 pub mod predictor_bank;
 pub mod recognizer;
 pub mod runtime;
@@ -60,8 +65,9 @@ pub mod workers;
 
 pub use cache::{CacheEntry, CacheStats, TrajectoryCache};
 pub use cluster::{PlatformProfile, ScalingMode, ScalingPoint};
-pub use config::{AscConfig, PredictorComplement};
+pub use config::{AscConfig, PlannerConfig, PredictorComplement};
 pub use error::{AscError, AscResult};
+pub use planner::{OccurrenceEvent, PlannerHandle, PlannerStats};
 pub use recognizer::{RecognizedIp, RecognizerOutcome};
 pub use runtime::{LascRuntime, RunReport, SuperstepRecord};
 pub use workers::{PoolStats, SpeculationJob, SpeculationPool};

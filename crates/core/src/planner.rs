@@ -1,0 +1,585 @@
+//! The continuous-speculation planner: speculation cadence decoupled from
+//! cache misses.
+//!
+//! PR 1's worker pool dispatched speculative work only when the main thread
+//! took a cache miss, and skipped re-planning while the pool was saturated.
+//! The paper's architecture speculates *continuously* ahead of the main
+//! thread: idle cores should always be working on the most valuable
+//! predicted supersteps, whether or not the main thread just missed. This
+//! module provides that cadence as a dedicated planner thread:
+//!
+//! * The main thread streams every recognized-IP occurrence into a bounded
+//!   [`OccurrenceChannel`]. Sends never block; when the channel is full the
+//!   *oldest* occurrence is dropped — a lagging planner should anchor its
+//!   predictions on fresh states, not stale ones.
+//! * The planner owns the [`PredictorBank`] and the [`SpeculationPool`]. It
+//!   trains the bank on each occurrence (using the cheap
+//!   [`observe_incremental`] path most of the time; the full update every
+//!   [`full_observe_interval`]-th occurrence keeps excitation discovery and
+//!   drift detection alive) and maintains a *plan*: the rollout horizon of
+//!   predicted future supersteps, ordered nearest-first.
+//! * Each occurrence is matched against the plan. A match at depth `k`
+//!   *confirms* the trajectory: the first `k+1` entries are consumed and the
+//!   horizon is extended by fresh rollouts from the deepest surviving
+//!   prediction. A mismatch *invalidates* the plan; the planner re-rolls
+//!   from the live state.
+//! * After every event — and on an idle timeout, so landed cache inserts
+//!   trigger re-planning even while the main thread fast-forwards without
+//!   missing — the planner *tops up* the pool queue: undispatched plan
+//!   entries not already covered by the cache are handed to workers,
+//!   nearest-first (cumulative rollout probability decreases with depth, so
+//!   nearest-first is highest-expected-utility-first).
+//!
+//! Determinism is inherited from the cache protocol: the planner only ever
+//! decides *which* speculations run, and a cache entry is applied by the
+//! main thread only when its full read set matches the live state, so
+//! `final_state` is bit-for-bit identical with the planner on or off.
+//!
+//! [`observe_incremental`]: PredictorBank::observe_incremental
+//! [`full_observe_interval`]: crate::config::PlannerConfig::full_observe_interval
+
+use crate::cache::TrajectoryCache;
+use crate::config::{AscConfig, PlannerConfig};
+use crate::predictor_bank::{PredictedState, PredictorBank};
+use crate::recognizer::RecognizedIp;
+use crate::workers::{PoolStats, SpeculationJob, SpeculationPool};
+use asc_tvm::state::StateVector;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One recognized-IP occurrence reported by the main thread: the state
+/// vector observed at the occurrence. Everything the planner needs — the
+/// training signal, the plan-match target and the re-plan anchor — is the
+/// state itself.
+#[derive(Debug, Clone)]
+pub struct OccurrenceEvent {
+    /// The state vector at the occurrence.
+    pub state: StateVector,
+}
+
+/// Counters describing what a planner did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Occurrences received from the main thread.
+    pub occurrences: u64,
+    /// Occurrences dropped because the channel was full (planner lagging).
+    pub dropped: u64,
+    /// Full re-plans: rollouts from a live state after an empty or
+    /// invalidated plan.
+    pub replans: u64,
+    /// Horizon extensions: rollouts chained from the deepest surviving
+    /// prediction after confirmations consumed the front of the plan.
+    pub extensions: u64,
+    /// Occurrences that matched a planned prediction (trajectory confirmed).
+    pub confirmed: u64,
+    /// Occurrences that matched no planned prediction (plan discarded).
+    pub invalidated: u64,
+    /// Jobs the planner handed to the pool that were accepted.
+    pub dispatched: u64,
+    /// Idle wakeups that found landed cache inserts and re-topped the queue.
+    pub insert_wakeups: u64,
+}
+
+/// What [`OccurrenceChannel::recv_timeout`] produced.
+enum Received {
+    /// An occurrence event.
+    Event(OccurrenceEvent),
+    /// The timeout elapsed with no event queued.
+    Timeout,
+    /// The channel was closed and fully drained.
+    Closed,
+}
+
+struct ChannelState {
+    queue: VecDeque<OccurrenceEvent>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// The bounded, drop-oldest occurrence channel between the main thread and
+/// the planner. Sending never blocks: the main thread must not stall on
+/// speculation bookkeeping under any circumstance.
+struct OccurrenceChannel {
+    capacity: usize,
+    state: Mutex<ChannelState>,
+    available: Condvar,
+}
+
+impl OccurrenceChannel {
+    fn new(capacity: usize) -> Self {
+        OccurrenceChannel {
+            capacity: capacity.max(1),
+            state: Mutex::new(ChannelState { queue: VecDeque::new(), dropped: 0, closed: false }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Queues an event, dropping the oldest queued event when full. Never
+    /// blocks.
+    fn send(&self, event: OccurrenceEvent) {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.closed {
+            return;
+        }
+        if state.queue.len() >= self.capacity {
+            state.queue.pop_front();
+            state.dropped += 1;
+        }
+        state.queue.push_back(event);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Pops a queued event without waiting. Used by the planner to drain a
+    /// backlog before paying for rollouts: training must see *every*
+    /// occurrence (a gappy stream teaches the ensemble a variable-stride
+    /// successor function), planning only needs the freshest state.
+    fn try_recv(&self) -> Option<OccurrenceEvent> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).queue.pop_front()
+    }
+
+    /// Waits up to `timeout` for an event. Drains queued events before
+    /// reporting closure so no occurrence is lost at shutdown.
+    fn recv_timeout(&self, timeout: Duration) -> Received {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(event) = state.queue.pop_front() {
+                return Received::Event(event);
+            }
+            if state.closed {
+                return Received::Closed;
+            }
+            let (next, wait) = self
+                .available
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = next;
+            if wait.timed_out() && state.queue.is_empty() {
+                return if state.closed { Received::Closed } else { Received::Timeout };
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    fn dropped(&self) -> u64 {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dropped
+    }
+}
+
+/// Everything a planner returns when it shuts down.
+pub struct PlannerOutcome {
+    /// The planner's own counters.
+    pub stats: PlannerStats,
+    /// Final counters of the pool the planner fed (workers joined).
+    pub pool: PoolStats,
+    /// The predictor bank, for the run report's learning statistics.
+    pub bank: PredictorBank,
+}
+
+/// Main-thread handle to a running planner: send occurrences, then
+/// [`shutdown`](PlannerHandle::shutdown) to collect the outcome.
+pub struct PlannerHandle {
+    channel: Arc<OccurrenceChannel>,
+    thread: Option<JoinHandle<PlannerOutcome>>,
+}
+
+impl std::fmt::Debug for PlannerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannerHandle").field("running", &self.thread.is_some()).finish()
+    }
+}
+
+impl PlannerHandle {
+    /// Spawns a planner thread owning `pool` and a fresh predictor bank for
+    /// `rip`, reading occurrences from a bounded drop-oldest channel.
+    pub fn spawn(
+        config: &AscConfig,
+        rip: RecognizedIp,
+        cache: Arc<TrajectoryCache>,
+        pool: SpeculationPool,
+    ) -> Self {
+        let channel = Arc::new(OccurrenceChannel::new(config.planner.channel_capacity));
+        let thread_channel = Arc::clone(&channel);
+        let bank = PredictorBank::new(rip.ip, config);
+        let planner = Planner {
+            config: config.planner.clone(),
+            rip,
+            max_superstep: config.max_superstep,
+            cache,
+            pool,
+            bank,
+            plan: VecDeque::new(),
+            live: None,
+            inserts_seen: 0,
+            stats: PlannerStats::default(),
+        };
+        let thread = std::thread::Builder::new()
+            .name("asc-planner".into())
+            .spawn(move || planner.run(&thread_channel))
+            .expect("spawning the planner thread failed");
+        PlannerHandle { channel, thread: Some(thread) }
+    }
+
+    /// Reports a recognized-IP occurrence. Never blocks; a full channel
+    /// drops the oldest queued occurrence.
+    pub fn send(&self, event: OccurrenceEvent) {
+        self.channel.send(event);
+    }
+
+    /// Closes the channel, waits for the planner to drain it and join its
+    /// worker pool, and returns the combined outcome.
+    pub fn shutdown(mut self) -> PlannerOutcome {
+        self.channel.close();
+        let thread = self.thread.take().expect("planner joined twice");
+        thread.join().expect("planner thread panicked")
+    }
+}
+
+impl Drop for PlannerHandle {
+    fn drop(&mut self) {
+        self.channel.close();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One plan entry: a predicted future superstep plus whether it has already
+/// been offered to the pool (faulted or exhausted speculations must not be
+/// re-dispatched forever).
+struct PlannedStep {
+    predicted: PredictedState,
+    attempted: bool,
+}
+
+/// The planner's thread-local state.
+struct Planner {
+    config: PlannerConfig,
+    rip: RecognizedIp,
+    max_superstep: u64,
+    cache: Arc<TrajectoryCache>,
+    pool: SpeculationPool,
+    bank: PredictorBank,
+    /// Predicted future supersteps, nearest-first. Front = next occurrence.
+    plan: VecDeque<PlannedStep>,
+    /// The freshest occurrence state: the anchor for the next re-plan.
+    live: Option<StateVector>,
+    /// Cache-insert count at the last top-up, for insert-triggered wakeups.
+    inserts_seen: u64,
+    stats: PlannerStats,
+}
+
+impl Planner {
+    fn run(mut self, channel: &OccurrenceChannel) -> PlannerOutcome {
+        let idle = Duration::from_millis(self.config.idle_poll_ms.max(1));
+        loop {
+            match channel.recv_timeout(idle) {
+                Received::Event(event) => {
+                    // Train on the *whole* queued backlog before paying for
+                    // rollouts: the stream must reach the bank gap-free (a
+                    // subsampled stream teaches the ensemble a
+                    // variable-stride successor function), and — just as
+                    // important — the re-plan anchor must be the freshest
+                    // state available, or every dispatched prediction is
+                    // stale on arrival. Overload protection is the
+                    // channel's job: when the planner truly cannot keep up,
+                    // the bounded channel drops oldest instead of letting
+                    // the backlog (and the anchor's staleness) grow without
+                    // bound.
+                    self.on_occurrence(event);
+                    while let Some(event) = channel.try_recv() {
+                        self.on_occurrence(event);
+                    }
+                    self.extend_plan();
+                    self.top_up();
+                }
+                Received::Timeout => self.on_idle(),
+                Received::Closed => break,
+            }
+        }
+        self.stats.dropped = channel.dropped();
+        PlannerOutcome { stats: self.stats, pool: self.pool.shutdown(), bank: self.bank }
+    }
+
+    /// Trains on one occurrence and reconciles it with the plan. Does not
+    /// roll out or dispatch — the caller does that once per drained batch.
+    fn on_occurrence(&mut self, event: OccurrenceEvent) {
+        self.stats.occurrences += 1;
+        if self.stats.occurrences % self.config.full_observe_interval as u64 == 0 {
+            self.bank.observe(&event.state);
+        } else {
+            self.bank.observe_incremental(&event.state);
+        }
+        if !self.bank.is_ready() {
+            return;
+        }
+
+        // Match the occurrence against the plan: a hit at depth k confirms
+        // the predicted trajectory up to k; a miss invalidates it.
+        if !self.plan.is_empty() {
+            let matched = self
+                .plan
+                .iter()
+                .position(|step| self.bank.prediction_matches(&step.predicted.state, &event.state));
+            match matched {
+                Some(depth) => {
+                    self.stats.confirmed += 1;
+                    self.plan.drain(..=depth);
+                }
+                None => {
+                    self.stats.invalidated += 1;
+                    self.plan.clear();
+                }
+            }
+        }
+        self.live = Some(event.state);
+    }
+
+    /// Idle tick: when worker inserts landed since the last top-up, queue
+    /// slots freed up and previously deferred plan entries can dispatch.
+    fn on_idle(&mut self) {
+        let inserted = self.cache.stats().inserted;
+        if inserted > self.inserts_seen {
+            self.stats.insert_wakeups += 1;
+            self.top_up();
+        }
+    }
+
+    /// Grows the plan back to the configured horizon by rolling out from the
+    /// deepest surviving prediction (or from the live state after an
+    /// invalidation or at the very start).
+    fn extend_plan(&mut self) {
+        if !self.bank.is_ready() || self.plan.len() >= self.config.horizon {
+            return;
+        }
+        let missing = self.config.horizon - self.plan.len();
+        let (anchor, extending) = match self.plan.back() {
+            Some(deepest) => (deepest.predicted.state.clone(), true),
+            None => match &self.live {
+                Some(live) => (live.clone(), false),
+                None => return,
+            },
+        };
+        let rollouts = self.bank.rollout(&anchor, missing);
+        if rollouts.is_empty() {
+            return;
+        }
+        if extending {
+            self.stats.extensions += 1;
+        } else {
+            self.stats.replans += 1;
+        }
+        self.plan.extend(
+            rollouts.into_iter().map(|predicted| PlannedStep { predicted, attempted: false }),
+        );
+    }
+
+    /// Hands undispatched, uncovered plan entries to the pool, nearest-first,
+    /// until every worker has work plus a little queued ahead. The watermark
+    /// is deliberately shallow: deeply queued predictions go stale before a
+    /// worker frees up, and on machines where workers timeshare a core with
+    /// the main thread, excess speculation actively slows the run down.
+    fn top_up(&mut self) {
+        self.inserts_seen = self.cache.stats().inserted;
+        let watermark = self.pool.workers() + 1;
+        for step in self.plan.iter_mut() {
+            if self.pool.pending() >= watermark {
+                break;
+            }
+            if step.attempted {
+                continue;
+            }
+            // Marked whether accepted, deduplicated, dropped or already
+            // covered: this exact prediction is never offered twice.
+            step.attempted = true;
+            if self.cache.peek(self.rip.ip, &step.predicted.state).is_some() {
+                continue;
+            }
+            if self.pool.dispatch(SpeculationJob {
+                start: step.predicted.state.clone(),
+                rip: self.rip.ip,
+                stride: self.rip.stride,
+                max_instructions: self.max_superstep,
+            }) {
+                self.stats.dispatched += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_asm::assemble;
+    use asc_tvm::machine::Machine;
+
+    fn looping_program() -> (asc_tvm::program::Program, u32) {
+        let program = assemble(
+            r#"
+            main:
+                movi r1, 400
+                movi r2, 0
+            loop:
+                add  r2, r2, r1
+                sub  r1, r1, 1
+                cmpi r1, 0
+                jne  loop
+                halt
+            "#,
+        )
+        .unwrap();
+        let rip = program.symbol("loop").unwrap();
+        (program, rip)
+    }
+
+    fn recognized(rip: u32) -> RecognizedIp {
+        RecognizedIp { ip: rip, stride: 1, mean_superstep: 4.0, accuracy: 1.0, score: 1.0 }
+    }
+
+    fn planner_config() -> AscConfig {
+        AscConfig {
+            explore_instructions: 5_000,
+            min_superstep: 4,
+            rollout_depth: 8,
+            workers: 2,
+            ..AscConfig::for_tests()
+        }
+    }
+
+    #[test]
+    fn channel_drops_oldest_when_full() {
+        let channel = OccurrenceChannel::new(2);
+        for tag in 1..=5u32 {
+            let mut state = StateVector::new(64).unwrap();
+            state.set_reg_index(1, tag);
+            channel.send(OccurrenceEvent { state });
+        }
+        assert_eq!(channel.dropped(), 3);
+        // The two *newest* events survive.
+        let Received::Event(first) = channel.recv_timeout(Duration::from_millis(1)) else {
+            panic!("expected an event");
+        };
+        let Received::Event(second) = channel.recv_timeout(Duration::from_millis(1)) else {
+            panic!("expected an event");
+        };
+        assert_eq!(first.state.reg_index(1), 4);
+        assert_eq!(second.state.reg_index(1), 5);
+        assert!(matches!(channel.recv_timeout(Duration::from_millis(1)), Received::Timeout));
+    }
+
+    #[test]
+    fn channel_reports_closed_only_after_draining() {
+        let channel = OccurrenceChannel::new(4);
+        let state = StateVector::new(64).unwrap();
+        channel.send(OccurrenceEvent { state });
+        channel.close();
+        assert!(matches!(channel.recv_timeout(Duration::from_millis(1)), Received::Event(_)));
+        assert!(matches!(channel.recv_timeout(Duration::from_millis(1)), Received::Closed));
+        // Sends after close are discarded, not queued.
+        channel.send(OccurrenceEvent { state: StateVector::new(64).unwrap() });
+        assert!(matches!(channel.recv_timeout(Duration::from_millis(1)), Received::Closed));
+    }
+
+    #[test]
+    fn planner_fills_cache_from_occurrence_stream() {
+        let (program, rip) = looping_program();
+        let config = planner_config();
+        let cache = Arc::new(TrajectoryCache::new(1 << 12));
+        let pool = SpeculationPool::new(2, Arc::clone(&cache));
+        let handle = PlannerHandle::spawn(&config, recognized(rip), Arc::clone(&cache), pool);
+
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_until_ip(rip, 10_000).unwrap();
+        for _ in 0..120 {
+            handle.send(OccurrenceEvent { state: machine.state().clone() });
+            machine.run_until_ip(rip, 10_000).unwrap();
+            if machine.is_halted() {
+                break;
+            }
+        }
+        // Give in-flight speculation a moment, then shut down cleanly.
+        let outcome = handle.shutdown();
+        assert!(outcome.stats.occurrences > 50, "{:?}", outcome.stats);
+        assert!(outcome.bank.is_ready());
+        assert!(outcome.stats.replans > 0, "{:?}", outcome.stats);
+        assert!(outcome.stats.dispatched > 0, "{:?}", outcome.stats);
+        // The pool really executed the dispatched predictions and the cache
+        // holds their trajectories (the loop is exactly predictable).
+        assert_eq!(
+            outcome.pool.dispatched,
+            outcome.pool.completed + outcome.pool.faulted + outcome.pool.exhausted,
+            "pool shutdown lost jobs: {:?}",
+            outcome.pool
+        );
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn shutdown_with_jobs_in_flight_is_clean() {
+        // An endless spin keeps both workers busy forever (within budget), so
+        // shutdown happens with jobs guaranteed in flight.
+        let program = assemble("spin:\n jmp spin\n").unwrap();
+        let config = AscConfig { workers: 2, max_superstep: 3_000_000, ..planner_config() };
+        let cache = Arc::new(TrajectoryCache::new(64));
+        let mut pool = SpeculationPool::new(2, Arc::clone(&cache));
+        let mut spin_state = program.initial_state().unwrap();
+        for i in 0..4u32 {
+            spin_state.set_reg_index(2, i); // distinct states defeat dedup
+            pool.dispatch(SpeculationJob {
+                start: spin_state.clone(),
+                rip: 8, // never reached
+                stride: 1,
+                max_instructions: 3_000_000,
+            });
+        }
+        let handle = PlannerHandle::spawn(&config, recognized(0), Arc::clone(&cache), pool);
+        handle.send(OccurrenceEvent { state: program.initial_state().unwrap() });
+        // Shutdown must drain the spinning jobs and join without deadlock.
+        let outcome = handle.shutdown();
+        assert_eq!(
+            outcome.pool.dispatched,
+            outcome.pool.completed + outcome.pool.faulted + outcome.pool.exhausted,
+            "{:?}",
+            outcome.pool
+        );
+    }
+
+    #[test]
+    fn flooding_a_full_channel_never_blocks_the_sender() {
+        let (program, rip) = looping_program();
+        // A one-slot channel with a slow planner poll: sends vastly outpace
+        // receives, so the drop-oldest path is exercised constantly.
+        let config = AscConfig {
+            workers: 1,
+            planner: crate::config::PlannerConfig {
+                channel_capacity: 1,
+                idle_poll_ms: 20,
+                ..crate::config::PlannerConfig::default()
+            },
+            ..planner_config()
+        };
+        let cache = Arc::new(TrajectoryCache::new(64));
+        let pool = SpeculationPool::new(1, Arc::clone(&cache));
+        let handle = PlannerHandle::spawn(&config, recognized(rip), Arc::clone(&cache), pool);
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_until_ip(rip, 10_000).unwrap();
+        let started = std::time::Instant::now();
+        for _ in 0..2_000 {
+            handle.send(OccurrenceEvent { state: machine.state().clone() });
+        }
+        // 2000 sends through a 1-slot channel must be near-instant; blocking
+        // would take 2000 × poll interval.
+        assert!(started.elapsed() < Duration::from_secs(2), "sender blocked on a full channel");
+        let outcome = handle.shutdown();
+        assert!(outcome.stats.dropped > 0, "{:?}", outcome.stats);
+        assert!(outcome.stats.occurrences + outcome.stats.dropped >= 2_000, "{:?}", outcome.stats);
+    }
+}

@@ -165,8 +165,7 @@ impl PredictorBank {
             } else {
                 self.drift = 0;
             }
-            let rebuild_allowed =
-                self.observations >= self.last_rebuild + (self.warmup as u64 + 8);
+            let rebuild_allowed = self.observations >= self.last_rebuild + (self.warmup as u64 + 8);
             if self.drift >= 3 && rebuild_allowed {
                 // The paper's recognizer calls reset() on its predictors when
                 // program behaviour changes; rebuilding widens the map to the
@@ -177,6 +176,37 @@ impl PredictorBank {
                 self.previous = Some((state.clone(), observation));
                 return;
             }
+            let ensemble = self.ensemble.as_mut().expect("checked above");
+            ensemble.observe(previous_observation, &observation);
+        }
+        self.previous = Some((state.clone(), observation));
+    }
+
+    /// Cheap training path for high-rate occurrence streams (the planner's
+    /// hot path): once the ensemble is ready, extracts the tracked
+    /// observation — touching only the excited words — and trains the
+    /// ensemble on the transition from the previous occurrence, skipping the
+    /// full-state excitation diff and drift scan that [`observe`] pays
+    /// (~80µs per occurrence on TVM-sized states). Falls back to the full
+    /// path until the ensemble is ready.
+    ///
+    /// Callers should still route occasional occurrences through
+    /// [`observe`] (the planner does so every
+    /// [`full_observe_interval`](crate::config::PlannerConfig::full_observe_interval)-th
+    /// occurrence) so excitation discovery and drift detection stay alive.
+    /// Between full updates the tracker's diff spans several supersteps,
+    /// which coarsens change *counts* but cannot hide a changing bit.
+    ///
+    /// [`observe`]: PredictorBank::observe
+    pub fn observe_incremental(&mut self, state: &StateVector) {
+        if self.ensemble.is_none() {
+            self.observe(state);
+            return;
+        }
+        self.observations += 1;
+        let map = self.map.as_ref().expect("ensemble implies map");
+        let observation = map.observe(state);
+        if let Some((_, previous_observation)) = &self.previous {
             let ensemble = self.ensemble.as_mut().expect("checked above");
             ensemble.observe(previous_observation, &observation);
         }
@@ -200,10 +230,7 @@ impl PredictorBank {
     /// on an entry's read set.
     pub fn prediction_matches(&self, predicted: &StateVector, actual: &StateVector) -> bool {
         match &self.map {
-            Some(map) => map
-                .bit_indices()
-                .iter()
-                .all(|&bit| predicted.bit(bit) == actual.bit(bit)),
+            Some(map) => map.bit_indices().iter().all(|&bit| predicted.bit(bit) == actual.bit(bit)),
             None => predicted == actual,
         }
     }
@@ -311,6 +338,29 @@ mod tests {
         for pair in rollout.windows(2) {
             assert!(pair[1].log_probability <= pair[0].log_probability + 1e-9);
         }
+    }
+
+    #[test]
+    fn incremental_observe_trains_like_full_observe() {
+        let (program, rip) = counting_program(200);
+        let states = occurrence_states(&program, rip, 60);
+        let config = AscConfig::for_tests();
+        let mut full = PredictorBank::new(rip, &config);
+        let mut incremental = PredictorBank::new(rip, &config);
+        for state in &states[..50] {
+            full.observe(state);
+            // The incremental path self-falls-back until the ensemble exists,
+            // then trains the ensemble only.
+            incremental.observe_incremental(state);
+        }
+        assert!(incremental.is_ready());
+        assert_eq!(incremental.observations(), full.observations());
+        // On an exactly learnable loop both training paths converge to the
+        // same prediction.
+        let from_full = full.predict_next(&states[50]).unwrap();
+        let from_incremental = incremental.predict_next(&states[50]).unwrap();
+        assert_eq!(from_full.state, states[51]);
+        assert_eq!(from_incremental.state, states[51]);
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl IpProfiler {
                 s.occurrences += 1;
                 s.last_instret = instret;
             })
-            .or_insert(CandidateStats { ip, occurrences: 1, first_instret: instret, last_instret: instret });
+            .or_insert(CandidateStats {
+                ip,
+                occurrences: 1,
+                first_instret: instret,
+                last_instret: instret,
+            });
     }
 
     /// Number of distinct IP values observed (Table 1's "unique IP values").
@@ -217,197 +222,201 @@ pub fn recognize(initial: &StateVector, config: &AscConfig) -> AscResult<Recogni
     // current RIP useless" (§4.4.1).
     const MAX_ATTEMPTS: usize = 8;
     for attempt in 1..=MAX_ATTEMPTS {
-    let mut profiler = IpProfiler::new();
+        let mut profiler = IpProfiler::new();
 
-    // ---- Phase 1: profile IP occurrences. ----
-    let mut halted = false;
-    let phase1_end = machine.instret() + config.explore_instructions;
-    while machine.instret() < phase1_end {
-        match machine.step()? {
-            asc_tvm::exec::StepOutcome::Continue => {
-                profiler.record(machine.state().ip(), machine.instret());
+        // ---- Phase 1: profile IP occurrences. ----
+        let mut halted = false;
+        let phase1_end = machine.instret() + config.explore_instructions;
+        while machine.instret() < phase1_end {
+            match machine.step()? {
+                asc_tvm::exec::StepOutcome::Continue => {
+                    profiler.record(machine.state().ip(), machine.instret());
+                }
+                asc_tvm::exec::StepOutcome::Halted => {
+                    halted = true;
+                    break;
+                }
             }
-            asc_tvm::exec::StepOutcome::Halted => {
-                halted = true;
-                break;
+        }
+        total_unique_ips = total_unique_ips.max(profiler.unique_ips());
+        let candidates =
+            profiler.candidates(config.min_superstep, config.candidate_count, machine.instret());
+        if candidates.is_empty() {
+            if halted {
+                return Err(AscError::ProgramTooShort { executed: machine.instret() });
             }
+            if attempt == MAX_ATTEMPTS {
+                return Err(AscError::NoRecognizedIp);
+            }
+            continue;
         }
-    }
-    total_unique_ips = total_unique_ips.max(profiler.unique_ips());
-    let candidates =
-        profiler.candidates(config.min_superstep, config.candidate_count, machine.instret());
-    if candidates.is_empty() {
-        if halted {
-            return Err(AscError::ProgramTooShort { executed: machine.instret() });
+
+        // ---- Phase 2: evaluate candidate predictability. ----
+        //
+        // Exactly as in §4.3: each candidate gets a private predictor bank; when
+        // the bank issues a prediction we *speculatively execute* a superstep
+        // from the predicted state and keep the resulting cache entry in a local
+        // cache of predictions; at the candidate's next occurrence we check
+        // whether the real state matches that entry on its dependency (read) set.
+        struct Evaluation {
+            candidate: Candidate,
+            bank: PredictorBank,
+            pending: Option<crate::cache::CacheEntry>,
+            raw_occurrences_left: usize,
+            scored: usize,
+            correct: usize,
+            superstep_instructions: u64,
+            supersteps: usize,
+            last_occurrence_instret: Option<u64>,
         }
-        if attempt == MAX_ATTEMPTS {
-            return Err(AscError::NoRecognizedIp);
-        }
-        continue;
-    }
+        let mut evaluations: Vec<Evaluation> = candidates
+            .iter()
+            .map(|candidate| Evaluation {
+                candidate: *candidate,
+                bank: PredictorBank::new(candidate.ip, config),
+                pending: None,
+                raw_occurrences_left: candidate.stride,
+                scored: 0,
+                correct: 0,
+                superstep_instructions: 0,
+                supersteps: 0,
+                last_occurrence_instret: None,
+            })
+            .collect();
 
-    // ---- Phase 2: evaluate candidate predictability. ----
-    //
-    // Exactly as in §4.3: each candidate gets a private predictor bank; when
-    // the bank issues a prediction we *speculatively execute* a superstep
-    // from the predicted state and keep the resulting cache entry in a local
-    // cache of predictions; at the candidate's next occurrence we check
-    // whether the real state matches that entry on its dependency (read) set.
-    struct Evaluation {
-        candidate: Candidate,
-        bank: PredictorBank,
-        pending: Option<crate::cache::CacheEntry>,
-        raw_occurrences_left: usize,
-        scored: usize,
-        correct: usize,
-        superstep_instructions: u64,
-        supersteps: usize,
-        last_occurrence_instret: Option<u64>,
-    }
-    let mut evaluations: Vec<Evaluation> = candidates
-        .iter()
-        .map(|candidate| Evaluation {
-            candidate: *candidate,
-            bank: PredictorBank::new(candidate.ip, config),
-            pending: None,
-            raw_occurrences_left: candidate.stride,
-            scored: 0,
-            correct: 0,
-            superstep_instructions: 0,
-            supersteps: 0,
-            last_occurrence_instret: None,
-        })
-        .collect();
+        // Warm-up and training occurrences plus the scored ones, per candidate.
+        let needed = config.evaluation_occurrences
+            + config.evaluation_training
+            + config.excitation_warmup
+            + 2;
+        // Bound phase 2 so pathological candidates cannot stall recognition.
+        let budget = config
+            .explore_instructions
+            .saturating_mul(8)
+            .max(config.min_superstep * (needed as u64) * 4)
+            .min(config.instruction_budget);
 
-    // Warm-up and training occurrences plus the scored ones, per candidate.
-    let needed = config.evaluation_occurrences + config.evaluation_training + config.excitation_warmup + 2;
-    // Bound phase 2 so pathological candidates cannot stall recognition.
-    let budget = config
-        .explore_instructions
-        .saturating_mul(8)
-        .max(config.min_superstep * (needed as u64) * 4)
-        .min(config.instruction_budget);
-
-    let mut spent = 0u64;
-    while spent < budget && !halted {
-        match machine.step()? {
-            asc_tvm::exec::StepOutcome::Continue => {
-                spent += 1;
-                let ip = machine.state().ip();
-                let instret = machine.instret();
-                for evaluation in &mut evaluations {
-                    if evaluation.candidate.ip != ip {
-                        continue;
-                    }
-                    evaluation.raw_occurrences_left -= 1;
-                    if evaluation.raw_occurrences_left > 0 {
-                        continue;
-                    }
-                    evaluation.raw_occurrences_left = evaluation.candidate.stride;
-                    // A strided occurrence of this candidate.
-                    if let Some(previous) = evaluation.last_occurrence_instret {
-                        evaluation.superstep_instructions += instret - previous;
-                        evaluation.supersteps += 1;
-                    }
-                    evaluation.last_occurrence_instret = Some(instret);
-                    let state = machine.state().clone();
-                    // Score the speculative entry produced from the previous
-                    // occurrence's prediction: a hit means the real state
-                    // matches the entry's dependency set.
-                    if let Some(entry) = evaluation.pending.take() {
-                        evaluation.scored += 1;
-                        if entry.matches(&state) {
-                            evaluation.correct += 1;
+        let mut spent = 0u64;
+        while spent < budget && !halted {
+            match machine.step()? {
+                asc_tvm::exec::StepOutcome::Continue => {
+                    spent += 1;
+                    let ip = machine.state().ip();
+                    let instret = machine.instret();
+                    for evaluation in &mut evaluations {
+                        if evaluation.candidate.ip != ip {
+                            continue;
                         }
-                    }
-                    evaluation.bank.observe(&state);
-                    let trained_enough = evaluation.bank.observations()
-                        >= (config.excitation_warmup + config.evaluation_training) as u64;
-                    if evaluation.bank.is_ready()
-                        && trained_enough
-                        && evaluation.scored < config.evaluation_occurrences
-                    {
-                        if let Some(predicted) = evaluation.bank.predict_next(&state) {
-                            if let Ok(result) = crate::speculator::execute_superstep(
-                                &predicted.state,
-                                evaluation.candidate.ip,
-                                evaluation.candidate.stride,
-                                config.max_superstep,
-                            ) {
-                                if let Some(outcome) = result.completed() {
-                                    evaluation.pending = Some(outcome.entry);
+                        evaluation.raw_occurrences_left -= 1;
+                        if evaluation.raw_occurrences_left > 0 {
+                            continue;
+                        }
+                        evaluation.raw_occurrences_left = evaluation.candidate.stride;
+                        // A strided occurrence of this candidate.
+                        if let Some(previous) = evaluation.last_occurrence_instret {
+                            evaluation.superstep_instructions += instret - previous;
+                            evaluation.supersteps += 1;
+                        }
+                        evaluation.last_occurrence_instret = Some(instret);
+                        let state = machine.state().clone();
+                        // Score the speculative entry produced from the previous
+                        // occurrence's prediction: a hit means the real state
+                        // matches the entry's dependency set.
+                        if let Some(entry) = evaluation.pending.take() {
+                            evaluation.scored += 1;
+                            if entry.matches(&state) {
+                                evaluation.correct += 1;
+                            }
+                        }
+                        evaluation.bank.observe(&state);
+                        let trained_enough = evaluation.bank.observations()
+                            >= (config.excitation_warmup + config.evaluation_training) as u64;
+                        if evaluation.bank.is_ready()
+                            && trained_enough
+                            && evaluation.scored < config.evaluation_occurrences
+                        {
+                            if let Some(predicted) = evaluation.bank.predict_next(&state) {
+                                if let Ok(result) = crate::speculator::execute_superstep(
+                                    &predicted.state,
+                                    evaluation.candidate.ip,
+                                    evaluation.candidate.stride,
+                                    config.max_superstep,
+                                ) {
+                                    if let Some(outcome) = result.completed() {
+                                        evaluation.pending = Some(outcome.entry);
+                                    }
                                 }
                             }
                         }
                     }
-                }
-                // A candidate is finished when it has enough scored
-                // supersteps; it is written off as *stalled* when it has not
-                // occurred for many times its expected superstep spacing
-                // (e.g. an initialisation loop that will never run again).
-                // Waiting for stalled candidates would let short programs run
-                // to completion inside the recognizer.
-                let done = evaluations.iter().all(|e| {
-                    if e.scored >= config.evaluation_occurrences {
-                        return true;
+                    // A candidate is finished when it has enough scored
+                    // supersteps; it is written off as *stalled* when it has not
+                    // occurred for many times its expected superstep spacing
+                    // (e.g. an initialisation loop that will never run again).
+                    // Waiting for stalled candidates would let short programs run
+                    // to completion inside the recognizer.
+                    let done = evaluations.iter().all(|e| {
+                        if e.scored >= config.evaluation_occurrences {
+                            return true;
+                        }
+                        let expected_gap =
+                            (e.candidate.mean_gap * e.candidate.stride as f64).max(1.0);
+                        let since_last = instret
+                            - e.last_occurrence_instret.unwrap_or(config.explore_instructions);
+                        since_last as f64 > 20.0 * expected_gap
+                    });
+                    if done {
+                        break;
                     }
-                    let expected_gap =
-                        (e.candidate.mean_gap * e.candidate.stride as f64).max(1.0);
-                    let since_last = instret
-                        - e.last_occurrence_instret.unwrap_or(config.explore_instructions);
-                    since_last as f64 > 20.0 * expected_gap
-                });
-                if done {
-                    break;
                 }
-            }
-            asc_tvm::exec::StepOutcome::Halted => {
-                halted = true;
+                asc_tvm::exec::StepOutcome::Halted => {
+                    halted = true;
+                }
             }
         }
-    }
 
-    let mut evaluated: Vec<RecognizedIp> = evaluations
-        .iter()
-        .filter(|e| e.supersteps > 0)
-        .map(|e| {
-            let mean_superstep = e.superstep_instructions as f64 / e.supersteps as f64;
-            let accuracy = if e.scored == 0 { 0.0 } else { e.correct as f64 / e.scored as f64 };
-            RecognizedIp {
-                ip: e.candidate.ip,
-                stride: e.candidate.stride,
-                mean_superstep,
-                accuracy,
-                score: accuracy * mean_superstep,
-            }
-        })
-        .collect();
-    evaluated.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        let mut evaluated: Vec<RecognizedIp> = evaluations
+            .iter()
+            .filter(|e| e.supersteps > 0)
+            .map(|e| {
+                let mean_superstep = e.superstep_instructions as f64 / e.supersteps as f64;
+                let accuracy = if e.scored == 0 { 0.0 } else { e.correct as f64 / e.scored as f64 };
+                RecognizedIp {
+                    ip: e.candidate.ip,
+                    stride: e.candidate.stride,
+                    mean_superstep,
+                    accuracy,
+                    score: accuracy * mean_superstep,
+                }
+            })
+            .collect();
+        evaluated
+            .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
 
-    let best = evaluated
-        .iter()
-        .find(|r| r.mean_superstep >= config.min_superstep as f64 && r.accuracy > 0.0)
-        .or_else(|| evaluated.iter().find(|r| r.accuracy > 0.0))
-        .copied();
+        let best = evaluated
+            .iter()
+            .find(|r| r.mean_superstep >= config.min_superstep as f64 && r.accuracy > 0.0)
+            .or_else(|| evaluated.iter().find(|r| r.accuracy > 0.0))
+            .copied();
 
-    // Retry from the current position when nothing was predictable — unless
-    // the program already halted or this was the last attempt, in which case
-    // the least-bad candidate (or an error) is returned.
-    let rip = match best {
-        Some(rip) => rip,
-        None if !halted && attempt < MAX_ATTEMPTS => continue,
-        None => evaluated.first().copied().ok_or(AscError::NoRecognizedIp)?,
-    };
+        // Retry from the current position when nothing was predictable — unless
+        // the program already halted or this was the last attempt, in which case
+        // the least-bad candidate (or an error) is returned.
+        let rip = match best {
+            Some(rip) => rip,
+            None if !halted && attempt < MAX_ATTEMPTS => continue,
+            None => evaluated.first().copied().ok_or(AscError::NoRecognizedIp)?,
+        };
 
-    return Ok(RecognizerOutcome {
-        rip,
-        evaluated,
-        unique_ips: total_unique_ips,
-        instructions_spent: machine.instret(),
-        resume_state: machine.state().clone(),
-        resume_instret: machine.instret(),
-        halted,
-    });
+        return Ok(RecognizerOutcome {
+            rip,
+            evaluated,
+            unique_ips: total_unique_ips,
+            instructions_spent: machine.instret(),
+            resume_state: machine.state().clone(),
+            resume_instret: machine.instret(),
+            halted,
+        });
     }
     Err(AscError::NoRecognizedIp)
 }
@@ -487,7 +496,11 @@ mod tests {
     fn recognizes_ising_energy_function() {
         let params = ising::IsingParams { nodes: 48, spins: 24, reps: 4, seed: 11 };
         let program = ising::program(&params).unwrap();
-        let config = AscConfig { min_superstep: 200, explore_instructions: 20_000, ..AscConfig::for_tests() };
+        let config = AscConfig {
+            min_superstep: 200,
+            explore_instructions: 20_000,
+            ..AscConfig::for_tests()
+        };
         let outcome = recognize(&program.initial_state().unwrap(), &config).unwrap();
         assert!(outcome.rip.mean_superstep >= 200.0, "{:?}", outcome.rip);
         // Pointer-chasing is predictable here because allocation was sequential.
@@ -496,8 +509,10 @@ mod tests {
 
     #[test]
     fn straight_line_program_has_no_rip() {
-        let program = assemble("main:\n movi r1, 1\n movi r2, 2\n add r3, r1, r2\n halt\n").unwrap();
-        let err = recognize(&program.initial_state().unwrap(), &AscConfig::for_tests()).unwrap_err();
+        let program =
+            assemble("main:\n movi r1, 1\n movi r2, 2\n add r3, r1, r2\n halt\n").unwrap();
+        let err =
+            recognize(&program.initial_state().unwrap(), &AscConfig::for_tests()).unwrap_err();
         assert!(matches!(err, AscError::ProgramTooShort { .. } | AscError::NoRecognizedIp));
     }
 }

@@ -17,33 +17,48 @@
 //!   the cache. Program results are bit-for-bit identical to sequential
 //!   execution — speculation can only ever skip work, never change it.
 //!
-//! # The dispatch → speculate → insert pipeline
+//! # The occurrence → plan → dispatch → insert pipeline
 //!
-//! With [`AscConfig::workers`] > 0, `accelerate` runs the paper's
-//! multi-core architecture for real rather than simulating it:
+//! With [`AscConfig::workers`] > 0 and the planner enabled (the default),
+//! `accelerate` runs the paper's *continuously speculating* multi-core
+//! architecture for real rather than simulating it:
 //!
-//! 1. **Dispatch.** At every cache miss the main thread trains the
-//!    predictor bank on the observed state, rolls predictions
-//!    `rollout_depth` supersteps into the future, and hands the
-//!    expected-utility-ranked [`SpeculationTask`]s to a persistent
-//!    [`SpeculationPool`] as non-blocking jobs. A full queue *drops* work
-//!    instead of stalling the main thread — speculation is strictly
-//!    opportunistic.
-//! 2. **Speculate.** Each worker thread executes one superstep from its
+//! 1. **Occurrence.** At every recognized-IP occurrence — hit or miss — the
+//!    main thread clones its state into a bounded, drop-oldest channel and
+//!    immediately goes back to executing (or fast-forwarding). It never
+//!    trains predictors, plans or dispatches: speculation cadence is not its
+//!    job.
+//! 2. **Plan.** The [`PlannerHandle`]'s thread consumes the occurrence
+//!    stream. It trains the predictor bank (the cheap incremental path most
+//!    of the time), matches each occurrence against its current plan —
+//!    confirming or invalidating the predicted trajectory — and keeps a
+//!    rollout horizon of [`PlannerConfig::horizon`] predicted future
+//!    supersteps planned at all times.
+//! 3. **Dispatch.** The planner tops the persistent [`SpeculationPool`]'s
+//!    queue up with undispatched, uncovered plan entries, nearest-first,
+//!    after every occurrence *and* whenever a worker's cache insert lands —
+//!    so workers stay busy even while the main thread fast-forwards through
+//!    a hit streak without ever missing.
+//! 4. **Speculate + Insert.** Each worker executes one superstep from its
 //!    predicted start state with full per-byte dependency tracking (the
-//!    paper's `g` vector), concurrently with the main thread executing the
-//!    present superstep.
-//! 3. **Insert.** Completed supersteps become compressed cache entries
-//!    (read-set keyed start, write-set keyed end) inserted into the sharded,
-//!    thread-safe [`TrajectoryCache`]; the main thread picks them up at its
-//!    next recognized-IP occurrence and fast-forwards.
+//!    paper's `g` vector) into a per-worker reusable scratch, and completed
+//!    supersteps become compressed cache entries (read-set keyed start,
+//!    write-set keyed end) in the sharded, thread-safe [`TrajectoryCache`];
+//!    the main thread picks them up at its next occurrence and
+//!    fast-forwards.
 //!
-//! Determinism of *results* is scheduling-independent: an entry is applied
-//! only when its entire read set matches the live state, so the worst a
-//! racing, stale or dropped speculation can do is fail to save work. Which
-//! supersteps are skipped (and therefore the reported cache statistics) may
-//! vary between runs; `final_state` never does. `workers == 0` executes the
-//! same tasks inline on the main thread, giving a fully reproducible run.
+//! With the planner disabled, a worker-pool run falls back to PR 1's
+//! miss-driven dispatch: the main thread itself trains the bank at every
+//! cache miss and hands the expected-utility-ranked [`SpeculationTask`]s to
+//! the pool, skipping re-planning while the pool is saturated.
+//!
+//! Determinism of *results* is scheduling-independent in every mode: an
+//! entry is applied only when its entire read set matches the live state, so
+//! the worst a racing, stale or dropped speculation can do is fail to save
+//! work. Which supersteps are skipped (and therefore the reported cache
+//! statistics) may vary between runs; `final_state` never does.
+//! `workers == 0` executes the same tasks inline on the main thread, giving
+//! a fully reproducible run.
 //!
 //! # Interpreter cost model
 //!
@@ -60,14 +75,17 @@
 //! [`SpeculationPool`]: crate::workers::SpeculationPool
 //! [`TrajectoryCache`]: crate::cache::TrajectoryCache
 //! [`AscConfig::workers`]: crate::config::AscConfig::workers
+//! [`PlannerHandle`]: crate::planner::PlannerHandle
+//! [`PlannerConfig::horizon`]: crate::config::PlannerConfig::horizon
 
 use crate::allocator::plan_speculation;
 use crate::cache::{CacheStats, TrajectoryCache};
 use crate::config::AscConfig;
 use crate::error::AscResult;
+use crate::planner::{OccurrenceEvent, PlannerHandle, PlannerStats};
 use crate::predictor_bank::PredictorBank;
 use crate::recognizer::{recognize, RecognizedIp};
-use crate::speculator::execute_superstep;
+use crate::speculator::{execute_superstep_with, SpeculationScratch};
 use crate::workers::{PoolStats, SpeculationJob, SpeculationPool};
 use asc_learn::ensemble::EnsembleErrors;
 use asc_tvm::delta::SparseBytes;
@@ -129,6 +147,12 @@ pub struct RunReport {
     ///
     /// [`AscConfig::workers`]: crate::config::AscConfig::workers
     pub speculation: Option<PoolStats>,
+    /// Planner statistics when the continuous-speculation planner ran
+    /// (workers > 0 and [`PlannerConfig::enabled`]; populated by
+    /// [`LascRuntime::accelerate`]).
+    ///
+    /// [`PlannerConfig::enabled`]: crate::config::PlannerConfig::enabled
+    pub planner: Option<PlannerStats>,
     /// The final state of the program.
     pub final_state: StateVector,
     /// Whether the program ran to completion (halted).
@@ -158,11 +182,8 @@ impl RunReport {
     /// Fraction of scored supersteps whose one-step prediction was correct on
     /// the read set.
     pub fn one_step_accuracy(&self) -> f64 {
-        let scored: Vec<bool> = self
-            .supersteps
-            .iter()
-            .filter_map(|s| s.prediction_correct)
-            .collect();
+        let scored: Vec<bool> =
+            self.supersteps.iter().filter_map(|s| s.prediction_correct).collect();
         if scored.is_empty() {
             0.0
         } else {
@@ -299,6 +320,7 @@ impl LascRuntime {
             weight_matrix: bank.weight_matrix(),
             cache_stats: CacheStats::default(),
             speculation: None,
+            planner: None,
             final_state: machine.into_state(),
             halted,
         })
@@ -306,13 +328,15 @@ impl LascRuntime {
 
     /// Accelerated execution: the trajectory cache, predictors, allocator and
     /// speculative execution are all in the loop. With
-    /// [`AscConfig::workers`](crate::config::AscConfig::workers) > 0,
-    /// speculative supersteps run concurrently on a persistent worker pool
-    /// while the main thread keeps executing (see the module documentation
-    /// for the pipeline); with `workers == 0` they execute inline, which
-    /// makes the whole run — statistics included — reproducible. Final
-    /// program state is bit-for-bit identical to sequential execution in
-    /// both modes.
+    /// [`AscConfig::workers`](crate::config::AscConfig::workers) > 0 and the
+    /// planner enabled (the default), speculation cadence is owned by a
+    /// dedicated planner thread that keeps the worker pool continuously
+    /// topped up with predicted supersteps; with the planner disabled the
+    /// pool is fed miss-driven from the main thread, and with `workers == 0`
+    /// speculation executes inline, which makes the whole run — statistics
+    /// included — reproducible (see the module documentation for the
+    /// pipeline). Final program state is bit-for-bit identical to sequential
+    /// execution in every mode.
     ///
     /// # Errors
     /// Propagates recognizer and simulator errors.
@@ -321,8 +345,13 @@ impl LascRuntime {
         let outcome = recognize(&initial, &self.config)?;
         let rip = outcome.rip;
         let cache = Arc::new(TrajectoryCache::new(self.config.cache_capacity));
+        if self.config.workers > 0 && self.config.planner.enabled {
+            return self.accelerate_planned(&initial, &outcome, &cache);
+        }
         let mut pool = (self.config.workers > 0)
             .then(|| SpeculationPool::new(self.config.workers, Arc::clone(&cache)));
+        // Inline speculation reuses one scratch across the whole run.
+        let mut scratch = SpeculationScratch::new();
 
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut bank = PredictorBank::new(rip.ip, &self.config);
@@ -371,11 +400,12 @@ impl LascRuntime {
                             stride: rip.stride,
                             max_instructions: self.config.max_superstep,
                         });
-                    } else if let Ok(result) = execute_superstep(
+                    } else if let Ok(result) = execute_superstep_with(
                         &task.predicted.state,
                         rip.ip,
                         rip.stride,
                         self.config.max_superstep,
+                        &mut scratch,
                     ) {
                         if let Some(speculation) = result.completed() {
                             if speculation.reached_rip || speculation.halted {
@@ -418,6 +448,80 @@ impl LascRuntime {
             weight_matrix: bank.weight_matrix(),
             cache_stats: cache.stats(),
             speculation,
+            planner: None,
+            final_state: machine.into_state(),
+            halted,
+        })
+    }
+
+    /// The planner-owned variant of [`accelerate`](LascRuntime::accelerate):
+    /// the main thread only executes, fast-forwards and streams occurrences;
+    /// training, planning and dispatch happen on the planner thread (see the
+    /// module documentation's pipeline).
+    fn accelerate_planned(
+        &self,
+        initial: &StateVector,
+        outcome: &crate::recognizer::RecognizerOutcome,
+        cache: &Arc<TrajectoryCache>,
+    ) -> AscResult<RunReport> {
+        let rip = outcome.rip;
+        let pool = SpeculationPool::new(self.config.workers, Arc::clone(cache));
+        let planner = PlannerHandle::spawn(&self.config, rip, Arc::clone(cache), pool);
+
+        let mut machine = Machine::from_state(outcome.resume_state.clone());
+        let mut fast_forwarded = 0u64;
+        let mut halted = outcome.halted;
+
+        while !halted {
+            if outcome.resume_instret + machine.instret() >= self.config.instruction_budget {
+                break;
+            }
+            // The main thread is at a recognized-IP occurrence: report it to
+            // the planner (never blocks; drop-oldest) and consult the cache.
+            planner.send(OccurrenceEvent { state: machine.state().clone() });
+            // An occurrence boundary is the natural preemption point: on
+            // machines with fewer spare cores than threads, handing the
+            // scheduler an explicit yield here is what keeps the planner's
+            // anchor fresh — a starved planner plans from stale states and
+            // every speculation it dispatches arrives too late to matter.
+            std::thread::yield_now();
+            if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
+                machine.apply_sparse(&entry.end);
+                fast_forwarded += entry.instructions;
+                continue;
+            }
+            let (executed, now_halted) = Self::run_one_superstep(
+                &mut machine,
+                rip.ip,
+                rip.stride,
+                self.config.max_superstep,
+            )?;
+            halted = now_halted;
+            if executed == 0 {
+                break;
+            }
+        }
+
+        // Shutting the planner down drains its channel, joins the worker
+        // pool (all in-flight inserts land) and returns the predictor bank,
+        // so the reported statistics are stable.
+        let planned = planner.shutdown();
+        let executed_instructions = outcome.resume_instret + machine.instret();
+        Ok(RunReport {
+            rip,
+            unique_ips: outcome.unique_ips,
+            state_bits: initial.len_bits(),
+            excited_bits: planned.bank.excited_bits(),
+            converge_instructions: outcome.instructions_spent,
+            total_instructions: executed_instructions + fast_forwarded,
+            executed_instructions,
+            fast_forwarded_instructions: fast_forwarded,
+            supersteps: Vec::new(),
+            ensemble_errors: planned.bank.errors(),
+            weight_matrix: planned.bank.weight_matrix(),
+            cache_stats: cache.stats(),
+            speculation: Some(planned.pool),
+            planner: Some(planned.stats),
             final_state: machine.into_state(),
             halted,
         })
@@ -515,18 +619,14 @@ impl LascRuntime {
                 }
                 cache.insert(crate::cache::CacheEntry {
                     rip: rip.ip,
-                    start: SparseBytes::capture(&start_state, deps.read_set().into_iter()),
-                    end: SparseBytes::capture(machine.state(), deps.write_set().into_iter()),
+                    start: SparseBytes::capture(&start_state, deps.read_set()),
+                    end: SparseBytes::capture(machine.state(), deps.write_set()),
                     instructions: executed,
                 });
             }
-            let virtual_instructions =
-                outcome.resume_instret + machine.instret() + fast_forwarded;
+            let virtual_instructions = outcome.resume_instret + machine.instret() + fast_forwarded;
             let real_cost = (outcome.resume_instret + machine.instret()) as f64 + overhead;
-            series.push((
-                virtual_instructions,
-                virtual_instructions as f64 / real_cost.max(1.0),
-            ));
+            series.push((virtual_instructions, virtual_instructions as f64 / real_cost.max(1.0)));
         }
 
         let executed_instructions = outcome.resume_instret + machine.instret();
@@ -544,6 +644,7 @@ impl LascRuntime {
             weight_matrix: None,
             cache_stats: cache.stats(),
             speculation: None,
+            planner: None,
             final_state: machine.into_state(),
             halted,
         };
@@ -568,7 +669,11 @@ mod tests {
         let report = test_runtime().measure(&workload.program).unwrap();
         assert!(report.halted);
         assert!(workload.verify(&report.final_state), "measure must not change results");
-        assert!(report.supersteps.len() > 20, "expected many supersteps, got {}", report.supersteps.len());
+        assert!(
+            report.supersteps.len() > 20,
+            "expected many supersteps, got {}",
+            report.supersteps.len()
+        );
         assert!(report.mean_superstep() >= 50.0);
         assert!(report.one_step_accuracy() > 0.6, "accuracy {}", report.one_step_accuracy());
         assert!(report.converge_instructions > 0);

@@ -7,6 +7,11 @@
 //! dependency vector is then used to build the compressed cache entry: the
 //! read set keyed on the *start* state and the write set keyed on the *end*
 //! state.
+//!
+//! Long-lived workers execute many supersteps; [`SpeculationScratch`] lets
+//! them reuse one dependency vector and one decoded-instruction cache across
+//! jobs (reset between supersteps, reallocated only when the state size
+//! changes) instead of paying two state-sized allocations per job.
 
 use crate::cache::CacheEntry;
 use crate::error::AscResult;
@@ -62,6 +67,25 @@ impl SpeculationResult {
     }
 }
 
+/// Reusable per-worker execution scratch: the dependency vector and decoded-
+/// instruction cache a speculative superstep needs. Long-lived workers keep
+/// one scratch across jobs and reset it (no reallocation when the state size
+/// is unchanged) instead of constructing both afresh per superstep — at the
+/// planner's dispatch rate the per-job allocations otherwise dominate small
+/// supersteps.
+#[derive(Debug, Default)]
+pub struct SpeculationScratch {
+    deps: Option<DepVector>,
+    icache: Option<DecodedCache>,
+}
+
+impl SpeculationScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        SpeculationScratch::default()
+    }
+}
+
 /// Executes one speculative superstep from `start`.
 ///
 /// Execution stops after the IP equals `rip` `stride` times (checked after
@@ -78,19 +102,46 @@ pub fn execute_superstep(
     stride: usize,
     max_instructions: u64,
 ) -> AscResult<SpeculationResult> {
+    execute_superstep_with(start, rip, stride, max_instructions, &mut SpeculationScratch::new())
+}
+
+/// Like [`execute_superstep`], but reuses the caller's [`SpeculationScratch`]
+/// (reset, not reallocated) — the entry point long-lived workers use.
+///
+/// # Errors
+/// Same contract as [`execute_superstep`].
+pub fn execute_superstep_with(
+    start: &StateVector,
+    rip: u32,
+    stride: usize,
+    max_instructions: u64,
+    scratch: &mut SpeculationScratch,
+) -> AscResult<SpeculationResult> {
     let mut state = start.clone();
-    let mut deps = DepVector::new(state.len_bytes());
+    let deps = match scratch.deps.as_mut() {
+        Some(deps) => {
+            deps.reset_for(state.len_bytes());
+            deps
+        }
+        None => scratch.deps.insert(DepVector::new(state.len_bytes())),
+    };
     // Tracked *and* decode-cached: monomorphized over both, so a worker
     // pays decoding once per instruction slot rather than once per retired
     // instruction (supersteps are loops by construction).
-    let mut icache = DecodedCache::new(&state);
+    let icache = match scratch.icache.as_mut() {
+        Some(icache) => {
+            icache.reset_for(&state);
+            icache
+        }
+        None => scratch.icache.insert(DecodedCache::new(&state)),
+    };
     let mut instructions = 0u64;
     let mut occurrences = 0usize;
     let mut reached_rip = false;
     let mut halted = false;
 
     while instructions < max_instructions {
-        match transition_cached(&mut state, &mut deps, &mut icache) {
+        match transition_cached(&mut state, deps, icache) {
             Ok(StepOutcome::Continue) => {
                 instructions += 1;
                 if state.ip() == rip {
@@ -223,9 +274,41 @@ mod tests {
         let (program, rip) = looping_program();
         let start = program.initial_state().unwrap();
         // The whole program is ~402 instructions; a large budget halts first.
-        let outcome = execute_superstep(&start, rip + 4096, 1, 100_000).unwrap().completed().unwrap();
+        let outcome =
+            execute_superstep(&start, rip + 4096, 1, 100_000).unwrap().completed().unwrap();
         assert!(outcome.halted);
         assert!(!outcome.reached_rip);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        // One scratch across many jobs — including a job with a different
+        // state size in the middle — must produce exactly the entries a
+        // fresh-allocation execution produces.
+        let (program, rip) = looping_program();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_until_ip(rip, 1_000).unwrap();
+        let mut scratch = SpeculationScratch::new();
+        for _ in 0..5 {
+            let start = machine.state().clone();
+            let reused = execute_superstep_with(&start, rip, 1, 10_000, &mut scratch)
+                .unwrap()
+                .completed()
+                .unwrap();
+            let fresh = execute_superstep(&start, rip, 1, 10_000).unwrap().completed().unwrap();
+            assert_eq!(reused.entry, fresh.entry);
+            assert_eq!(reused.end_state, fresh.end_state);
+            // Interleave a differently-sized program so the scratch resizes.
+            let other = asc_asm::Assembler::new()
+                .mem_size(8192)
+                .assemble("spin:\n movi r1, 1\n halt\n")
+                .unwrap();
+            let other_start = other.initial_state().unwrap();
+            assert_ne!(other_start.len_bytes(), start.len_bytes());
+            let small = execute_superstep_with(&other_start, 0, 1, 100, &mut scratch).unwrap();
+            assert!(small.completed().is_some());
+            machine.run_until_ip(rip, 1_000).unwrap();
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! schedules speculation onto cores that are actually idle.
 
 use crate::cache::TrajectoryCache;
-use crate::speculator::{execute_superstep, SpeculationResult};
+use crate::speculator::{execute_superstep_with, SpeculationResult, SpeculationScratch};
 use asc_tvm::state::StateVector;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -252,6 +252,10 @@ fn worker_loop(
     counters: &SharedCounters,
     inflight: &Mutex<HashSet<u64>>,
 ) {
+    // One scratch (dependency vector + decoded-instruction cache) for the
+    // worker's whole lifetime: reset between jobs, never reallocated while
+    // the state size is stable.
+    let mut scratch = SpeculationScratch::new();
     loop {
         // Take the lock only to receive; execution happens unlocked so
         // workers genuinely run concurrently.
@@ -264,7 +268,13 @@ fn worker_loop(
         // afterwards, identical predictions are filtered by the
         // cache-coverage check instead.
         let _inflight = InflightGuard { inflight, fingerprint };
-        match execute_superstep(&job.start, job.rip, job.stride, job.max_instructions) {
+        match execute_superstep_with(
+            &job.start,
+            job.rip,
+            job.stride,
+            job.max_instructions,
+            &mut scratch,
+        ) {
             Ok(SpeculationResult::Completed(outcome)) => {
                 if outcome.reached_rip || outcome.halted {
                     counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -343,7 +353,7 @@ mod tests {
         let stats = pool.shutdown();
         assert_eq!(stats.completed + stats.faulted + stats.exhausted, stats.dispatched);
         assert!(stats.inserted > 0);
-        assert!(cache.len() > 0);
+        assert!(!cache.is_empty());
 
         // Every inserted entry fast-forwards correctly: applying it to a
         // matching state must equal direct execution.

@@ -10,9 +10,23 @@
 //!
 //! `cargo bench -- --test` runs every benchmark exactly once (smoke mode),
 //! mirroring real criterion's behaviour, which is what CI uses.
+//!
+//! # Machine-readable reports
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every timed
+//! benchmark appends one JSON object per line to it:
+//!
+//! ```json
+//! {"id":"accelerate_collatz_small_workers_2","median_ns":2.6e8,"min_ns":2.5e8,"max_ns":2.8e8,"samples":10}
+//! ```
+//!
+//! The JSON-lines format lets several bench binaries of one `cargo bench`
+//! invocation share a single report file. CI's bench-regression gate feeds
+//! the file to the `bench_gate` comparator in `asc-bench`.
 
 #![forbid(unsafe_code)]
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Prevents the compiler from optimising away a benchmarked value.
@@ -121,12 +135,32 @@ impl Criterion {
         let median = samples[samples.len() / 2];
         let min = samples[0];
         let max = samples[samples.len() - 1];
-        println!(
-            "{id:<55} time: [{} {} {}]",
-            format_ns(min),
-            format_ns(median),
-            format_ns(max)
-        );
+        println!("{id:<55} time: [{} {} {}]", format_ns(min), format_ns(median), format_ns(max));
+        append_json_report(id, median, min, max, samples.len());
+    }
+}
+
+/// Appends one JSON-lines record to the file named by `CRITERION_JSON`, if
+/// set. Failures are reported on stderr but never fail the benchmark run —
+/// the report is an artifact, not a correctness requirement.
+fn append_json_report(id: &str, median_ns: f64, min_ns: f64, max_ns: f64, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    // The id is a bench name (ASCII identifiers and slashes); escape the two
+    // JSON-special characters anyway so the record can never be malformed.
+    let escaped = id.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"median_ns\":{median_ns},\"min_ns\":{min_ns},\"max_ns\":{max_ns},\"samples\":{samples}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("warning: could not append to CRITERION_JSON file {path}: {error}");
     }
 }
 

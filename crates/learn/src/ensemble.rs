@@ -171,7 +171,12 @@ impl Ensemble {
     /// Draws a prediction for bit `j` randomly, proportionally to the current
     /// weights (the "randomized" in RWMA). Exposed for completeness; the
     /// allocator uses the deterministic weighted vote.
-    pub fn predict_bit_randomized<R: Rng>(&self, current: &Observation, j: usize, rng: &mut R) -> bool {
+    pub fn predict_bit_randomized<R: Rng>(
+        &self,
+        current: &Observation,
+        j: usize,
+        rng: &mut R,
+    ) -> bool {
         let weights = match self.weights.get(j) {
             Some(w) => w,
             None => return rng.gen_bool(0.5),
@@ -199,7 +204,7 @@ impl Ensemble {
         let mut ensemble_wrong = false;
         let mut equal_weight_wrong = false;
 
-        for j in 0..bit_count {
+        for (j, mistakes) in mistakes_this_observation.iter_mut().enumerate() {
             let actual = next.bits[j];
             // Score the weighted ensemble before updating anything.
             if (self.predict_bit(prev, j) >= 0.5) != actual {
@@ -217,7 +222,7 @@ impl Ensemble {
             for (p, predictor) in self.predictors.iter().enumerate() {
                 let predicted = predictor.predict(prev, j) >= 0.5;
                 if predicted != actual {
-                    mistakes_this_observation[j] |= 1 << p;
+                    *mistakes |= 1 << p;
                     self.weights[j][p] *= self.beta;
                 }
             }
@@ -243,8 +248,7 @@ impl Ensemble {
         for predictor in &mut self.predictors {
             predictor.observe_transition(prev, next);
         }
-        for j in 0..bit_count {
-            let actual = next.bits[j];
+        for (j, &actual) in next.bits.iter().enumerate().take(bit_count) {
             for predictor in &mut self.predictors {
                 predictor.update(prev, j, actual);
             }
@@ -281,9 +285,9 @@ impl Ensemble {
         let mut per_bit_errors = vec![vec![0u64; predictor_count]; bit_count];
         for observation in &self.mistake_log {
             for (j, mask) in observation.iter().enumerate() {
-                for p in 0..predictor_count {
+                for (p, errors) in per_bit_errors[j].iter_mut().enumerate() {
                     if mask & (1 << p) != 0 {
-                        per_bit_errors[j][p] += 1;
+                        *errors += 1;
                     }
                 }
             }
@@ -301,10 +305,8 @@ impl Ensemble {
             .collect();
         let mut hindsight_mistakes = 0u64;
         for observation in &self.mistake_log {
-            let wrong = observation
-                .iter()
-                .enumerate()
-                .any(|(j, mask)| mask & (1 << best_per_bit[j]) != 0);
+            let wrong =
+                observation.iter().enumerate().any(|(j, mask)| mask & (1 << best_per_bit[j]) != 0);
             if wrong {
                 hindsight_mistakes += 1;
             }
@@ -447,7 +449,8 @@ mod tests {
         assert!(top[0].1 >= top[2].1);
         assert_eq!(top[0].0, value.bits);
         // Alternates differ from the ML prediction in exactly one bit.
-        let differences: usize = top[1].0.iter().zip(top[0].0.iter()).filter(|(a, b)| a != b).count();
+        let differences: usize =
+            top[1].0.iter().zip(top[0].0.iter()).filter(|(a, b)| a != b).count();
         assert_eq!(differences, 1);
     }
 

@@ -92,7 +92,11 @@ impl Observation {
     /// bits. Used by the allocator when rolling predictions forward: the
     /// predicted bit vector is turned back into a full observation so it can
     /// be fed to the predictors as the next conditioning state.
-    pub fn from_predicted_bits(schema: &ExcitationSchema, template: &Observation, bits: &[bool]) -> Self {
+    pub fn from_predicted_bits(
+        schema: &ExcitationSchema,
+        template: &Observation,
+        bits: &[bool],
+    ) -> Self {
         assert_eq!(bits.len(), schema.bit_count, "predicted bit vector has wrong arity");
         let mut words = template.words.clone();
         for (j, &bit) in bits.iter().enumerate() {

@@ -159,7 +159,8 @@ impl BitPredictor for LinearRegression {
     }
 
     fn observe_transition(&mut self, prev: &Observation, next: &Observation) {
-        if prev.words.len() != self.schema.word_count || next.words.len() != self.schema.word_count {
+        if prev.words.len() != self.schema.word_count || next.words.len() != self.schema.word_count
+        {
             return;
         }
         let dim = self.degree + 1;
@@ -171,11 +172,8 @@ impl BitPredictor for LinearRegression {
             let y = next.words[w] as i32 as f64 / SCALE;
             if let Some(p) = predicted {
                 let err = (p - next.words[w] as i32 as i64).abs() as f64;
-                model.residual = if model.residual.is_finite() {
-                    0.9 * model.residual + 0.1 * err
-                } else {
-                    err
-                };
+                model.residual =
+                    if model.residual.is_finite() { 0.9 * model.residual + 0.1 * err } else { err };
             }
             let keep = 1.0 - self.adaptivity;
             for v in model.xtx.iter_mut() {
@@ -284,7 +282,10 @@ mod tests {
         let mut p = LinearRegression::new(schema(1), 0.1);
         let base = 0x1_0000u32;
         for i in 0u32..40 {
-            p.observe_transition(&obs_words(&[base + i * 132]), &obs_words(&[base + (i + 1) * 132]));
+            p.observe_transition(
+                &obs_words(&[base + i * 132]),
+                &obs_words(&[base + (i + 1) * 132]),
+            );
         }
         assert_eq!(
             p.predict_word(&obs_words(&[base + 40 * 132]), 0),
@@ -345,7 +346,7 @@ mod tests {
         let mut p = LinearRegression::new(schema(1), 0.05).with_degree(2);
         for i in 0u32..60 {
             let x = i * 100;
-            let y = (i * i) as u32;
+            let y = i * i;
             p.observe_transition(&obs_words(&[x]), &obs_words(&[y]));
         }
         let predicted = p.predict_word(&obs_words(&[50 * 100]), 0).unwrap();

@@ -56,9 +56,7 @@ impl LogisticRegression {
 
     fn raw_score(&self, x: &[f64], j: usize) -> f64 {
         match self.weights.get(j) {
-            Some(w) if !w.is_empty() => {
-                w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>()
-            }
+            Some(w) if !w.is_empty() => w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>(),
             _ => 0.0,
         }
     }

@@ -47,10 +47,8 @@ impl SparseBytes {
     ///
     /// Indices are deduplicated and stored sorted.
     pub fn capture(state: &StateVector, indices: impl IntoIterator<Item = usize>) -> Self {
-        let mut entries: Vec<(u32, u8)> = indices
-            .into_iter()
-            .map(|i| (i as u32, state.byte(i)))
-            .collect();
+        let mut entries: Vec<(u32, u8)> =
+            indices.into_iter().map(|i| (i as u32, state.byte(i))).collect();
         entries.sort_unstable_by_key(|(i, _)| *i);
         entries.dedup_by_key(|(i, _)| *i);
         SparseBytes { entries }

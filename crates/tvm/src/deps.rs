@@ -110,6 +110,19 @@ impl DepVector {
         self.status.fill(DepStatus::Null);
     }
 
+    /// Resets the vector for a state of `len_bytes` bytes, reusing the
+    /// existing allocation when the size is unchanged. Long-lived speculation
+    /// workers call this between jobs instead of constructing a fresh
+    /// [`DepVector`] per superstep.
+    pub fn reset_for(&mut self, len_bytes: usize) {
+        if self.status.len() == len_bytes {
+            self.status.fill(DepStatus::Null);
+        } else {
+            self.status.clear();
+            self.status.resize(len_bytes, DepStatus::Null);
+        }
+    }
+
     /// The status of byte `index`.
     ///
     /// # Panics
@@ -175,11 +188,7 @@ impl DepVector {
 
     /// Iterates over `(index, status)` pairs for non-`Null` bytes.
     pub fn iter_touched(&self) -> impl Iterator<Item = (usize, DepStatus)> + '_ {
-        self.status
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s != DepStatus::Null)
-            .map(|(i, s)| (i, *s))
+        self.status.iter().enumerate().filter(|(_, s)| **s != DepStatus::Null).map(|(i, s)| (i, *s))
     }
 }
 

@@ -46,8 +46,8 @@ pub fn encode_all(instructions: &[Instruction]) -> Vec<u8> {
 /// [`VmError::InvalidRegister`] when a register field used by that opcode is
 /// out of range.
 pub fn decode(bytes: &[u8; INSTRUCTION_BYTES as usize], addr: u32) -> VmResult<Instruction> {
-    let opcode = Opcode::from_byte(bytes[0])
-        .ok_or(VmError::InvalidOpcode { opcode: bytes[0], addr })?;
+    let opcode =
+        Opcode::from_byte(bytes[0]).ok_or(VmError::InvalidOpcode { opcode: bytes[0], addr })?;
     let instruction = Instruction {
         opcode,
         a: bytes[1],
@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn encode_all_concatenates() {
-        let program = vec![
-            Instruction::ri(Opcode::MovI, r(1), 7),
-            Instruction::bare(Opcode::Halt),
-        ];
+        let program = vec![Instruction::ri(Opcode::MovI, r(1), 7), Instruction::bare(Opcode::Halt)];
         let image = encode_all(&program);
         assert_eq!(image.len(), 16);
         assert_eq!(image[0], Opcode::MovI.to_byte());

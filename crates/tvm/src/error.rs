@@ -108,19 +108,14 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            VmError::DivideByZero { addr: 8 },
-            VmError::DivideByZero { addr: 8 }
-        );
-        assert_ne!(
-            VmError::DivideByZero { addr: 8 },
-            VmError::DivideByZero { addr: 16 }
-        );
+        assert_eq!(VmError::DivideByZero { addr: 8 }, VmError::DivideByZero { addr: 8 });
+        assert_ne!(VmError::DivideByZero { addr: 8 }, VmError::DivideByZero { addr: 16 });
     }
 
     #[test]
     fn error_trait_object() {
-        let err: Box<dyn std::error::Error> = Box::new(VmError::InstructionBudgetExceeded { budget: 10 });
+        let err: Box<dyn std::error::Error> =
+            Box::new(VmError::InstructionBudgetExceeded { budget: 10 });
         assert!(err.to_string().contains("10"));
     }
 }

@@ -23,10 +23,10 @@
 //! [`NoDecodeCache`] is the zero-cost "always decode" impl.
 
 use crate::deps::DepVector;
+use crate::encode::decode;
 use crate::error::{VmError, VmResult};
 use crate::isa::{Flags, Instruction, Opcode, Reg, INSTRUCTION_BYTES, SP};
 use crate::state::{StateVector, FLAGS_OFFSET, IP_OFFSET, MEM_BASE, REG_OFFSET};
-use crate::encode::decode;
 
 /// What happened when a single instruction executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +126,21 @@ impl DecodedCache {
     /// Forgets every cached slot.
     pub fn clear(&mut self) {
         self.slots.fill(None);
+    }
+
+    /// Clears the cache and resizes it for `state`'s memory segment, reusing
+    /// the existing allocation when the segment size is unchanged. Long-lived
+    /// speculation workers call this between jobs instead of constructing a
+    /// fresh cache per superstep. The cache is always cleared: a new job's
+    /// state may hold different code bytes at the same addresses.
+    pub fn reset_for(&mut self, state: &StateVector) {
+        let instruction_positions = state.mem_size() / INSTRUCTION_BYTES as usize;
+        if self.slots.len() == instruction_positions {
+            self.slots.fill(None);
+        } else {
+            self.slots.clear();
+            self.slots.resize(instruction_positions, None);
+        }
     }
 }
 
@@ -633,10 +648,8 @@ mod tests {
 
     #[test]
     fn divide_by_zero_is_an_error() {
-        let mut state = machine_with(
-            &[I::ri(Opcode::MovI, r(1), 3), I::rri(Opcode::DivI, r(2), r(1), 0)],
-            128,
-        );
+        let mut state =
+            machine_with(&[I::ri(Opcode::MovI, r(1), 3), I::rri(Opcode::DivI, r(2), r(1), 0)], 128);
         transition(&mut state, None).unwrap();
         let err = transition(&mut state, None).unwrap_err();
         assert_eq!(err, VmError::DivideByZero { addr: 8 });
@@ -646,11 +659,11 @@ mod tests {
     fn loads_and_stores_round_trip_memory() {
         let mut state = machine_with(
             &[
-                I::ri(Opcode::MovI, r(1), 200),          // base address
+                I::ri(Opcode::MovI, r(1), 200), // base address
                 I::ri(Opcode::MovI, r(2), 0x1234_5678u32 as i32),
-                I::rri(Opcode::StW, r(1), r(2), 4),      // mem[204] = r2
-                I::rri(Opcode::LdW, r(3), r(1), 4),      // r3 = mem[204]
-                I::rri(Opcode::LdB, r(4), r(1), 4),      // r4 = low byte
+                I::rri(Opcode::StW, r(1), r(2), 4), // mem[204] = r2
+                I::rri(Opcode::LdW, r(3), r(1), 4), // r3 = mem[204]
+                I::rri(Opcode::LdB, r(4), r(1), 4), // r4 = low byte
                 I::bare(Opcode::Halt),
             ],
             512,
@@ -686,11 +699,11 @@ mod tests {
                 I::ri(Opcode::MovI, r(1), -1),
                 I::ri(Opcode::MovI, r(2), 1),
                 I::rr(Opcode::Cmp, r(1), r(2)),
-                I::i(Opcode::Jlt, 5 * 8),        // taken: -1 < 1 signed
+                I::i(Opcode::Jlt, 5 * 8), // taken: -1 < 1 signed
                 I::bare(Opcode::Halt),
                 I::ri(Opcode::MovI, r(3), 1),
                 I::rr(Opcode::Cmp, r(1), r(2)),
-                I::i(Opcode::Jltu, 9 * 8),       // not taken: 0xffffffff > 1 unsigned
+                I::i(Opcode::Jltu, 9 * 8), // not taken: 0xffffffff > 1 unsigned
                 I::ri(Opcode::MovI, r(4), 1),
                 I::bare(Opcode::Halt),
             ],
@@ -730,7 +743,7 @@ mod tests {
                 I::i(Opcode::Call, 4 * 8),
                 I::bare(Opcode::Halt),
                 I::bare(Opcode::Nop),
-                I::r(Opcode::Push, r(1)),          // addr 32
+                I::r(Opcode::Push, r(1)), // addr 32
                 I::rri(Opcode::MulI, r(1), r(1), 3),
                 I::r(Opcode::Pop, r(2)),
                 I::bare(Opcode::Ret),
@@ -748,10 +761,7 @@ mod tests {
     fn out_of_bounds_fetch_is_an_error() {
         let mut state = StateVector::new(64).unwrap();
         state.set_ip(1000);
-        assert!(matches!(
-            transition(&mut state, None),
-            Err(VmError::MemoryOutOfBounds { .. })
-        ));
+        assert!(matches!(transition(&mut state, None), Err(VmError::MemoryOutOfBounds { .. })));
     }
 
     #[test]
@@ -866,16 +876,16 @@ mod tests {
         let hi = i32::from_le_bytes([movi_r2_99[4], movi_r2_99[5], movi_r2_99[6], movi_r2_99[7]]);
         assert_cached_execution_matches(
             &[
-                I::ri(Opcode::MovI, r(5), 24),            // 0: target address
-                I::ri(Opcode::MovI, r(6), lo),            // 8
-                I::ri(Opcode::MovI, r(7), hi),            // 16
-                I::ri(Opcode::MovI, r(2), 1),             // 24: will be overwritten
-                I::ri(Opcode::CmpI, r(2), 99),            // 32
-                I::i(Opcode::Jeq, 9 * 8),                 // 40: halt once patched
-                I::rri(Opcode::StW, r(5), r(6), 0),       // 48: patch low word
-                I::rri(Opcode::StW, r(5), r(7), 4),       // 56: patch high word
-                I::i(Opcode::Jmp, 24),                    // 64: rerun patched instr
-                I::bare(Opcode::Halt),                    // 72
+                I::ri(Opcode::MovI, r(5), 24),      // 0: target address
+                I::ri(Opcode::MovI, r(6), lo),      // 8
+                I::ri(Opcode::MovI, r(7), hi),      // 16
+                I::ri(Opcode::MovI, r(2), 1),       // 24: will be overwritten
+                I::ri(Opcode::CmpI, r(2), 99),      // 32
+                I::i(Opcode::Jeq, 9 * 8),           // 40: halt once patched
+                I::rri(Opcode::StW, r(5), r(6), 0), // 48: patch low word
+                I::rri(Opcode::StW, r(5), r(7), 4), // 56: patch high word
+                I::i(Opcode::Jmp, 24),              // 64: rerun patched instr
+                I::bare(Opcode::Halt),              // 72
             ],
             512,
             1000,

@@ -89,18 +89,14 @@ impl Flags {
 
     /// Computes the flags for comparing `a` against `b`.
     pub fn compare(a: u32, b: u32) -> Self {
-        Flags {
-            eq: a == b,
-            lt_signed: (a as i32) < (b as i32),
-            lt_unsigned: a < b,
-        }
+        Flags { eq: a == b, lt_signed: (a as i32) < (b as i32), lt_unsigned: a < b }
     }
 
     /// Packs the flags into the low bits of a 32-bit word.
     pub fn to_word(self) -> u32 {
-        (self.eq as u32) * Self::EQ_BIT
-            | (self.lt_signed as u32) * Self::LTS_BIT
-            | (self.lt_unsigned as u32) * Self::LTU_BIT
+        ((self.eq as u32) * Self::EQ_BIT)
+            | ((self.lt_signed as u32) * Self::LTS_BIT)
+            | ((self.lt_unsigned as u32) * Self::LTU_BIT)
     }
 
     /// Unpacks flags from a 32-bit word, ignoring reserved bits.

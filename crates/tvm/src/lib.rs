@@ -58,8 +58,8 @@ pub mod state;
 pub use deps::{DepStatus, DepVector};
 pub use error::{VmError, VmResult};
 pub use exec::{
-    transition, transition_cached, transition_with, DecodeCache, DecodedCache, DepSink, NoDecodeCache,
-    NoDeps, StepOutcome,
+    transition, transition_cached, transition_with, DecodeCache, DecodedCache, DepSink,
+    NoDecodeCache, NoDeps, StepOutcome,
 };
 pub use isa::{Flags, Instruction, Opcode, Reg};
 pub use machine::{Machine, RunExit};

@@ -160,10 +160,7 @@ mod tests {
     #[test]
     fn oversized_program_rejected() {
         let code = vec![0u8; 128];
-        assert!(matches!(
-            Program::new(code, 0, 64),
-            Err(VmError::ProgramTooLarge { .. })
-        ));
+        assert!(matches!(Program::new(code, 0, 64), Err(VmError::ProgramTooLarge { .. })));
     }
 
     #[test]

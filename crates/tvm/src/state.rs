@@ -46,7 +46,10 @@ impl StateVector {
     /// Returns [`VmError::StateTooSmall`] when `mem_size` is zero.
     pub fn new(mem_size: usize) -> VmResult<Self> {
         if mem_size == 0 {
-            return Err(VmError::StateTooSmall { requested: HEADER_BYTES, minimum: HEADER_BYTES + 1 });
+            return Err(VmError::StateTooSmall {
+                requested: HEADER_BYTES,
+                minimum: HEADER_BYTES + 1,
+            });
         }
         Ok(StateVector { bytes: vec![0u8; HEADER_BYTES + mem_size] })
     }
@@ -58,7 +61,10 @@ impl StateVector {
     /// bytes are supplied.
     pub fn from_bytes(bytes: Vec<u8>) -> VmResult<Self> {
         if bytes.len() <= HEADER_BYTES {
-            return Err(VmError::StateTooSmall { requested: bytes.len(), minimum: HEADER_BYTES + 1 });
+            return Err(VmError::StateTooSmall {
+                requested: bytes.len(),
+                minimum: HEADER_BYTES + 1,
+            });
         }
         Ok(StateVector { bytes })
     }
@@ -126,9 +132,7 @@ impl StateVector {
     /// Reads a little-endian 32-bit word at absolute byte index `index`.
     #[inline]
     pub fn word(&self, index: usize) -> u32 {
-        let bytes: [u8; 4] = self.bytes[index..index + 4]
-            .try_into()
-            .expect("word read in bounds");
+        let bytes: [u8; 4] = self.bytes[index..index + 4].try_into().expect("word read in bounds");
         u32::from_le_bytes(bytes)
     }
 

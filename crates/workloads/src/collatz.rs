@@ -99,10 +99,7 @@ max_steps:
 /// Returns [`WorkloadError::Assembly`] if the generated source fails to
 /// assemble (which would indicate a bug in this module).
 pub fn program(params: &CollatzParams) -> WorkloadResult<Program> {
-    Assembler::new()
-        .headroom(4 * 1024)
-        .assemble(&source(params))
-        .map_err(WorkloadError::from)
+    Assembler::new().headroom(4 * 1024).assemble(&source(params)).map_err(WorkloadError::from)
 }
 
 /// Pure-Rust reference implementation with identical arithmetic.
@@ -151,7 +148,6 @@ pub fn estimated_instructions(params: &CollatzParams) -> u64 {
     // plus ~10 per outer iteration.
     params.count as u64 * (7 * 85 + 10)
 }
-
 
 /// A "pure" variant of the kernel that only verifies convergence (no
 /// per-integer step counting). Its inner loop depends on nothing but the
@@ -203,10 +199,7 @@ verified:
 /// Returns [`WorkloadError::Assembly`] if the generated source fails to
 /// assemble.
 pub fn pure_program(params: &CollatzParams) -> WorkloadResult<Program> {
-    Assembler::new()
-        .headroom(4 * 1024)
-        .assemble(&pure_source(params))
-        .map_err(WorkloadError::from)
+    Assembler::new().headroom(4 * 1024).assemble(&pure_source(params)).map_err(WorkloadError::from)
 }
 
 /// Reads the pure kernel's verified count from a final state.

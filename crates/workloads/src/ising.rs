@@ -187,10 +187,7 @@ pub fn program(params: &IsingParams) -> WorkloadResult<Program> {
             "need nodes >= 1, spins >= 2, reps >= 1; got {params:?}"
         )));
     }
-    Assembler::new()
-        .headroom(16 * 1024)
-        .assemble(&source(params))
-        .map_err(WorkloadError::from)
+    Assembler::new().headroom(16 * 1024).assemble(&source(params)).map_err(WorkloadError::from)
 }
 
 /// Pure-Rust reference implementation with identical arithmetic.
@@ -235,9 +232,7 @@ pub fn read_result(
     let node_addr = program
         .symbol("min_node")
         .ok_or_else(|| WorkloadError::MissingSymbol("min_node".into()))?;
-    let heap = program
-        .symbol("heap")
-        .ok_or_else(|| WorkloadError::MissingSymbol("heap".into()))?;
+    let heap = program.symbol("heap").ok_or_else(|| WorkloadError::MissingSymbol("heap".into()))?;
     let min_energy = state.load_word(energy_addr)? as i32;
     let min_ptr = state.load_word(node_addr)?;
     let min_index = (min_ptr.saturating_sub(heap) as usize) / params.node_size();

@@ -198,10 +198,7 @@ pub fn program(params: &Mm2Params) -> WorkloadResult<Program> {
             params.n
         )));
     }
-    Assembler::new()
-        .headroom(16 * 1024)
-        .assemble(&source(params))
-        .map_err(WorkloadError::from)
+    Assembler::new().headroom(16 * 1024).assemble(&source(params)).map_err(WorkloadError::from)
 }
 
 /// Pure-Rust reference implementation with identical (wrapping) arithmetic.
@@ -256,9 +253,8 @@ pub fn read_result(
     let checksum_addr = program
         .symbol("checksum")
         .ok_or_else(|| WorkloadError::MissingSymbol("checksum".into()))?;
-    let d_addr = program
-        .symbol("mat_d")
-        .ok_or_else(|| WorkloadError::MissingSymbol("mat_d".into()))?;
+    let d_addr =
+        program.symbol("mat_d").ok_or_else(|| WorkloadError::MissingSymbol("mat_d".into()))?;
     let n = params.n;
     let mut d = Vec::with_capacity(n * n);
     for index in 0..(n * n) {

@@ -75,8 +75,11 @@ pub struct BuiltWorkload {
     pub description: String,
     /// Estimated dynamic instruction count (order of magnitude).
     pub estimated_instructions: u64,
-    verifier: Box<dyn Fn(&Program, &StateVector) -> bool + Send + Sync>,
+    verifier: Verifier,
 }
+
+/// Checks a final state against the pure-Rust reference result.
+type Verifier = Box<dyn Fn(&Program, &StateVector) -> bool + Send + Sync>;
 
 impl fmt::Debug for BuiltWorkload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -161,7 +164,12 @@ pub fn build(benchmark: Benchmark, scale: Scale) -> WorkloadResult<BuiltWorkload
                 benchmark,
                 scale,
                 program,
-                description: format!("{n}x{n} matrices, alpha={a}, beta={b}", n = params.n, a = params.alpha, b = params.beta),
+                description: format!(
+                    "{n}x{n} matrices, alpha={a}, beta={b}",
+                    n = params.n,
+                    a = params.alpha,
+                    b = params.beta
+                ),
                 estimated_instructions: mm2::estimated_instructions(&params),
                 verifier: Box::new(move |program, state| {
                     mm2::read_result(program, state, &params)
@@ -201,10 +209,7 @@ mod tests {
             let workload = build(benchmark, Scale::Tiny).unwrap();
             let mut machine = Machine::load(&workload.program).unwrap();
             machine.run_to_halt(50_000_000).unwrap();
-            assert!(
-                workload.verify(machine.state()),
-                "{benchmark} did not verify at tiny scale"
-            );
+            assert!(workload.verify(machine.state()), "{benchmark} did not verify at tiny scale");
             // A wrong state must not verify.
             let fresh = workload.program.initial_state().unwrap();
             assert!(!workload.verify(&fresh));

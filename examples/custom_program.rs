@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("result            : {got} (correct)");
     println!("recognized IP     : {:#x}", report.rip.ip);
-    println!("fast-forwarded    : {} of {} instructions", report.fast_forwarded_instructions, report.total_instructions);
+    println!(
+        "fast-forwarded    : {} of {} instructions",
+        report.fast_forwarded_instructions, report.total_instructions
+    );
     println!("work scaling      : {:.2}x", report.work_scaling());
     println!("final r2          : {}", report.final_state.reg(Reg::new(2).unwrap()));
     Ok(())

@@ -27,13 +27,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = PlatformProfile::server_32core();
     println!("\n32-core server:");
     for point in scaling_curve(&report, &server, ScalingMode::Lasc, &[1, 2, 4, 8, 16, 32]) {
-        println!("  {:>5} cores -> {:>7.2}x (hit rate {:.1}%)", point.cores, point.scaling, point.hit_rate * 100.0);
+        println!(
+            "  {:>5} cores -> {:>7.2}x (hit rate {:.1}%)",
+            point.cores,
+            point.scaling,
+            point.hit_rate * 100.0
+        );
     }
 
     let bluegene = PlatformProfile::blue_gene_p();
     println!("\nBlue Gene/P:");
-    for point in scaling_curve(&report, &bluegene, ScalingMode::Lasc, &blue_gene_core_counts(4096)) {
-        println!("  {:>5} cores -> {:>7.2}x (hit rate {:.1}%)", point.cores, point.scaling, point.hit_rate * 100.0);
+    for point in scaling_curve(&report, &bluegene, ScalingMode::Lasc, &blue_gene_core_counts(4096))
+    {
+        println!(
+            "  {:>5} cores -> {:>7.2}x (hit rate {:.1}%)",
+            point.cores,
+            point.scaling,
+            point.hit_rate * 100.0
+        );
     }
     Ok(())
 }

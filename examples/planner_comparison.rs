@@ -1,0 +1,44 @@
+//! Continuous-speculation planner vs. PR 1's miss-driven dispatch: cache hit
+//! rates, fast-forwarded work and wall-clock on Collatz Small at several
+//! worker counts.
+//!
+//! ```sh
+//! cargo run --release --example planner_comparison
+//! ```
+
+use asc_bench::small_collatz_config;
+use asc_core::runtime::LascRuntime;
+use asc_workloads::registry::{build, Benchmark, Scale};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = build(Benchmark::Collatz, Scale::Small)?;
+    println!("benchmark: {} ({})", workload.benchmark, workload.description);
+    println!(
+        "{:<26} {:>8} {:>10} {:>12} {:>14} {:>10}",
+        "mode", "hits", "queries", "hit rate", "fast-forward", "wall"
+    );
+    for (label, workers, planner) in [
+        ("miss-driven 2 workers", 2, false),
+        ("planner     2 workers", 2, true),
+        ("miss-driven 4 workers", 4, false),
+        ("planner     4 workers", 4, true),
+    ] {
+        let runtime = LascRuntime::new(small_collatz_config(workers, planner))?;
+        let started = Instant::now();
+        let report = runtime.accelerate(&workload.program)?;
+        let wall = started.elapsed();
+        assert!(workload.verify(&report.final_state), "speculation never changes results");
+        let stats = report.cache_stats;
+        println!(
+            "{:<26} {:>8} {:>10} {:>11.1}% {:>14} {:>9.0}ms",
+            label,
+            stats.hits,
+            stats.queries,
+            100.0 * (1.0 - stats.miss_rate()),
+            report.fast_forwarded_instructions,
+            wall.as_secs_f64() * 1e3,
+        );
+    }
+    Ok(())
+}

@@ -17,12 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = runtime.accelerate(&workload.program)?;
 
     assert!(workload.verify(&report.final_state), "speculation never changes results");
-    println!("recognized IP     : {:#x} (superstep ≈ {:.0} instructions)", report.rip.ip, report.rip.mean_superstep);
+    println!(
+        "recognized IP     : {:#x} (superstep ≈ {:.0} instructions)",
+        report.rip.ip, report.rip.mean_superstep
+    );
     println!("converge time     : {} instructions", report.converge_instructions);
     println!("total work        : {} instructions", report.total_instructions);
     println!("executed          : {} instructions", report.executed_instructions);
     println!("fast-forwarded    : {} instructions", report.fast_forwarded_instructions);
-    println!("cache             : {} hits / {} queries", report.cache_stats.hits, report.cache_stats.queries);
+    println!(
+        "cache             : {} hits / {} queries",
+        report.cache_stats.hits, report.cache_stats.queries
+    );
     println!("work scaling      : {:.2}x", report.work_scaling());
     Ok(())
 }

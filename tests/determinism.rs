@@ -3,7 +3,9 @@
 //! with a pool of concurrent speculation workers must therefore produce a
 //! `final_state` bit-for-bit identical to the inline (workers = 0) run — on
 //! every benchmark, despite the nondeterministic scheduling of worker
-//! inserts into the trajectory cache.
+//! inserts into the trajectory cache. The continuous-speculation planner
+//! only chooses *which* speculations run, so planner on vs. off must be
+//! equally bit-identical.
 
 use asc::core::config::AscConfig;
 use asc::core::runtime::LascRuntime;
@@ -96,6 +98,49 @@ fn parallel_speculation_matches_plain_sequential_execution() {
         report.final_state.as_bytes(),
         "accelerated final state diverged from sequential execution"
     );
+}
+
+/// The planner thread decides *which* speculations run, never what the main
+/// thread computes: with the planner on vs. off (miss-driven dispatch), the
+/// final state must stay bit-identical on every benchmark — and both must
+/// verify against the pure-Rust reference.
+#[test]
+fn planner_on_and_off_are_bit_identical_on_every_benchmark() {
+    for benchmark in Benchmark::ALL {
+        let workload = build(benchmark, scale_for(benchmark)).unwrap();
+
+        let mut planner_off = config_for(benchmark, 4);
+        planner_off.planner.enabled = false;
+        let mut planner_on = config_for(benchmark, 4);
+        planner_on.planner.enabled = true;
+
+        let off_report =
+            LascRuntime::new(planner_off).unwrap().accelerate(&workload.program).unwrap();
+        let on_report =
+            LascRuntime::new(planner_on).unwrap().accelerate(&workload.program).unwrap();
+
+        assert!(off_report.halted, "{benchmark}: miss-driven run did not halt");
+        assert!(on_report.halted, "{benchmark}: planner run did not halt");
+        assert_eq!(
+            off_report.final_state.as_bytes(),
+            on_report.final_state.as_bytes(),
+            "{benchmark}: planner on diverged from planner off"
+        );
+        assert!(
+            workload.verify(&on_report.final_state),
+            "{benchmark}: planner run produced a wrong result"
+        );
+        // The planner really ran and fed the pool.
+        assert!(off_report.planner.is_none(), "{benchmark}: miss-driven run reported a planner");
+        let stats = on_report.planner.expect("planner on must report planner stats");
+        assert!(stats.occurrences > 0, "{benchmark}: planner saw no occurrences ({stats:?})");
+        let pool = on_report.speculation.expect("planner run must report pool stats");
+        assert_eq!(
+            pool.dispatched,
+            pool.completed + pool.faulted + pool.exhausted,
+            "{benchmark}: planner-fed pool lost jobs ({pool:?})"
+        );
+    }
 }
 
 /// Worker counts beyond the rollout width still behave (threads idle but
