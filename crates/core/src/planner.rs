@@ -8,10 +8,13 @@
 //! predicted supersteps, whether or not the main thread just missed. This
 //! module provides that cadence as a dedicated planner thread:
 //!
-//! * The main thread streams every recognized-IP occurrence into a bounded
-//!   [`OccurrenceChannel`]. Sends never block; when the channel is full the
-//!   *oldest* occurrence is dropped — a lagging planner should anchor its
-//!   predictions on fresh states, not stale ones.
+//! * The main thread streams recognized-IP occurrences into a bounded
+//!   [`OccurrenceChannel`] — every cache miss, plus a sparse sample during
+//!   uninterrupted hit streaks (mid-streak, cloning the full state costs
+//!   the fast-forwarding main thread more than the planner gains). Sends
+//!   never block; when the channel is full the *oldest* occurrence is
+//!   dropped — a lagging planner should anchor its predictions on fresh
+//!   states, not stale ones.
 //! * The planner owns the [`PredictorBank`] and the [`SpeculationPool`]. It
 //!   trains the bank on each occurrence (using the cheap
 //!   [`observe_incremental`] path most of the time; the full update every
@@ -23,9 +26,11 @@
 //!   horizon is extended by fresh rollouts from the deepest surviving
 //!   prediction. A mismatch *invalidates* the plan; the planner re-rolls
 //!   from the live state.
-//! * After every event — and on an idle timeout, so landed cache inserts
-//!   trigger re-planning even while the main thread fast-forwards without
-//!   missing — the planner *tops up* the pool queue: undispatched plan
+//! * After every event — and on an idle timeout, so worker progress (landed
+//!   cache inserts, but also faulted, exhausted or deduplicated jobs that
+//!   freed queue slots) triggers re-dispatch even while the main thread
+//!   fast-forwards without missing — the planner *tops up* the pool queue:
+//!   undispatched plan
 //!   entries not already covered by the cache are handed to workers,
 //!   nearest-first (cumulative rollout probability decreases with depth, so
 //!   nearest-first is highest-expected-utility-first).
@@ -57,6 +62,20 @@ use std::time::Duration;
 pub struct OccurrenceEvent {
     /// The state vector at the occurrence.
     pub state: StateVector,
+    /// Whether the immediately preceding occurrence was also reported. The
+    /// main thread throttles sends during pure hit streaks, and the channel
+    /// drops oldest when full; either way the event after the gap arrives
+    /// with `contiguous == false`, and the planner severs the bank's
+    /// training stream there — a transition spanning several supersteps
+    /// would teach the ensemble a variable-stride successor function.
+    pub contiguous: bool,
+}
+
+impl OccurrenceEvent {
+    /// An event whose immediate predecessor was also reported.
+    pub fn new(state: StateVector) -> Self {
+        OccurrenceEvent { state, contiguous: true }
+    }
 }
 
 /// Counters describing what a planner did over its lifetime.
@@ -117,8 +136,9 @@ impl OccurrenceChannel {
     }
 
     /// Queues an event, dropping the oldest queued event when full. Never
-    /// blocks.
-    fn send(&self, event: OccurrenceEvent) {
+    /// blocks. The event that ends up following a dropped one is marked
+    /// non-contiguous so the receiver does not train across the gap.
+    fn send(&self, mut event: OccurrenceEvent) {
         let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.closed {
             return;
@@ -126,6 +146,11 @@ impl OccurrenceChannel {
         if state.queue.len() >= self.capacity {
             state.queue.pop_front();
             state.dropped += 1;
+            match state.queue.front_mut() {
+                Some(follower) => follower.contiguous = false,
+                // Capacity 1: the event being pushed follows the drop.
+                None => event.contiguous = false,
+            }
         }
         state.queue.push_back(event);
         drop(state);
@@ -284,16 +309,17 @@ impl Planner {
             match channel.recv_timeout(idle) {
                 Received::Event(event) => {
                     // Train on the *whole* queued backlog before paying for
-                    // rollouts: the stream must reach the bank gap-free (a
-                    // subsampled stream teaches the ensemble a
-                    // variable-stride successor function), and — just as
-                    // important — the re-plan anchor must be the freshest
-                    // state available, or every dispatched prediction is
-                    // stale on arrival. Overload protection is the
-                    // channel's job: when the planner truly cannot keep up,
-                    // the bounded channel drops oldest instead of letting
-                    // the backlog (and the anchor's staleness) grow without
-                    // bound.
+                    // rollouts: every queued event must reach the bank (gaps
+                    // — from send throttling or channel drops — arrive
+                    // marked `contiguous == false` and sever the training
+                    // stream rather than feeding it a variable-stride
+                    // transition), and — just as important — the re-plan
+                    // anchor must be the freshest state available, or every
+                    // dispatched prediction is stale on arrival. Overload
+                    // protection is the channel's job: when the planner
+                    // truly cannot keep up, the bounded channel drops oldest
+                    // instead of letting the backlog (and the anchor's
+                    // staleness) grow without bound.
                     self.on_occurrence(event);
                     while let Some(event) = channel.try_recv() {
                         self.on_occurrence(event);
@@ -313,6 +339,9 @@ impl Planner {
     /// roll out or dispatch — the caller does that once per drained batch.
     fn on_occurrence(&mut self, event: OccurrenceEvent) {
         self.stats.occurrences += 1;
+        if !event.contiguous {
+            self.bank.break_stream();
+        }
         if self.stats.occurrences % self.config.full_observe_interval as u64 == 0 {
             self.bank.observe(&event.state);
         } else {
@@ -343,12 +372,21 @@ impl Planner {
         self.live = Some(event.state);
     }
 
-    /// Idle tick: when worker inserts landed since the last top-up, queue
-    /// slots freed up and previously deferred plan entries can dispatch.
+    /// Idle tick: re-tops the queue when worker progress freed slots since
+    /// the last top-up. Landed cache inserts are one signal, but jobs that
+    /// fault, exhaust or deduplicate also free slots without inserting — so
+    /// a pool that drained below the watermark while undispatched plan
+    /// entries remain triggers a top-up too.
     fn on_idle(&mut self) {
         let inserted = self.cache.stats().inserted;
         if inserted > self.inserts_seen {
             self.stats.insert_wakeups += 1;
+            self.top_up();
+            return;
+        }
+        let starved =
+            self.pool.pending() < self.watermark() && self.plan.iter().any(|step| !step.attempted);
+        if starved {
             self.top_up();
         }
     }
@@ -382,6 +420,11 @@ impl Planner {
         );
     }
 
+    /// Target queue depth: every worker busy plus one job queued ahead.
+    fn watermark(&self) -> usize {
+        self.pool.workers() + 1
+    }
+
     /// Hands undispatched, uncovered plan entries to the pool, nearest-first,
     /// until every worker has work plus a little queued ahead. The watermark
     /// is deliberately shallow: deeply queued predictions go stale before a
@@ -389,7 +432,7 @@ impl Planner {
     /// the main thread, excess speculation actively slows the run down.
     fn top_up(&mut self) {
         self.inserts_seen = self.cache.stats().inserted;
-        let watermark = self.pool.workers() + 1;
+        let watermark = self.watermark();
         for step in self.plan.iter_mut() {
             if self.pool.pending() >= watermark {
                 break;
@@ -460,10 +503,11 @@ mod tests {
         for tag in 1..=5u32 {
             let mut state = StateVector::new(64).unwrap();
             state.set_reg_index(1, tag);
-            channel.send(OccurrenceEvent { state });
+            channel.send(OccurrenceEvent::new(state));
         }
         assert_eq!(channel.dropped(), 3);
-        // The two *newest* events survive.
+        // The two *newest* events survive; the one right after the gap is
+        // marked non-contiguous so the receiver won't train across it.
         let Received::Event(first) = channel.recv_timeout(Duration::from_millis(1)) else {
             panic!("expected an event");
         };
@@ -471,7 +515,9 @@ mod tests {
             panic!("expected an event");
         };
         assert_eq!(first.state.reg_index(1), 4);
+        assert!(!first.contiguous);
         assert_eq!(second.state.reg_index(1), 5);
+        assert!(second.contiguous);
         assert!(matches!(channel.recv_timeout(Duration::from_millis(1)), Received::Timeout));
     }
 
@@ -479,12 +525,12 @@ mod tests {
     fn channel_reports_closed_only_after_draining() {
         let channel = OccurrenceChannel::new(4);
         let state = StateVector::new(64).unwrap();
-        channel.send(OccurrenceEvent { state });
+        channel.send(OccurrenceEvent::new(state));
         channel.close();
         assert!(matches!(channel.recv_timeout(Duration::from_millis(1)), Received::Event(_)));
         assert!(matches!(channel.recv_timeout(Duration::from_millis(1)), Received::Closed));
         // Sends after close are discarded, not queued.
-        channel.send(OccurrenceEvent { state: StateVector::new(64).unwrap() });
+        channel.send(OccurrenceEvent::new(StateVector::new(64).unwrap()));
         assert!(matches!(channel.recv_timeout(Duration::from_millis(1)), Received::Closed));
     }
 
@@ -499,7 +545,7 @@ mod tests {
         let mut machine = Machine::load(&program).unwrap();
         machine.run_until_ip(rip, 10_000).unwrap();
         for _ in 0..120 {
-            handle.send(OccurrenceEvent { state: machine.state().clone() });
+            handle.send(OccurrenceEvent::new(machine.state().clone()));
             machine.run_until_ip(rip, 10_000).unwrap();
             if machine.is_halted() {
                 break;
@@ -541,7 +587,7 @@ mod tests {
             });
         }
         let handle = PlannerHandle::spawn(&config, recognized(0), Arc::clone(&cache), pool);
-        handle.send(OccurrenceEvent { state: program.initial_state().unwrap() });
+        handle.send(OccurrenceEvent::new(program.initial_state().unwrap()));
         // Shutdown must drain the spinning jobs and join without deadlock.
         let outcome = handle.shutdown();
         assert_eq!(
@@ -573,7 +619,7 @@ mod tests {
         machine.run_until_ip(rip, 10_000).unwrap();
         let started = std::time::Instant::now();
         for _ in 0..2_000 {
-            handle.send(OccurrenceEvent { state: machine.state().clone() });
+            handle.send(OccurrenceEvent::new(machine.state().clone()));
         }
         // 2000 sends through a 1-slot channel must be near-instant; blocking
         // would take 2000 × poll interval.

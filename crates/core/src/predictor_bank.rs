@@ -213,6 +213,20 @@ impl PredictorBank {
         self.previous = Some((state.clone(), observation));
     }
 
+    /// Severs the training stream: the next [`observe`] or
+    /// [`observe_incremental`] call records its state as the new transition
+    /// origin without training on the gap it follows. Called when the
+    /// occurrence stream skipped states (a throttled or dropped occurrence):
+    /// the transition across such a gap spans several supersteps, and
+    /// training on it would teach the ensemble a variable-stride successor
+    /// function.
+    ///
+    /// [`observe`]: PredictorBank::observe
+    /// [`observe_incremental`]: PredictorBank::observe_incremental
+    pub fn break_stream(&mut self) {
+        self.previous = None;
+    }
+
     /// Predicts the state at the next occurrence of the RIP, conditioned on
     /// `state`. Returns `None` until the ensemble is ready.
     pub fn predict_next(&self, state: &StateVector) -> Option<PredictedState> {

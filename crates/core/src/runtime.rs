@@ -23,11 +23,13 @@
 //! `accelerate` runs the paper's *continuously speculating* multi-core
 //! architecture for real rather than simulating it:
 //!
-//! 1. **Occurrence.** At every recognized-IP occurrence — hit or miss — the
-//!    main thread clones its state into a bounded, drop-oldest channel and
-//!    immediately goes back to executing (or fast-forwarding). It never
-//!    trains predictors, plans or dispatches: speculation cadence is not its
-//!    job.
+//! 1. **Occurrence.** At recognized-IP occurrences the main thread clones
+//!    its state into a bounded, drop-oldest channel and immediately goes
+//!    back to executing (or fast-forwarding) — every miss is reported, but
+//!    during an uninterrupted hit streak only a sparse sample is, because
+//!    mid-streak the clone costs the fast-forwarding main thread more than
+//!    the planner gains. It never trains predictors, plans or dispatches:
+//!    speculation cadence is not its job.
 //! 2. **Plan.** The [`PlannerHandle`]'s thread consumes the occurrence
 //!    stream. It trains the predictor bank (the cheap incremental path most
 //!    of the time), matches each occurrence against its current plan —
@@ -36,9 +38,11 @@
 //!    supersteps planned at all times.
 //! 3. **Dispatch.** The planner tops the persistent [`SpeculationPool`]'s
 //!    queue up with undispatched, uncovered plan entries, nearest-first,
-//!    after every occurrence *and* whenever a worker's cache insert lands —
-//!    so workers stay busy even while the main thread fast-forwards through
-//!    a hit streak without ever missing.
+//!    after every occurrence *and* whenever worker progress (a landed cache
+//!    insert, or slots freed by faulted, exhausted or deduplicated jobs)
+//!    leaves the queue below its watermark — so workers stay busy even while
+//!    the main thread fast-forwards through a hit streak without ever
+//!    missing.
 //! 4. **Speculate + Insert.** Each worker executes one superstep from its
 //!    predicted start state with full per-byte dependency tracking (the
 //!    paper's `g` vector) into a per-worker reusable scratch, and completed
@@ -471,6 +475,22 @@ impl LascRuntime {
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut fast_forwarded = 0u64;
         let mut halted = outcome.halted;
+        // Consecutive cache hits since the last miss. During an uninterrupted
+        // hit streak the main thread only applies sparse deltas, so cloning
+        // the full state for the planner on *every* occurrence costs more
+        // than the planner gains (a flooded channel drops most of them
+        // anyway) — mid-streak, only every
+        // `STREAK_SEND_INTERVAL`-th occurrence is reported. Clamped to the
+        // plan horizon: a sample arriving more supersteps past the previous
+        // one than the horizon is deep could never match a plan entry, so
+        // it would invalidate the plan on every sample.
+        const STREAK_SEND_INTERVAL: u64 = 8;
+        let streak_send_interval = STREAK_SEND_INTERVAL.min(self.config.planner.horizon as u64);
+        let mut hit_streak = 0u64;
+        // Whether the previous occurrence was reported: a send after a
+        // throttled occurrence is marked non-contiguous so the planner's
+        // bank does not train across the gap.
+        let mut prev_sent = true;
 
         while !halted {
             if outcome.resume_instret + machine.instret() >= self.config.instruction_budget {
@@ -478,18 +498,41 @@ impl LascRuntime {
             }
             // The main thread is at a recognized-IP occurrence: report it to
             // the planner (never blocks; drop-oldest) and consult the cache.
-            planner.send(OccurrenceEvent { state: machine.state().clone() });
+            let sent = hit_streak % streak_send_interval == 0;
+            if sent {
+                planner.send(OccurrenceEvent {
+                    state: machine.state().clone(),
+                    contiguous: prev_sent,
+                });
+            }
             // An occurrence boundary is the natural preemption point: on
             // machines with fewer spare cores than threads, handing the
-            // scheduler an explicit yield here is what keeps the planner's
-            // anchor fresh — a starved planner plans from stale states and
-            // every speculation it dispatches arrives too late to matter.
+            // scheduler an explicit yield here is what keeps the planner and
+            // workers running ahead of a fast-forwarding main thread — a
+            // starved planner plans from stale states and every speculation
+            // it dispatches arrives too late to matter. Unlike the state
+            // clone, the yield is kept on *every* occurrence: skipping it
+            // mid-streak lets the main thread outrun the workers extending
+            // the cached frontier and collapses the hit rate on
+            // core-constrained hosts.
             std::thread::yield_now();
             if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
                 machine.apply_sparse(&entry.end);
                 fast_forwarded += entry.instructions;
+                hit_streak += 1;
+                prev_sent = sent;
                 continue;
             }
+            // A miss state is the planner's re-plan anchor: if the throttle
+            // skipped it above, report it now.
+            if !sent {
+                planner.send(OccurrenceEvent {
+                    state: machine.state().clone(),
+                    contiguous: prev_sent,
+                });
+            }
+            prev_sent = true;
+            hit_streak = 0;
             let (executed, now_halted) = Self::run_one_superstep(
                 &mut machine,
                 rip.ip,
