@@ -107,6 +107,13 @@ pub struct AscConfig {
     /// IP (most frequently changing bits win); bounds learner memory for
     /// programs that touch fresh output locations every superstep.
     pub max_excited_bits: usize,
+    /// How many observations of per-predictor mistake history the ensemble
+    /// retains (a ring buffer of packed mistake masks). Hindsight predictor
+    /// *selection* uses never-evicted cumulative counts; this bounds only
+    /// the window the Table-2 whole-state hindsight miss rate is measured
+    /// over — and, crucially, bounds ensemble memory for arbitrarily long
+    /// occurrence streams.
+    pub mistake_log_capacity: usize,
     /// Maximum number of entries the trajectory cache retains.
     pub cache_capacity: usize,
     /// Upper bound on total instructions executed (safety net for tests).
@@ -140,6 +147,7 @@ impl Default for AscConfig {
             excitation_threshold: 1,
             excitation_warmup: 3,
             max_excited_bits: 4096,
+            mistake_log_capacity: 4096,
             cache_capacity: 1 << 16,
             instruction_budget: 2_000_000_000,
             workers: 0,
@@ -190,6 +198,9 @@ impl AscConfig {
         if self.cache_capacity == 0 {
             return Err(AscError::InvalidConfig("cache_capacity must be positive".into()));
         }
+        if self.mistake_log_capacity == 0 {
+            return Err(AscError::InvalidConfig("mistake_log_capacity must be positive".into()));
+        }
         if self.workers > 4096 {
             return Err(AscError::InvalidConfig(
                 "workers must be at most 4096 (0 runs speculation inline)".into(),
@@ -236,6 +247,9 @@ mod tests {
         assert!(c.validate().is_err());
 
         let c = AscConfig { cache_capacity: 0, ..AscConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = AscConfig { mistake_log_capacity: 0, ..AscConfig::default() };
         assert!(c.validate().is_err());
 
         let mut c = AscConfig::default();

@@ -6,10 +6,15 @@
 //! only for those *excitations*. The [`ExcitationTracker`] accumulates
 //! change counts from observed occurrence states; once enough occurrences
 //! have been seen it is frozen into an [`ExcitationMap`] that converts full
-//! state vectors to and from the compact [`Observation`] representation the
-//! learners work with.
+//! state vectors to and from the packed [`PackedObservation`] representation
+//! the learners work with.
+//!
+//! Because the map always expands the tracked set to whole aligned 32-bit
+//! words, the packed bit view of an observation is just the tracked word
+//! values laid end to end — extraction and materialisation are pure word
+//! moves with no per-bit work.
 
-use asc_learn::features::{ExcitationSchema, Observation};
+use asc_learn::features::{packed_len, ExcitationSchema, PackedObservation};
 use asc_tvm::state::StateVector;
 use std::collections::BTreeMap;
 
@@ -71,7 +76,7 @@ impl ExcitationTracker {
     /// Like [`ExcitationTracker::build_map`], but keeps at most `max_bits`
     /// bits (before word expansion), preferring the most frequently changing
     /// ones. Bounding the excitation set bounds the memory and training cost
-    /// of the per-bit learners for programs (such as `2mm`) that touch a new
+    /// of the block learners for programs (such as `2mm`) that touch a new
     /// output location on every superstep.
     pub fn build_map_with_limit(&self, max_bits: usize) -> Option<ExcitationMap> {
         let mut qualifying: Vec<(usize, u32)> = self
@@ -92,7 +97,7 @@ impl ExcitationTracker {
 }
 
 /// A frozen set of excitation bits with conversions between full state
-/// vectors and compact observations.
+/// vectors and packed observations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExcitationMap {
     /// Absolute bit indices of the tracked bits, sorted.
@@ -112,7 +117,8 @@ impl ExcitationMap {
     /// program runs; tracking the whole containing word up front means the
     /// predictors model those carries from the start instead of repeatedly
     /// discovering "new" excitations (the word is also the granularity the
-    /// linear-regression predictor operates at).
+    /// linear-regression predictor operates at, and what makes packed
+    /// extraction a pure word move).
     pub fn new(bit_indices: Vec<usize>) -> Self {
         // Tracked words are the aligned 32-bit words containing tracked bits.
         let mut word_bytes: Vec<usize> = bit_indices.iter().map(|bit| (bit / 32) * 4).collect();
@@ -155,31 +161,70 @@ impl ExcitationMap {
         &self.schema
     }
 
-    /// Extracts the tracked bits and words of a state vector.
-    pub fn observe(&self, state: &StateVector) -> Observation {
-        let bits = self.bit_indices.iter().map(|&bit| state.bit(bit)).collect();
-        let words = self
-            .word_bytes
-            .iter()
-            .map(|&byte| if byte + 4 <= state.len_bytes() { state.word(byte) } else { 0 })
-            .collect();
-        Observation::new(bits, words)
+    /// The tracked word at index `w` of `state` (0 when the state is too
+    /// short, which only happens for foreign states).
+    fn word_of(&self, state: &StateVector, w: usize) -> u32 {
+        let byte = self.word_bytes[w];
+        if byte + 4 <= state.len_bytes() {
+            state.word(byte)
+        } else {
+            0
+        }
     }
 
-    /// Materialises a predicted state: a copy of `base` with the tracked bits
-    /// replaced by `bits`. Untracked bits keep their `base` values, which is
-    /// exactly the paper's sparsity argument — everything that never changed
-    /// between occurrences is carried forward unchanged.
+    /// Extracts the tracked bits and words of a state vector directly into
+    /// packed form. Tracked bits are exactly the bits of the tracked words,
+    /// so the packed bit view is the word values laid end to end — one
+    /// 32-bit read per tracked word and no per-bit work.
+    pub fn observe(&self, state: &StateVector) -> PackedObservation {
+        let word_count = self.word_bytes.len();
+        let words: Vec<u32> = (0..word_count).map(|w| self.word_of(state, w)).collect();
+        let mut packed = vec![0u64; packed_len(self.bit_count())];
+        for (k, chunk) in words.chunks(2).enumerate() {
+            packed[k] = chunk[0] as u64 | (chunk.get(1).copied().unwrap_or(0) as u64) << 32;
+        }
+        PackedObservation::new(packed, self.bit_count(), words)
+    }
+
+    /// Rebuilds an observation from a packed predicted block (the inverse of
+    /// the bit view of [`observe`]): the tracked word values are the packed
+    /// halves. Used when rolling predictions forward without materialising a
+    /// full state per step.
     ///
     /// # Panics
-    /// Panics when `bits` does not have one entry per tracked bit.
-    pub fn materialize(&self, base: &StateVector, bits: &[bool]) -> StateVector {
-        assert_eq!(bits.len(), self.bit_indices.len(), "predicted bit vector has wrong arity");
+    /// Panics when `bits` does not hold one packed word per 64 tracked bits.
+    ///
+    /// [`observe`]: ExcitationMap::observe
+    pub fn observation_from_packed(&self, bits: &[u64]) -> PackedObservation {
+        assert_eq!(bits.len(), packed_len(self.bit_count()), "predicted block has wrong arity");
+        let words =
+            (0..self.word_bytes.len()).map(|w| (bits[w / 2] >> (32 * (w % 2))) as u32).collect();
+        PackedObservation::new(bits.to_vec(), self.bit_count(), words)
+    }
+
+    /// Materialises a predicted state: a copy of `base` with the tracked
+    /// words replaced by the predicted packed bits. Untracked bits keep their
+    /// `base` values, which is exactly the paper's sparsity argument —
+    /// everything that never changed between occurrences is carried forward
+    /// unchanged.
+    ///
+    /// # Panics
+    /// Panics when `bits` does not hold one packed word per 64 tracked bits.
+    pub fn materialize(&self, base: &StateVector, bits: &[u64]) -> StateVector {
+        assert_eq!(bits.len(), packed_len(self.bit_count()), "predicted block has wrong arity");
         let mut state = base.clone();
-        for (&bit_index, &value) in self.bit_indices.iter().zip(bits.iter()) {
-            state.set_bit(bit_index, value);
+        for (w, &byte) in self.word_bytes.iter().enumerate() {
+            if byte + 4 <= state.len_bytes() {
+                state.set_word(byte, (bits[w / 2] >> (32 * (w % 2))) as u32);
+            }
         }
         state
+    }
+
+    /// Whether two states agree on every tracked word (and therefore every
+    /// modelled excitation bit).
+    pub fn states_agree(&self, a: &StateVector, b: &StateVector) -> bool {
+        (0..self.word_bytes.len()).all(|w| self.word_of(a, w) == self.word_of(b, w))
     }
 }
 
@@ -238,10 +283,25 @@ mod tests {
         let map = tracker.build_map().unwrap();
         let obs = map.observe(&changed);
         assert_eq!(obs.bit_count(), map.bit_count());
+        // The packed bit view is the tracked words laid end to end.
+        for (w, &value) in obs.words().iter().enumerate() {
+            assert_eq!((obs.packed()[w / 2] >> (32 * (w % 2))) as u32, value);
+        }
         // Materialising the observed bits onto the base reproduces the
         // changed state exactly (untracked bits were identical already).
-        let rebuilt = map.materialize(&base, &obs.bits);
+        let rebuilt = map.materialize(&base, obs.packed());
         assert_eq!(rebuilt, changed);
+        assert!(map.states_agree(&rebuilt, &changed));
+        assert!(!map.states_agree(&base, &changed));
+    }
+
+    #[test]
+    fn observation_from_packed_inverts_the_bit_view() {
+        let map = ExcitationMap::new(vec![0, 40, 70]);
+        let state = state_with(64, &[(0, 0xDEAD_BEEF), (4, 0x1234_5678), (8, 0xCAFE_F00D)]);
+        let obs = map.observe(&state);
+        let rebuilt = map.observation_from_packed(obs.packed());
+        assert_eq!(rebuilt, obs);
     }
 
     #[test]
@@ -269,6 +329,6 @@ mod tests {
     fn materialize_checks_arity() {
         let map = ExcitationMap::new(vec![0, 1]);
         let base = StateVector::new(16).unwrap();
-        map.materialize(&base, &[true]);
+        map.materialize(&base, &[]);
     }
 }

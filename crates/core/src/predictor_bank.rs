@@ -1,19 +1,34 @@
 //! The predictor bank: excitation tracking plus the learning ensemble, bound
 //! to one recognized instruction pointer (§4.4).
 //!
-//! The bank consumes the stream of state vectors observed at the recognized
-//! IP. It first warms up an [`ExcitationTracker`] to discover which bits
-//! actually change, then instantiates the predictor ensemble over exactly
-//! those bits and trains it on every subsequent occurrence. Given a current
-//! state it can produce the maximum-likelihood predicted next state (and
-//! recursive rollouts of it), each materialised as a *full* state vector by
-//! patching only the excitation bits — the paper's sparsity argument made
-//! concrete.
+//! The bank is the runtime end of the packed prediction pipeline:
+//!
+//! ```text
+//! StateVector ──ExcitationMap::observe──▶ PackedObservation
+//!     (one 32-bit read per tracked word)        │
+//!                                               ├─ Ensemble::observe ── block
+//!                                               │  training, XOR mistake masks
+//!                                               └─ Ensemble::predict_ml ──▶
+//!                                                  packed ML block
+//!                                                        │
+//!                        ExcitationMap::materialize ◀────┘
+//!                        (patch tracked words onto the live state)
+//! ```
+//!
+//! It first warms up an [`ExcitationTracker`] over the stream of occurrence
+//! states to discover which bits actually change, then freezes an
+//! [`ExcitationMap`] and instantiates the block-predictor ensemble over
+//! exactly those bits. Every subsequent occurrence trains the ensemble with
+//! one block call per predictor. Given a current state it produces the
+//! maximum-likelihood predicted next state — and recursive rollouts of it,
+//! chained in packed observation space so only the returned states are
+//! materialised — each a *full* state vector built by patching only the
+//! tracked words: the paper's sparsity argument made concrete.
 
 use crate::config::{AscConfig, PredictorComplement};
 use crate::excitation::{ExcitationMap, ExcitationTracker};
 use asc_learn::ensemble::{Ensemble, EnsembleErrors};
-use asc_learn::features::Observation;
+use asc_learn::features::PackedObservation;
 use asc_learn::traits::{default_predictors, extended_predictors};
 use asc_tvm::state::StateVector;
 
@@ -34,11 +49,12 @@ pub struct PredictorBank {
     warmup: usize,
     beta: f64,
     max_excited_bits: usize,
+    mistake_capacity: usize,
     complement: PredictorComplement,
     tracker: ExcitationTracker,
     map: Option<ExcitationMap>,
     ensemble: Option<Ensemble>,
-    previous: Option<(StateVector, Observation)>,
+    previous: Option<(StateVector, PackedObservation)>,
     observations: u64,
     /// Consecutive occurrences whose changes fell substantially outside the
     /// frozen map.
@@ -66,6 +82,7 @@ impl PredictorBank {
             warmup: config.excitation_warmup.max(2),
             beta: config.ensemble_beta,
             max_excited_bits: config.max_excited_bits.max(32),
+            mistake_capacity: config.mistake_log_capacity.max(1),
             complement: config.predictors,
             tracker: ExcitationTracker::new(config.excitation_threshold),
             map: None,
@@ -117,7 +134,8 @@ impl PredictorBank {
             };
             let bit_count = map.bit_count();
             self.map = Some(map);
-            self.ensemble = Some(Ensemble::new(predictors, bit_count, self.beta));
+            self.ensemble =
+                Some(Ensemble::new(predictors, bit_count, self.beta, self.mistake_capacity));
             self.previous = None;
             self.drift = 0;
             self.last_rebuild = self.observations;
@@ -183,19 +201,22 @@ impl PredictorBank {
     }
 
     /// Cheap training path for high-rate occurrence streams (the planner's
-    /// hot path): once the ensemble is ready, extracts the tracked
-    /// observation — touching only the excited words — and trains the
+    /// hot path): once the ensemble is ready, extracts the packed
+    /// observation — one 32-bit read per tracked word — and block-trains the
     /// ensemble on the transition from the previous occurrence, skipping the
-    /// full-state excitation diff and drift scan that [`observe`] pays
-    /// (~80µs per occurrence on TVM-sized states). Falls back to the full
-    /// path until the ensemble is ready.
+    /// full-state excitation diff and drift scan that [`observe`] pays.
+    /// Falls back to the full path until the ensemble is ready.
     ///
-    /// Callers should still route occasional occurrences through
-    /// [`observe`] (the planner does so every
+    /// The packed refactor removed most of the gap between the two paths:
+    /// what remains in [`observe`] is the full-state `diff_bytes` scan that
+    /// keeps excitation discovery and drift detection alive — a cost
+    /// proportional to the *state* size, not the excitation count, so it
+    /// stays worth amortising. Callers should still route occasional
+    /// occurrences through [`observe`] (the planner does so every
     /// [`full_observe_interval`](crate::config::PlannerConfig::full_observe_interval)-th
-    /// occurrence) so excitation discovery and drift detection stay alive.
-    /// Between full updates the tracker's diff spans several supersteps,
-    /// which coarsens change *counts* but cannot hide a changing bit.
+    /// occurrence). Between full updates the tracker's diff spans several
+    /// supersteps, which coarsens change *counts* but cannot hide a changing
+    /// bit.
     ///
     /// [`observe`]: PredictorBank::observe
     pub fn observe_incremental(&mut self, state: &StateVector) {
@@ -232,8 +253,8 @@ impl PredictorBank {
     pub fn predict_next(&self, state: &StateVector) -> Option<PredictedState> {
         let (map, ensemble) = (self.map.as_ref()?, self.ensemble.as_ref()?);
         let observation = map.observe(state);
-        let (bits, log_probability) = ensemble.predict_ml(&observation);
-        Some(PredictedState { state: map.materialize(state, &bits), log_probability, depth: 1 })
+        let (block, log_probability) = ensemble.predict_ml(&observation);
+        Some(PredictedState { state: map.materialize(state, &block), log_probability, depth: 1 })
     }
 
     /// Whether `predicted` agrees with `actual` on every modelled excitation
@@ -244,32 +265,33 @@ impl PredictorBank {
     /// on an entry's read set.
     pub fn prediction_matches(&self, predicted: &StateVector, actual: &StateVector) -> bool {
         match &self.map {
-            Some(map) => map.bit_indices().iter().all(|&bit| predicted.bit(bit) == actual.bit(bit)),
+            Some(map) => map.states_agree(predicted, actual),
             None => predicted == actual,
         }
     }
 
     /// Rolls predictions out `depth` supersteps into the future by feeding
-    /// each predicted state back into the model (§4.5.2). Entry `k-1` of the
-    /// result is the prediction `k` supersteps ahead; log-probabilities are
-    /// cumulative along the chain.
+    /// each predicted block back into the model (§4.5.2). The chain advances
+    /// in packed observation space — only the returned states pay for
+    /// materialisation, and each is the anchor state with just the tracked
+    /// words patched. Entry `k-1` of the result is the prediction `k`
+    /// supersteps ahead; log-probabilities are cumulative along the chain.
     pub fn rollout(&self, state: &StateVector, depth: usize) -> Vec<PredictedState> {
         let mut results = Vec::with_capacity(depth);
-        let mut current = state.clone();
+        let (Some(map), Some(ensemble)) = (self.map.as_ref(), self.ensemble.as_ref()) else {
+            return results;
+        };
+        let mut observation = map.observe(state);
         let mut cumulative_log_probability = 0.0;
         for k in 1..=depth {
-            match self.predict_next(&current) {
-                Some(predicted) => {
-                    cumulative_log_probability += predicted.log_probability;
-                    current = predicted.state.clone();
-                    results.push(PredictedState {
-                        state: predicted.state,
-                        log_probability: cumulative_log_probability,
-                        depth: k,
-                    });
-                }
-                None => break,
-            }
+            let (block, log_probability) = ensemble.predict_ml(&observation);
+            cumulative_log_probability += log_probability;
+            results.push(PredictedState {
+                state: map.materialize(state, &block),
+                log_probability: cumulative_log_probability,
+                depth: k,
+            });
+            observation = map.observation_from_packed(&block);
         }
         results
     }
@@ -407,5 +429,21 @@ mod tests {
         let (names, matrix) = bank.weight_matrix().unwrap();
         assert_eq!(names.len(), 4);
         assert_eq!(matrix.len(), bank.excited_bits());
+    }
+
+    #[test]
+    fn mistake_history_stays_bounded() {
+        let (program, rip) = counting_program(600);
+        let states = occurrence_states(&program, rip, 200);
+        let config = AscConfig { mistake_log_capacity: 16, ..AscConfig::for_tests() };
+        let mut bank = PredictorBank::new(rip, &config);
+        for state in &states {
+            bank.observe(state);
+        }
+        let errors = bank.errors().unwrap();
+        // Full-history counters keep counting far past the 16-observation
+        // mistake window; the windowed hindsight rate stays well-formed.
+        assert!(errors.total_predictions > 100, "{errors:?}");
+        assert!(errors.hindsight_optimal_error_rate <= 1.0);
     }
 }

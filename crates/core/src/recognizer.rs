@@ -297,6 +297,7 @@ pub fn recognize(initial: &StateVector, config: &AscConfig) -> AscResult<Recogni
             .min(config.instruction_budget);
 
         let mut spent = 0u64;
+        let phase2_start = machine.instret();
         while spent < budget && !halted {
             match machine.step()? {
                 asc_tvm::exec::StepOutcome::Continue => {
@@ -361,8 +362,14 @@ pub fn recognize(initial: &StateVector, config: &AscConfig) -> AscResult<Recogni
                         }
                         let expected_gap =
                             (e.candidate.mean_gap * e.candidate.stride as f64).max(1.0);
-                        let since_last = instret
-                            - e.last_occurrence_instret.unwrap_or(config.explore_instructions);
+                        // Candidates that have not occurred yet in *this*
+                        // attempt are measured from this attempt's phase-2
+                        // start, not from the literal exploration budget —
+                        // on retry attempts instret is far beyond it and the
+                        // old baseline wrote every candidate off as stalled
+                        // before evaluation could begin.
+                        let since_last =
+                            instret - e.last_occurrence_instret.unwrap_or(phase2_start);
                         since_last as f64 > 20.0 * expected_gap
                     });
                     if done {

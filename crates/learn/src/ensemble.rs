@@ -8,10 +8,18 @@
 //! that, per bit, the ensemble's mistake count stays within a constant factor
 //! (plus a logarithmic term) of the best single predictor chosen in
 //! hindsight — which is exactly the comparison Table 2 of the paper reports.
+//!
+//! The implementation is columnar: the weight matrix is one flat `f32`
+//! buffer, each member predictor trains and predicts whole blocks through
+//! the [`BlockPredictor`] API, and scoring computes *mistake masks* — the
+//! XOR of a predictor's packed rounded prediction with the realised packed
+//! observation — so the multiplicative update only ever touches the weights
+//! of bits that were actually wrong. Mistake history lives in a bounded ring
+//! buffer of packed masks plus cumulative per-`(bit, predictor)` counts, so
+//! memory stays constant no matter how long the occurrence stream runs.
 
-use crate::features::Observation;
-use crate::rng::Rng;
-use crate::traits::BitPredictor;
+use crate::features::{mask_tail, packed_len, PackedObservation};
+use crate::traits::BlockPredictor;
 
 /// Aggregate error statistics in the shape of the paper's Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -20,7 +28,8 @@ pub struct EnsembleErrors {
     /// every predictor weighted equally.
     pub equal_weight_error_rate: f64,
     /// Fraction wrong when clairvoyantly using the single best predictor for
-    /// each bit (chosen in hindsight).
+    /// each bit (chosen in hindsight over the full mistake history; the
+    /// whole-state miss count is measured over the retained mistake window).
     pub hindsight_optimal_error_rate: f64,
     /// Fraction wrong using the actual regret-minimised weights.
     pub actual_error_rate: f64,
@@ -30,26 +39,80 @@ pub struct EnsembleErrors {
     pub incorrect_predictions: u64,
 }
 
-/// The per-bit weighted ensemble.
+/// A bounded ring of per-observation mistake masks: each slot holds one
+/// packed mask per predictor (`predictor_count × packed_len` words). When
+/// full, the oldest observation's masks are overwritten — Table-2 style
+/// whole-state hindsight scoring then runs over the retained window.
+#[derive(Debug, Clone)]
+struct MistakeRing {
+    capacity: usize,
+    slot_words: usize,
+    buf: Vec<u64>,
+    len: usize,
+    next: usize,
+}
+
+impl MistakeRing {
+    fn new(capacity: usize, slot_words: usize) -> Self {
+        MistakeRing { capacity: capacity.max(1), slot_words, buf: Vec::new(), len: 0, next: 0 }
+    }
+
+    fn push(&mut self, masks: &[u64]) {
+        debug_assert_eq!(masks.len(), self.slot_words);
+        if self.buf.len() < self.capacity * self.slot_words {
+            self.buf.extend_from_slice(masks);
+            self.len += 1;
+        } else {
+            let at = self.next * self.slot_words;
+            self.buf[at..at + self.slot_words].copy_from_slice(masks);
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    fn len(&self) -> usize {
+        self.len.min(self.capacity)
+    }
+
+    fn slots(&self) -> impl Iterator<Item = &[u64]> {
+        self.buf.chunks_exact(self.slot_words.max(1))
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.len = 0;
+        self.next = 0;
+    }
+}
+
+/// The per-bit weighted ensemble over block predictors.
 pub struct Ensemble {
-    predictors: Vec<Box<dyn BitPredictor>>,
-    /// `weights[j][p]` is the weight of predictor `p` on bit `j`.
-    weights: Vec<Vec<f64>>,
-    beta: f64,
-    /// Per observation, per bit: bitmask of predictors that got the bit wrong.
-    mistake_log: Vec<Vec<u16>>,
+    predictors: Vec<Box<dyn BlockPredictor>>,
+    /// Flat weight matrix, bit-major: `weights[j * predictor_count + p]`.
+    weights: Vec<f32>,
+    beta: f32,
+    bit_count: usize,
+    /// Bounded history of packed mistake masks.
+    mistakes: MistakeRing,
+    /// Cumulative mistake counts, bit-major: `[j * predictor_count + p]`.
+    /// Full-history (never evicted); drives hindsight predictor selection.
+    cumulative_mistakes: Vec<u32>,
     /// Whole-state mistakes of the weighted ensemble.
     ensemble_mistakes: u64,
     /// Whole-state mistakes of the equal-weight vote.
     equal_weight_mistakes: u64,
     observations: u64,
+    /// Scratch prediction blocks, predictor-major, reused across `observe`
+    /// calls: `predictor_count × packed_len` rounded bits.
+    scratch_bits: Vec<u64>,
+    /// Scratch confidences, predictor-major: `predictor_count × bit_count`.
+    scratch_confidence: Vec<f32>,
 }
 
 impl std::fmt::Debug for Ensemble {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ensemble")
             .field("predictors", &self.predictor_names())
-            .field("bits", &self.weights.len())
+            .field("bits", &self.bit_count)
             .field("beta", &self.beta)
             .field("observations", &self.observations)
             .finish()
@@ -57,25 +120,35 @@ impl std::fmt::Debug for Ensemble {
 }
 
 impl Ensemble {
-    /// Creates an ensemble over `bit_count` tracked bits.
+    /// Creates an ensemble over `bit_count` tracked bits whose mistake
+    /// history retains at most `mistake_capacity` observations.
     ///
     /// # Panics
-    /// Panics when there are no predictors, more than 16 predictors (the
-    /// mistake log packs per-predictor flags into a `u16`), or `beta` is not
-    /// in `(0, 1)`.
-    pub fn new(predictors: Vec<Box<dyn BitPredictor>>, bit_count: usize, beta: f64) -> Self {
+    /// Panics when there are no predictors, more than 16 predictors, or
+    /// `beta` is not in `(0, 1)`.
+    pub fn new(
+        predictors: Vec<Box<dyn BlockPredictor>>,
+        bit_count: usize,
+        beta: f64,
+        mistake_capacity: usize,
+    ) -> Self {
         assert!(!predictors.is_empty(), "ensemble needs at least one predictor");
         assert!(predictors.len() <= 16, "at most 16 predictors are supported");
         assert!(beta > 0.0 && beta < 1.0, "beta must be in (0, 1)");
-        let weights = vec![vec![1.0; predictors.len()]; bit_count];
+        let predictor_count = predictors.len();
+        let packed = packed_len(bit_count);
         Ensemble {
-            predictors,
-            weights,
-            beta,
-            mistake_log: Vec::new(),
+            weights: vec![1.0; bit_count * predictor_count],
+            beta: beta as f32,
+            bit_count,
+            mistakes: MistakeRing::new(mistake_capacity, predictor_count * packed),
+            cumulative_mistakes: vec![0; bit_count * predictor_count],
             ensemble_mistakes: 0,
             equal_weight_mistakes: 0,
             observations: 0,
+            scratch_bits: vec![0; predictor_count * packed],
+            scratch_confidence: vec![0.0; predictor_count * bit_count],
+            predictors,
         }
     }
 
@@ -86,7 +159,7 @@ impl Ensemble {
 
     /// Number of tracked bits.
     pub fn bit_count(&self) -> usize {
-        self.weights.len()
+        self.bit_count
     }
 
     /// Number of observed transitions.
@@ -94,43 +167,51 @@ impl Ensemble {
         self.observations
     }
 
-    /// Probability that bit `j` of the next observation is 1, combining every
-    /// predictor by its current weight.
-    pub fn predict_bit(&self, current: &Observation, j: usize) -> f64 {
-        let weights = match self.weights.get(j) {
-            Some(w) => w,
-            None => return 0.5,
-        };
-        let mut numerator = 0.0;
-        let mut denominator = 0.0;
-        for (p, predictor) in self.predictors.iter().enumerate() {
-            let probability = predictor.predict(current, j).clamp(0.0, 1.0);
-            numerator += weights[p] * probability;
-            denominator += weights[p];
-        }
-        if denominator <= 0.0 {
-            0.5
-        } else {
-            numerator / denominator
-        }
+    /// How many observations of mistake history are currently retained.
+    pub fn mistake_window(&self) -> usize {
+        self.mistakes.len()
     }
 
-    /// Per-bit probabilities for the whole next observation (the paper's
-    /// Eq. 2 factors).
-    pub fn predict_distribution(&self, current: &Observation) -> Vec<f64> {
-        (0..self.bit_count()).map(|j| self.predict_bit(current, j)).collect()
+    /// Fills `confidence` with the per-bit probabilities for the whole next
+    /// observation (the paper's Eq. 2 factors), combining every predictor by
+    /// its current weight. Prediction blocks are computed into caller-local
+    /// buffers, so this is `&self` and safe to call during rollouts.
+    fn predict_into(&self, current: &PackedObservation, confidence: &mut [f32]) {
+        let p_count = self.predictors.len();
+        let packed = packed_len(self.bit_count);
+        let mut block_bits = vec![0u64; packed];
+        let mut block_confidence = vec![0.0f32; self.bit_count * p_count];
+        for (p, predictor) in self.predictors.iter().enumerate() {
+            block_bits.fill(0);
+            predictor.predict_block(
+                current,
+                &mut block_bits,
+                &mut block_confidence[p * self.bit_count..(p + 1) * self.bit_count],
+            );
+        }
+        combine_weighted(&self.weights, &block_confidence, self.bit_count, p_count, confidence);
+    }
+
+    /// Per-bit probabilities for the whole next observation.
+    pub fn predict_distribution(&self, current: &PackedObservation) -> Vec<f32> {
+        let mut confidence = vec![0.0f32; self.bit_count];
+        self.predict_into(current, &mut confidence);
+        confidence
     }
 
     /// The maximum-likelihood prediction: every bit rounded to its most
-    /// probable value, together with the joint log-probability under Eq. 2.
-    pub fn predict_ml(&self, current: &Observation) -> (Vec<bool>, f64) {
+    /// probable value (as a packed block), together with the joint
+    /// log-probability under Eq. 2.
+    pub fn predict_ml(&self, current: &PackedObservation) -> (Vec<u64>, f64) {
         let distribution = self.predict_distribution(current);
-        let mut bits = Vec::with_capacity(distribution.len());
-        let mut log_probability = 0.0;
-        for p in distribution {
+        let mut bits = vec![0u64; packed_len(self.bit_count)];
+        let mut log_probability = 0.0f64;
+        for (j, &p) in distribution.iter().enumerate() {
             let bit = p >= 0.5;
-            bits.push(bit);
-            let bit_probability = if bit { p } else { 1.0 - p };
+            if bit {
+                bits[j / 64] |= 1u64 << (j % 64);
+            }
+            let bit_probability = if bit { p as f64 } else { 1.0 - p as f64 };
             log_probability += bit_probability.max(1e-12).ln();
         }
         (bits, log_probability)
@@ -140,7 +221,7 @@ impl Ensemble {
     /// the maximum-likelihood prediction (§4.4: "the second and third most
     /// likely predictions, and so on"). Returns up to `count` predictions in
     /// decreasing probability order, starting with the ML prediction.
-    pub fn predict_top(&self, current: &Observation, count: usize) -> Vec<(Vec<bool>, f64)> {
+    pub fn predict_top(&self, current: &PackedObservation, count: usize) -> Vec<(Vec<u64>, f64)> {
         let distribution = self.predict_distribution(current);
         let (ml_bits, ml_log_probability) = self.predict_ml(current);
         let mut results = vec![(ml_bits.clone(), ml_log_probability)];
@@ -158,9 +239,10 @@ impl Ensemble {
         });
         for &j in by_uncertainty.iter().take(count.saturating_sub(1)) {
             let mut flipped = ml_bits.clone();
-            flipped[j] = !flipped[j];
-            let p = distribution[j];
-            let old = if ml_bits[j] { p } else { 1.0 - p };
+            flipped[j / 64] ^= 1u64 << (j % 64);
+            let p = distribution[j] as f64;
+            let was_set = (ml_bits[j / 64] >> (j % 64)) & 1 == 1;
+            let old = if was_set { p } else { 1.0 - p };
             let new = 1.0 - old;
             let log_probability = ml_log_probability - old.max(1e-12).ln() + new.max(1e-12).ln();
             results.push((flipped, log_probability));
@@ -168,74 +250,98 @@ impl Ensemble {
         results
     }
 
-    /// Draws a prediction for bit `j` randomly, proportionally to the current
-    /// weights (the "randomized" in RWMA). Exposed for completeness; the
-    /// allocator uses the deterministic weighted vote.
-    pub fn predict_bit_randomized<R: Rng>(
-        &self,
-        current: &Observation,
-        j: usize,
-        rng: &mut R,
-    ) -> bool {
-        let weights = match self.weights.get(j) {
-            Some(w) => w,
-            None => return rng.gen_bool(0.5),
-        };
-        let total: f64 = weights.iter().sum();
-        if total <= 0.0 {
-            return rng.gen_bool(0.5);
-        }
-        let mut pick = rng.gen_range_f64(0.0, total);
-        for (p, predictor) in self.predictors.iter().enumerate() {
-            pick -= weights[p];
-            if pick <= 0.0 {
-                return predictor.predict(current, j) >= 0.5;
-            }
-        }
-        self.predictors.last().map(|p| p.predict(current, j) >= 0.5).unwrap_or(false)
-    }
-
     /// Observes one transition: scores every predictor (and the ensemble
-    /// itself) on the realised `next` observation, updates the RWMA weights,
-    /// and then lets every predictor train on the new example.
-    pub fn observe(&mut self, prev: &Observation, next: &Observation) {
-        let bit_count = self.bit_count().min(next.bits.len());
-        let mut mistakes_this_observation = vec![0u16; bit_count];
+    /// itself) on the realised `next` observation via packed mistake masks,
+    /// applies the RWMA multiplicative update to exactly the mistaken
+    /// `(bit, predictor)` weights, and then lets every predictor train on the
+    /// new example.
+    pub fn observe(&mut self, prev: &PackedObservation, next: &PackedObservation) {
+        let p_count = self.predictors.len();
+        let bit_count = self.bit_count.min(next.bit_count());
+        let packed = packed_len(self.bit_count);
+        let scored_words = packed_len(bit_count);
+
+        // 1. Every predictor fills its block prediction (rounded bits +
+        //    confidence) before anything trains or reweights.
+        for (p, predictor) in self.predictors.iter().enumerate() {
+            let bits = &mut self.scratch_bits[p * packed..(p + 1) * packed];
+            bits.fill(0);
+            predictor.predict_block(
+                prev,
+                bits,
+                &mut self.scratch_confidence[p * self.bit_count..(p + 1) * self.bit_count],
+            );
+        }
+
+        // 2. Whole-state scoring of the weighted and equal-weight votes.
         let mut ensemble_wrong = false;
         let mut equal_weight_wrong = false;
-
-        for (j, mistakes) in mistakes_this_observation.iter_mut().enumerate() {
-            let actual = next.bits[j];
-            // Score the weighted ensemble before updating anything.
-            if (self.predict_bit(prev, j) >= 0.5) != actual {
+        for j in 0..bit_count {
+            let actual = next.bit(j);
+            let mut numerator = 0.0f32;
+            let mut denominator = 0.0f32;
+            let mut equal = 0.0f32;
+            for p in 0..p_count {
+                let probability = self.scratch_confidence[p * self.bit_count + j].clamp(0.0, 1.0);
+                let weight = self.weights[j * p_count + p];
+                numerator += weight * probability;
+                denominator += weight;
+                equal += probability;
+            }
+            let vote = if denominator <= 0.0 { 0.5 } else { numerator / denominator };
+            if (vote >= 0.5) != actual {
                 ensemble_wrong = true;
             }
-            // Equal-weight vote: average the probabilities.
-            let mut equal = 0.0;
-            for predictor in &self.predictors {
-                equal += predictor.predict(prev, j).clamp(0.0, 1.0);
-            }
-            if (equal / self.predictors.len() as f64 >= 0.5) != actual {
+            if (equal / p_count as f32 >= 0.5) != actual {
                 equal_weight_wrong = true;
-            }
-            // Score individual predictors and apply the multiplicative update.
-            for (p, predictor) in self.predictors.iter().enumerate() {
-                let predicted = predictor.predict(prev, j) >= 0.5;
-                if predicted != actual {
-                    *mistakes |= 1 << p;
-                    self.weights[j][p] *= self.beta;
-                }
-            }
-            // Keep weights from underflowing to zero for every predictor.
-            let max = self.weights[j].iter().cloned().fold(0.0, f64::max);
-            if max < 1e-9 {
-                for w in &mut self.weights[j] {
-                    *w /= max.max(1e-300);
-                }
             }
         }
 
-        self.mistake_log.push(mistakes_this_observation);
+        // 3. Mistake masks: XOR each packed rounded prediction against the
+        //    realised bits, then walk the set bits to apply the
+        //    multiplicative update and bump the cumulative counts.
+        for p in 0..p_count {
+            let row = &mut self.scratch_bits[p * packed..(p + 1) * packed];
+            for (w, mask) in row.iter_mut().enumerate().take(scored_words) {
+                *mask ^= next.packed()[w];
+            }
+            mask_tail(&mut row[..scored_words], bit_count);
+            for word in row[scored_words..].iter_mut() {
+                *word = 0;
+            }
+            for (w, &mask) in row.iter().enumerate().take(scored_words) {
+                let mut remaining = mask;
+                while remaining != 0 {
+                    let j = w * 64 + remaining.trailing_zeros() as usize;
+                    self.weights[j * p_count + p] *= self.beta;
+                    self.cumulative_mistakes[j * p_count + p] += 1;
+                    remaining &= remaining - 1;
+                }
+            }
+        }
+        // Keep weights from underflowing to zero for every predictor. Only
+        // bits that just took a multiplicative hit can newly underflow, so
+        // the scan walks the union of the mistake masks.
+        for w in 0..scored_words {
+            let mut union = 0u64;
+            for p in 0..p_count {
+                union |= self.scratch_bits[p * packed + w];
+            }
+            let mut remaining = union;
+            while remaining != 0 {
+                let j = w * 64 + remaining.trailing_zeros() as usize;
+                let row = &mut self.weights[j * p_count..(j + 1) * p_count];
+                let max = row.iter().cloned().fold(0.0f32, f32::max);
+                if max < 1e-9 {
+                    for weight in row {
+                        *weight /= max.max(1e-30);
+                    }
+                }
+                remaining &= remaining - 1;
+            }
+        }
+
+        self.mistakes.push(&self.scratch_bits);
         self.observations += 1;
         if ensemble_wrong {
             self.ensemble_mistakes += 1;
@@ -244,76 +350,73 @@ impl Ensemble {
             self.equal_weight_mistakes += 1;
         }
 
-        // Finally train the member predictors on the new example.
+        // 4. Finally train the member predictors on the new example.
         for predictor in &mut self.predictors {
             predictor.observe_transition(prev, next);
-        }
-        for (j, &actual) in next.bits.iter().enumerate().take(bit_count) {
-            for predictor in &mut self.predictors {
-                predictor.update(prev, j, actual);
-            }
         }
     }
 
     /// The current weight matrix: `weights[bit][predictor]`, normalised per
     /// bit so each row sums to 1 (the shading of the paper's Figure 3).
     pub fn weight_matrix(&self) -> Vec<Vec<f64>> {
+        let p_count = self.predictors.len();
         self.weights
-            .iter()
+            .chunks_exact(p_count)
             .map(|row| {
-                let total: f64 = row.iter().sum();
+                let total: f64 = row.iter().map(|&w| w as f64).sum();
                 if total <= 0.0 {
-                    vec![1.0 / row.len() as f64; row.len()]
+                    vec![1.0 / p_count as f64; p_count]
                 } else {
-                    row.iter().map(|w| w / total).collect()
+                    row.iter().map(|&w| w as f64 / total).collect()
                 }
             })
             .collect()
     }
 
-    /// Error statistics in the shape of Table 2.
+    /// Error statistics in the shape of Table 2. The hindsight-optimal
+    /// per-bit predictor assignment uses the full-history cumulative mistake
+    /// counts; its whole-state miss rate is measured over the retained
+    /// mistake window (the ring holds the most recent
+    /// `mistake_capacity` observations).
     pub fn errors(&self) -> EnsembleErrors {
         let total = self.observations;
         if total == 0 {
             return EnsembleErrors::default();
         }
-        // Hindsight-optimal: pick, per bit, the predictor with the fewest
-        // mistakes over the whole log, then count the observations where that
-        // assignment still got at least one bit wrong.
-        let bit_count = self.bit_count();
-        let predictor_count = self.predictors.len();
-        let mut per_bit_errors = vec![vec![0u64; predictor_count]; bit_count];
-        for observation in &self.mistake_log {
-            for (j, mask) in observation.iter().enumerate() {
-                for (p, errors) in per_bit_errors[j].iter_mut().enumerate() {
-                    if mask & (1 << p) != 0 {
-                        *errors += 1;
-                    }
-                }
-            }
+        let p_count = self.predictors.len();
+        let packed = packed_len(self.bit_count);
+        // Per-predictor selection masks: bit j is set in mask p when p is the
+        // hindsight-best predictor for bit j.
+        let mut selection = vec![0u64; p_count * packed];
+        for j in 0..self.bit_count {
+            let row = &self.cumulative_mistakes[j * p_count..(j + 1) * p_count];
+            let best = row
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, count)| **count)
+                .map(|(p, _)| p)
+                .unwrap_or(0);
+            selection[best * packed + j / 64] |= 1u64 << (j % 64);
         }
-        let best_per_bit: Vec<usize> = per_bit_errors
-            .iter()
-            .map(|errors| {
-                errors
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, count)| **count)
-                    .map(|(p, _)| p)
-                    .unwrap_or(0)
-            })
-            .collect();
+        // An observation is a hindsight miss when the best-per-bit assignment
+        // still got at least one bit wrong: any predictor's mistake mask
+        // intersects its selection mask.
         let mut hindsight_mistakes = 0u64;
-        for observation in &self.mistake_log {
-            let wrong =
-                observation.iter().enumerate().any(|(j, mask)| mask & (1 << best_per_bit[j]) != 0);
+        for slot in self.mistakes.slots() {
+            let wrong = (0..p_count).any(|p| {
+                slot[p * packed..(p + 1) * packed]
+                    .iter()
+                    .zip(&selection[p * packed..(p + 1) * packed])
+                    .any(|(mask, sel)| mask & sel != 0)
+            });
             if wrong {
                 hindsight_mistakes += 1;
             }
         }
+        let window = self.mistakes.len().max(1) as f64;
         EnsembleErrors {
             equal_weight_error_rate: self.equal_weight_mistakes as f64 / total as f64,
-            hindsight_optimal_error_rate: hindsight_mistakes as f64 / total as f64,
+            hindsight_optimal_error_rate: hindsight_mistakes as f64 / window,
             actual_error_rate: self.ensemble_mistakes as f64 / total as f64,
             total_predictions: total,
             incorrect_predictions: self.ensemble_mistakes,
@@ -326,13 +429,35 @@ impl Ensemble {
         for predictor in &mut self.predictors {
             predictor.reset();
         }
-        for row in &mut self.weights {
-            row.fill(1.0);
-        }
-        self.mistake_log.clear();
+        self.weights.fill(1.0);
+        self.mistakes.clear();
+        self.cumulative_mistakes.fill(0);
         self.ensemble_mistakes = 0;
         self.equal_weight_mistakes = 0;
         self.observations = 0;
+    }
+}
+
+/// The weighted vote shared by [`Ensemble::predict_into`] and the retained
+/// reference implementation: `confidence[j] = Σₚ w[j,p]·probs[p,j] / Σₚ
+/// w[j,p]` with per-term clamping, accumulated in ascending predictor order.
+pub(crate) fn combine_weighted(
+    weights: &[f32],
+    block_confidence: &[f32],
+    bit_count: usize,
+    p_count: usize,
+    confidence: &mut [f32],
+) {
+    for (j, slot) in confidence.iter_mut().enumerate().take(bit_count) {
+        let mut numerator = 0.0f32;
+        let mut denominator = 0.0f32;
+        for p in 0..p_count {
+            let probability = block_confidence[p * bit_count + j].clamp(0.0, 1.0);
+            let weight = weights[j * p_count + p];
+            numerator += weight * probability;
+            denominator += weight;
+        }
+        *slot = if denominator <= 0.0 { 0.5 } else { numerator / denominator };
     }
 }
 
@@ -345,17 +470,21 @@ mod tests {
     /// A deliberately terrible predictor: always predicts the complement of
     /// the weatherman, to give the ensemble something to down-weight.
     struct Contrarian;
-    impl BitPredictor for Contrarian {
+    impl BlockPredictor for Contrarian {
         fn name(&self) -> &'static str {
             "contrarian"
         }
-        fn update(&mut self, _prev: &Observation, _j: usize, _actual: bool) {}
-        fn predict(&self, current: &Observation, j: usize) -> f64 {
-            if j < current.bit_count() && current.bit(j) {
-                0.05
-            } else {
-                0.95
+        fn observe_transition(&mut self, _prev: &PackedObservation, _next: &PackedObservation) {}
+        fn predict_block(
+            &self,
+            current: &PackedObservation,
+            bits: &mut [u64],
+            confidence: &mut [f32],
+        ) {
+            for (j, slot) in confidence.iter_mut().enumerate().take(current.bit_count()) {
+                *slot = if current.bit(j) { 0.05 } else { 0.95 };
             }
+            crate::features::pack_probabilities(&confidence[..current.bit_count()], bits);
         }
         fn reset(&mut self) {}
     }
@@ -364,8 +493,13 @@ mod tests {
         ExcitationSchema::new(1, (0..bits).map(|b| (0, b as u8)).collect())
     }
 
-    fn obs_of(word: u32, bits: usize) -> Observation {
-        Observation::new((0..bits).map(|b| (word >> b) & 1 == 1).collect(), vec![word])
+    fn obs_of(word: u32, bits: usize) -> PackedObservation {
+        let unpacked: Vec<bool> = (0..bits).map(|b| (word >> b) & 1 == 1).collect();
+        PackedObservation::from_bits(&unpacked, vec![word])
+    }
+
+    fn unpack(bits: &[u64], count: usize) -> Vec<bool> {
+        (0..count).map(|j| (bits[j / 64] >> (j % 64)) & 1 == 1).collect()
     }
 
     #[test]
@@ -374,7 +508,7 @@ mod tests {
         let mut predictors = default_predictors(&schema);
         predictors.push(Box::new(Contrarian));
         let contrarian_index = predictors.len() - 1;
-        let mut ensemble = Ensemble::new(predictors, 4, 0.5);
+        let mut ensemble = Ensemble::new(predictors, 4, 0.5, 1024);
         // A constant sequence: weatherman and mean are perfect, contrarian is
         // always wrong.
         let value = obs_of(0b1010, 4);
@@ -387,7 +521,7 @@ mod tests {
         }
         // And the ensemble's own predictions are correct.
         let (bits, _) = ensemble.predict_ml(&value);
-        assert_eq!(bits, value.bits);
+        assert_eq!(unpack(&bits, 4), value.bits());
     }
 
     #[test]
@@ -399,7 +533,7 @@ mod tests {
         for _ in 0..6 {
             predictors.push(Box::new(Contrarian));
         }
-        let mut ensemble = Ensemble::new(predictors, 4, 0.5);
+        let mut ensemble = Ensemble::new(predictors, 4, 0.5, 1024);
         let value = obs_of(0b0110, 4);
         for _ in 0..40 {
             ensemble.observe(&value, &value);
@@ -418,12 +552,12 @@ mod tests {
         // mean hovers at 0.5. The ensemble must end up close to hindsight
         // optimal, which is the RWMA guarantee Table 2 relies on.
         let schema = constant_schema(1);
-        let mut ensemble = Ensemble::new(default_predictors(&schema), 1, 0.5);
+        let mut ensemble = Ensemble::new(default_predictors(&schema), 1, 0.5, 1024);
         let mut value = false;
         for _ in 0..300 {
-            let prev = Observation::new(vec![value], vec![value as u32]);
+            let prev = PackedObservation::from_bits(&[value], vec![value as u32]);
             value = !value;
-            let next = Observation::new(vec![value], vec![value as u32]);
+            let next = PackedObservation::from_bits(&[value], vec![value as u32]);
             ensemble.observe(&prev, &next);
         }
         let errors = ensemble.errors();
@@ -436,9 +570,25 @@ mod tests {
     }
 
     #[test]
+    fn mistake_history_is_bounded() {
+        let schema = constant_schema(2);
+        let mut ensemble = Ensemble::new(default_predictors(&schema), 2, 0.5, 8);
+        let value = obs_of(0b01, 2);
+        for _ in 0..100 {
+            ensemble.observe(&value, &value);
+        }
+        assert_eq!(ensemble.observations(), 100);
+        assert_eq!(ensemble.mistake_window(), 8);
+        // Error statistics still work over the bounded window.
+        let errors = ensemble.errors();
+        assert_eq!(errors.total_predictions, 100);
+        assert!(errors.hindsight_optimal_error_rate <= 1.0);
+    }
+
+    #[test]
     fn predict_top_orders_by_probability() {
         let schema = constant_schema(4);
-        let mut ensemble = Ensemble::new(default_predictors(&schema), 4, 0.5);
+        let mut ensemble = Ensemble::new(default_predictors(&schema), 4, 0.5, 1024);
         let value = obs_of(0b1100, 4);
         for _ in 0..10 {
             ensemble.observe(&value, &value);
@@ -447,36 +597,16 @@ mod tests {
         assert_eq!(top.len(), 3);
         assert!(top[0].1 >= top[1].1);
         assert!(top[0].1 >= top[2].1);
-        assert_eq!(top[0].0, value.bits);
+        assert_eq!(unpack(&top[0].0, 4), value.bits());
         // Alternates differ from the ML prediction in exactly one bit.
-        let differences: usize =
-            top[1].0.iter().zip(top[0].0.iter()).filter(|(a, b)| a != b).count();
+        let differences = (top[1].0[0] ^ top[0].0[0]).count_ones();
         assert_eq!(differences, 1);
-    }
-
-    #[test]
-    fn randomized_prediction_is_well_formed() {
-        let schema = constant_schema(2);
-        let mut ensemble = Ensemble::new(default_predictors(&schema), 2, 0.5);
-        let value = obs_of(0b11, 2);
-        for _ in 0..10 {
-            ensemble.observe(&value, &value);
-        }
-        let mut rng = crate::rng::XorShiftRng::new(0xA5C_5EED);
-        let mut ones = 0;
-        for _ in 0..50 {
-            if ensemble.predict_bit_randomized(&value, 0, &mut rng) {
-                ones += 1;
-            }
-        }
-        // After ten consistent observations nearly every draw should be 1.
-        assert!(ones > 40);
     }
 
     #[test]
     fn reset_clears_history() {
         let schema = constant_schema(2);
-        let mut ensemble = Ensemble::new(default_predictors(&schema), 2, 0.5);
+        let mut ensemble = Ensemble::new(default_predictors(&schema), 2, 0.5, 1024);
         let value = obs_of(0b01, 2);
         ensemble.observe(&value, &value);
         assert_eq!(ensemble.observations(), 1);
@@ -489,6 +619,6 @@ mod tests {
     #[should_panic(expected = "beta")]
     fn rejects_bad_beta() {
         let schema = constant_schema(1);
-        Ensemble::new(default_predictors(&schema), 1, 1.5);
+        Ensemble::new(default_predictors(&schema), 1, 1.5, 1024);
     }
 }

@@ -4,9 +4,16 @@
 //! are trained only on the program's *excitations* — the bits that actually
 //! change between successive occurrences of the recognized instruction
 //! pointer (§4.4). The ASC runtime extracts those bits (and the 32-bit words
-//! that contain them) into an [`Observation`]; the [`ExcitationSchema`]
+//! that contain them) into a [`PackedObservation`]; the [`ExcitationSchema`]
 //! records how the two views line up so bit-level and word-level predictors
 //! can cooperate.
+//!
+//! Observations are *columnar*: the tracked bits live packed in `u64` words
+//! (64 bits per machine word, LSB first, in tracked-bit order) instead of one
+//! `bool` per bit. Excitation sets are a tiny, fixed subset of state bits,
+//! which is exactly the shape that rewards a packed layout — predictors train
+//! and predict whole blocks of bits with word-level operations (XOR mistake
+//! masks, set-bit iteration, popcounts) rather than per-bit virtual calls.
 
 /// Describes the shape of observations: how many excited bits there are and
 /// which excited word each bit belongs to.
@@ -43,24 +50,101 @@ impl ExcitationSchema {
     }
 }
 
-/// The values of the excited bits and words of one state-vector snapshot.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct Observation {
-    /// Value of each tracked bit.
-    pub bits: Vec<bool>,
-    /// Value of each tracked 32-bit word.
-    pub words: Vec<u32>,
+/// Number of `u64` words needed to pack `bit_count` bits.
+pub fn packed_len(bit_count: usize) -> usize {
+    bit_count.div_ceil(64)
 }
 
-impl Observation {
-    /// Creates an observation from raw bit and word values.
-    pub fn new(bits: Vec<bool>, words: Vec<u32>) -> Self {
-        Observation { bits, words }
+/// Masks the unused tail bits of the last packed word to zero, preserving
+/// the invariant that packed buffers agree beyond `bit_count` (so XOR-based
+/// mistake masks can never manufacture ghost mistakes).
+pub fn mask_tail(packed: &mut [u64], bit_count: usize) {
+    if bit_count % 64 != 0 {
+        if let Some(last) = packed.last_mut() {
+            *last &= (1u64 << (bit_count % 64)) - 1;
+        }
+    }
+}
+
+/// Rounds per-bit probabilities into a packed bit buffer (`p >= 0.5` → 1).
+///
+/// # Panics
+/// Panics when `bits` is shorter than `packed_len(confidence.len())`.
+pub fn pack_probabilities(confidence: &[f32], bits: &mut [u64]) {
+    let needed = packed_len(confidence.len());
+    assert!(bits.len() >= needed, "packed prediction buffer too short");
+    for word in bits.iter_mut().take(needed) {
+        *word = 0;
+    }
+    for (j, &p) in confidence.iter().enumerate() {
+        if p >= 0.5 {
+            bits[j / 64] |= 1u64 << (j % 64);
+        }
+    }
+}
+
+/// The values of the excited bits and words of one state-vector snapshot.
+///
+/// The bit view is packed into `u64` words; the word view keeps the raw
+/// 32-bit values of the tracked words for word-granularity predictors
+/// (linear regression). Unused tail bits of the last packed word are always
+/// zero.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackedObservation {
+    /// Tracked bits, 64 per word, LSB first, in tracked-bit order.
+    packed: Vec<u64>,
+    /// Number of tracked bits.
+    bit_count: usize,
+    /// Value of each tracked 32-bit word.
+    words: Vec<u32>,
+}
+
+impl PackedObservation {
+    /// Creates an observation from a packed bit buffer and raw word values.
+    ///
+    /// # Panics
+    /// Panics when `packed` does not hold exactly `packed_len(bit_count)`
+    /// words.
+    pub fn new(mut packed: Vec<u64>, bit_count: usize, words: Vec<u32>) -> Self {
+        assert_eq!(packed.len(), packed_len(bit_count), "packed buffer has wrong arity");
+        mask_tail(&mut packed, bit_count);
+        PackedObservation { packed, bit_count, words }
+    }
+
+    /// Creates an observation from per-bit values (test and conversion
+    /// convenience; hot paths build the packed buffer directly).
+    pub fn from_bits(bits: &[bool], words: Vec<u32>) -> Self {
+        let mut packed = vec![0u64; packed_len(bits.len())];
+        for (j, &bit) in bits.iter().enumerate() {
+            if bit {
+                packed[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        PackedObservation { packed, bit_count: bits.len(), words }
+    }
+
+    /// Derives the packed bit view from raw word values via the schema's bit
+    /// homes (bit `j` of the observation is bit `home(j)` of the words).
+    pub fn from_words(schema: &ExcitationSchema, words: Vec<u32>) -> Self {
+        let mut packed = vec![0u64; packed_len(schema.bit_count)];
+        for (j, &(word, offset)) in schema.bit_homes.iter().enumerate() {
+            if words.get(word).is_some_and(|w| (w >> offset) & 1 == 1) {
+                packed[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        PackedObservation { packed, bit_count: schema.bit_count, words }
     }
 
     /// Number of tracked bits.
     pub fn bit_count(&self) -> usize {
-        self.bits.len()
+        self.bit_count
+    }
+
+    /// The packed bit words (tail bits beyond [`bit_count`] are zero).
+    ///
+    /// [`bit_count`]: PackedObservation::bit_count
+    pub fn packed(&self) -> &[u64] {
+        &self.packed
     }
 
     /// The tracked bit `j`.
@@ -68,7 +152,19 @@ impl Observation {
     /// # Panics
     /// Panics when `j` is out of range.
     pub fn bit(&self, j: usize) -> bool {
-        self.bits[j]
+        assert!(j < self.bit_count, "bit {j} out of range");
+        (self.packed[j / 64] >> (j % 64)) & 1 == 1
+    }
+
+    /// The tracked bits unpacked into one `bool` per bit (reporting and test
+    /// convenience).
+    pub fn bits(&self) -> Vec<bool> {
+        (0..self.bit_count).map(|j| self.bit(j)).collect()
+    }
+
+    /// The tracked 32-bit word values.
+    pub fn words(&self) -> &[u32] {
+        &self.words
     }
 
     /// The tracked word `w`.
@@ -79,35 +175,46 @@ impl Observation {
         self.words[w]
     }
 
-    /// Dense `{0, 1}` feature vector with a leading bias term, the input
-    /// representation used by the logistic-regression predictor.
-    pub fn features_with_bias(&self) -> Vec<f64> {
-        let mut x = Vec::with_capacity(self.bits.len() + 1);
-        x.push(1.0);
-        x.extend(self.bits.iter().map(|b| if *b { 1.0 } else { 0.0 }));
-        x
+    /// Appends the indices of the set tracked bits to `indices` (ascending).
+    /// This is the iteration order every sparse predictor uses, so packed and
+    /// reference implementations accumulate in the same order.
+    pub fn set_bit_indices_into(&self, indices: &mut Vec<u32>) {
+        indices.clear();
+        for (w, &word) in self.packed.iter().enumerate() {
+            let mut remaining = word;
+            while remaining != 0 {
+                let bit = remaining.trailing_zeros();
+                indices.push((w * 64) as u32 + bit);
+                remaining &= remaining - 1;
+            }
+        }
     }
 
-    /// Builds an observation whose word values are patched with predicted
-    /// bits. Used by the allocator when rolling predictions forward: the
-    /// predicted bit vector is turned back into a full observation so it can
-    /// be fed to the predictors as the next conditioning state.
-    pub fn from_predicted_bits(
+    /// Builds the observation that follows from a packed bit prediction: the
+    /// predicted bits become the bit view, and the word view is `template`'s
+    /// words patched at every tracked bit's home. Used when rolling
+    /// predictions forward: the predicted block is turned back into a full
+    /// observation so it can condition the next prediction.
+    ///
+    /// # Panics
+    /// Panics when `bits` does not hold `packed_len(schema.bit_count)` words.
+    pub fn from_predicted(
         schema: &ExcitationSchema,
-        template: &Observation,
-        bits: &[bool],
+        template: &PackedObservation,
+        bits: &[u64],
     ) -> Self {
-        assert_eq!(bits.len(), schema.bit_count, "predicted bit vector has wrong arity");
+        assert_eq!(bits.len(), packed_len(schema.bit_count), "predicted block has wrong arity");
         let mut words = template.words.clone();
-        for (j, &bit) in bits.iter().enumerate() {
-            let (word, offset) = schema.home(j);
-            if bit {
+        for (j, &(word, offset)) in schema.bit_homes.iter().enumerate() {
+            if (bits[j / 64] >> (j % 64)) & 1 == 1 {
                 words[word] |= 1 << offset;
             } else {
                 words[word] &= !(1 << offset);
             }
         }
-        Observation { bits: bits.to_vec(), words }
+        let mut packed = bits.to_vec();
+        mask_tail(&mut packed, schema.bit_count);
+        PackedObservation { packed, bit_count: schema.bit_count, words }
     }
 }
 
@@ -134,30 +241,63 @@ mod tests {
     }
 
     #[test]
-    fn features_with_bias_has_leading_one() {
-        let obs = Observation::new(vec![true, false, true], vec![0, 0]);
-        assert_eq!(obs.features_with_bias(), vec![1.0, 1.0, 0.0, 1.0]);
+    fn packing_roundtrips_bits() {
+        let bits: Vec<bool> = (0..100).map(|j| j % 3 == 0).collect();
+        let obs = PackedObservation::from_bits(&bits, vec![]);
+        assert_eq!(obs.bit_count(), 100);
+        assert_eq!(obs.packed().len(), 2);
+        assert_eq!(obs.bits(), bits);
+        for (j, &bit) in bits.iter().enumerate() {
+            assert_eq!(obs.bit(j), bit);
+        }
+        // Tail bits beyond bit 100 are zero.
+        assert_eq!(obs.packed()[1] >> (100 - 64), 0);
     }
 
     #[test]
-    fn predicted_bits_patch_words() {
+    fn from_words_follows_schema_homes() {
         let schema = schema_two_words();
-        let template = Observation::new(vec![false, false, false], vec![0, 0]);
-        let obs = Observation::from_predicted_bits(&schema, &template, &[true, true, true]);
-        assert_eq!(obs.words[0], 0b10_0001);
-        assert_eq!(obs.words[1], 1 << 31);
-        assert_eq!(obs.bits, vec![true, true, true]);
+        let obs = PackedObservation::from_words(&schema, vec![0b10_0001, 1 << 31]);
+        assert_eq!(obs.bits(), vec![true, true, true]);
+        let obs = PackedObservation::from_words(&schema, vec![0b10_0000, 0]);
+        assert_eq!(obs.bits(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn set_bit_indices_are_ascending() {
+        let bits: Vec<bool> = (0..70).map(|j| j == 0 || j == 63 || j == 65).collect();
+        let obs = PackedObservation::from_bits(&bits, vec![]);
+        let mut indices = Vec::new();
+        obs.set_bit_indices_into(&mut indices);
+        assert_eq!(indices, vec![0, 63, 65]);
+    }
+
+    #[test]
+    fn predicted_blocks_patch_words() {
+        let schema = schema_two_words();
+        let template = PackedObservation::from_bits(&[false, false, false], vec![0, 0]);
+        let obs = PackedObservation::from_predicted(&schema, &template, &[0b111]);
+        assert_eq!(obs.word(0), 0b10_0001);
+        assert_eq!(obs.word(1), 1 << 31);
+        assert_eq!(obs.bits(), vec![true, true, true]);
         // Clearing bits works too.
-        let cleared = Observation::from_predicted_bits(&schema, &obs, &[false, true, false]);
-        assert_eq!(cleared.words[0], 0b10_0000);
-        assert_eq!(cleared.words[1], 0);
+        let cleared = PackedObservation::from_predicted(&schema, &obs, &[0b010]);
+        assert_eq!(cleared.word(0), 0b10_0000);
+        assert_eq!(cleared.word(1), 0);
     }
 
     #[test]
     #[should_panic(expected = "wrong arity")]
-    fn predicted_bits_require_full_vector() {
+    fn predicted_blocks_require_full_vector() {
         let schema = schema_two_words();
-        let template = Observation::new(vec![false; 3], vec![0, 0]);
-        Observation::from_predicted_bits(&schema, &template, &[true]);
+        let template = PackedObservation::from_bits(&[false; 3], vec![0, 0]);
+        PackedObservation::from_predicted(&schema, &template, &[]);
+    }
+
+    #[test]
+    fn pack_probabilities_rounds_at_half() {
+        let mut bits = vec![u64::MAX; 1];
+        pack_probabilities(&[0.49, 0.5, 0.51, 0.0], &mut bits);
+        assert_eq!(bits[0], 0b110);
     }
 }

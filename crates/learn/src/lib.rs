@@ -2,15 +2,32 @@
 //!
 //! LASC "turns the problem of automatically scaling sequential computation
 //! into a set of machine learning problems" (§4). This crate contains those
-//! learning pieces, independent of any simulator details:
+//! learning pieces, independent of any simulator details, built around a
+//! *packed columnar* data model: the runtime extracts a program's excitation
+//! bits into `u64`-packed [`features::PackedObservation`]s and every learner
+//! trains and predicts whole blocks of bits per call —
 //!
-//! * the feature representation over a program's *excitations*
-//!   ([`features`]),
-//! * the predictor interface every learner implements ([`traits`]),
+//! ```text
+//! StateVector ──extract──▶ PackedObservation ──observe_transition──▶ models
+//!                                   │
+//!                                   └──predict_block──▶ packed ML prediction
+//!                                                        (+ per-bit confidence)
+//! ```
+//!
+//! * the packed feature representation over a program's *excitations*
+//!   ([`features`]): bits as `u64` words plus the raw 32-bit values of the
+//!   words containing them,
+//! * the block predictor interface every learner implements ([`traits`]):
+//!   one virtual call trains or predicts *all* bits, with flat `f32` weight
+//!   arrays underneath instead of per-bit nested vectors,
 //! * the paper's four prediction algorithms: [`mean`], [`weatherman`],
-//!   per-bit [`logistic`] regression and word-level [`linear`] regression,
+//!   [`logistic`] regression (sparse set-bit SGD) and word-level [`linear`]
+//!   regression,
 //! * the Randomized Weighted Majority ensemble that combines them with
-//!   bounded regret ([`ensemble`]),
+//!   bounded regret ([`ensemble`]): a flat `f32` weight matrix, XOR mistake
+//!   masks on packed words, and a bounded mistake-history ring,
+//! * the retained per-bit golden model the packed stack is tested against
+//!   ([`reference`]),
 //! * small accuracy-tracking utilities ([`metrics`]).
 //!
 //! The `asc-core` crate extracts observations from state vectors and feeds
@@ -18,23 +35,22 @@
 //! those observations, which keeps the learners unit-testable in isolation.
 //!
 //! ```
-//! use asc_learn::features::{ExcitationSchema, Observation};
+//! use asc_learn::features::{ExcitationSchema, PackedObservation};
 //! use asc_learn::traits::default_predictors;
 //! use asc_learn::ensemble::Ensemble;
 //!
 //! // One tracked 32-bit word, all of whose bits are excitations.
 //! let schema = ExcitationSchema::new(1, (0..32).map(|b| (0, b)).collect());
-//! let mut ensemble = Ensemble::new(default_predictors(&schema), 32, 0.5);
+//! let mut ensemble = Ensemble::new(default_predictors(&schema), 32, 0.5, 1024);
 //!
 //! // Train on a counter that increments by one per superstep…
-//! let obs = |v: u32| Observation::new((0..32).map(|b| (v >> b) & 1 == 1).collect(), vec![v]);
+//! let obs = |v: u32| PackedObservation::from_words(&schema, vec![v]);
 //! for i in 0..32u32 {
 //!     ensemble.observe(&obs(i), &obs(i + 1));
 //! }
-//! // …and the ensemble predicts the next value.
+//! // …and the ensemble predicts the next value as a packed block.
 //! let (bits, _) = ensemble.predict_ml(&obs(32));
-//! let predicted: u32 = bits.iter().enumerate().map(|(b, &set)| (set as u32) << b).sum();
-//! assert_eq!(predicted, 33);
+//! assert_eq!(bits[0] as u32, 33);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,10 +62,11 @@ pub mod linear;
 pub mod logistic;
 pub mod mean;
 pub mod metrics;
+pub mod reference;
 pub mod rng;
 pub mod traits;
 pub mod weatherman;
 
 pub use ensemble::{Ensemble, EnsembleErrors};
-pub use features::{ExcitationSchema, Observation};
-pub use traits::{default_predictors, extended_predictors, BitPredictor};
+pub use features::{packed_len, ExcitationSchema, PackedObservation};
+pub use traits::{default_predictors, extended_predictors, BlockPredictor};

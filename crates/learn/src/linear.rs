@@ -14,15 +14,23 @@
 //! observations, which is what the trajectory cache needs. The forgetting
 //! factor plays the role of the learning rate: the paper runs several
 //! instances with different hyper-parameters and lets the ensemble choose.
+//!
+//! The block port stores the per-word moment matrices and coefficients in
+//! flat word-major arrays and trains every word in one call. The moments
+//! deliberately stay `f64`: the normal equations of a near-collinear affine
+//! sequence are ill-conditioned, and solving them in `f32` would lose the
+//! bit-exact convergence that makes this predictor useful. Only the
+//! bit-level confidences the ensemble consumes are `f32`.
 
-use crate::features::{ExcitationSchema, Observation};
-use crate::traits::BitPredictor;
+use crate::features::{mask_tail, ExcitationSchema, PackedObservation};
+use crate::traits::BlockPredictor;
 
 /// Normalisation applied to word values before regression, keeping the
 /// accumulated moments well-conditioned for typical addresses and counters.
 const SCALE: f64 = 65536.0;
 
-/// Per-word recursive least-squares polynomial regression.
+/// Per-word recursive least-squares polynomial regression over flat,
+/// word-major coefficient arrays.
 #[derive(Debug, Clone)]
 pub struct LinearRegression {
     schema: ExcitationSchema,
@@ -30,43 +38,26 @@ pub struct LinearRegression {
     degree: usize,
     /// Exponential forgetting applied to the moment matrices per observation.
     adaptivity: f64,
-    models: Vec<WordModel>,
-}
-
-#[derive(Debug, Clone)]
-struct WordModel {
-    /// Accumulated `Xᵀ X` (dimension `(degree+1)²`, row major).
+    /// Accumulated `Xᵀ X` per word: `word_count × dim × dim`, row major.
     xtx: Vec<f64>,
-    /// Accumulated `Xᵀ y`.
+    /// Accumulated `Xᵀ y` per word: `word_count × dim`.
     xty: Vec<f64>,
-    /// Solved coefficients (refreshed after every observation).
+    /// Solved coefficients per word: `word_count × dim` (refreshed after
+    /// every observation).
     coefficients: Vec<f64>,
-    /// Exponentially weighted mean absolute prediction error, in word units.
-    residual: f64,
+    /// Exponentially weighted mean absolute prediction error per word, in
+    /// word units.
+    residual: Vec<f64>,
+    /// Observed transitions (shared by every word; all words train together).
     observations: u64,
 }
 
-impl WordModel {
-    fn new(degree: usize) -> Self {
-        let dim = degree + 1;
-        WordModel {
-            xtx: vec![0.0; dim * dim],
-            xty: vec![0.0; dim],
-            coefficients: vec![0.0; dim],
-            residual: f64::INFINITY,
-            observations: 0,
-        }
-    }
-}
-
-fn powers(value: f64, degree: usize) -> Vec<f64> {
-    let mut x = Vec::with_capacity(degree + 1);
+fn powers_into(value: f64, degree: usize, x: &mut [f64]) {
     let mut acc = 1.0;
-    for _ in 0..=degree {
-        x.push(acc);
+    for slot in x.iter_mut().take(degree + 1) {
+        *slot = acc;
         acc *= value;
     }
-    x
 }
 
 /// Solves `A·w = b` for a small symmetric positive-definite system using
@@ -120,8 +111,18 @@ impl LinearRegression {
     /// Panics when `adaptivity` is outside `(0, 1)`.
     pub fn new(schema: ExcitationSchema, adaptivity: f64) -> Self {
         assert!(adaptivity > 0.0 && adaptivity < 1.0, "adaptivity must be in (0, 1)");
-        let models = (0..schema.word_count).map(|_| WordModel::new(1)).collect();
-        LinearRegression { schema, degree: 1, adaptivity, models }
+        let mut model = LinearRegression {
+            schema,
+            degree: 1,
+            adaptivity,
+            xtx: Vec::new(),
+            xty: Vec::new(),
+            coefficients: Vec::new(),
+            residual: Vec::new(),
+            observations: 0,
+        };
+        model.allocate();
+        model
     }
 
     /// Sets the polynomial degree `K` (1 = affine, the default).
@@ -131,92 +132,107 @@ impl LinearRegression {
     pub fn with_degree(mut self, degree: usize) -> Self {
         assert!((1..=4).contains(&degree), "degree must be between 1 and 4");
         self.degree = degree;
-        self.models = (0..self.schema.word_count).map(|_| WordModel::new(degree)).collect();
+        self.allocate();
         self
+    }
+
+    fn allocate(&mut self) {
+        let words = self.schema.word_count;
+        let dim = self.degree + 1;
+        self.xtx = vec![0.0; words * dim * dim];
+        self.xty = vec![0.0; words * dim];
+        self.coefficients = vec![0.0; words * dim];
+        self.residual = vec![f64::INFINITY; words];
+        self.observations = 0;
     }
 
     /// Predicted value of tracked word `w` given the current observation, or
     /// `None` before the model has converged to a usable fit.
-    pub fn predict_word(&self, current: &Observation, w: usize) -> Option<i64> {
-        let model = self.models.get(w)?;
-        if model.observations < 2 {
+    pub fn predict_word(&self, current: &PackedObservation, w: usize) -> Option<i64> {
+        if self.observations < 2 || w >= self.schema.word_count {
             return None;
         }
-        let x = powers(current.words.get(w).copied()? as i32 as f64 / SCALE, self.degree);
-        let y: f64 = model.coefficients.iter().zip(x.iter()).map(|(c, xi)| c * xi).sum();
+        let dim = self.degree + 1;
+        let mut x = [0.0f64; 5];
+        powers_into(*current.words().get(w)? as i32 as f64 / SCALE, self.degree, &mut x);
+        let coefficients = &self.coefficients[w * dim..(w + 1) * dim];
+        let y: f64 = coefficients.iter().zip(x.iter()).map(|(c, xi)| c * xi).sum();
         Some((y * SCALE).round() as i64)
     }
 
     /// Exponentially weighted mean absolute error of word `w`, in word units.
     pub fn residual(&self, w: usize) -> f64 {
-        self.models.get(w).map(|m| m.residual).unwrap_or(f64::INFINITY)
+        self.residual.get(w).copied().unwrap_or(f64::INFINITY)
     }
 }
 
-impl BitPredictor for LinearRegression {
+impl BlockPredictor for LinearRegression {
     fn name(&self) -> &'static str {
         "linear"
     }
 
-    fn observe_transition(&mut self, prev: &Observation, next: &Observation) {
-        if prev.words.len() != self.schema.word_count || next.words.len() != self.schema.word_count
+    fn observe_transition(&mut self, prev: &PackedObservation, next: &PackedObservation) {
+        if prev.words().len() != self.schema.word_count
+            || next.words().len() != self.schema.word_count
         {
             return;
         }
         let dim = self.degree + 1;
+        let keep = 1.0 - self.adaptivity;
+        let mut x = [0.0f64; 5];
         for w in 0..self.schema.word_count {
             // Residual of the *previous* fit, before folding in this sample.
-            let predicted = self.predict_word(prev, w);
-            let model = &mut self.models[w];
-            let x = powers(prev.words[w] as i32 as f64 / SCALE, self.degree);
-            let y = next.words[w] as i32 as f64 / SCALE;
-            if let Some(p) = predicted {
-                let err = (p - next.words[w] as i32 as i64).abs() as f64;
-                model.residual =
-                    if model.residual.is_finite() { 0.9 * model.residual + 0.1 * err } else { err };
+            if let Some(p) = self.predict_word(prev, w) {
+                let err = (p - next.words()[w] as i32 as i64).abs() as f64;
+                self.residual[w] = if self.residual[w].is_finite() {
+                    0.9 * self.residual[w] + 0.1 * err
+                } else {
+                    err
+                };
             }
-            let keep = 1.0 - self.adaptivity;
-            for v in model.xtx.iter_mut() {
+            powers_into(prev.words()[w] as i32 as f64 / SCALE, self.degree, &mut x);
+            let y = next.words()[w] as i32 as f64 / SCALE;
+            let xtx = &mut self.xtx[w * dim * dim..(w + 1) * dim * dim];
+            let xty = &mut self.xty[w * dim..(w + 1) * dim];
+            for v in xtx.iter_mut() {
                 *v *= keep;
             }
-            for v in model.xty.iter_mut() {
+            for v in xty.iter_mut() {
                 *v *= keep;
             }
             for row in 0..dim {
                 for col in 0..dim {
-                    model.xtx[row * dim + col] += x[row] * x[col];
+                    xtx[row * dim + col] += x[row] * x[col];
                 }
-                model.xty[row] += x[row] * y;
+                xty[row] += x[row] * y;
             }
             // Ridge term keeps the system well-posed for constant words. It
             // is scaled relative to each diagonal entry so it never biases
             // the fit of well-conditioned (e.g. exactly affine) sequences.
-            let mut ridge = model.xtx.clone();
+            let mut ridge = xtx.to_vec();
             for d in 0..dim {
                 let relative = ridge[d * dim + d].abs() * 1e-9;
                 ridge[d * dim + d] += relative.max(1e-12);
             }
-            if let Some(coefficients) = solve(&ridge, &model.xty, dim) {
-                model.coefficients = coefficients;
+            if let Some(solved) = solve(&ridge, xty, dim) {
+                self.coefficients[w * dim..(w + 1) * dim].copy_from_slice(&solved);
             }
-            model.observations += 1;
         }
+        self.observations += 1;
     }
 
-    fn update(&mut self, _prev: &Observation, _j: usize, _actual: bool) {
-        // Training happens at word granularity in `observe_transition`.
-    }
-
-    fn predict(&self, current: &Observation, j: usize) -> f64 {
-        if j >= self.schema.bit_count {
-            return 0.5;
+    fn predict_block(&self, current: &PackedObservation, bits: &mut [u64], confidence: &mut [f32]) {
+        // One word-level prediction per tracked word, then fan the word's bit
+        // values and confidence out to the bits homed in it.
+        for word in bits.iter_mut() {
+            *word = 0;
         }
-        let (word, offset) = self.schema.home(j);
-        match self.predict_word(current, word) {
-            Some(value) => {
-                let bit = (value as u64 >> offset) & 1 == 1;
+        let words = self.schema.word_count.min(current.words().len());
+        let mut predicted: Vec<Option<(i64, f32)>> = Vec::with_capacity(words);
+        for w in 0..words {
+            predicted.push(self.predict_word(current, w).map(|value| {
                 // Confidence tracks how well the word model has been doing.
-                let residual = self.residual(word);
+                let residual = self.residual(w);
                 let confidence = if residual < 0.5 {
                     0.97
                 } else if residual < 4.0 {
@@ -224,26 +240,37 @@ impl BitPredictor for LinearRegression {
                 } else {
                     0.55
                 };
-                if bit {
-                    confidence
-                } else {
-                    1.0 - confidence
-                }
-            }
-            None => 0.5,
+                (value, confidence)
+            }));
         }
+        for (j, &(word, offset)) in self.schema.bit_homes.iter().enumerate() {
+            let p = match predicted.get(word).copied().flatten() {
+                Some((value, confidence)) => {
+                    if (value as u64 >> offset) & 1 == 1 {
+                        confidence
+                    } else {
+                        1.0 - confidence
+                    }
+                }
+                None => 0.5,
+            };
+            confidence[j] = p;
+            if p >= 0.5 {
+                bits[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        mask_tail(bits, self.schema.bit_count);
     }
 
     fn reset(&mut self) {
-        for model in &mut self.models {
-            *model = WordModel::new(self.degree);
-        }
+        self.allocate();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::packed_len;
 
     fn schema(words: usize) -> ExcitationSchema {
         let mut homes = Vec::new();
@@ -255,14 +282,21 @@ mod tests {
         ExcitationSchema::new(words, homes)
     }
 
-    fn obs_words(words: &[u32]) -> Observation {
+    fn obs_words(words: &[u32]) -> PackedObservation {
         let mut bits = Vec::new();
         for &w in words {
             for bit in 0..32 {
                 bits.push((w >> bit) & 1 == 1);
             }
         }
-        Observation::new(bits, words.to_vec())
+        PackedObservation::from_bits(&bits, words.to_vec())
+    }
+
+    fn predict_probs(p: &LinearRegression, x: &PackedObservation) -> Vec<f32> {
+        let mut bits = vec![0u64; packed_len(x.bit_count())];
+        let mut confidence = vec![0.0f32; x.bit_count()];
+        p.predict_block(x, &mut bits, &mut confidence);
+        confidence
     }
 
     #[test]
@@ -310,9 +344,10 @@ mod tests {
         }
         // From 7 (0b0111) the next value is 8 (0b1000).
         let current = obs_words(&[7]);
-        assert!(p.predict(&current, 3) > 0.9); // bit 3 becomes 1
-        assert!(p.predict(&current, 0) < 0.1); // bit 0 becomes 0
-        assert!(p.predict(&current, 1) < 0.1);
+        let probs = predict_probs(&p, &current);
+        assert!(probs[3] > 0.9); // bit 3 becomes 1
+        assert!(probs[0] < 0.1); // bit 0 becomes 0
+        assert!(probs[1] < 0.1);
     }
 
     #[test]
@@ -330,7 +365,7 @@ mod tests {
     #[test]
     fn unseen_model_is_uncertain_and_reset_forgets() {
         let mut p = LinearRegression::new(schema(1), 0.1);
-        assert_eq!(p.predict(&obs_words(&[3]), 0), 0.5);
+        assert_eq!(predict_probs(&p, &obs_words(&[3]))[0], 0.5);
         for i in 0u32..20 {
             p.observe_transition(&obs_words(&[i]), &obs_words(&[i + 1]));
         }

@@ -8,20 +8,32 @@
 //! complement: it can latch onto *any* linearly separable relationship
 //! between the current excitations and a future bit (the paper highlights the
 //! flags-register bits where it is "absolutely crucial").
+//!
+//! The block port stores all weight vectors in one flat `f32` matrix and
+//! exploits that the features are `{0, 1}`: a dot product is the bias plus
+//! the sum of the weights at the *set* bits of the conditioning observation,
+//! and an SGD step touches exactly those weights. Training every bit is one
+//! pass over `bit_count` rows, each doing `popcount(prev)` flat additions —
+//! no per-bit allocation, no virtual dispatch.
 
-use crate::features::Observation;
-use crate::traits::BitPredictor;
+use crate::features::{pack_probabilities, PackedObservation};
+use crate::traits::BlockPredictor;
 
-/// Per-bit logistic regression trained by SGD.
+/// Per-bit logistic regression trained by SGD over a flat `f32` weight
+/// matrix.
 #[derive(Debug, Clone)]
 pub struct LogisticRegression {
-    /// `weights[j]` is the weight vector (bias first) for tracked bit `j`.
-    weights: Vec<Vec<f64>>,
-    learning_rate: f64,
-    feature_dim: usize,
+    /// Row `j` is the weight vector for tracked bit `j`: bias first, then one
+    /// weight per feature bit (`stride = bit_count + 1`).
+    weights: Vec<f32>,
+    bit_count: usize,
+    learning_rate: f32,
+    /// Scratch list of the conditioning observation's set bits, reused across
+    /// training calls.
+    active: Vec<u32>,
 }
 
-fn sigmoid(z: f64) -> f64 {
+pub(crate) fn sigmoid(z: f32) -> f32 {
     if z >= 0.0 {
         1.0 / (1.0 + (-z).exp())
     } else {
@@ -36,83 +48,105 @@ impl LogisticRegression {
     ///
     /// # Panics
     /// Panics when the learning rate is not positive and finite.
-    pub fn new(bit_count: usize, learning_rate: f64) -> Self {
+    pub fn new(bit_count: usize, learning_rate: f32) -> Self {
         assert!(learning_rate > 0.0 && learning_rate.is_finite(), "learning rate must be positive");
         LogisticRegression {
-            weights: vec![Vec::new(); bit_count],
+            weights: vec![0.0; bit_count * (bit_count + 1)],
+            bit_count,
             learning_rate,
-            feature_dim: bit_count + 1,
+            active: Vec::new(),
         }
     }
 
-    fn ensure_bit(&mut self, j: usize) {
-        if j >= self.weights.len() {
-            self.weights.resize(j + 1, Vec::new());
-        }
-        if self.weights[j].is_empty() {
-            self.weights[j] = vec![0.0; self.feature_dim];
-        }
+    fn stride(&self) -> usize {
+        self.bit_count + 1
     }
 
-    fn raw_score(&self, x: &[f64], j: usize) -> f64 {
-        match self.weights.get(j) {
-            Some(w) if !w.is_empty() => w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>(),
-            _ => 0.0,
+    /// `w_j · x` for the conditioning set-bit list `active`: the bias weight
+    /// plus the weights at the set feature bits, summed in ascending bit
+    /// order.
+    fn raw_score(row: &[f32], active: &[u32]) -> f32 {
+        let mut score = row[0];
+        for &i in active {
+            score += row[1 + i as usize];
         }
+        score
     }
 }
 
-impl BitPredictor for LogisticRegression {
+impl BlockPredictor for LogisticRegression {
     fn name(&self) -> &'static str {
         "logistic"
     }
 
-    fn update(&mut self, prev: &Observation, j: usize, actual: bool) {
-        let x = prev.features_with_bias();
+    fn observe_transition(&mut self, prev: &PackedObservation, next: &PackedObservation) {
         // The feature dimension is fixed by the excitation schema; if an
         // observation with a different arity appears the bank is being
-        // rebuilt, so skip rather than corrupt the weights.
-        if x.len() != self.feature_dim {
-            self.feature_dim = x.len();
-            for w in &mut self.weights {
-                w.clear();
+        // rebuilt, so restart rather than corrupt the weights.
+        if prev.bit_count() != self.bit_count {
+            self.bit_count = prev.bit_count();
+            self.weights.clear();
+            self.weights.resize(self.bit_count * (self.bit_count + 1), 0.0);
+        }
+        let mut active = std::mem::take(&mut self.active);
+        prev.set_bit_indices_into(&mut active);
+        let stride = self.stride();
+        let rate = self.learning_rate;
+        for j in 0..self.bit_count.min(next.bit_count()) {
+            let row = &mut self.weights[j * stride..(j + 1) * stride];
+            let prediction = sigmoid(Self::raw_score(row, &active));
+            let target = if next.bit(j) { 1.0 } else { 0.0 };
+            let gradient_scale = rate * (target - prediction);
+            row[0] += gradient_scale;
+            for &i in &active {
+                row[1 + i as usize] += gradient_scale;
             }
         }
-        self.ensure_bit(j);
-        let prediction = sigmoid(self.raw_score(&x, j));
-        let target = if actual { 1.0 } else { 0.0 };
-        let gradient_scale = self.learning_rate * (target - prediction);
-        for (wi, xi) in self.weights[j].iter_mut().zip(x.iter()) {
-            *wi += gradient_scale * xi;
-        }
+        self.active = active;
     }
 
-    fn predict(&self, current: &Observation, j: usize) -> f64 {
-        let x = current.features_with_bias();
-        if x.len() != self.feature_dim {
-            return 0.5;
+    fn predict_block(&self, current: &PackedObservation, bits: &mut [u64], confidence: &mut [f32]) {
+        if current.bit_count() != self.bit_count {
+            confidence[..current.bit_count()].fill(0.5);
+            pack_probabilities(&confidence[..current.bit_count()], bits);
+            return;
         }
-        sigmoid(self.raw_score(&x, j))
+        let mut active = Vec::with_capacity(64);
+        current.set_bit_indices_into(&mut active);
+        let stride = self.stride();
+        for (j, slot) in confidence.iter_mut().enumerate().take(self.bit_count) {
+            let row = &self.weights[j * stride..(j + 1) * stride];
+            *slot = sigmoid(Self::raw_score(row, &active));
+        }
+        pack_probabilities(&confidence[..self.bit_count], bits);
     }
 
     fn reset(&mut self) {
-        for w in &mut self.weights {
-            w.clear();
-        }
+        self.weights.fill(0.0);
     }
+}
+
+/// Test helper shared with the golden-model comparison: per-bit probability.
+#[cfg(test)]
+pub(crate) fn predict_probs(model: &LogisticRegression, x: &PackedObservation) -> Vec<f32> {
+    use crate::features::packed_len;
+    let mut bits = vec![0u64; packed_len(x.bit_count())];
+    let mut confidence = vec![0.0f32; x.bit_count()];
+    model.predict_block(x, &mut bits, &mut confidence);
+    confidence
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn obs(bits: &[bool]) -> Observation {
-        Observation::new(bits.to_vec(), vec![])
+    fn obs(bits: &[bool]) -> PackedObservation {
+        PackedObservation::from_bits(bits, vec![])
     }
 
     #[test]
     fn sigmoid_is_stable_and_monotone() {
-        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
         assert!(sigmoid(40.0) > 0.999);
         assert!(sigmoid(-40.0) < 0.001);
         assert!(sigmoid(1.0) > sigmoid(-1.0));
@@ -128,10 +162,10 @@ mod tests {
         for i in 0..200 {
             let b = i % 2 == 0;
             let current = obs(&[i % 3 == 0, b]);
-            p.update(&current, 0, b);
+            p.observe_transition(&current, &obs(&[b, false]));
         }
-        assert!(p.predict(&obs(&[false, true]), 0) > 0.85);
-        assert!(p.predict(&obs(&[false, false]), 0) < 0.15);
+        assert!(predict_probs(&p, &obs(&[false, true]))[0] > 0.85);
+        assert!(predict_probs(&p, &obs(&[false, false]))[0] < 0.15);
     }
 
     #[test]
@@ -142,32 +176,45 @@ mod tests {
         for _ in 0..300 {
             let current = obs(&[value]);
             value = !value;
-            p.update(&current, 0, value);
+            p.observe_transition(&current, &obs(&[value]));
         }
-        assert!(p.predict(&obs(&[false]), 0) > 0.8);
-        assert!(p.predict(&obs(&[true]), 0) < 0.2);
+        assert!(predict_probs(&p, &obs(&[false]))[0] > 0.8);
+        assert!(predict_probs(&p, &obs(&[true]))[0] < 0.2);
     }
 
     #[test]
     fn learns_constant_bias() {
         let mut p = LogisticRegression::new(1, 0.5);
         for i in 0..100 {
-            p.update(&obs(&[i % 2 == 0]), 0, true);
+            p.observe_transition(&obs(&[i % 2 == 0]), &obs(&[true]));
         }
-        assert!(p.predict(&obs(&[true]), 0) > 0.9);
-        assert!(p.predict(&obs(&[false]), 0) > 0.9);
+        assert!(predict_probs(&p, &obs(&[true]))[0] > 0.9);
+        assert!(predict_probs(&p, &obs(&[false]))[0] > 0.9);
     }
 
     #[test]
     fn unseen_model_is_uncertain_and_reset_forgets() {
         let mut p = LogisticRegression::new(1, 0.5);
-        assert!((p.predict(&obs(&[true]), 0) - 0.5).abs() < 1e-12);
+        assert!((predict_probs(&p, &obs(&[true]))[0] - 0.5).abs() < 1e-6);
         for _ in 0..50 {
-            p.update(&obs(&[true]), 0, true);
+            p.observe_transition(&obs(&[true]), &obs(&[true]));
         }
-        assert!(p.predict(&obs(&[true]), 0) > 0.8);
+        assert!(predict_probs(&p, &obs(&[true]))[0] > 0.8);
         p.reset();
-        assert!((p.predict(&obs(&[true]), 0) - 0.5).abs() < 1e-12);
+        assert!((predict_probs(&p, &obs(&[true]))[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arity_change_restarts_the_model() {
+        let mut p = LogisticRegression::new(1, 0.5);
+        for _ in 0..50 {
+            p.observe_transition(&obs(&[true]), &obs(&[true]));
+        }
+        // A wider observation resets and resizes.
+        p.observe_transition(&obs(&[true, false, true]), &obs(&[true, true, false]));
+        assert_eq!(predict_probs(&p, &obs(&[true, false, true])).len(), 3);
+        // Predicting with the stale arity reports pure uncertainty.
+        assert_eq!(predict_probs(&p, &obs(&[true])), vec![0.5]);
     }
 
     #[test]

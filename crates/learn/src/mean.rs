@@ -4,67 +4,88 @@
 //! predictions by rounding." It is trivially simple, yet the paper's Figure 3
 //! shows it carrying real weight on the Ising benchmark — bits that are
 //! almost always 0 (or 1) are predicted essentially for free.
+//!
+//! The block port keeps one flat `u32` counter per bit plus a single shared
+//! observation count (every block update touches every bit once); training
+//! increments only the counters of the *set* bits of the realised
+//! observation, found by packed set-bit iteration.
 
-use crate::features::Observation;
-use crate::traits::BitPredictor;
+use crate::features::{pack_probabilities, PackedObservation};
+use crate::traits::BlockPredictor;
 
 /// Per-bit running mean with rounding.
 #[derive(Debug, Clone)]
 pub struct MeanPredictor {
-    ones: Vec<u64>,
-    total: Vec<u64>,
+    /// How many observed blocks had each bit set.
+    ones: Vec<u32>,
+    /// Observed block count, shared by every bit.
+    total: u32,
 }
 
 impl MeanPredictor {
     /// Creates a mean predictor for `bit_count` tracked bits.
     pub fn new(bit_count: usize) -> Self {
-        MeanPredictor { ones: vec![0; bit_count], total: vec![0; bit_count] }
+        MeanPredictor { ones: vec![0; bit_count], total: 0 }
     }
 
     /// The empirical mean of bit `j`, or 0.5 before any observation.
-    pub fn mean(&self, j: usize) -> f64 {
-        if j >= self.total.len() || self.total[j] == 0 {
-            0.5
-        } else {
-            self.ones[j] as f64 / self.total[j] as f64
+    pub fn mean(&self, j: usize) -> f32 {
+        match self.ones.get(j) {
+            Some(&ones) if self.total > 0 => ones as f32 / self.total as f32,
+            _ => 0.5,
         }
     }
 }
 
-impl BitPredictor for MeanPredictor {
+impl BlockPredictor for MeanPredictor {
     fn name(&self) -> &'static str {
         "mean"
     }
 
-    fn update(&mut self, _prev: &Observation, j: usize, actual: bool) {
-        if j >= self.total.len() {
+    fn observe_transition(&mut self, _prev: &PackedObservation, next: &PackedObservation) {
+        if next.bit_count() > self.ones.len() {
             // Excitation sets only ever grow when the recognizer resets the
-            // whole bank, but be robust to a larger index.
-            self.ones.resize(j + 1, 0);
-            self.total.resize(j + 1, 0);
+            // whole bank, but be robust to a wider observation.
+            self.ones.resize(next.bit_count(), 0);
         }
-        self.total[j] += 1;
-        if actual {
-            self.ones[j] += 1;
+        self.total += 1;
+        for (w, &word) in next.packed().iter().enumerate() {
+            let mut remaining = word;
+            while remaining != 0 {
+                let j = w * 64 + remaining.trailing_zeros() as usize;
+                self.ones[j] += 1;
+                remaining &= remaining - 1;
+            }
         }
     }
 
-    fn predict(&self, _current: &Observation, j: usize) -> f64 {
-        self.mean(j)
+    fn predict_block(&self, current: &PackedObservation, bits: &mut [u64], confidence: &mut [f32]) {
+        for (j, slot) in confidence.iter_mut().enumerate().take(current.bit_count()) {
+            *slot = self.mean(j);
+        }
+        pack_probabilities(confidence, bits);
     }
 
     fn reset(&mut self) {
         self.ones.fill(0);
-        self.total.fill(0);
+        self.total = 0;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::packed_len;
 
-    fn obs(bits: &[bool]) -> Observation {
-        Observation::new(bits.to_vec(), vec![])
+    fn obs(bits: &[bool]) -> PackedObservation {
+        PackedObservation::from_bits(bits, vec![])
+    }
+
+    fn predict(p: &MeanPredictor, x: &PackedObservation) -> (Vec<u64>, Vec<f32>) {
+        let mut bits = vec![0u64; packed_len(x.bit_count())];
+        let mut confidence = vec![0.0f32; x.bit_count()];
+        p.predict_block(x, &mut bits, &mut confidence);
+        (bits, confidence)
     }
 
     #[test]
@@ -72,31 +93,38 @@ mod tests {
         let mut p = MeanPredictor::new(1);
         let x = obs(&[false]);
         for i in 0..10 {
-            p.update(&x, 0, i % 4 == 0); // 1 in 4 observations are 1
+            p.observe_transition(&x, &obs(&[i % 4 == 0])); // 1 in 4 are 1
         }
-        assert!((p.predict(&x, 0) - 0.3).abs() < 1e-9);
+        let (bits, confidence) = predict(&p, &x);
+        assert!((confidence[0] - 0.3).abs() < 1e-6);
+        assert_eq!(bits[0], 0);
     }
 
     #[test]
     fn unseen_bit_is_uncertain() {
         let p = MeanPredictor::new(2);
-        assert_eq!(p.predict(&obs(&[false, false]), 1), 0.5);
+        let (bits, confidence) = predict(&p, &obs(&[false, false]));
+        assert_eq!(confidence, vec![0.5, 0.5]);
+        // 0.5 rounds up, matching the packed contract p >= 0.5.
+        assert_eq!(bits[0], 0b11);
     }
 
     #[test]
     fn reset_forgets() {
         let mut p = MeanPredictor::new(1);
         let x = obs(&[true]);
-        p.update(&x, 0, true);
-        assert!(p.predict(&x, 0) > 0.9);
+        p.observe_transition(&x, &x);
+        assert!(p.mean(0) > 0.9);
         p.reset();
-        assert_eq!(p.predict(&x, 0), 0.5);
+        assert_eq!(p.mean(0), 0.5);
     }
 
     #[test]
-    fn tolerates_out_of_range_updates() {
+    fn tolerates_wider_observations() {
         let mut p = MeanPredictor::new(1);
-        p.update(&obs(&[true]), 5, true);
-        assert!(p.predict(&obs(&[true]), 5) > 0.9);
+        let wide = obs(&[true, false, true]);
+        p.observe_transition(&wide, &wide);
+        assert!(p.mean(2) > 0.9);
+        assert!(p.mean(1) < 0.1);
     }
 }

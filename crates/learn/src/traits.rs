@@ -1,38 +1,50 @@
 //! The predictor interface (paper §4.4.1).
 //!
-//! Each predictor must implement `update`, `predict` and `reset`; predictors
-//! are free to extract whatever features they want from the conditioning
-//! observation but must express their predictions at the bit level, so the
-//! allocator can mix and match predictors per bit with the regret-minimizing
-//! ensemble.
+//! Each predictor must implement `observe_transition`, `predict_block` and
+//! `reset`. Predictors are free to extract whatever features they want from
+//! the conditioning observation but must express their predictions at the
+//! bit level — a packed rounded prediction plus one confidence per bit — so
+//! the allocator can mix and match predictors per bit with the
+//! regret-minimizing ensemble.
+//!
+//! The contract is *block-oriented*: one virtual call trains (or predicts)
+//! every tracked bit, and the per-bit work inside the call runs over flat
+//! `f32` arrays and packed `u64` words. The previous design made three to
+//! twelve virtual calls per bit per occurrence, which dominated
+//! `PredictorBank::observe` (~100µs/occurrence at 128 excitation bits).
 
-use crate::features::{ExcitationSchema, Observation};
+use crate::features::{ExcitationSchema, PackedObservation};
 
-/// An online learner that predicts individual bits of the next observation.
+/// An online learner that predicts every bit of the next observation in one
+/// block call.
 ///
-/// The contract mirrors §4.4.1 of the paper: `update(x, j)` folds in the
-/// newly observed value of bit `j` given the previous conditioning state,
-/// `predict(x, j)` returns the probability that bit `j` of the *next*
-/// observation will be 1 given the current state `x`, and `reset()` discards
-/// the model (used when the recognizer abandons an instruction pointer).
-pub trait BitPredictor: Send {
+/// The contract mirrors §4.4.1 of the paper, lifted to block granularity:
+/// [`observe_transition`] folds one observed transition into the model
+/// (training every bit), [`predict_block`] fills a packed rounded prediction
+/// and a per-bit confidence buffer for the observation following `current`,
+/// and [`reset`] discards the model (used when the recognizer abandons an
+/// instruction pointer).
+///
+/// [`observe_transition`]: BlockPredictor::observe_transition
+/// [`predict_block`]: BlockPredictor::predict_block
+/// [`reset`]: BlockPredictor::reset
+pub trait BlockPredictor: Send {
     /// Short name used in weight-matrix reports (Figure 3).
     fn name(&self) -> &'static str;
 
-    /// Called once per observed transition, before the per-bit updates, with
-    /// both endpoints. Word-level predictors (linear regression) use this to
-    /// run their word-granularity updates; bit-level predictors can ignore it.
-    fn observe_transition(&mut self, prev: &Observation, next: &Observation) {
-        let _ = (prev, next);
-    }
+    /// Trains the model on one observed transition: every bit (and word) of
+    /// `next` is a training target conditioned on `prev`.
+    fn observe_transition(&mut self, prev: &PackedObservation, next: &PackedObservation);
 
-    /// Updates the model for bit `j`, given that the observation following
-    /// `prev` had value `actual` for that bit.
-    fn update(&mut self, prev: &Observation, j: usize, actual: bool);
-
-    /// Probability in `[0, 1]` that bit `j` of the observation following
-    /// `current` will be 1.
-    fn predict(&self, current: &Observation, j: usize) -> f64;
+    /// Predicts the observation following `current`.
+    ///
+    /// `bits` receives the packed rounded prediction
+    /// ([`packed_len`](crate::features::packed_len)`(bit_count)` words; tail
+    /// bits must be left zero) and `confidence[j]` the probability in
+    /// `[0, 1]` that tracked bit `j` will be 1. The rounded prediction must
+    /// equal `confidence[j] >= 0.5` for every bit, so the ensemble can score
+    /// mistakes by XOR-ing `bits` against the realised observation.
+    fn predict_block(&self, current: &PackedObservation, bits: &mut [u64], confidence: &mut [f32]);
 
     /// Discards the learned model and starts from scratch.
     fn reset(&mut self);
@@ -42,7 +54,7 @@ pub trait BitPredictor: Send {
 /// `mean`, `weatherman`, logistic regression and linear regression, the
 /// latter two at several learning rates (the paper runs multiple instances
 /// of each and lets the ensemble pick, §4.4.2).
-pub fn default_predictors(schema: &ExcitationSchema) -> Vec<Box<dyn BitPredictor>> {
+pub fn default_predictors(schema: &ExcitationSchema) -> Vec<Box<dyn BlockPredictor>> {
     use crate::linear::LinearRegression;
     use crate::logistic::LogisticRegression;
     use crate::mean::MeanPredictor;
@@ -60,7 +72,7 @@ pub fn default_predictors(schema: &ExcitationSchema) -> Vec<Box<dyn BitPredictor
 /// used when more cores are available for hyper-parameter exploration
 /// (this is how the paper explains cache miss rates dropping below the
 /// single-core error rate, §5.2).
-pub fn extended_predictors(schema: &ExcitationSchema) -> Vec<Box<dyn BitPredictor>> {
+pub fn extended_predictors(schema: &ExcitationSchema) -> Vec<Box<dyn BlockPredictor>> {
     use crate::linear::LinearRegression;
     use crate::logistic::LogisticRegression;
     use crate::mean::MeanPredictor;

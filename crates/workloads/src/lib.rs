@@ -3,8 +3,10 @@
 //! The ASC paper evaluates three unmodified sequential programs (§5.1):
 //! `Ising` (pointer-based linked-list energy minimisation), `2mm`
 //! (Polybench `D = alpha*A*B*C + beta*D`) and `Collatz` (chaotic property
-//! testing). This crate re-authors those kernels for the TVM ISA, generates
-//! them at several problem scales, and pairs each with a pure-Rust reference
+//! testing). This crate re-authors those kernels for the TVM ISA — plus a
+//! logistic-map chaotic kernel from the paper's wider candidate list, whose
+//! high-entropy excitations stress the predictors — generates them at
+//! several problem scales, and pairs each with a pure-Rust reference
 //! implementation so every run of the ASC runtime can be checked for
 //! correctness — speculation must never change program results.
 //!
@@ -28,6 +30,7 @@ pub mod collatz;
 pub mod error;
 pub mod handpar;
 pub mod ising;
+pub mod logistic_map;
 pub mod mm2;
 pub mod registry;
 

@@ -1,0 +1,220 @@
+//! The logistic-map benchmark kernel (ROADMAP "more workloads"; the paper
+//! names chaotic maps among its candidate programs, §5.1).
+//!
+//! The outer loop iterates over a range of seeds; the inner loop applies a
+//! fixed-point logistic map `x ← r·x·(1 − x)` (15-bit fraction, `r ≈ 3.99` in
+//! the chaotic regime) a fixed number of steps, perturbed by the seed index
+//! so truncated orbits can never collapse onto a fixed point. Each seed's
+//! final value folds into a running checksum.
+//!
+//! The kernel is the *adversarial* complement to Collatz/Ising/2mm: at the
+//! recognized loop head the excited state words are fully chaotic, so the
+//! predictor ensemble is exercised on a high-entropy excitation pattern —
+//! every occurrence produces near-maximal mistake masks, the worst case for
+//! the packed training path. Speculation rarely pays here (the paper's
+//! framework predicts as much: prediction accuracy drives attainable
+//! scaling), but the runtime must stay correct and cheap while it tries.
+
+use crate::error::{WorkloadError, WorkloadResult};
+use asc_asm::Assembler;
+use asc_tvm::program::Program;
+use asc_tvm::state::StateVector;
+
+/// Fixed-point one: 15 fraction bits.
+const ONE: u32 = 1 << 15;
+/// `r = 3.99` in a 13-bit fraction (`3.99 * 8192 ≈ 32686`), chosen so the
+/// intermediate product `r_f13 · t` stays below 2³¹.
+const R_F13: u32 = 32686;
+/// Seed-mixing multiplier (odd, fits the 16-bit immediate comfortably).
+const SEED_MIX: u32 = 26099;
+
+/// Parameters of the logistic-map kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogisticMapParams {
+    /// Number of seeds iterated by the outer loop.
+    pub seeds: u32,
+    /// Map iterations per seed.
+    pub steps: u32,
+}
+
+impl Default for LogisticMapParams {
+    fn default() -> Self {
+        LogisticMapParams { seeds: 200, steps: 20 }
+    }
+}
+
+/// Result of the kernel: what the program writes back to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogisticMapResult {
+    /// Wrapping sum of every seed's final map value.
+    pub checksum: u32,
+    /// The last seed's final map value.
+    pub last_x: u32,
+}
+
+/// One perturbed fixed-point map step: `x ← (r·(x·(ONE−x) >> 15) >> 13) + i + s`,
+/// masked back into the 15-bit fraction domain, where `s` is the inner
+/// loop's countdown value. Because the perturbation changes every step, the
+/// truncated map cannot settle on the `x = 0` / `x = 1` fixed points that
+/// plain fixed-point truncation produces.
+fn map_step(x: u32, i: u32, s: u32) -> u32 {
+    let t = x.wrapping_mul(ONE.wrapping_sub(x)) >> 15;
+    let mapped = R_F13.wrapping_mul(t) >> 13;
+    mapped.wrapping_add(i).wrapping_add(s) & (ONE - 1)
+}
+
+/// The deterministic per-seed initial value: a cheap mix of the seed index.
+fn seed_value(i: u32) -> u32 {
+    (i.wrapping_mul(SEED_MIX) ^ i) & (ONE - 2) | 1
+}
+
+/// Generates the TVM assembly source for the kernel.
+pub fn source(params: &LogisticMapParams) -> String {
+    format!(
+        r#"; Logistic-map chaotic kernel ({seeds} seeds x {steps} steps, r=3.99 f13)
+.text
+main:
+    movi r1, 0              ; i, the seed index
+    movi r2, {seeds}        ; outer bound
+    movi r7, 0              ; checksum
+outer:
+    mul  r3, r1, {seed_mix} ; x = (i * MIX ^ i) & (ONE-2) | 1
+    xor  r3, r3, r1
+    and  r3, r3, {one_minus_two}
+    or   r3, r3, 1
+    movi r4, {steps}        ; inner countdown
+inner:
+    movi r5, {one}          ; t = (x * (ONE - x)) >> 15
+    sub  r5, r5, r3
+    mul  r5, r5, r3
+    shr  r5, r5, 15
+    mul  r5, r5, {r_f13}    ; x' = (r_f13 * t) >> 13, perturbed by i + s
+    shr  r5, r5, 13
+    add  r5, r5, r1
+    add  r5, r5, r4
+    and  r3, r5, {one_minus_one}
+    sub  r4, r4, 1
+    cmpi r4, 0
+    jne  inner
+    add  r7, r7, r3         ; fold the seed's final x into the checksum
+    add  r1, r1, 1
+    cmp  r1, r2
+    jlt  outer
+    movi r8, checksum
+    stw  [r8], r7
+    movi r8, last_x
+    stw  [r8], r3
+    halt
+.data
+checksum:
+    .word 0
+last_x:
+    .word 0
+"#,
+        seeds = params.seeds,
+        steps = params.steps,
+        seed_mix = SEED_MIX,
+        one = ONE,
+        one_minus_one = ONE - 1,
+        one_minus_two = ONE - 2,
+        r_f13 = R_F13,
+    )
+}
+
+/// Assembles the kernel into a loadable program.
+///
+/// # Errors
+/// Returns [`WorkloadError::Assembly`] if the generated source fails to
+/// assemble (which would indicate a bug in this module).
+pub fn program(params: &LogisticMapParams) -> WorkloadResult<Program> {
+    Assembler::new().headroom(4 * 1024).assemble(&source(params)).map_err(WorkloadError::from)
+}
+
+/// Pure-Rust reference implementation with identical integer arithmetic.
+pub fn reference(params: &LogisticMapParams) -> LogisticMapResult {
+    let mut checksum = 0u32;
+    let mut x = 0u32;
+    for i in 0..params.seeds {
+        x = seed_value(i);
+        for s in (1..=params.steps).rev() {
+            x = map_step(x, i, s);
+        }
+        checksum = checksum.wrapping_add(x);
+    }
+    LogisticMapResult { checksum, last_x: x }
+}
+
+/// Reads the kernel's result back out of a final state vector.
+///
+/// # Errors
+/// Returns [`WorkloadError::MissingSymbol`] when the program was not built by
+/// [`program`], or a VM error if the recorded addresses are out of range.
+pub fn read_result(program: &Program, state: &StateVector) -> WorkloadResult<LogisticMapResult> {
+    let checksum_addr = program
+        .symbol("checksum")
+        .ok_or_else(|| WorkloadError::MissingSymbol("checksum".into()))?;
+    let last_addr =
+        program.symbol("last_x").ok_or_else(|| WorkloadError::MissingSymbol("last_x".into()))?;
+    Ok(LogisticMapResult {
+        checksum: state.load_word(checksum_addr)?,
+        last_x: state.load_word(last_addr)?,
+    })
+}
+
+/// An estimate of the kernel's total instruction count, used by experiment
+/// harnesses to size runs without executing them first.
+pub fn estimated_instructions(params: &LogisticMapParams) -> u64 {
+    // 12 instructions per inner step, ~10 per outer iteration.
+    params.seeds as u64 * (12 * params.steps as u64 + 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_tvm::machine::Machine;
+
+    #[test]
+    fn kernel_matches_reference() {
+        let params = LogisticMapParams { seeds: 12, steps: 50 };
+        let program = program(&params).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_to_halt(10_000_000).unwrap();
+        let got = read_result(&program, machine.state()).unwrap();
+        assert_eq!(got, reference(&params));
+    }
+
+    #[test]
+    fn orbits_stay_inside_the_fraction_domain_and_move() {
+        // The perturbed map must neither leave [0, ONE) nor collapse onto a
+        // fixed point for any tested seed.
+        for i in 0..64u32 {
+            let mut x = seed_value(i);
+            let mut distinct = std::collections::BTreeSet::new();
+            for s in (1..=200u32).rev() {
+                x = map_step(x, i, s);
+                assert!(x < ONE, "orbit escaped the fraction domain: {x}");
+                distinct.insert(x);
+            }
+            assert!(distinct.len() > 20, "seed {i} orbit collapsed: {} states", distinct.len());
+        }
+    }
+
+    #[test]
+    fn checksum_is_sensitive_to_every_parameter() {
+        let base = reference(&LogisticMapParams { seeds: 16, steps: 60 });
+        let more_seeds = reference(&LogisticMapParams { seeds: 17, steps: 60 });
+        let more_steps = reference(&LogisticMapParams { seeds: 16, steps: 61 });
+        assert_ne!(base.checksum, more_seeds.checksum);
+        assert_ne!(base.checksum, more_steps.checksum);
+    }
+
+    #[test]
+    fn estimated_instructions_is_same_order_as_actual() {
+        let params = LogisticMapParams { seeds: 8, steps: 40 };
+        let program = program(&params).unwrap();
+        let mut machine = Machine::load(&program).unwrap();
+        let actual = machine.run_to_halt(10_000_000).unwrap();
+        let estimate = estimated_instructions(&params);
+        assert!(estimate > actual / 4 && estimate < actual * 4, "{estimate} vs {actual}");
+    }
+}
