@@ -94,8 +94,109 @@ fn parse_report(text: &str, path: &str) -> Result<BTreeMap<String, Record>, Stri
     Ok(records)
 }
 
-fn format_ms(nanos: f64) -> String {
-    format!("{:.1}ms", nanos / 1e6)
+/// Formats a duration with a unit scaled to its magnitude: the gated
+/// benchmarks span ~50ns (cache probes) to ~200ms (accelerate runs), and a
+/// fixed-millisecond rendering would print every sub-millisecond benchmark
+/// as "0.0ms".
+fn format_time(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.2}s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.1}ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.1}µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.0}ns")
+    }
+}
+
+/// One gated benchmark's comparison: baseline time against the current
+/// report (`None`: the benchmark vanished from the current report, which
+/// fails the gate).
+struct GateRow {
+    id: String,
+    baseline_ns: f64,
+    current_ns: Option<f64>,
+}
+
+impl GateRow {
+    fn ratio(&self) -> Option<f64> {
+        self.current_ns.map(|now| now / self.baseline_ns)
+    }
+
+    /// A missing benchmark or one beyond tolerance fails the gate.
+    fn failed(&self, tolerance: f64) -> bool {
+        self.ratio().is_none_or(|ratio| ratio > 1.0 + tolerance)
+    }
+
+    fn verdict(&self, tolerance: f64) -> &'static str {
+        match self.ratio() {
+            None => "MISSING from current report",
+            Some(_) if self.failed(tolerance) => "REGRESSED",
+            Some(_) => "ok",
+        }
+    }
+}
+
+/// Compares every baseline benchmark against the current report.
+fn compare(
+    baseline: &BTreeMap<String, Record>,
+    current: &BTreeMap<String, Record>,
+) -> Vec<GateRow> {
+    baseline
+        .iter()
+        .map(|(id, base)| GateRow {
+            id: id.clone(),
+            baseline_ns: base.min_ns,
+            current_ns: current.get(id).map(|now| now.min_ns),
+        })
+        .collect()
+}
+
+/// The per-benchmark delta table as GitHub-flavoured markdown, for
+/// `$GITHUB_STEP_SUMMARY`: a failing gate names the offending benchmark in
+/// the job summary instead of a bare pass/fail in the log.
+fn summary_markdown(rows: &[GateRow], tolerance: f64) -> String {
+    let failed = rows.iter().any(|row| row.failed(tolerance));
+    let mut out = format!(
+        "### Bench gate: {} (tolerance +{:.0}%)\n\n\
+         | benchmark | baseline | current | ratio | verdict |\n\
+         |---|---:|---:|---:|---|\n",
+        if failed { "FAILED" } else { "passed" },
+        tolerance * 100.0
+    );
+    for row in rows {
+        let (current, ratio) = match (row.current_ns, row.ratio()) {
+            (Some(now), Some(ratio)) => (format_time(now), format!("{ratio:.2}x")),
+            _ => ("-".to_string(), "-".to_string()),
+        };
+        let verdict = row.verdict(tolerance);
+        let emphasis = if row.failed(tolerance) { "**" } else { "" };
+        out.push_str(&format!(
+            "| {} | {} | {current} | {ratio} | {emphasis}{verdict}{emphasis} |\n",
+            row.id,
+            format_time(row.baseline_ns),
+        ));
+    }
+    out
+}
+
+/// Appends the markdown delta table to the file `$GITHUB_STEP_SUMMARY`
+/// names, when running under GitHub Actions. Failures only warn: the
+/// summary is cosmetic, the exit code is the gate.
+fn append_step_summary(markdown: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, markdown.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("warning: could not append to GITHUB_STEP_SUMMARY {path}: {error}");
+    }
 }
 
 fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<bool, String> {
@@ -106,7 +207,7 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<bool, 
     let current = parse_report(&current_text, current_path)?;
     let baseline = parse_report(&baseline_text, baseline_path)?;
 
-    let mut failed = false;
+    let rows = compare(&baseline, &current);
     println!(
         "{:<45} {:>10} {:>10} {:>8}  verdict (tolerance +{:.0}%)",
         "benchmark",
@@ -115,25 +216,28 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<bool, 
         "ratio",
         tolerance * 100.0
     );
-    for (id, base) in &baseline {
-        let Some(now) = current.get(id) else {
-            println!("{id:<45} {:>10} {:>10} {:>8}  MISSING from current report", "-", "-", "-");
-            failed = true;
-            continue;
-        };
-        let ratio = now.min_ns / base.min_ns;
-        let regressed = ratio > 1.0 + tolerance;
-        println!(
-            "{:<45} {:>10} {:>10} {:>7.2}x  {}",
-            id,
-            format_ms(base.min_ns),
-            format_ms(now.min_ns),
-            ratio,
-            if regressed { "REGRESSED" } else { "ok" }
-        );
-        failed |= regressed;
+    for row in &rows {
+        match (row.current_ns, row.ratio()) {
+            (Some(now), Some(ratio)) => println!(
+                "{:<45} {:>10} {:>10} {:>7.2}x  {}",
+                row.id,
+                format_time(row.baseline_ns),
+                format_time(now),
+                ratio,
+                row.verdict(tolerance)
+            ),
+            _ => println!(
+                "{:<45} {:>10} {:>10} {:>8}  {}",
+                row.id,
+                "-",
+                "-",
+                "-",
+                row.verdict(tolerance)
+            ),
+        }
     }
-    Ok(failed)
+    append_step_summary(&summary_markdown(&rows, tolerance));
+    Ok(rows.iter().any(|row| row.failed(tolerance)))
 }
 
 fn main() -> ExitCode {
@@ -216,5 +320,60 @@ mod tests {
         // 19% slower passes at 20% tolerance, 21% fails.
         assert!(119.0 / base.min_ns <= 1.2);
         assert!(121.0 / base.min_ns > 1.2);
+    }
+
+    #[test]
+    fn rows_compare_baseline_against_current() {
+        let baseline = parse_report(
+            "{\"id\":\"a\",\"min_ns\":100}\n{\"id\":\"b\",\"min_ns\":100}\n{\"id\":\"gone\",\"min_ns\":100}\n",
+            "base",
+        )
+        .unwrap();
+        let current = parse_report(
+            "{\"id\":\"a\",\"min_ns\":110}\n{\"id\":\"b\",\"min_ns\":150}\n{\"id\":\"extra\",\"min_ns\":5}\n",
+            "cur",
+        )
+        .unwrap();
+        let rows = compare(&baseline, &current);
+        // Only baseline benchmarks are gated; extras in the current report
+        // are ignored.
+        assert_eq!(rows.len(), 3);
+        let by_id = |id: &str| rows.iter().find(|r| r.id == id).unwrap();
+        assert!(!by_id("a").failed(0.2));
+        assert!(by_id("b").failed(0.2), "50% regression must fail");
+        assert!(by_id("gone").failed(0.2), "a vanished benchmark must fail");
+        assert_eq!(by_id("gone").verdict(0.2), "MISSING from current report");
+    }
+
+    #[test]
+    fn step_summary_markdown_names_the_offender() {
+        let baseline = parse_report(
+            "{\"id\":\"fast\",\"min_ns\":100}\n{\"id\":\"slow\",\"min_ns\":100}\n",
+            "b",
+        )
+        .unwrap();
+        let current = parse_report(
+            "{\"id\":\"fast\",\"min_ns\":90}\n{\"id\":\"slow\",\"min_ns\":200}\n",
+            "c",
+        )
+        .unwrap();
+        let markdown = summary_markdown(&compare(&baseline, &current), 0.2);
+        assert!(markdown.contains("Bench gate: FAILED"));
+        assert!(markdown.contains("| fast | 100ns | 90ns | 0.90x | ok |"));
+        assert!(markdown.contains("| slow | 100ns | 200ns | 2.00x | **REGRESSED** |"));
+
+        let healthy = summary_markdown(
+            &compare(
+                &baseline,
+                &parse_report(
+                    "{\"id\":\"fast\",\"min_ns\":90}\n{\"id\":\"slow\",\"min_ns\":100}\n",
+                    "c",
+                )
+                .unwrap(),
+            ),
+            0.2,
+        );
+        assert!(healthy.contains("Bench gate: passed"));
+        assert!(!healthy.contains("REGRESSED"));
     }
 }

@@ -9,7 +9,7 @@
 //! used by the main thread. Predictions whose start states are already
 //! covered by the cache are skipped.
 
-use crate::cache::TrajectoryCache;
+use crate::cache::{LookupScratch, TrajectoryCache};
 use crate::predictor_bank::PredictedState;
 
 /// One unit of speculative work the allocator decided to dispatch.
@@ -32,6 +32,9 @@ pub struct SpeculationTask {
 /// * `max_tasks` — how many speculative executions can be dispatched (the
 ///   number of idle cores in a real deployment).
 /// * `cache`/`rip` — used to skip predictions already covered by an entry.
+/// * `lookup` — the caller's reusable scratch for those coverage checks
+///   (planning runs on the miss path, which must not allocate per
+///   occurrence).
 ///
 /// Tasks are returned in decreasing expected-utility order.
 pub fn plan_speculation(
@@ -40,10 +43,11 @@ pub fn plan_speculation(
     max_tasks: usize,
     cache: &TrajectoryCache,
     rip: u32,
+    lookup: &mut LookupScratch,
 ) -> Vec<SpeculationTask> {
     let mut tasks: Vec<SpeculationTask> = rollouts
         .into_iter()
-        .filter(|predicted| cache.peek(rip, &predicted.state).is_none())
+        .filter(|predicted| !cache.covers_with(rip, &predicted.state, lookup))
         .map(|predicted| {
             let probability = predicted.log_probability.exp();
             SpeculationTask {
@@ -86,7 +90,7 @@ mod tests {
             predicted(2, -0.2),
             predicted(3, -2.0), // unlikely
         ];
-        let tasks = plan_speculation(rollouts, 1_000.0, 2, &cache, 0);
+        let tasks = plan_speculation(rollouts, 1_000.0, 2, &cache, 0, &mut LookupScratch::new());
         assert_eq!(tasks.len(), 2);
         assert_eq!(tasks[0].depth, 1);
         assert_eq!(tasks[1].depth, 2);
@@ -105,15 +109,22 @@ mod tests {
             end: asc_tvm::delta::SparseBytes::default(),
             instructions: 10,
         });
-        let tasks = plan_speculation(vec![prediction], 100.0, 4, &cache, 0);
+        let tasks =
+            plan_speculation(vec![prediction], 100.0, 4, &cache, 0, &mut LookupScratch::new());
         assert!(tasks.is_empty());
     }
 
     #[test]
     fn utility_scales_with_probability() {
         let cache = TrajectoryCache::new(16);
-        let tasks =
-            plan_speculation(vec![predicted(1, 0.0), predicted(2, -1.0)], 100.0, 4, &cache, 0);
+        let tasks = plan_speculation(
+            vec![predicted(1, 0.0), predicted(2, -1.0)],
+            100.0,
+            4,
+            &cache,
+            0,
+            &mut LookupScratch::new(),
+        );
         assert!((tasks[0].expected_utility - 100.0).abs() < 1e-9);
         assert!((tasks[1].expected_utility - 100.0 * (-1.0f64).exp()).abs() < 1e-9);
     }

@@ -1,4 +1,4 @@
-//! The trajectory cache (§4.2).
+//! The trajectory cache (§4.2): grouped, value-hash-indexed lookup.
 //!
 //! Each entry is a compressed pair of start and end states: the *start* keeps
 //! only the bytes the speculative execution read before writing (its true
@@ -7,15 +7,78 @@
 //! bytes is sufficient for correctness — and fast-forwards by applying the
 //! end set, "a translation symmetry in state space".
 //!
+//! # Index structure
+//!
+//! A naive cache scans every entry for the recognized IP and byte-compares
+//! each start set (`O(entries)` per lookup) — fine while entries are useful,
+//! quadratic misery on chaotic workloads where the cache fills with
+//! never-matching junk. Lookup here is a two-level index instead:
+//!
+//! 1. **Read-set groups.** Within a shard, the entries of one rip are
+//!    grouped by their read-set byte *positions* (an
+//!    [`asc_tvm::delta::PositionSchema`]). Most programs produce only a
+//!    handful of distinct dependency shapes per rip, so the group count
+//!    stays small even when the entry count does not.
+//! 2. **Value-hash index.** Inside each group, entries are indexed by the
+//!    64-bit hash of their read-set *values*
+//!    ([`SparseBytes::value_hash`]). A lookup hashes the query state's
+//!    bytes at the group's positions once
+//!    ([`PositionSchema::hash_values_of`]) and probes a
+//!    `HashMap<u64, SmallSlotList>` — `O(groups)` probes per lookup instead
+//!    of `O(entries)` byte-compares. A probe hit still runs the full
+//!    [`SparseBytes::matches`] as a collision guard before the entry is
+//!    returned, so a 64-bit hash collision can cost a wasted compare but
+//!    never a wrong fast-forward.
+//!
+//! Eviction is a per-shard FIFO of `(rip, group, slot)` references: the
+//! oldest inserted entry in the shard goes first, in O(1), instead of the
+//! old `max_by_key` walk over every rip bucket on the write-lock hot path.
+//!
+//! # Junk filter
+//!
+//! On chaotic workloads (see the logistic-map benchmark) most speculation
+//! starts from mispredicted states, and every insert buys an entry that will
+//! never match — on such runs each superstep can even touch *different*
+//! bytes, so junk grows new groups rather than new entries in old ones. The
+//! insert-time usefulness filter bounds both axes, keyed on the junk
+//! threshold (`AscConfig::cache_junk_threshold`): a group whose entries have
+//! served zero hits after that many probes (real lookups and peeks — the
+//! allocator's coverage checks miss by design and count as no evidence)
+//! stops accepting inserts, and once
+//! a rip has accumulated [`JUNK_GROUP_LIMIT`] such proven-junk groups in a
+//! shard, new groups are refused too (counted in
+//! [`CacheStats::junk_rejected`]). Fully evicted groups reset their
+//! counters, so FIFO turnover re-opens admission; a group that ever serves a
+//! hit is never junk. The filter only ever declines to *store* speculation —
+//! results remain bit-identical, it just bounds how much hopeless junk a
+//! lookup must probe past.
+//!
 //! The cache is sharded and internally synchronised so speculative worker
 //! threads can insert entries while the main thread queries, mirroring the
 //! paper's distributed per-core cache (the cluster cost model in
 //! [`crate::cluster`] charges the reduction and point-to-point costs that a
-//! distributed realisation adds).
+//! distributed realisation adds). §4.2's query-size accounting is unchanged
+//! by the index: a query is still the sparse `(position, value)` capture
+//! whose encoded size [`CacheEntry::query_bits`] reports — the group schema
+//! factors the position *comparison* out of the probe path (a lookup
+//! dispatches on shape once per group instead of re-matching positions
+//! entry by entry). Each entry still stores its full start set: the
+//! collision guard and eviction need the `(position, value)` pairs, so the
+//! schema is an index on top of the entries, not a compression of them.
+//!
+//! The pre-index linear scan is retained as [`TrajectoryCache::
+//! scan_best_match`]: tests and benches use it as the reference the index
+//! must agree with, and the `scan-check` cargo feature debug-asserts that
+//! agreement on every lookup. The assertion runs the probe and the scan as
+//! two separate lock acquisitions, so it is sound only without concurrent
+//! inserts — use it in single-threaded tests (as the equivalence suite
+//! does), not under live workers, where an insert landing between the two
+//! passes would trip it spuriously.
 
-use asc_tvm::delta::SparseBytes;
+use asc_tvm::delta::{PositionSchema, SparseBytes};
 use asc_tvm::state::StateVector;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -31,7 +94,7 @@ fn write_shard(shard: &RwLock<Shard>) -> RwLockWriteGuard<'_, Shard> {
 }
 
 /// One cached speculative trajectory.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct CacheEntry {
     /// Recognized IP value this entry's start state was captured at.
     pub rip: u32,
@@ -41,6 +104,26 @@ pub struct CacheEntry {
     pub end: SparseBytes,
     /// Number of instructions the entry fast-forwards over.
     pub instructions: u64,
+}
+
+impl Clone for CacheEntry {
+    fn clone(&self) -> Self {
+        CacheEntry {
+            rip: self.rip,
+            start: self.start.clone(),
+            end: self.end.clone(),
+            instructions: self.instructions,
+        }
+    }
+
+    /// Reuses the destination's sparse-set allocations; this is what lets
+    /// [`LookupScratch`] hand out hits without allocating per lookup.
+    fn clone_from(&mut self, source: &Self) {
+        self.rip = source.rip;
+        self.start.clone_from(&source.start);
+        self.end.clone_from(&source.end);
+        self.instructions = source.instructions;
+    }
 }
 
 impl CacheEntry {
@@ -78,6 +161,22 @@ pub struct CacheStats {
     pub replaced: u64,
     /// Number of entries evicted due to the capacity limit.
     pub evicted: u64,
+    /// Number of inserts refused by the junk filter: the target group (or
+    /// the whole rip's group set in a shard) had served zero hits over at
+    /// least the configured probe threshold.
+    pub junk_rejected: u64,
+    /// Number of read-set groups created (distinct dependency shapes seen,
+    /// summed over shards).
+    pub groups: u64,
+    /// Number of value-index probes: one per populated group consulted by a
+    /// lookup, peek, or coverage check. The per-query work of the index —
+    /// compare with what `queries × entries` would have been under the old
+    /// scan. (Only lookups and peeks feed the junk filter's per-group probe
+    /// evidence; coverage-check misses are expected and do not.)
+    pub probes: u64,
+    /// Probe hits discarded because the full read-set compare failed (a
+    /// 64-bit value-hash collision). The collision guard's work counter.
+    pub collision_rejects: u64,
     /// Total instructions fast-forwarded by returned entries.
     pub instructions_served: u64,
 }
@@ -93,10 +192,220 @@ impl CacheStats {
     }
 }
 
+/// Pass-through hasher for the value index: its keys are already 64-bit FNV
+/// hashes ([`SparseBytes::value_hash`]), so re-hashing them through the
+/// default SipHash would roughly double the cost of every group probe for
+/// no distribution gain.
+#[derive(Default)]
+struct PrehashedKey(u64);
+
+impl std::hash::Hasher for PrehashedKey {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("value-hash keys are written as u64");
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+}
+
+type ValueIndex = HashMap<u64, SmallSlotList, std::hash::BuildHasherDefault<PrehashedKey>>;
+
+/// Per-lookup memo: schema hash → value hash of the query state at that
+/// schema's positions (`None`: a position was out of bounds).
+type ValueHashMemo = HashMap<u64, Option<u64>, std::hash::BuildHasherDefault<PrehashedKey>>;
+
+/// The slots holding one value hash's entries inside a group. Distinct
+/// entries share a value hash only on a genuine 64-bit collision (same
+/// positions *and* same values would have been deduplicated at insert), so
+/// the list is a single inline slot in practice and spills to a `Vec` never
+/// to rarely.
+#[derive(Debug)]
+struct SmallSlotList {
+    first: u32,
+    rest: Vec<u32>,
+}
+
+impl SmallSlotList {
+    fn new(slot: u32) -> Self {
+        SmallSlotList { first: slot, rest: Vec::new() }
+    }
+
+    fn push(&mut self, slot: u32) {
+        self.rest.push(slot);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        std::iter::once(self.first).chain(self.rest.iter().copied())
+    }
+
+    /// Removes `slot`; returns `true` when the list became empty (the caller
+    /// drops the map entry). Order is irrelevant — all slots of one list are
+    /// hash-equal.
+    fn remove(&mut self, slot: u32) -> bool {
+        if self.first == slot {
+            match self.rest.pop() {
+                Some(last) => {
+                    self.first = last;
+                    false
+                }
+                None => true,
+            }
+        } else {
+            let position = self.rest.iter().position(|&s| s == slot).expect("slot is listed");
+            self.rest.swap_remove(position);
+            false
+        }
+    }
+}
+
+/// All entries of one rip (within a shard) that share a read-set shape,
+/// indexed by the hash of their read-set values.
+struct ReadSetGroup {
+    /// The shared byte positions of every entry's start set.
+    schema: PositionSchema,
+    /// value hash → slots holding entries with that hash.
+    index: ValueIndex,
+    /// Slot storage; `None` slots were evicted and are free for reuse.
+    slots: Vec<Option<CacheEntry>>,
+    /// Free slot indices (previously evicted).
+    free: Vec<u32>,
+    /// Number of live (`Some`) slots.
+    live: u32,
+    /// Lookup probes against this group since creation (or since it was
+    /// last fully evicted). Atomic because lookups tick it under the shard
+    /// *read* lock.
+    probes: AtomicU64,
+    /// Probe matches served by this group's entries (same locking story).
+    hits: AtomicU64,
+}
+
+impl ReadSetGroup {
+    fn new(schema: PositionSchema) -> Self {
+        ReadSetGroup {
+            schema,
+            index: ValueIndex::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            probes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores `entry` in a free (or fresh) slot and indexes it; returns the
+    /// slot id.
+    fn store(&mut self, value_hash: u64, entry: CacheEntry) -> u32 {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(entry);
+                slot
+            }
+            None => {
+                self.slots.push(Some(entry));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        match self.index.entry(value_hash) {
+            std::collections::hash_map::Entry::Occupied(mut list) => list.get_mut().push(slot),
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert(SmallSlotList::new(slot));
+            }
+        }
+        self.live += 1;
+        slot
+    }
+
+    /// Evicts the entry in `slot`, unindexing it and freeing the slot. A
+    /// fully emptied group resets its probe/hit counters: the junk evidence
+    /// belonged to the evicted entries, and a frozen counter would block the
+    /// shape forever.
+    fn evict(&mut self, slot: u32) -> CacheEntry {
+        let entry = self.slots[slot as usize].take().expect("FIFO references a live slot");
+        let value_hash = entry.start.value_hash();
+        let emptied =
+            self.index.get_mut(&value_hash).expect("evicted entry was indexed").remove(slot);
+        if emptied {
+            self.index.remove(&value_hash);
+        }
+        self.free.push(slot);
+        self.live -= 1;
+        if self.live == 0 {
+            self.probes.store(0, Ordering::Relaxed);
+            self.hits.store(0, Ordering::Relaxed);
+        }
+        entry
+    }
+
+    /// Live entries, in slot order.
+    fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Repurposes a fully emptied group for a new dependency shape,
+    /// keeping its (heap-allocated) buffers. Safe exactly when `live == 0`:
+    /// every one of its slots was evicted, and each eviction popped the
+    /// FIFO reference pointing at it, so nothing references the old slots.
+    /// Without recycling, eviction churn on chaotic workloads would grow
+    /// the group vectors without bound — dead groups still cost every
+    /// lookup one iteration each.
+    fn reset_for(&mut self, schema: PositionSchema) {
+        debug_assert_eq!(self.live, 0, "recycling a group with live entries");
+        self.schema = schema;
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.probes.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A FIFO reference to one stored entry: which rip's group vector, which
+/// group, which slot. Group indices are stable (groups are never removed
+/// from a shard, only emptied — and recycled for a new shape only once
+/// empty), and a slot is freed only by the eviction that pops its own FIFO
+/// reference, so references never dangle.
+#[derive(Debug, Clone, Copy)]
+struct FifoRef {
+    rip: u32,
+    group: u32,
+    slot: u32,
+}
+
 #[derive(Default)]
 struct Shard {
-    by_ip: HashMap<u32, Vec<CacheEntry>>,
+    by_ip: HashMap<u32, Vec<ReadSetGroup>>,
+    /// Insertion order of every live entry, oldest first: O(1) eviction.
+    fifo: VecDeque<FifoRef>,
     entries: usize,
+}
+
+/// Reusable lookup buffer: the hot loop's hits are cloned *into* it (Vec
+/// allocations reused via `clone_from`), and the per-schema value hashes
+/// computed during one lookup are memoized in it — sharding spreads one
+/// dependency shape's entries across every shard, so without the memo a
+/// lookup would re-hash the query state's bytes at the same positions once
+/// per shard. Steady-state lookups allocate nothing. Each caller that
+/// queries the cache repeatedly keeps one.
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    entry: Option<CacheEntry>,
+    /// Value hashes computed during one lookup, keyed by the schema's
+    /// (already FNV) hash: a 64-bit collision between two distinct schemas
+    /// can at worst cost a missed probe — the full match guard still decides
+    /// every returned entry.
+    memo: ValueHashMemo,
+}
+
+impl LookupScratch {
+    /// Creates an empty scratch; its buffers are sized by the first lookup.
+    pub fn new() -> Self {
+        LookupScratch::default()
+    }
 }
 
 /// A concurrent, sharded trajectory cache.
@@ -104,18 +413,26 @@ struct Shard {
 /// Entries are sharded by a hash of their start-set key bytes (indices and
 /// values), not by recognized IP: a typical run speculates on a *single* IP,
 /// so IP-based sharding would funnel every concurrent worker insert through
-/// one lock. Hash sharding spreads inserts across all shards; lookups scan
-/// the shards under cheap read locks (once per superstep, against worker
-/// inserts happening once per speculative superstep — reads dominate).
+/// one lock. Hash sharding spreads inserts across all shards; lookups probe
+/// the shards' groups under cheap read locks (once per superstep, against
+/// worker inserts happening once per speculative superstep — reads
+/// dominate).
 pub struct TrajectoryCache {
     shards: Vec<RwLock<Shard>>,
     capacity_per_shard: usize,
+    /// Probes a hitless group must accumulate before the junk filter closes
+    /// it to inserts; 0 disables the filter.
+    junk_threshold: u64,
     queries: AtomicU64,
     hits: AtomicU64,
     inserted: AtomicU64,
     duplicates: AtomicU64,
     replaced: AtomicU64,
     evicted: AtomicU64,
+    junk_rejected: AtomicU64,
+    groups: AtomicU64,
+    probes: AtomicU64,
+    collision_rejects: AtomicU64,
     instructions_served: AtomicU64,
 }
 
@@ -130,19 +447,51 @@ impl std::fmt::Debug for TrajectoryCache {
 
 const SHARD_COUNT: usize = 16;
 
+/// Default [`AscConfig::cache_junk_threshold`]: probes a hitless group
+/// tolerates before it stops accepting inserts.
+///
+/// [`AscConfig::cache_junk_threshold`]: crate::config::AscConfig::cache_junk_threshold
+pub const DEFAULT_JUNK_THRESHOLD: u64 = 64;
+
+/// Proven-junk groups one rip may hold per shard before *new* groups are
+/// refused too. On chaotic workloads every superstep can depend on different
+/// byte positions, so junk arrives as fresh shapes — without this second
+/// bound the per-group filter would bound nothing.
+const JUNK_GROUP_LIMIT: usize = 32;
+
 impl TrajectoryCache {
-    /// Creates a cache holding at most `capacity` entries in total.
+    /// Creates a cache holding at most `capacity` entries in total, with the
+    /// default shard count and junk threshold.
     pub fn new(capacity: usize) -> Self {
-        let capacity_per_shard = capacity.div_ceil(SHARD_COUNT).max(1);
+        Self::with_junk_threshold(capacity, DEFAULT_JUNK_THRESHOLD)
+    }
+
+    /// Creates a cache with an explicit junk-filter threshold (0 disables
+    /// the filter).
+    pub fn with_junk_threshold(capacity: usize, junk_threshold: u64) -> Self {
+        Self::with_layout(capacity, SHARD_COUNT, junk_threshold)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to ≥ 1); the
+    /// `cache_lookup` benchmark uses this to measure lock-spread against
+    /// probe-cost trade-offs.
+    pub fn with_layout(capacity: usize, shard_count: usize, junk_threshold: u64) -> Self {
+        let shard_count = shard_count.max(1);
+        let capacity_per_shard = capacity.div_ceil(shard_count).max(1);
         TrajectoryCache {
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::default())).collect(),
+            shards: (0..shard_count).map(|_| RwLock::new(Shard::default())).collect(),
             capacity_per_shard,
+            junk_threshold,
             queries: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             inserted: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
             replaced: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            junk_rejected: AtomicU64::new(0),
+            groups: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            collision_rejects: AtomicU64::new(0),
             instructions_served: AtomicU64::new(0),
         }
     }
@@ -151,7 +500,7 @@ impl TrajectoryCache {
     /// the entries of a single-rip run (the common case) spread across every
     /// shard instead of serializing concurrent worker inserts on one lock.
     fn shard_for(&self, start: &SparseBytes) -> &RwLock<Shard> {
-        &self.shards[(start.fingerprint() as usize) % SHARD_COUNT]
+        &self.shards[(start.fingerprint() as usize) % self.shards.len()]
     }
 
     /// Number of entries currently stored.
@@ -164,52 +513,235 @@ impl TrajectoryCache {
         self.len() == 0
     }
 
+    /// Whether `group` is proven junk: populated, hitless, and probed at
+    /// least `junk_threshold` times.
+    fn is_junk(&self, group: &ReadSetGroup) -> bool {
+        self.junk_threshold > 0
+            && group.live > 0
+            && group.hits.load(Ordering::Relaxed) == 0
+            && group.probes.load(Ordering::Relaxed) >= self.junk_threshold
+    }
+
+    /// Ticks `group`'s probe counter — but only while the count still has
+    /// evidentiary value (the filter is on and the threshold not yet
+    /// reached), so settled groups cost lookups a relaxed load instead of a
+    /// read-modify-write on a shared cache line.
+    fn tick_probe(&self, group: &ReadSetGroup) {
+        if self.junk_threshold > 0 && group.probes.load(Ordering::Relaxed) < self.junk_threshold {
+            group.probes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Inserts an entry. Returns `true` when the cache's contents changed:
     /// either a fresh entry was stored or an existing entry with the same
     /// start set was replaced by this longer trajectory (counted in the
-    /// `replaced` statistic). Returns `false` — counting a `duplicate` —
-    /// only when an identical start set already fast-forwards at least as
-    /// far.
+    /// `replaced` statistic). Returns `false` when an identical start set
+    /// already fast-forwards at least as far (a `duplicate`) or when the
+    /// junk filter refused the insert (`junk_rejected`; see the module
+    /// docs).
     pub fn insert(&self, entry: CacheEntry) -> bool {
-        let shard = self.shard_for(&entry.start);
-        let mut guard = write_shard(shard);
-        let bucket = guard.by_ip.entry(entry.rip).or_default();
-        if let Some(existing) = bucket.iter_mut().find(|e| e.start == entry.start) {
-            if existing.instructions >= entry.instructions {
-                self.duplicates.fetch_add(1, Ordering::Relaxed);
-                return false;
+        let shard_lock = self.shard_for(&entry.start);
+        let mut guard = write_shard(shard_lock);
+        let shard = &mut *guard;
+        let groups = shard.by_ip.entry(entry.rip).or_default();
+
+        // Locate the entry's read-set group, counting proven-junk groups on
+        // the way in case a new group has to pass the admission bound, and
+        // remembering an emptied group to recycle instead of growing the
+        // vector (empty groups match no schema check: whatever shape they
+        // once held, they hold nothing now).
+        let position_hash = entry.start.position_hash();
+        let mut junk_groups = 0usize;
+        let mut found = None;
+        let mut recycle = None;
+        for (index, group) in groups.iter().enumerate() {
+            if group.live == 0 {
+                recycle.get_or_insert(index);
+                continue;
             }
-            *existing = entry;
-            self.replaced.fetch_add(1, Ordering::Relaxed);
-            return true;
+            if group.schema.hash() == position_hash && group.schema.describes(&entry.start) {
+                found = Some(index);
+                break;
+            }
+            if self.is_junk(group) {
+                junk_groups += 1;
+            }
         }
-        bucket.push(entry);
-        guard.entries += 1;
-        if guard.entries > self.capacity_per_shard {
-            // Evict the oldest entry of the largest bucket (FIFO within IP).
-            if let Some((_, bucket)) =
-                guard.by_ip.iter_mut().max_by_key(|(_, entries)| entries.len())
-            {
-                if !bucket.is_empty() {
-                    bucket.remove(0);
-                    guard.entries -= 1;
-                    self.evicted.fetch_add(1, Ordering::Relaxed);
+
+        let value_hash = entry.start.value_hash();
+        let group_index = match found {
+            Some(index) => {
+                let group = &mut groups[index];
+                // Duplicate/replace: at most one live entry can have this
+                // exact start set, and it is in the value-hash bucket.
+                if let Some(list) = group.index.get(&value_hash) {
+                    for slot in list.iter() {
+                        let existing =
+                            group.slots[slot as usize].as_mut().expect("indexed slot is live");
+                        if existing.start == entry.start {
+                            if existing.instructions >= entry.instructions {
+                                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                                return false;
+                            }
+                            *existing = entry;
+                            self.replaced.fetch_add(1, Ordering::Relaxed);
+                            return true;
+                        }
+                    }
                 }
+                if self.is_junk(group) {
+                    self.junk_rejected.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                index
             }
+            None => {
+                if self.junk_threshold > 0 && junk_groups >= JUNK_GROUP_LIMIT {
+                    self.junk_rejected.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                let index = match recycle {
+                    Some(index) => {
+                        groups[index].reset_for(PositionSchema::of(&entry.start));
+                        index
+                    }
+                    None => {
+                        groups.push(ReadSetGroup::new(PositionSchema::of(&entry.start)));
+                        groups.len() - 1
+                    }
+                };
+                // Recycled or fresh, a new dependency shape was admitted.
+                self.groups.fetch_add(1, Ordering::Relaxed);
+                index
+            }
+        };
+
+        let rip = entry.rip;
+        let slot = groups[group_index].store(value_hash, entry);
+        shard.fifo.push_back(FifoRef { rip, group: group_index as u32, slot });
+        shard.entries += 1;
+        if shard.entries > self.capacity_per_shard {
+            self.evict_oldest(shard);
         }
         self.inserted.fetch_add(1, Ordering::Relaxed);
         true
     }
 
-    /// The longest entry for `rip` whose dependencies match `state`,
-    /// scanning every shard (entries for one rip are hash-spread across all
-    /// of them).
-    fn best_match(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
+    /// Evicts the shard's oldest entry in O(1) via the FIFO.
+    fn evict_oldest(&self, shard: &mut Shard) {
+        let Some(oldest) = shard.fifo.pop_front() else { return };
+        let groups = shard.by_ip.get_mut(&oldest.rip).expect("FIFO rip exists");
+        groups[oldest.group as usize].evict(oldest.slot);
+        shard.entries -= 1;
+        self.evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Walks every live group for `rip` across all shards, probing each
+    /// group's value index with the query state's bytes hashed at the
+    /// group's positions (one hash per schema per walk — entries for one rip
+    /// are hash-spread across all shards, so the memo saves re-hashing the
+    /// same shape shard after shard), and calls `on_match` for every entry
+    /// that passes the full byte-compare collision guard; `Break` stops the
+    /// walk. Matching entries always tick their group's hit counter
+    /// (usefulness evidence). `tick_junk` controls whether the walk also
+    /// counts as junk-filter *probe* evidence: real lookups and peeks do,
+    /// the allocator's coverage checks do not — their misses are expected
+    /// (they exist to find *uncovered* predictions), and counting them would
+    /// close hitless groups ~`rollout_depth` times faster than the
+    /// configured threshold intends, starving slow-warmup workloads of
+    /// cache admission.
+    fn probe_groups(
+        &self,
+        rip: u32,
+        state: &StateVector,
+        memo: &mut ValueHashMemo,
+        tick_junk: bool,
+        mut on_match: impl FnMut(&CacheEntry) -> ControlFlow<()>,
+    ) {
+        let mut probes = 0u64;
+        let mut collisions = 0u64;
+        memo.clear();
+        'shards: for shard in &self.shards {
+            let guard = read_shard(shard);
+            let Some(groups) = guard.by_ip.get(&rip) else { continue };
+            for group in groups {
+                if group.live == 0 {
+                    continue;
+                }
+                probes += 1;
+                if tick_junk {
+                    self.tick_probe(group);
+                }
+                let memoized = *memo
+                    .entry(group.schema.hash())
+                    .or_insert_with(|| group.schema.hash_values_of(state));
+                let Some(value_hash) = memoized else { continue };
+                let Some(list) = group.index.get(&value_hash) else { continue };
+                for slot in list.iter() {
+                    let entry = group.slots[slot as usize].as_ref().expect("indexed slot is live");
+                    // Collision guard: the hash said yes, the bytes decide.
+                    if entry.matches(state) {
+                        group.hits.fetch_add(1, Ordering::Relaxed);
+                        if on_match(entry).is_break() {
+                            break 'shards;
+                        }
+                    } else {
+                        collisions += 1;
+                    }
+                }
+            }
+        }
+        self.probes.fetch_add(probes, Ordering::Relaxed);
+        if collisions > 0 {
+            self.collision_rejects.fetch_add(collisions, Ordering::Relaxed);
+        }
+    }
+
+    /// The longest entry for `rip` whose dependencies match `state`, cloned
+    /// into `scratch` (buffer reuse — no allocation once the buffers are
+    /// warm).
+    fn best_match_into<'s>(
+        &self,
+        rip: u32,
+        state: &StateVector,
+        scratch: &'s mut LookupScratch,
+    ) -> Option<&'s CacheEntry> {
+        let LookupScratch { entry: buffer, memo } = scratch;
+        let mut best: Option<u64> = None;
+        self.probe_groups(rip, state, memo, true, |entry| {
+            if best.is_none_or(|b| entry.instructions > b) {
+                best = Some(entry.instructions);
+                match buffer {
+                    Some(held) => held.clone_from(entry),
+                    None => *buffer = Some(entry.clone()),
+                }
+            }
+            ControlFlow::Continue(())
+        });
+        #[cfg(feature = "scan-check")]
+        debug_assert_eq!(
+            best,
+            self.scan_best_match(rip, state).map(|e| e.instructions),
+            "indexed lookup diverged from the reference scan"
+        );
+        if best.is_some() {
+            scratch.entry.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Reference linear scan: the longest entry for `rip` whose dependencies
+    /// match `state`, found by byte-comparing *every* entry — the pre-index
+    /// behaviour the value-hash lookup must be equivalent to. Kept for the
+    /// equivalence tests, the `cache_lookup` benchmark's baseline and the
+    /// `scan-check` debug assertion; not used on any runtime path.
+    pub fn scan_best_match(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
         let mut best: Option<CacheEntry> = None;
         for shard in &self.shards {
             let guard = read_shard(shard);
-            let Some(bucket) = guard.by_ip.get(&rip) else { continue };
-            for entry in bucket {
+            let Some(groups) = guard.by_ip.get(&rip) else { continue };
+            for entry in groups.iter().flat_map(ReadSetGroup::entries) {
                 if entry.matches(state)
                     && best.as_ref().is_none_or(|b| entry.instructions > b.instructions)
                 {
@@ -220,10 +752,17 @@ impl TrajectoryCache {
         best
     }
 
-    /// Looks up the longest entry for `rip` whose dependencies match `state`.
-    pub fn lookup(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
+    /// Looks up the longest entry for `rip` whose dependencies match
+    /// `state`, reusing the caller's scratch — the zero-allocation entry
+    /// point the runtime's occurrence loop uses.
+    pub fn lookup_with<'s>(
+        &self,
+        rip: u32,
+        state: &StateVector,
+        scratch: &'s mut LookupScratch,
+    ) -> Option<&'s CacheEntry> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let best = self.best_match(rip, state);
+        let best = self.best_match_into(rip, state, scratch);
         if let Some(entry) = &best {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.instructions_served.fetch_add(entry.instructions, Ordering::Relaxed);
@@ -231,10 +770,59 @@ impl TrajectoryCache {
         best
     }
 
-    /// Looks up without recording query statistics (used by the recognizer's
-    /// what-if evaluation so it does not pollute the reported hit rates).
+    /// Looks up the longest entry for `rip` whose dependencies match
+    /// `state`. Allocating convenience wrapper around
+    /// [`lookup_with`](TrajectoryCache::lookup_with).
+    pub fn lookup(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
+        let mut scratch = LookupScratch::new();
+        self.lookup_with(rip, state, &mut scratch)?;
+        scratch.entry
+    }
+
+    /// Like [`lookup_with`](TrajectoryCache::lookup_with) but without
+    /// recording query statistics (used by what-if evaluation paths so they
+    /// do not pollute the reported hit rates). Group probe/hit counters
+    /// still tick: they are the junk filter's evidence, and a peek is real
+    /// evidence.
+    pub fn peek_with<'s>(
+        &self,
+        rip: u32,
+        state: &StateVector,
+        scratch: &'s mut LookupScratch,
+    ) -> Option<&'s CacheEntry> {
+        self.best_match_into(rip, state, scratch)
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`peek_with`](TrajectoryCache::peek_with).
     pub fn peek(&self, rip: u32, state: &StateVector) -> Option<CacheEntry> {
-        self.best_match(rip, state)
+        let mut scratch = LookupScratch::new();
+        self.peek_with(rip, state, &mut scratch)?;
+        scratch.entry
+    }
+
+    /// Whether *any* entry for `rip` matches `state` — the coverage test the
+    /// allocator and planner use to skip speculation whose start state the
+    /// cache already fast-forwards, reusing the caller's scratch for the
+    /// per-schema hash memo (allocation-free once warm). Stops at the first
+    /// match (coverage does not care which entry is longest) and records no
+    /// query statistics or junk-filter probe evidence: coverage checks run
+    /// `rollout_depth`-deep per occurrence and their misses are *expected*,
+    /// so counting them would close hitless groups far faster than
+    /// `junk_threshold` lookups intend.
+    pub fn covers_with(&self, rip: u32, state: &StateVector, scratch: &mut LookupScratch) -> bool {
+        let mut covered = false;
+        self.probe_groups(rip, state, &mut scratch.memo, false, |_| {
+            covered = true;
+            ControlFlow::Break(())
+        });
+        covered
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`covers_with`](TrajectoryCache::covers_with).
+    pub fn covers(&self, rip: u32, state: &StateVector) -> bool {
+        self.covers_with(rip, state, &mut LookupScratch::new())
     }
 
     /// Average query size in bits over all stored entries (Table 1).
@@ -243,8 +831,8 @@ impl TrajectoryCache {
         let mut count = 0usize;
         for shard in &self.shards {
             let guard = read_shard(shard);
-            for bucket in guard.by_ip.values() {
-                for entry in bucket {
+            for groups in guard.by_ip.values() {
+                for entry in groups.iter().flat_map(ReadSetGroup::entries) {
                     total += entry.query_bits();
                     count += 1;
                 }
@@ -259,15 +847,17 @@ impl TrajectoryCache {
 
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
-        let queries = self.queries.load(Ordering::Relaxed);
-        let hits = self.hits.load(Ordering::Relaxed);
         CacheStats {
-            queries,
-            hits,
+            queries: self.queries.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
             inserted: self.inserted.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
             replaced: self.replaced.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+            junk_rejected: self.junk_rejected.load(Ordering::Relaxed),
+            groups: self.groups.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            collision_rejects: self.collision_rejects.load(Ordering::Relaxed),
             instructions_served: self.instructions_served.load(Ordering::Relaxed),
         }
     }
@@ -311,6 +901,11 @@ mod tests {
         assert_eq!(stats.queries, 3);
         assert_eq!(stats.hits, 1);
         assert!((stats.miss_rate() - 2.0 / 3.0).abs() < 1e-9);
+        // One dependency shape was seen; the matching/mismatching lookups
+        // each probed its group, the wrong-IP one probed nothing.
+        assert_eq!(stats.groups, 1);
+        assert_eq!(stats.probes, 2);
+        assert_eq!(stats.collision_rejects, 0);
     }
 
     #[test]
@@ -324,6 +919,8 @@ mod tests {
         // Only the shorter matches when byte 8 differs.
         let state = state_with(&[(5, 7), (8, 4)]);
         assert_eq!(cache.lookup(64, &state).unwrap().instructions, 100);
+        // The two entries have different dependency shapes, hence two groups.
+        assert_eq!(cache.stats().groups, 2);
     }
 
     #[test]
@@ -377,13 +974,114 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_enforced_by_eviction() {
+    fn capacity_is_enforced_by_fifo_eviction() {
         let cache = TrajectoryCache::new(SHARD_COUNT); // one entry per shard
         for i in 0..200u32 {
             cache.insert(entry(8, &[(i, 1)], &[(2, 2)], 10));
         }
         assert!(cache.len() <= 2 * SHARD_COUNT);
-        assert!(cache.stats().evicted > 0);
+        let stats = cache.stats();
+        assert!(stats.evicted > 0);
+        // Eviction accounting is exact: every insert beyond a shard's
+        // capacity evicted exactly one entry.
+        assert_eq!(cache.len() as u64, stats.inserted - stats.evicted);
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_within_a_shard() {
+        // One shard makes FIFO order observable: the first insert is the
+        // first evicted, newer entries survive.
+        let cache = TrajectoryCache::with_layout(2, 1, 0);
+        cache.insert(entry(8, &[(1, 1)], &[(9, 9)], 10));
+        cache.insert(entry(8, &[(2, 2)], &[(9, 9)], 20));
+        cache.insert(entry(8, &[(3, 3)], &[(9, 9)], 30));
+        assert_eq!(cache.stats().evicted, 1);
+        assert!(cache.peek(8, &state_with(&[(1, 1)])).is_none(), "oldest entry must be evicted");
+        assert!(cache.peek(8, &state_with(&[(2, 2)])).is_some());
+        assert!(cache.peek(8, &state_with(&[(3, 3)])).is_some());
+        // Churn through many more inserts: count stays exact, len bounded.
+        for i in 0..100u32 {
+            cache.insert(entry(8, &[(i + 10, 7)], &[(9, 9)], 10));
+        }
+        let stats = cache.stats();
+        assert_eq!(cache.len() as u64, stats.inserted - stats.evicted);
+        assert!(cache.len() <= 3);
+    }
+
+    #[test]
+    fn emptied_groups_are_recycled_for_new_shapes() {
+        // One shard, two entries of capacity, every entry a fresh shape:
+        // eviction keeps emptying the oldest group, and inserts must reuse
+        // those husks instead of growing the group vector without bound.
+        let cache = TrajectoryCache::with_layout(2, 1, 0);
+        for i in 0..50u32 {
+            cache.insert(entry(8, &[(i, 1), (200, 2)], &[(9, 9)], 10));
+        }
+        let groups_in_vec = read_shard(&cache.shards[0]).by_ip[&8].len();
+        assert!(groups_in_vec <= 3, "dead groups accumulated: {groups_in_vec} in the vector");
+        // The stats counter still counts every admitted shape.
+        assert_eq!(cache.stats().groups, 50);
+        // The survivors stay reachable.
+        assert!(cache.peek(8, &state_with(&[(49, 1), (200, 2)])).is_some());
+    }
+
+    #[test]
+    fn junk_filter_closes_hitless_groups_and_admits_useful_ones() {
+        // Threshold 4: after 4 hitless probes a group refuses inserts.
+        let cache = TrajectoryCache::with_layout(1024, 1, 4);
+        cache.insert(entry(8, &[(1, 1)], &[(9, 9)], 10));
+        let miss = state_with(&[(1, 2)]);
+        for _ in 0..4 {
+            assert!(cache.lookup(8, &miss).is_none());
+        }
+        // The group is now proven junk: same-shape inserts are refused...
+        assert!(!cache.insert(entry(8, &[(1, 3)], &[(9, 9)], 10)));
+        assert_eq!(cache.stats().junk_rejected, 1);
+        // ...but a hit re-opens it.
+        assert!(cache.lookup(8, &state_with(&[(1, 1)])).is_some());
+        assert!(cache.insert(entry(8, &[(1, 3)], &[(9, 9)], 10)));
+
+        // A useful group (hits early) never trips the filter.
+        let useful = TrajectoryCache::with_layout(1024, 1, 4);
+        useful.insert(entry(8, &[(1, 1)], &[(9, 9)], 10));
+        for _ in 0..32 {
+            assert!(useful.lookup(8, &state_with(&[(1, 1)])).is_some());
+        }
+        assert!(useful.insert(entry(8, &[(1, 2)], &[(9, 9)], 10)));
+        assert_eq!(useful.stats().junk_rejected, 0);
+
+        // Threshold 0 disables the filter entirely.
+        let off = TrajectoryCache::with_layout(1024, 1, 0);
+        off.insert(entry(8, &[(1, 1)], &[(9, 9)], 10));
+        for _ in 0..64 {
+            off.lookup(8, &miss);
+        }
+        assert!(off.insert(entry(8, &[(1, 3)], &[(9, 9)], 10)));
+        assert_eq!(off.stats().junk_rejected, 0);
+    }
+
+    #[test]
+    fn junk_filter_bounds_fresh_shapes_too() {
+        // Chaotic-workload shape: every entry has a *different* read-set
+        // position set, so junk arrives as new groups. Probe often enough
+        // and group admission must close.
+        let cache = TrajectoryCache::with_layout(1 << 12, 1, 2);
+        let miss = state_with(&[]);
+        let mut accepted = 0u32;
+        for i in 0..2048u32 {
+            if cache.insert(entry(8, &[(i % 200 + 1, 255)], &[(0, 0)], 10)) {
+                accepted += 1;
+            }
+            // Each lookup probes every live group once (all miss: byte
+            // values are 0, entries want 255).
+            cache.lookup(8, &miss);
+        }
+        let stats = cache.stats();
+        assert!(stats.junk_rejected > 0, "{stats:?}");
+        assert!(
+            accepted <= (JUNK_GROUP_LIMIT + 64) as u32,
+            "junk group growth not bounded: {accepted} accepted ({stats:?})"
+        );
     }
 
     #[test]
@@ -393,6 +1091,63 @@ mod tests {
         let state = state_with(&[(1, 1)]);
         assert!(cache.peek(0, &state).is_some());
         assert_eq!(cache.stats().queries, 0);
+    }
+
+    #[test]
+    fn covers_agrees_with_peek_and_allocates_no_entry() {
+        let cache = TrajectoryCache::new(16);
+        cache.insert(entry(0, &[(1, 1)], &[(2, 2)], 10));
+        let hit = state_with(&[(1, 1)]);
+        let miss = state_with(&[(1, 2)]);
+        assert!(cache.covers(0, &hit));
+        assert!(!cache.covers(0, &miss));
+        assert!(!cache.covers(1, &hit));
+        assert_eq!(cache.stats().queries, 0);
+    }
+
+    #[test]
+    fn lookup_scratch_is_reusable_across_hits_and_misses() {
+        let cache = TrajectoryCache::new(64);
+        cache.insert(entry(0, &[(1, 1)], &[(2, 2)], 10));
+        cache.insert(entry(0, &[(1, 9), (3, 3)], &[(2, 7)], 99));
+        let mut scratch = LookupScratch::new();
+        let hit = cache.lookup_with(0, &state_with(&[(1, 1)]), &mut scratch);
+        assert_eq!(hit.unwrap().instructions, 10);
+        // A subsequent miss leaves the scratch holding stale data but
+        // returns None.
+        assert!(cache.lookup_with(0, &state_with(&[(1, 5)]), &mut scratch).is_none());
+        // The scratch is reused for a different winning entry.
+        let hit = cache.lookup_with(0, &state_with(&[(1, 9), (3, 3)]), &mut scratch);
+        assert_eq!(hit.unwrap().instructions, 99);
+        assert_eq!(cache.stats().queries, 3);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn indexed_lookup_agrees_with_reference_scan() {
+        let cache = TrajectoryCache::new(1 << 10);
+        // A mix of shapes: shared-shape groups, singleton shapes, an
+        // empty-read-set entry (matches everything), longer/shorter pairs.
+        cache.insert(entry(8, &[], &[(50, 5)], 7));
+        for i in 0..40u32 {
+            cache.insert(entry(
+                8,
+                &[(4, (i % 5) as u8), (9, (i % 3) as u8)],
+                &[(60, 1)],
+                u64::from(i),
+            ));
+            cache.insert(entry(8, &[(100 + i, 1)], &[(61, 1)], u64::from(2 * i)));
+        }
+        for probe in 0..60usize {
+            let state = state_with(&[
+                (4, (probe % 5) as u8),
+                (9, (probe % 3) as u8),
+                (100 + probe % 40, (probe % 2) as u8),
+            ]);
+            let indexed = cache.peek(8, &state).map(|e| e.instructions);
+            let scanned = cache.scan_best_match(8, &state).map(|e| e.instructions);
+            assert_eq!(indexed, scanned, "probe {probe} diverged");
+        }
     }
 
     #[test]
@@ -424,5 +1179,18 @@ mod tests {
         cache.insert(entry(8, &[(1, 1), (2, 2), (3, 3), (4, 4)], &[(5, 5)], 10));
         // Entries have 2 and 4 dependency bytes at 40 bits each.
         assert!((cache.mean_query_bits() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_shard_layout_behaves() {
+        let cache = TrajectoryCache::with_layout(64, 1, 0);
+        for i in 0..32u32 {
+            cache.insert(entry(4, &[(i, 1)], &[(200, 2)], 10));
+        }
+        assert_eq!(cache.len(), 32);
+        for i in 0..32u32 {
+            assert!(cache.lookup(4, &state_with(&[(i as usize, 1)])).is_some());
+        }
+        assert_eq!(cache.stats().hits, 32);
     }
 }

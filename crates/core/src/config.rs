@@ -116,6 +116,14 @@ pub struct AscConfig {
     pub mistake_log_capacity: usize,
     /// Maximum number of entries the trajectory cache retains.
     pub cache_capacity: usize,
+    /// The trajectory cache's insert-time usefulness filter: a read-set
+    /// group whose entries have served zero hits after this many lookup
+    /// probes stops accepting inserts (and a rip drowning in such
+    /// proven-junk groups stops admitting new shapes), bounding junk growth
+    /// on chaotic workloads where speculation rarely pays. `0` disables the
+    /// filter. See [`TrajectoryCache`](crate::cache::TrajectoryCache)'s
+    /// module docs for the exact policy.
+    pub cache_junk_threshold: u64,
     /// Upper bound on total instructions executed (safety net for tests).
     pub instruction_budget: u64,
     /// Number of speculation worker threads [`accelerate`] runs supersteps
@@ -149,6 +157,7 @@ impl Default for AscConfig {
             max_excited_bits: 4096,
             mistake_log_capacity: 4096,
             cache_capacity: 1 << 16,
+            cache_junk_threshold: crate::cache::DEFAULT_JUNK_THRESHOLD,
             instruction_budget: 2_000_000_000,
             workers: 0,
             planner: PlannerConfig::default(),

@@ -43,7 +43,7 @@
 //! [`observe_incremental`]: PredictorBank::observe_incremental
 //! [`full_observe_interval`]: crate::config::PlannerConfig::full_observe_interval
 
-use crate::cache::TrajectoryCache;
+use crate::cache::{LookupScratch, TrajectoryCache};
 use crate::config::{AscConfig, PlannerConfig};
 use crate::predictor_bank::{PredictedState, PredictorBank};
 use crate::recognizer::RecognizedIp;
@@ -244,6 +244,7 @@ impl PlannerHandle {
             plan: VecDeque::new(),
             live: None,
             inserts_seen: 0,
+            lookup: LookupScratch::new(),
             stats: PlannerStats::default(),
         };
         let thread = std::thread::Builder::new()
@@ -299,6 +300,8 @@ struct Planner {
     live: Option<StateVector>,
     /// Cache-insert count at the last top-up, for insert-triggered wakeups.
     inserts_seen: u64,
+    /// Reusable scratch for the top-up loop's cache-coverage checks.
+    lookup: LookupScratch,
     stats: PlannerStats,
 }
 
@@ -443,7 +446,7 @@ impl Planner {
             // Marked whether accepted, deduplicated, dropped or already
             // covered: this exact prediction is never offered twice.
             step.attempted = true;
-            if self.cache.peek(self.rip.ip, &step.predicted.state).is_some() {
+            if self.cache.covers_with(self.rip.ip, &step.predicted.state, &mut self.lookup) {
                 continue;
             }
             if self.pool.dispatch(SpeculationJob {

@@ -83,7 +83,7 @@
 //! [`PlannerConfig::horizon`]: crate::config::PlannerConfig::horizon
 
 use crate::allocator::plan_speculation;
-use crate::cache::{CacheStats, TrajectoryCache};
+use crate::cache::{CacheStats, LookupScratch, TrajectoryCache};
 use crate::config::AscConfig;
 use crate::error::AscResult;
 use crate::planner::{OccurrenceEvent, PlannerHandle, PlannerStats};
@@ -348,14 +348,20 @@ impl LascRuntime {
         let initial = program.initial_state()?;
         let outcome = recognize(&initial, &self.config)?;
         let rip = outcome.rip;
-        let cache = Arc::new(TrajectoryCache::new(self.config.cache_capacity));
+        let cache = Arc::new(TrajectoryCache::with_junk_threshold(
+            self.config.cache_capacity,
+            self.config.cache_junk_threshold,
+        ));
         if self.config.workers > 0 && self.config.planner.enabled {
             return self.accelerate_planned(&initial, &outcome, &cache);
         }
         let mut pool = (self.config.workers > 0)
             .then(|| SpeculationPool::new(self.config.workers, Arc::clone(&cache)));
-        // Inline speculation reuses one scratch across the whole run.
+        // Inline speculation reuses one scratch across the whole run, and
+        // cache hits are cloned into a reusable lookup scratch — the
+        // occurrence loop allocates nothing per iteration.
         let mut scratch = SpeculationScratch::new();
+        let mut lookup = LookupScratch::new();
 
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut bank = PredictorBank::new(rip.ip, &self.config);
@@ -369,7 +375,7 @@ impl LascRuntime {
             }
             // The main thread is at a recognized-IP occurrence (or at the very
             // start of the post-recognition phase): consult the cache first.
-            if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
+            if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
                 machine.apply_sparse(&entry.end);
                 fast_forwarded += entry.instructions;
                 bank.observe(&machine.state().clone());
@@ -393,6 +399,7 @@ impl LascRuntime {
                     self.config.rollout_depth,
                     &cache,
                     rip.ip,
+                    &mut lookup,
                 );
                 for task in tasks {
                     if let Some(pool) = pool.as_mut() {
@@ -475,6 +482,9 @@ impl LascRuntime {
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut fast_forwarded = 0u64;
         let mut halted = outcome.halted;
+        // Hits are cloned into a reusable buffer: the fast-forward loop must
+        // not allocate per occurrence.
+        let mut lookup = LookupScratch::new();
         // Consecutive cache hits since the last miss. During an uninterrupted
         // hit streak the main thread only applies sparse deltas, so cloning
         // the full state for the planner on *every* occurrence costs more
@@ -516,7 +526,7 @@ impl LascRuntime {
             // the cached frontier and collapses the hit rate on
             // core-constrained hosts.
             std::thread::yield_now();
-            if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
+            if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
                 machine.apply_sparse(&entry.end);
                 fast_forwarded += entry.instructions;
                 hit_streak += 1;
@@ -628,20 +638,24 @@ impl LascRuntime {
             resume_instret: profiling.instret(),
             halted: profile_halted,
         };
-        let cache = TrajectoryCache::new(self.config.cache_capacity);
+        let cache = TrajectoryCache::with_junk_threshold(
+            self.config.cache_capacity,
+            self.config.cache_junk_threshold,
+        );
 
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut fast_forwarded = 0u64;
         let mut overhead = 0.0f64;
         let mut halted = outcome.halted;
         let mut series = Vec::new();
+        let mut lookup = LookupScratch::new();
 
         while !halted {
             if outcome.resume_instret + machine.instret() >= self.config.instruction_budget {
                 break;
             }
             overhead += query_overhead;
-            if let Some(entry) = cache.lookup(rip.ip, machine.state()) {
+            if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
                 machine.apply_sparse(&entry.end);
                 fast_forwarded += entry.instructions;
             } else {

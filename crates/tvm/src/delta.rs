@@ -37,9 +37,22 @@ pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
 /// other.set_byte(10, 8);
 /// assert!(!sparse.matches(&other));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, PartialEq, Eq, Hash, Default)]
 pub struct SparseBytes {
     entries: Vec<(u32, u8)>,
+}
+
+impl Clone for SparseBytes {
+    fn clone(&self) -> Self {
+        SparseBytes { entries: self.entries.clone() }
+    }
+
+    /// Reuses the destination's allocation — the trajectory cache's lookup
+    /// scratch clones the winning entry into a long-lived buffer on the
+    /// runtime's hot loop, which must not allocate per occurrence.
+    fn clone_from(&mut self, source: &Self) {
+        self.entries.clone_from(&source.entries);
+    }
 }
 
 impl SparseBytes {
@@ -105,11 +118,35 @@ impl SparseBytes {
         }
     }
 
+    /// Iterates over the byte positions (indices) in sorted order.
+    pub fn positions(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|&(i, _)| i)
+    }
+
+    /// A stable 64-bit hash of the byte *positions* only: every sparse set
+    /// with the same dependency shape (the same read-set byte indices,
+    /// whatever their values) shares this hash. One half of
+    /// [`fingerprint`](SparseBytes::fingerprint).
+    pub fn position_hash(&self) -> u64 {
+        fnv1a(self.entries.iter().flat_map(|&(i, _)| i.to_le_bytes()))
+    }
+
+    /// A stable 64-bit hash of the byte *values* only, taken in position
+    /// order. Two sparse sets with identical positions match the same states
+    /// iff their value hashes agree (modulo 64-bit collisions, which callers
+    /// must guard with a full [`matches`](SparseBytes::matches)); a state's
+    /// bytes at those positions hash to the same value via
+    /// [`StateVector::hash_values_at`]. The other half of
+    /// [`fingerprint`](SparseBytes::fingerprint).
+    pub fn value_hash(&self) -> u64 {
+        fnv1a(self.entries.iter().map(|&(_, v)| v))
+    }
+
     /// A stable 64-bit hash of the contents, used as a cheap cache index key.
+    /// Combines the position and value halves so that sets differing in
+    /// either indices or values fingerprint differently.
     pub fn fingerprint(&self) -> u64 {
-        // FNV-1a over the sorted (index, value) stream: deterministic across
-        // runs, unlike the default hasher.
-        fnv1a(self.entries.iter().flat_map(|&(i, v)| i.to_le_bytes().into_iter().chain([v])))
+        self.position_hash().rotate_left(32) ^ self.value_hash()
     }
 
     /// Size in bits of the serialized sparse representation (5 bytes per
@@ -123,6 +160,85 @@ impl SparseBytes {
 impl FromIterator<(u32, u8)> for SparseBytes {
     fn from_iter<T: IntoIterator<Item = (u32, u8)>>(iter: T) -> Self {
         SparseBytes::from_pairs(iter.into_iter().collect())
+    }
+}
+
+/// The *shape* of a sparse capture: its sorted byte positions, without the
+/// values, plus their hash. Every [`SparseBytes`] whose dependencies touch
+/// the same bytes shares one schema — most programs produce only a handful
+/// of distinct schemas per recognized IP, which is what makes the trajectory
+/// cache's grouped value-hash index effective: a query hashes the live
+/// state's bytes at each schema's positions once
+/// ([`hash_values_of`](PositionSchema::hash_values_of)) and compares against
+/// stored [`value_hash`](SparseBytes::value_hash)es instead of matching
+/// every entry byte-by-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionSchema {
+    positions: Box<[u32]>,
+    hash: u64,
+}
+
+impl PositionSchema {
+    /// The schema of a sparse capture (its positions, values dropped).
+    pub fn of(sparse: &SparseBytes) -> Self {
+        let positions: Box<[u32]> = sparse.positions().collect();
+        PositionSchema { hash: sparse.position_hash(), positions }
+    }
+
+    /// The sorted byte positions.
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// The schema's hash, equal to [`SparseBytes::position_hash`] of any
+    /// capture with these positions.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of positions in the schema.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the schema has no positions (an empty read set, which every
+    /// state satisfies).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Whether `sparse` has exactly these positions.
+    pub fn describes(&self, sparse: &SparseBytes) -> bool {
+        sparse.len() == self.positions.len()
+            && sparse.positions().zip(self.positions.iter()).all(|(a, &b)| a == b)
+    }
+
+    /// Hashes `state`'s bytes at the schema's positions, in order — equal to
+    /// the [`value_hash`](SparseBytes::value_hash) of any capture with these
+    /// positions whose values `state` agrees with. Returns `None` when a
+    /// position lies beyond the end of `state` (no capture with this schema
+    /// can match such a state).
+    pub fn hash_values_of(&self, state: &StateVector) -> Option<u64> {
+        state.hash_values_at(&self.positions)
+    }
+}
+
+impl From<&SparseBytes> for PositionSchema {
+    fn from(sparse: &SparseBytes) -> Self {
+        PositionSchema::of(sparse)
+    }
+}
+
+impl StateVector {
+    /// Hashes this state's bytes at `positions`, in the order given; the
+    /// counterpart of [`SparseBytes::value_hash`] for a live state. Returns
+    /// `None` when any position is out of bounds.
+    pub fn hash_values_at(&self, positions: &[u32]) -> Option<u64> {
+        let bytes = self.as_bytes();
+        if positions.iter().any(|&p| p as usize >= bytes.len()) {
+            return None;
+        }
+        Some(fnv1a(positions.iter().map(|&p| bytes[p as usize])))
     }
 }
 
@@ -243,6 +359,48 @@ mod tests {
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());
         assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        // The halves split cleanly: same positions ⇒ same position hash;
+        // same values ⇒ same value hash.
+        assert_eq!(a.position_hash(), b.position_hash());
+        assert_ne!(a.position_hash(), c.position_hash());
+        assert_eq!(a.value_hash(), c.value_hash());
+        assert_ne!(a.value_hash(), b.value_hash());
+    }
+
+    #[test]
+    fn schema_value_hash_agrees_with_live_state_hash() {
+        let mut state = StateVector::new(64).unwrap();
+        state.set_byte(10, 7);
+        state.set_byte(30, 99);
+        let sparse = SparseBytes::capture(&state, [30usize, 10]);
+        let schema = PositionSchema::of(&sparse);
+        assert_eq!(schema.positions(), &[10, 30]);
+        assert_eq!(schema.hash(), sparse.position_hash());
+        assert!(schema.describes(&sparse));
+        assert!(!schema.describes(&SparseBytes::from_pairs(vec![(10, 7)])));
+        // A matching state hashes to the capture's value hash...
+        assert_eq!(schema.hash_values_of(&state), Some(sparse.value_hash()));
+        // ...a state differing at a captured byte does not...
+        let mut other = state.clone();
+        other.set_byte(10, 8);
+        assert_ne!(schema.hash_values_of(&other), Some(sparse.value_hash()));
+        // ...and out-of-bounds positions can never match.
+        let tiny = StateVector::new(1).unwrap();
+        let far = PositionSchema::of(&SparseBytes::from_pairs(vec![(4096, 1)]));
+        assert_eq!(far.hash_values_of(&tiny), None);
+        // Empty schemas match every state (an empty read set is always
+        // satisfied) and hash to the empty capture's value hash.
+        let empty = PositionSchema::of(&SparseBytes::default());
+        assert!(empty.is_empty());
+        assert_eq!(empty.hash_values_of(&tiny), Some(SparseBytes::default().value_hash()));
+    }
+
+    #[test]
+    fn sparse_clone_from_reuses_allocation_and_matches_clone() {
+        let source = SparseBytes::from_pairs(vec![(1, 1), (2, 2), (3, 3)]);
+        let mut dest = SparseBytes::from_pairs(vec![(9, 9)]);
+        dest.clone_from(&source);
+        assert_eq!(dest, source);
     }
 
     #[test]

@@ -129,3 +129,87 @@ fn transition_is_deterministic_and_dep_tracking_is_transparent() {
         assert!(deps.touched() > 0);
     }
 }
+
+/// The trajectory cache's grouped value-hash index must be *equivalent* to
+/// the retained reference scan (`scan_best_match`): for any population —
+/// including replace and FIFO-evict churn, shared and singleton dependency
+/// shapes, and with the junk filter on or off — `peek` returns an entry
+/// whose instruction count equals the scan's best and whose start set
+/// matches the query state, and misses exactly when the scan misses.
+#[test]
+fn indexed_cache_lookup_is_equivalent_to_reference_scan_under_churn() {
+    use asc::core::cache::{CacheEntry, TrajectoryCache};
+
+    let mut rng = XorShiftRng::new(0x5eed_cac8);
+    // A small pool of byte positions so shapes recur (grouping) while some
+    // entries still get singleton shapes (chaotic junk).
+    const POSITION_POOL: [u32; 10] = [4, 9, 17, 40, 64, 65, 100, 128, 200, 255];
+    const RIPS: [u32; 2] = [8, 64];
+
+    for case in 0..6 {
+        // Tight capacities force eviction churn; odd cases enable the junk
+        // filter, shard counts vary across the supported range.
+        let capacity = 24 + gen_index(&mut rng, 80);
+        let shards = 1 + gen_index(&mut rng, 16);
+        let junk_threshold = if case % 2 == 0 { 0 } else { 4 };
+        let cache = TrajectoryCache::with_layout(capacity, shards, junk_threshold as u64);
+
+        for _ in 0..400 {
+            // Insert a randomized entry: 0–3 positions from the pool
+            // (duplicates collapse), values in a small range so queries hit,
+            // random length so longer trajectories replace shorter ones.
+            let deps: Vec<(u32, u8)> = (0..gen_index(&mut rng, 4))
+                .map(|_| {
+                    let position = POSITION_POOL[gen_index(&mut rng, POSITION_POOL.len())];
+                    (position, (rng.next_u64() % 3) as u8)
+                })
+                .collect();
+            let entry = CacheEntry {
+                rip: RIPS[gen_index(&mut rng, RIPS.len())],
+                start: asc::tvm::delta::SparseBytes::from_pairs(deps),
+                end: asc::tvm::delta::SparseBytes::from_pairs(vec![(300, gen_u8(&mut rng))]),
+                instructions: 1 + rng.next_u64() % 500,
+            };
+            cache.insert(entry);
+
+            // Query both paths from a random state and demand equivalence.
+            let mut state = StateVector::new(512).unwrap();
+            for &position in &POSITION_POOL {
+                state.set_byte(position as usize, (rng.next_u64() % 3) as u8);
+            }
+            for rip in RIPS {
+                let indexed = cache.peek(rip, &state);
+                let scanned = cache.scan_best_match(rip, &state);
+                match (&indexed, &scanned) {
+                    (Some(found), Some(reference)) => {
+                        assert_eq!(
+                            found.instructions, reference.instructions,
+                            "case {case}: index and scan disagree on the best entry"
+                        );
+                        assert!(
+                            found.matches(&state),
+                            "case {case}: index returned a non-matching entry"
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("case {case}: hit/miss divergence: {other:?}"),
+                }
+                assert_eq!(
+                    cache.covers(rip, &state),
+                    scanned.is_some(),
+                    "case {case}: covers() diverged from the scan"
+                );
+            }
+        }
+        let stats = cache.stats();
+        // The churn must actually have exercised the interesting paths.
+        assert!(stats.evicted > 0, "case {case}: no eviction churn ({stats:?})");
+        assert!(stats.groups > 3, "case {case}: too few groups ({stats:?})");
+        assert!(stats.replaced + stats.duplicates > 0, "case {case}: no replace churn ({stats:?})");
+        assert_eq!(
+            cache.len() as u64,
+            stats.inserted - stats.evicted,
+            "case {case}: eviction accounting drifted ({stats:?})"
+        );
+    }
+}
