@@ -42,12 +42,12 @@ fn state_with(bytes: &[(usize, u8)]) -> StateVector {
 }
 
 fn entry(deps: Vec<(u32, u8)>, instructions: u64) -> CacheEntry {
-    CacheEntry {
-        rip: RIP,
-        start: SparseBytes::from_pairs(deps),
-        end: SparseBytes::from_pairs(vec![(200, 1)]),
+    CacheEntry::new(
+        RIP,
+        SparseBytes::from_pairs(deps),
+        SparseBytes::from_pairs(vec![(200, 1)]),
         instructions,
-    }
+    )
 }
 
 /// 2k entries that all share one dependency shape; the query state matches

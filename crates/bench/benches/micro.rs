@@ -411,12 +411,12 @@ fn bench_cache_lookup(c: &mut Criterion) {
     let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
     let state = workload.program.initial_state().unwrap();
     for i in 0..1000u32 {
-        cache.insert(CacheEntry {
-            rip: 32,
-            start: SparseBytes::from_pairs(vec![(100 + i, (i % 251) as u8), (4, 0)]),
-            end: SparseBytes::from_pairs(vec![(200, 1)]),
-            instructions: 500,
-        });
+        cache.insert(CacheEntry::new(
+            32,
+            SparseBytes::from_pairs(vec![(100 + i, (i % 251) as u8), (4, 0)]),
+            SparseBytes::from_pairs(vec![(200, 1)]),
+            500,
+        ));
     }
     c.bench_function("cache_lookup_1000_entries", |b| {
         b.iter(|| cache.peek(black_box(32), black_box(&state)))

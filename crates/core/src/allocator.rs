@@ -103,12 +103,12 @@ mod tests {
         let prediction = predicted(1, -0.1);
         // Insert an entry that matches the predicted state (empty read set
         // matches anything).
-        cache.insert(crate::cache::CacheEntry {
-            rip: 0,
-            start: asc_tvm::delta::SparseBytes::default(),
-            end: asc_tvm::delta::SparseBytes::default(),
-            instructions: 10,
-        });
+        cache.insert(crate::cache::CacheEntry::new(
+            0,
+            asc_tvm::delta::SparseBytes::default(),
+            asc_tvm::delta::SparseBytes::default(),
+            10,
+        ));
         let tasks =
             plan_speculation(vec![prediction], 100.0, 4, &cache, 0, &mut LookupScratch::new());
         assert!(tasks.is_empty());

@@ -94,6 +94,12 @@ fn write_shard(shard: &RwLock<Shard>) -> RwLockWriteGuard<'_, Shard> {
 }
 
 /// One cached speculative trajectory.
+///
+/// Constructed through [`CacheEntry::new`], which seals the payload under an
+/// integrity checksum: applying a corrupted end set would fast-forward the
+/// architectural state into garbage — the one failure the cache protocol
+/// cannot absorb — so the probe path re-verifies the checksum before any
+/// entry is returned (see [`CacheStats::checksum_rejects`]).
 #[derive(Debug, PartialEq, Eq)]
 pub struct CacheEntry {
     /// Recognized IP value this entry's start state was captured at.
@@ -104,6 +110,11 @@ pub struct CacheEntry {
     pub end: SparseBytes,
     /// Number of instructions the entry fast-forwards over.
     pub instructions: u64,
+    /// Order-sensitive mix of rip, instructions and both sparse sets,
+    /// computed at construction. Private: the payload fields stay readable,
+    /// but entries can only be built through [`CacheEntry::new`], which
+    /// seals them.
+    checksum: u64,
 }
 
 impl Clone for CacheEntry {
@@ -113,6 +124,7 @@ impl Clone for CacheEntry {
             start: self.start.clone(),
             end: self.end.clone(),
             instructions: self.instructions,
+            checksum: self.checksum,
         }
     }
 
@@ -123,10 +135,50 @@ impl Clone for CacheEntry {
         self.start.clone_from(&source.start);
         self.end.clone_from(&source.end);
         self.instructions = source.instructions;
+        self.checksum = source.checksum;
     }
 }
 
+/// Multiplier for the checksum's absorb step (a large odd constant, so the
+/// multiply is a bijection on `u64`).
+const CHECKSUM_MULTIPLIER: u64 = 0x517c_c1b7_2722_0a95;
+
+/// One order-sensitive absorb step: rotate–xor–multiply. Every component is
+/// bijective in `h` for a fixed word, so two payloads differing in any
+/// single bit of any absorbed word can never collapse to the same state at
+/// that step — exactly the bit-flip detection the integrity guard needs.
+#[inline]
+fn checksum_absorb(h: u64, word: u64) -> u64 {
+    (h.rotate_left(5) ^ word).wrapping_mul(CHECKSUM_MULTIPLIER)
+}
+
+/// The integrity checksum of an entry's payload: an order-sensitive mix of
+/// the rip, the instruction count and every `(position, value)` pair of
+/// both sparse sets, one multiply per pair. Deliberately *not* byte-wise
+/// FNV-1a: verification re-runs on every matching entry of the lookup hot
+/// path and sealing runs once per completed speculation, so the checksum
+/// absorbs each 5-byte pair as a single word. Each set is prefixed with its
+/// length so a pair migrating across the start/end boundary cannot cancel
+/// out.
+fn entry_checksum(rip: u32, start: &SparseBytes, end: &SparseBytes, instructions: u64) -> u64 {
+    let mut h = checksum_absorb(0x9e37_79b9_7f4a_7c15, u64::from(rip));
+    h = checksum_absorb(h, instructions);
+    for set in [start, end] {
+        h = checksum_absorb(h, set.len() as u64);
+        for (index, value) in set.iter() {
+            h = checksum_absorb(h, (u64::from(index) << 8) | u64::from(value));
+        }
+    }
+    h
+}
+
 impl CacheEntry {
+    /// Builds an entry and seals it under its integrity checksum.
+    pub fn new(rip: u32, start: SparseBytes, end: SparseBytes, instructions: u64) -> Self {
+        let checksum = entry_checksum(rip, &start, &end, instructions);
+        CacheEntry { rip, start, end, instructions, checksum }
+    }
+
     /// Whether the entry's dependencies are satisfied by `state`.
     pub fn matches(&self, state: &StateVector) -> bool {
         self.start.matches(state)
@@ -137,10 +189,28 @@ impl CacheEntry {
         self.end.apply(state);
     }
 
+    /// Whether the payload still matches the checksum it was sealed with.
+    /// The probe path calls this on every matching entry before returning
+    /// it, so a bit-flipped payload is rejected instead of applied.
+    pub fn verify(&self) -> bool {
+        self.checksum == entry_checksum(self.rip, &self.start, &self.end, self.instructions)
+    }
+
     /// Size in bits of the query needed to match this entry (Table 1's
     /// "cache query size" row).
     pub fn query_bits(&self) -> usize {
         self.start.encoded_bits()
+    }
+
+    /// Flips one payload bit chosen by `selector` *without* resealing the
+    /// checksum, leaving the entry deliberately corrupt. The write set is
+    /// preferred (corrupting it is what would poison the architectural
+    /// state); an entry with an empty write set corrupts its read set
+    /// instead. Fault-injection support only.
+    #[cfg(feature = "fault-inject")]
+    pub fn corrupt_payload(&mut self, selector: u64) {
+        let target = if self.end.is_empty() { &mut self.start } else { &mut self.end };
+        target.flip_value_bit((selector >> 3) as usize, (selector & 7) as u32);
     }
 }
 
@@ -177,6 +247,12 @@ pub struct CacheStats {
     /// Probe hits discarded because the full read-set compare failed (a
     /// 64-bit value-hash collision). The collision guard's work counter.
     pub collision_rejects: u64,
+    /// Matching entries rejected because their payload no longer verified
+    /// against the integrity checksum sealed at construction (a corrupted
+    /// entry). Such entries are never returned — a corrupted hit costs a
+    /// missed fast-forward, never a wrong one — and age out through normal
+    /// FIFO eviction (out-of-band removal would dangle FIFO references).
+    pub checksum_rejects: u64,
     /// Total instructions fast-forwarded by returned entries.
     pub instructions_served: u64,
 }
@@ -433,6 +509,7 @@ pub struct TrajectoryCache {
     groups: AtomicU64,
     probes: AtomicU64,
     collision_rejects: AtomicU64,
+    checksum_rejects: AtomicU64,
     instructions_served: AtomicU64,
 }
 
@@ -492,6 +569,7 @@ impl TrajectoryCache {
             groups: AtomicU64::new(0),
             probes: AtomicU64::new(0),
             collision_rejects: AtomicU64::new(0),
+            checksum_rejects: AtomicU64::new(0),
             instructions_served: AtomicU64::new(0),
         }
     }
@@ -660,6 +738,7 @@ impl TrajectoryCache {
     ) {
         let mut probes = 0u64;
         let mut collisions = 0u64;
+        let mut corrupted = 0u64;
         memo.clear();
         'shards: for shard in &self.shards {
             let guard = read_shard(shard);
@@ -680,13 +759,24 @@ impl TrajectoryCache {
                 for slot in list.iter() {
                     let entry = group.slots[slot as usize].as_ref().expect("indexed slot is live");
                     // Collision guard: the hash said yes, the bytes decide.
-                    if entry.matches(state) {
-                        group.hits.fetch_add(1, Ordering::Relaxed);
-                        if on_match(entry).is_break() {
-                            break 'shards;
-                        }
-                    } else {
+                    if !entry.matches(state) {
                         collisions += 1;
+                        continue;
+                    }
+                    // Integrity guard: applying a corrupted end set would
+                    // fast-forward the state into garbage, so a matching
+                    // entry that fails its checksum is skipped (and not
+                    // counted as usefulness evidence). It is *not* evicted
+                    // here: a slot may be freed only by the eviction that
+                    // pops its own FIFO reference, so the corpse simply
+                    // stops being served until FIFO turnover removes it.
+                    if !entry.verify() {
+                        corrupted += 1;
+                        continue;
+                    }
+                    group.hits.fetch_add(1, Ordering::Relaxed);
+                    if on_match(entry).is_break() {
+                        break 'shards;
                     }
                 }
             }
@@ -694,6 +784,9 @@ impl TrajectoryCache {
         self.probes.fetch_add(probes, Ordering::Relaxed);
         if collisions > 0 {
             self.collision_rejects.fetch_add(collisions, Ordering::Relaxed);
+        }
+        if corrupted > 0 {
+            self.checksum_rejects.fetch_add(corrupted, Ordering::Relaxed);
         }
     }
 
@@ -743,6 +836,7 @@ impl TrajectoryCache {
             let Some(groups) = guard.by_ip.get(&rip) else { continue };
             for entry in groups.iter().flat_map(ReadSetGroup::entries) {
                 if entry.matches(state)
+                    && entry.verify()
                     && best.as_ref().is_none_or(|b| entry.instructions > b.instructions)
                 {
                     best = Some(entry.clone());
@@ -858,8 +952,19 @@ impl TrajectoryCache {
             groups: self.groups.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
             collision_rejects: self.collision_rejects.load(Ordering::Relaxed),
+            checksum_rejects: self.checksum_rejects.load(Ordering::Relaxed),
             instructions_served: self.instructions_served.load(Ordering::Relaxed),
         }
+    }
+
+    /// The running total of integrity failures — checksum rejects plus
+    /// value-hash collision rejects. Two relaxed loads: the runtime polls
+    /// this once per occurrence to feed the circuit breaker's failure
+    /// window, where a full [`stats`](TrajectoryCache::stats) snapshot
+    /// would be a dozen loads of dead weight.
+    pub fn integrity_failures(&self) -> u64 {
+        self.checksum_rejects.load(Ordering::Relaxed)
+            + self.collision_rejects.load(Ordering::Relaxed)
     }
 }
 
@@ -868,12 +973,12 @@ mod tests {
     use super::*;
 
     fn entry(rip: u32, deps: &[(u32, u8)], outs: &[(u32, u8)], instructions: u64) -> CacheEntry {
-        CacheEntry {
+        CacheEntry::new(
             rip,
-            start: SparseBytes::from_pairs(deps.to_vec()),
-            end: SparseBytes::from_pairs(outs.to_vec()),
+            SparseBytes::from_pairs(deps.to_vec()),
+            SparseBytes::from_pairs(outs.to_vec()),
             instructions,
-        }
+        )
     }
 
     fn state_with(bytes: &[(usize, u8)]) -> StateVector {
@@ -1179,6 +1284,55 @@ mod tests {
         cache.insert(entry(8, &[(1, 1), (2, 2), (3, 3), (4, 4)], &[(5, 5)], 10));
         // Entries have 2 and 4 dependency bytes at 40 bits each.
         assert!((cache.mean_query_bits() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freshly_built_entries_verify() {
+        let e = entry(7, &[(1, 1), (2, 2)], &[(3, 3)], 42);
+        assert!(e.verify());
+        assert!(e.clone().verify());
+        let mut reused = entry(0, &[], &[], 0);
+        reused.clone_from(&e);
+        assert!(reused.verify());
+    }
+
+    #[test]
+    fn corrupted_entries_are_rejected_and_counted() {
+        // Tamper with a stored entry's payload via a raw literal whose
+        // checksum was sealed over different bytes (in-module test access;
+        // external corruption goes through `corrupt_payload`).
+        let cache = TrajectoryCache::with_layout(16, 1, 0);
+        cache.insert(entry(5, &[(1, 1)], &[(9, 9)], 100));
+        {
+            let mut shard = write_shard(&cache.shards[0]);
+            let group = &mut shard.by_ip.get_mut(&5).unwrap()[0];
+            let stored = group.slots[0].as_mut().unwrap();
+            stored.end = SparseBytes::from_pairs(vec![(9, 200)]);
+            assert!(!stored.verify());
+        }
+        let state = state_with(&[(1, 1)]);
+        assert!(cache.lookup(5, &state).is_none(), "corrupted entry must not be served");
+        assert!(cache.scan_best_match(5, &state).is_none());
+        assert_eq!(cache.stats().checksum_rejects, 1);
+        assert_eq!(cache.integrity_failures(), 1);
+        // An intact entry alongside the corpse is still served.
+        cache.insert(entry(5, &[(1, 1), (2, 2)], &[(9, 9)], 50));
+        let state = state_with(&[(1, 1), (2, 2)]);
+        assert_eq!(cache.lookup(5, &state).unwrap().instructions, 50);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn corrupt_payload_breaks_verification() {
+        for selector in [0u64, 1, 7, 8, 63, u64::MAX] {
+            let mut e = entry(3, &[(1, 1)], &[(2, 2), (4, 4)], 10);
+            e.corrupt_payload(selector);
+            assert!(!e.verify(), "selector {selector} produced a verifying corruption");
+        }
+        // An entry with an empty write set corrupts its read set instead.
+        let mut e = entry(3, &[(1, 1)], &[], 10);
+        e.corrupt_payload(5);
+        assert!(!e.verify());
     }
 
     #[test]

@@ -248,6 +248,7 @@ mod tests {
             cache_stats: Default::default(),
             speculation: None,
             planner: None,
+            health: Default::default(),
             final_state: StateVector::new(16).unwrap(),
             halted: true,
         }

@@ -66,6 +66,78 @@ impl Default for PlannerConfig {
     }
 }
 
+/// Thresholds of the degrade-to-inline circuit breaker.
+///
+/// # Failure model
+///
+/// The paper's safety argument makes speculation free to *mispredict*: a
+/// trajectory whose read set no longer matches the live state is simply
+/// discarded. The supervised runtime extends that argument to *execution*
+/// failures — a worker panic, a speculation job overrunning its deadline, a
+/// corrupted or hash-colliding cache entry — by containing each one
+/// ([`catch_unwind`](std::panic::catch_unwind), deadline kills, checksum
+/// verification at apply time) and counting it into
+/// [`HealthStats`](crate::supervisor::HealthStats). The breaker is the
+/// back-stop on top of that containment: when failures cluster, the
+/// speculation machinery itself is sick (a poisoned program region, a
+/// corrupted cache, a dying thread pool) and every further speculation is
+/// overhead with no expected payoff. Tripping to inline execution caps the
+/// damage at plain-execution speed — the runtime must never be
+/// *slower-than-inline* because its accelerator is broken.
+///
+/// The breaker watches a sliding window of the last [`window`] *events*. A
+/// **failure** event is a worker panic, a deadline kill, or a cache
+/// integrity reject (checksum or value-hash collision); a **success** event
+/// is any normally retired speculation job, including ordinary faulted or
+/// budget-exhausted speculations — those are expected outcomes, not
+/// sickness. When the window holds at least [`min_failures`] failures *and*
+/// the failure fraction reaches [`failure_threshold`], the breaker opens:
+/// the runtime stops dispatching (and stops speculating inline) for
+/// [`cooldown_occurrences`] recognized-IP occurrences, then half-opens and
+/// probes: speculation resumes, and [`probe_successes`] consecutive
+/// successes re-close the breaker while a single failure re-opens it with
+/// the cooldown doubled (capped at 64× — an accelerator that keeps
+/// relapsing ends up effectively inline, which is exactly the guarantee).
+///
+/// [`window`]: BreakerConfig::window
+/// [`min_failures`]: BreakerConfig::min_failures
+/// [`failure_threshold`]: BreakerConfig::failure_threshold
+/// [`cooldown_occurrences`]: BreakerConfig::cooldown_occurrences
+/// [`probe_successes`]: BreakerConfig::probe_successes
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Whether the breaker runs at all. Disabled, failures are still
+    /// contained and counted, but never trip speculation off.
+    pub enabled: bool,
+    /// Number of most-recent events the failure rate is measured over.
+    pub window: usize,
+    /// Failure fraction of the window at which the breaker opens.
+    pub failure_threshold: f64,
+    /// Minimum number of failures in the window before the rate is even
+    /// consulted — keeps one early panic in a short history from tripping a
+    /// healthy runtime.
+    pub min_failures: u32,
+    /// Recognized-IP occurrences the breaker stays open before half-opening
+    /// to probe. Doubles on every consecutive re-trip (capped at 64×).
+    pub cooldown_occurrences: u64,
+    /// Consecutive successful speculation events that close a half-open
+    /// breaker.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: true,
+            window: 32,
+            failure_threshold: 0.5,
+            min_failures: 8,
+            cooldown_occurrences: 256,
+            probe_successes: 8,
+        }
+    }
+}
+
 /// Tunable parameters of the LASC runtime.
 ///
 /// The defaults reproduce the paper's policies scaled to TVM-sized programs:
@@ -138,6 +210,33 @@ pub struct AscConfig {
     /// Continuous-speculation planner knobs; see [`PlannerConfig`]. Only
     /// consulted when `workers > 0`.
     pub planner: PlannerConfig,
+    /// Per-job instruction deadline for speculation jobs. A job that has
+    /// executed this many instructions without finishing is killed and
+    /// counted as a deadline kill in [`HealthStats`] (and as a breaker
+    /// failure). `0` disables the deadline: jobs run to the per-job
+    /// [`max_superstep`](AscConfig::max_superstep)-derived budget as before.
+    /// The deadline rides the existing instruction-budget plumbing in
+    /// `execute_superstep`, so enforcement costs nothing extra per step.
+    ///
+    /// [`HealthStats`]: crate::supervisor::HealthStats
+    pub job_deadline_instructions: u64,
+    /// How many times the supervisor respawns a panicked speculation worker
+    /// before giving up on that slot and shrinking the pool. Each respawn
+    /// backs off exponentially from
+    /// [`worker_restart_backoff_ms`](AscConfig::worker_restart_backoff_ms).
+    pub max_worker_restarts: u32,
+    /// Base backoff before the first worker respawn, in milliseconds; the
+    /// `n`-th respawn of a slot waits `2ⁿ⁻¹` times this (capped at 64×).
+    pub worker_restart_backoff_ms: u64,
+    /// Degrade-to-inline circuit-breaker thresholds; see [`BreakerConfig`]
+    /// for the failure model.
+    pub breaker: BreakerConfig,
+    /// Deterministic fault-injection plan driving the supervised runtime's
+    /// test harness; `None` injects nothing. Only exists under the
+    /// `fault-inject` cargo feature — production builds have no injection
+    /// code at all.
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for AscConfig {
@@ -161,6 +260,12 @@ impl Default for AscConfig {
             instruction_budget: 2_000_000_000,
             workers: 0,
             planner: PlannerConfig::default(),
+            job_deadline_instructions: 0,
+            max_worker_restarts: 8,
+            worker_restart_backoff_ms: 1,
+            breaker: BreakerConfig::default(),
+            #[cfg(feature = "fault-inject")]
+            fault: None,
         }
     }
 }
@@ -215,6 +320,26 @@ impl AscConfig {
                 "workers must be at most 4096 (0 runs speculation inline)".into(),
             ));
         }
+        if self.breaker.enabled {
+            if self.breaker.window == 0 {
+                return Err(AscError::InvalidConfig("breaker window must be at least 1".into()));
+            }
+            if !(self.breaker.failure_threshold > 0.0 && self.breaker.failure_threshold <= 1.0) {
+                return Err(AscError::InvalidConfig(
+                    "breaker failure_threshold must be in (0, 1]".into(),
+                ));
+            }
+            if self.breaker.probe_successes == 0 {
+                return Err(AscError::InvalidConfig(
+                    "breaker probe_successes must be at least 1".into(),
+                ));
+            }
+            if self.breaker.cooldown_occurrences == 0 {
+                return Err(AscError::InvalidConfig(
+                    "breaker cooldown_occurrences must be at least 1".into(),
+                ));
+            }
+        }
         if self.planner.enabled {
             if self.planner.horizon == 0 {
                 return Err(AscError::InvalidConfig("planner horizon must be at least 1".into()));
@@ -268,6 +393,29 @@ mod tests {
         let mut c = AscConfig::default();
         c.planner.channel_capacity = 0;
         assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.breaker.window = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.breaker.failure_threshold = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.breaker.failure_threshold = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.breaker.probe_successes = 0;
+        assert!(c.validate().is_err());
+
+        // A disabled breaker's knobs are not validated: it never consults
+        // them.
+        let mut c = AscConfig::default();
+        c.breaker.enabled = false;
+        c.breaker.window = 0;
+        assert!(c.validate().is_ok());
 
         // Disabled planner knobs are not validated: the planner never runs.
         let mut c = AscConfig::default();

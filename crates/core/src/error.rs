@@ -1,4 +1,14 @@
 //! Error types for the ASC runtime.
+//!
+//! Deliberately *not* here: speculation-machinery failures. A worker panic,
+//! a deadline-killed job, a failed thread spawn, a corrupted cache entry or
+//! a dead planner never surface as an [`AscError`] — the supervision layer
+//! ([`supervisor`](crate::supervisor)) contains them, the run degrades
+//! (fewer workers, miss-driven dispatch, or breaker-forced inline
+//! execution) and the evidence lands in
+//! [`RunReport::health`](crate::runtime::RunReport::health). An `AscError`
+//! means the *main* execution cannot proceed: the program itself faulted,
+//! the configuration is inconsistent, or there is nothing to speculate on.
 
 use asc_tvm::error::VmError;
 use std::fmt;

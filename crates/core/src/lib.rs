@@ -26,6 +26,10 @@
 //! * [`runtime`] — the LASC main loop: `measure` (instrumented, for the
 //!   experiment harnesses), `accelerate` (cache + speculation in the loop)
 //!   and `memoize` (single-core generalized memoization).
+//! * [`supervisor`] — the supervision layer over the speculation machinery:
+//!   panic containment, job deadlines, worker respawn, health counters, and
+//!   the degrade-to-inline circuit breaker (speculation failures may only
+//!   ever cost speed — including *execution* failures).
 //! * [`cluster`] — platform cost models that turn a measured trace into the
 //!   paper's scaling curves (32-core server, Blue Gene/P, laptop).
 //!
@@ -56,18 +60,24 @@ pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod excitation;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod planner;
 pub mod predictor_bank;
 pub mod recognizer;
 pub mod runtime;
 pub mod speculator;
+pub mod supervisor;
 pub mod workers;
 
 pub use cache::{CacheEntry, CacheStats, TrajectoryCache};
 pub use cluster::{PlatformProfile, ScalingMode, ScalingPoint};
-pub use config::{AscConfig, PlannerConfig, PredictorComplement};
+pub use config::{AscConfig, BreakerConfig, PlannerConfig, PredictorComplement};
 pub use error::{AscError, AscResult};
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
 pub use planner::{OccurrenceEvent, PlannerHandle, PlannerStats};
 pub use recognizer::{RecognizedIp, RecognizerOutcome};
 pub use runtime::{LascRuntime, RunReport, SuperstepRecord};
+pub use supervisor::{BreakerState, CircuitBreaker, HealthMonitor, HealthStats, Supervision};
 pub use workers::{PoolStats, SpeculationJob, SpeculationPool};

@@ -50,6 +50,7 @@ use crate::recognizer::RecognizedIp;
 use crate::workers::{PoolStats, SpeculationJob, SpeculationPool};
 use asc_tvm::state::StateVector;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -209,11 +210,25 @@ pub struct PlannerOutcome {
     pub bank: PredictorBank,
 }
 
+/// Clears the planner's alive flag when the planner thread exits — by
+/// normal return *or* by panic (the guard drops during the unwind). The
+/// main loop polls the flag to detect a dead planner and fall back to
+/// miss-driven dispatch instead of streaming occurrences into a channel
+/// nobody drains.
+struct AliveGuard(Arc<AtomicBool>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
 /// Main-thread handle to a running planner: send occurrences, then
 /// [`shutdown`](PlannerHandle::shutdown) to collect the outcome.
 pub struct PlannerHandle {
     channel: Arc<OccurrenceChannel>,
     thread: Option<JoinHandle<PlannerOutcome>>,
+    alive: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for PlannerHandle {
@@ -225,14 +240,23 @@ impl std::fmt::Debug for PlannerHandle {
 impl PlannerHandle {
     /// Spawns a planner thread owning `pool` and a fresh predictor bank for
     /// `rip`, reading occurrences from a bounded drop-oldest channel.
+    ///
+    /// # Errors
+    /// Returns the spawn error when the OS refuses the thread. The pool is
+    /// consumed either way (it travels in the thread closure); on failure
+    /// the caller builds a fresh pool and falls back to miss-driven
+    /// dispatch — a planner that cannot start must degrade the run, not
+    /// abort it.
     pub fn spawn(
         config: &AscConfig,
         rip: RecognizedIp,
         cache: Arc<TrajectoryCache>,
         pool: SpeculationPool,
-    ) -> Self {
+    ) -> std::io::Result<Self> {
         let channel = Arc::new(OccurrenceChannel::new(config.planner.channel_capacity));
         let thread_channel = Arc::clone(&channel);
+        let alive = Arc::new(AtomicBool::new(true));
+        let guard = AliveGuard(Arc::clone(&alive));
         let bank = PredictorBank::new(rip.ip, config);
         let planner = Planner {
             config: config.planner.clone(),
@@ -247,11 +271,11 @@ impl PlannerHandle {
             lookup: LookupScratch::new(),
             stats: PlannerStats::default(),
         };
-        let thread = std::thread::Builder::new()
-            .name("asc-planner".into())
-            .spawn(move || planner.run(&thread_channel))
-            .expect("spawning the planner thread failed");
-        PlannerHandle { channel, thread: Some(thread) }
+        let thread = std::thread::Builder::new().name("asc-planner".into()).spawn(move || {
+            let _alive = guard;
+            planner.run(&thread_channel)
+        })?;
+        Ok(PlannerHandle { channel, thread: Some(thread), alive })
     }
 
     /// Reports a recognized-IP occurrence. Never blocks; a full channel
@@ -260,12 +284,21 @@ impl PlannerHandle {
         self.channel.send(event);
     }
 
+    /// Whether the planner thread is still running. `false` means it
+    /// returned or panicked: occurrences sent now land in a channel nobody
+    /// drains, so the main loop should fall back to miss-driven dispatch.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
     /// Closes the channel, waits for the planner to drain it and join its
-    /// worker pool, and returns the combined outcome.
-    pub fn shutdown(mut self) -> PlannerOutcome {
+    /// worker pool, and returns the combined outcome — or `None` when the
+    /// planner thread panicked (its pool was shut down by the unwind; the
+    /// outcome died with it).
+    pub fn shutdown(mut self) -> Option<PlannerOutcome> {
         self.channel.close();
         let thread = self.thread.take().expect("planner joined twice");
-        thread.join().expect("planner thread panicked")
+        thread.join().ok()
     }
 }
 
@@ -342,6 +375,11 @@ impl Planner {
     /// roll out or dispatch — the caller does that once per drained batch.
     fn on_occurrence(&mut self, event: OccurrenceEvent) {
         self.stats.occurrences += 1;
+        if self.pool.supervision().planner_death(self.stats.occurrences) {
+            // The unwind drops `self`, which shuts the pool down cleanly;
+            // the alive guard flips the flag so the main loop notices.
+            panic!("injected planner death");
+        }
         if !event.contiguous {
             self.bank.break_stream();
         }
@@ -543,7 +581,8 @@ mod tests {
         let config = planner_config();
         let cache = Arc::new(TrajectoryCache::new(1 << 12));
         let pool = SpeculationPool::new(2, Arc::clone(&cache));
-        let handle = PlannerHandle::spawn(&config, recognized(rip), Arc::clone(&cache), pool);
+        let handle =
+            PlannerHandle::spawn(&config, recognized(rip), Arc::clone(&cache), pool).unwrap();
 
         let mut machine = Machine::load(&program).unwrap();
         machine.run_until_ip(rip, 10_000).unwrap();
@@ -555,7 +594,7 @@ mod tests {
             }
         }
         // Give in-flight speculation a moment, then shut down cleanly.
-        let outcome = handle.shutdown();
+        let outcome = handle.shutdown().expect("planner must not panic");
         assert!(outcome.stats.occurrences > 50, "{:?}", outcome.stats);
         assert!(outcome.bank.is_ready());
         assert!(outcome.stats.replans > 0, "{:?}", outcome.stats);
@@ -589,10 +628,11 @@ mod tests {
                 max_instructions: 3_000_000,
             });
         }
-        let handle = PlannerHandle::spawn(&config, recognized(0), Arc::clone(&cache), pool);
+        let handle =
+            PlannerHandle::spawn(&config, recognized(0), Arc::clone(&cache), pool).unwrap();
         handle.send(OccurrenceEvent::new(program.initial_state().unwrap()));
         // Shutdown must drain the spinning jobs and join without deadlock.
-        let outcome = handle.shutdown();
+        let outcome = handle.shutdown().expect("planner must not panic");
         assert_eq!(
             outcome.pool.dispatched,
             outcome.pool.completed + outcome.pool.faulted + outcome.pool.exhausted,
@@ -617,7 +657,8 @@ mod tests {
         };
         let cache = Arc::new(TrajectoryCache::new(64));
         let pool = SpeculationPool::new(1, Arc::clone(&cache));
-        let handle = PlannerHandle::spawn(&config, recognized(rip), Arc::clone(&cache), pool);
+        let handle =
+            PlannerHandle::spawn(&config, recognized(rip), Arc::clone(&cache), pool).unwrap();
         let mut machine = Machine::load(&program).unwrap();
         machine.run_until_ip(rip, 10_000).unwrap();
         let started = std::time::Instant::now();
@@ -627,8 +668,42 @@ mod tests {
         // 2000 sends through a 1-slot channel must be near-instant; blocking
         // would take 2000 × poll interval.
         assert!(started.elapsed() < Duration::from_secs(2), "sender blocked on a full channel");
-        let outcome = handle.shutdown();
+        let outcome = handle.shutdown().expect("planner must not panic");
         assert!(outcome.stats.dropped > 0, "{:?}", outcome.stats);
         assert!(outcome.stats.occurrences + outcome.stats.dropped >= 2_000, "{:?}", outcome.stats);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_planner_death_is_observable_and_joins_cleanly() {
+        use crate::supervisor::Supervision;
+
+        let (program, rip) = looping_program();
+        let config = AscConfig {
+            fault: Some(crate::fault::FaultPlan {
+                planner_death_after: Some(1),
+                ..crate::fault::FaultPlan::default()
+            }),
+            ..planner_config()
+        };
+        let supervision = Supervision::from_config(&config);
+        let cache = Arc::new(TrajectoryCache::new(64));
+        let pool = SpeculationPool::with_supervision(2, Arc::clone(&cache), supervision.clone());
+        let handle =
+            PlannerHandle::spawn(&config, recognized(rip), Arc::clone(&cache), pool).unwrap();
+        assert!(handle.is_alive());
+        // The first processed occurrence kills the planner; the alive flag
+        // flips during the unwind, which also joins the pool.
+        handle.send(OccurrenceEvent::new(program.initial_state().unwrap()));
+        for _ in 0..2_000 {
+            if !handle.is_alive() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!handle.is_alive(), "planner should have died at occurrence 1");
+        // A panicked planner has no outcome to hand back.
+        assert!(handle.shutdown().is_none());
+        assert_eq!(supervision.health.injected_faults(), 1);
     }
 }

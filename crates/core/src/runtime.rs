@@ -17,7 +17,7 @@
 //!   the cache. Program results are bit-for-bit identical to sequential
 //!   execution — speculation can only ever skip work, never change it.
 //!
-//! # The occurrence → plan → dispatch → insert pipeline
+//! # The occurrence → plan → dispatch → supervise → insert pipeline
 //!
 //! With [`AscConfig::workers`] > 0 and the planner enabled (the default),
 //! `accelerate` runs the paper's *continuously speculating* multi-core
@@ -50,11 +50,29 @@
 //!    write-set keyed end) in the sharded, thread-safe [`TrajectoryCache`];
 //!    the main thread picks them up at its next occurrence and
 //!    fast-forwards.
+//! 5. **Supervise.** Every stage of the speculation machinery is allowed
+//!    to *fail* without touching program results (see
+//!    [`supervisor`](crate::supervisor)): jobs run under `catch_unwind`
+//!    with an optional per-job instruction deadline, panicked workers are
+//!    respawned with backoff by a monitor thread up to a restart budget,
+//!    corrupted cache entries are rejected by checksum at apply time, and
+//!    a dead planner is detected by the main loop, which finishes the run
+//!    under miss-driven dispatch on a fresh pool. A [`CircuitBreaker`] on
+//!    the main thread watches the windowed failure rate (worker panics,
+//!    deadline kills, cache integrity rejects vs. normally retired jobs)
+//!    and trips the run to plain inline execution while the machinery is
+//!    sick, half-opening after a cooldown to probe for recovery — a sick
+//!    runtime degrades toward sequential speed, never below it. The full
+//!    failure model and thresholds are documented on
+//!    [`BreakerConfig`](crate::config::BreakerConfig); every contained
+//!    failure is counted in [`RunReport::health`].
 //!
 //! With the planner disabled, a worker-pool run falls back to PR 1's
 //! miss-driven dispatch: the main thread itself trains the bank at every
 //! cache miss and hands the expected-utility-ranked [`SpeculationTask`]s to
-//! the pool, skipping re-planning while the pool is saturated.
+//! the pool, skipping re-planning while the pool is saturated. The same
+//! supervision layer (deadlines, respawn, breaker, health counters) wraps
+//! this mode and the `workers == 0` inline mode too.
 //!
 //! Determinism of *results* is scheduling-independent in every mode: an
 //! entry is applied only when its entire read set matches the live state, so
@@ -81,15 +99,17 @@
 //! [`AscConfig::workers`]: crate::config::AscConfig::workers
 //! [`PlannerHandle`]: crate::planner::PlannerHandle
 //! [`PlannerConfig::horizon`]: crate::config::PlannerConfig::horizon
+//! [`CircuitBreaker`]: crate::supervisor::CircuitBreaker
 
 use crate::allocator::plan_speculation;
 use crate::cache::{CacheStats, LookupScratch, TrajectoryCache};
-use crate::config::AscConfig;
+use crate::config::{AscConfig, BreakerConfig};
 use crate::error::AscResult;
-use crate::planner::{OccurrenceEvent, PlannerHandle, PlannerStats};
+use crate::planner::{OccurrenceEvent, PlannerHandle, PlannerOutcome, PlannerStats};
 use crate::predictor_bank::PredictorBank;
 use crate::recognizer::{recognize, RecognizedIp};
 use crate::speculator::{execute_superstep_with, SpeculationScratch};
+use crate::supervisor::{CircuitBreaker, HealthStats, Supervision};
 use crate::workers::{PoolStats, SpeculationJob, SpeculationPool};
 use asc_learn::ensemble::EnsembleErrors;
 use asc_tvm::delta::SparseBytes;
@@ -157,6 +177,11 @@ pub struct RunReport {
     ///
     /// [`PlannerConfig::enabled`]: crate::config::PlannerConfig::enabled
     pub planner: Option<PlannerStats>,
+    /// Supervision health counters — contained panics, deadline kills,
+    /// restarts, circuit-breaker activity, checksum rejects and injected
+    /// faults (populated by [`LascRuntime::accelerate`]; all-zero for
+    /// `measure` and `memoize`, which run no speculation machinery).
+    pub health: HealthStats,
     /// The final state of the program.
     pub final_state: StateVector,
     /// Whether the program ran to completion (halted).
@@ -204,6 +229,75 @@ impl RunReport {
             self.total_instructions as f64 / self.executed_instructions as f64
         }
     }
+}
+
+/// The main loop's breaker driver: the [`CircuitBreaker`] itself plus the
+/// previous totals of the monotone success/failure counters it is fed from,
+/// so each occurrence records only the delta since the last one.
+///
+/// Failures are worker panics and deadline kills (from the shared
+/// [`HealthMonitor`](crate::supervisor::HealthMonitor)) plus cache
+/// integrity rejects (checksum and collision); successes are normally
+/// retired speculation jobs. All are relaxed atomics read twice per
+/// occurrence — the breaker itself stays single-threaded on the main loop.
+struct BreakerDriver {
+    breaker: CircuitBreaker,
+    successes_seen: u64,
+    failures_seen: u64,
+}
+
+impl BreakerDriver {
+    fn new(config: BreakerConfig) -> Self {
+        BreakerDriver { breaker: CircuitBreaker::new(config), successes_seen: 0, failures_seen: 0 }
+    }
+
+    /// Per-occurrence heartbeat: advances the breaker clock (cooldown →
+    /// half-open) and feeds it the success/failure deltas since the
+    /// previous occurrence.
+    fn on_occurrence(&mut self, supervision: &Supervision, cache: &TrajectoryCache) {
+        self.breaker.tick_occurrence();
+        let successes = supervision.health.jobs_ok();
+        let failures = supervision.health.failure_events() + cache.integrity_failures();
+        self.breaker.record(
+            successes.saturating_sub(self.successes_seen),
+            failures.saturating_sub(self.failures_seen),
+        );
+        self.successes_seen = successes;
+        self.failures_seen = failures;
+    }
+
+    fn allows_speculation(&self) -> bool {
+        self.breaker.allows_speculation()
+    }
+}
+
+/// Assembles a run's health counters from their three homes: the shared
+/// monitor's snapshot, the main loop's breaker, and the cache's checksum
+/// rejects.
+fn assemble_health(
+    supervision: &Supervision,
+    driver: &BreakerDriver,
+    cache: &TrajectoryCache,
+) -> HealthStats {
+    let mut health = supervision.health.snapshot();
+    driver.breaker.fill_stats(&mut health);
+    health.checksum_rejects = cache.stats().checksum_rejects;
+    health
+}
+
+/// Borrowed context for one miss-driven run segment: either a whole
+/// planner-less run, or the tail of a planned run whose planner died.
+struct MissDriven<'a> {
+    machine: &'a mut Machine,
+    rip: RecognizedIp,
+    cache: &'a Arc<TrajectoryCache>,
+    bank: &'a mut PredictorBank,
+    pool: Option<SpeculationPool>,
+    driver: &'a mut BreakerDriver,
+    supervision: &'a Supervision,
+    resume_instret: u64,
+    fast_forwarded: &'a mut u64,
+    halted: &'a mut bool,
 }
 
 /// The LASC runtime.
@@ -325,22 +419,26 @@ impl LascRuntime {
             cache_stats: CacheStats::default(),
             speculation: None,
             planner: None,
+            health: HealthStats::default(),
             final_state: machine.into_state(),
             halted,
         })
     }
 
-    /// Accelerated execution: the trajectory cache, predictors, allocator and
-    /// speculative execution are all in the loop. With
-    /// [`AscConfig::workers`](crate::config::AscConfig::workers) > 0 and the
-    /// planner enabled (the default), speculation cadence is owned by a
-    /// dedicated planner thread that keeps the worker pool continuously
+    /// Accelerated execution: the trajectory cache, predictors, allocator,
+    /// speculative execution and the supervision layer are all in the loop.
+    /// With [`AscConfig::workers`](crate::config::AscConfig::workers) > 0
+    /// and the planner enabled (the default), speculation cadence is owned
+    /// by a dedicated planner thread that keeps the worker pool continuously
     /// topped up with predicted supersteps; with the planner disabled the
     /// pool is fed miss-driven from the main thread, and with `workers == 0`
     /// speculation executes inline, which makes the whole run — statistics
     /// included — reproducible (see the module documentation for the
     /// pipeline). Final program state is bit-for-bit identical to sequential
-    /// execution in every mode.
+    /// execution in every mode, *including* runs where workers panic, jobs
+    /// overrun their deadline, cache entries are corrupted in flight, the
+    /// planner dies, or the circuit breaker degrades the run to plain
+    /// inline execution — failures only ever cost speed.
     ///
     /// # Errors
     /// Propagates recognizer and simulator errors.
@@ -352,98 +450,57 @@ impl LascRuntime {
             self.config.cache_capacity,
             self.config.cache_junk_threshold,
         ));
+        let supervision = Supervision::from_config(&self.config);
+        let mut driver = BreakerDriver::new(self.config.breaker.clone());
         if self.config.workers > 0 && self.config.planner.enabled {
-            return self.accelerate_planned(&initial, &outcome, &cache);
+            let pool = SpeculationPool::with_supervision(
+                self.config.workers,
+                Arc::clone(&cache),
+                supervision.clone(),
+            );
+            match PlannerHandle::spawn(&self.config, rip, Arc::clone(&cache), pool) {
+                Ok(planner) => {
+                    return self.accelerate_planned(
+                        &initial,
+                        &outcome,
+                        &cache,
+                        planner,
+                        &supervision,
+                        driver,
+                    );
+                }
+                Err(_) => {
+                    // A planner that cannot start degrades the run to
+                    // miss-driven dispatch instead of aborting it. The pool
+                    // travelled into the failed spawn; a fresh one is built
+                    // below.
+                    supervision.health.record_spawn_failures(1);
+                }
+            }
         }
-        let mut pool = (self.config.workers > 0)
-            .then(|| SpeculationPool::new(self.config.workers, Arc::clone(&cache)));
-        // Inline speculation reuses one scratch across the whole run, and
-        // cache hits are cloned into a reusable lookup scratch — the
-        // occurrence loop allocates nothing per iteration.
-        let mut scratch = SpeculationScratch::new();
-        let mut lookup = LookupScratch::new();
-
+        let pool = (self.config.workers > 0).then(|| {
+            SpeculationPool::with_supervision(
+                self.config.workers,
+                Arc::clone(&cache),
+                supervision.clone(),
+            )
+        });
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut bank = PredictorBank::new(rip.ip, &self.config);
         let mut fast_forwarded = 0u64;
         let mut halted = outcome.halted;
-        let mut superstep_estimate = rip.mean_superstep;
-
-        while !halted {
-            if outcome.resume_instret + machine.instret() >= self.config.instruction_budget {
-                break;
-            }
-            // The main thread is at a recognized-IP occurrence (or at the very
-            // start of the post-recognition phase): consult the cache first.
-            if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
-                machine.apply_sparse(&entry.end);
-                fast_forwarded += entry.instructions;
-                bank.observe(&machine.state().clone());
-                continue;
-            }
-
-            // Miss: train on this occurrence and dispatch speculative work.
-            let state = machine.state().clone();
-            bank.observe(&state);
-            // Re-planning is skipped while the pool is saturated: the
-            // predictor rollout is expensive, and a saturated pool means the
-            // predictions from the previous occurrence are still being
-            // speculated — re-deriving (largely overlapping) ones would only
-            // be deduplicated at dispatch anyway.
-            let pool_saturated = pool.as_ref().is_some_and(SpeculationPool::is_saturated);
-            if bank.is_ready() && !pool_saturated {
-                let rollouts = bank.rollout(&state, self.config.rollout_depth);
-                let tasks = plan_speculation(
-                    rollouts,
-                    superstep_estimate,
-                    self.config.rollout_depth,
-                    &cache,
-                    rip.ip,
-                    &mut lookup,
-                );
-                for task in tasks {
-                    if let Some(pool) = pool.as_mut() {
-                        // Hand the superstep to a worker; the main thread
-                        // continues immediately. A full queue drops the task.
-                        pool.dispatch(SpeculationJob {
-                            start: task.predicted.state,
-                            rip: rip.ip,
-                            stride: rip.stride,
-                            max_instructions: self.config.max_superstep,
-                        });
-                    } else if let Ok(result) = execute_superstep_with(
-                        &task.predicted.state,
-                        rip.ip,
-                        rip.stride,
-                        self.config.max_superstep,
-                        &mut scratch,
-                    ) {
-                        if let Some(speculation) = result.completed() {
-                            if speculation.reached_rip || speculation.halted {
-                                cache.insert(speculation.entry);
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Execute the current superstep on the main thread.
-            let (executed, now_halted) = Self::run_one_superstep(
-                &mut machine,
-                rip.ip,
-                rip.stride,
-                self.config.max_superstep,
-            )?;
-            halted = now_halted;
-            if executed == 0 {
-                break;
-            }
-            superstep_estimate = 0.9 * superstep_estimate + 0.1 * executed as f64;
-        }
-
-        // Joining the pool before snapshotting makes the reported cache and
-        // speculation statistics stable (all in-flight inserts land).
-        let speculation = pool.map(SpeculationPool::shutdown);
+        let speculation = self.run_miss_driven(MissDriven {
+            machine: &mut machine,
+            rip,
+            cache: &cache,
+            bank: &mut bank,
+            pool,
+            driver: &mut driver,
+            supervision: &supervision,
+            resume_instret: outcome.resume_instret,
+            fast_forwarded: &mut fast_forwarded,
+            halted: &mut halted,
+        })?;
         let executed_instructions = outcome.resume_instret + machine.instret();
         Ok(RunReport {
             rip,
@@ -460,28 +517,160 @@ impl LascRuntime {
             cache_stats: cache.stats(),
             speculation,
             planner: None,
+            health: assemble_health(&supervision, &driver, &cache),
             final_state: machine.into_state(),
             halted,
         })
     }
 
+    /// The miss-driven occurrence loop shared by the planner-less modes:
+    /// consult the cache, train on misses, plan and dispatch (to the pool,
+    /// or inline when there is none), execute the current superstep — all
+    /// under the breaker's per-occurrence watch. Runs until the program
+    /// halts or the instruction budget is exhausted, then joins the pool so
+    /// the reported statistics are stable, returning its final counters.
+    fn run_miss_driven(&self, run: MissDriven<'_>) -> AscResult<Option<PoolStats>> {
+        let MissDriven {
+            machine,
+            rip,
+            cache,
+            bank,
+            mut pool,
+            driver,
+            supervision,
+            resume_instret,
+            fast_forwarded,
+            halted,
+        } = run;
+        // Inline speculation reuses one scratch across the whole run, and
+        // cache hits are cloned into a reusable lookup scratch — the
+        // occurrence loop allocates nothing per iteration.
+        let mut scratch = SpeculationScratch::new();
+        let mut lookup = LookupScratch::new();
+        let mut superstep_estimate = rip.mean_superstep;
+
+        while !*halted {
+            if resume_instret + machine.instret() >= self.config.instruction_budget {
+                break;
+            }
+            // The main thread is at a recognized-IP occurrence (or at the very
+            // start of the post-recognition phase): advance the breaker and
+            // consult the cache first.
+            driver.on_occurrence(supervision, cache);
+            if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
+                machine.apply_sparse(&entry.end);
+                *fast_forwarded += entry.instructions;
+                bank.observe(&machine.state().clone());
+                continue;
+            }
+
+            // Miss: train on this occurrence and dispatch speculative work.
+            let state = machine.state().clone();
+            bank.observe(&state);
+            // Re-planning is skipped while the pool is saturated: the
+            // predictor rollout is expensive, and a saturated pool means the
+            // predictions from the previous occurrence are still being
+            // speculated — re-deriving (largely overlapping) ones would only
+            // be deduplicated at dispatch anyway. An open breaker skips it
+            // entirely: a sick runtime executes plainly, paying nothing for
+            // speculation until the half-open probe.
+            let pool_saturated = pool.as_ref().is_some_and(SpeculationPool::is_saturated);
+            if driver.allows_speculation() && bank.is_ready() && !pool_saturated {
+                let rollouts = bank.rollout(&state, self.config.rollout_depth);
+                let tasks = plan_speculation(
+                    rollouts,
+                    superstep_estimate,
+                    self.config.rollout_depth,
+                    cache,
+                    rip.ip,
+                    &mut lookup,
+                );
+                for task in tasks {
+                    if let Some(pool) = pool.as_mut() {
+                        // Hand the superstep to a worker; the main thread
+                        // continues immediately. A full queue drops the task.
+                        pool.dispatch(SpeculationJob {
+                            start: task.predicted.state,
+                            rip: rip.ip,
+                            stride: rip.stride,
+                            max_instructions: self.config.max_superstep,
+                        });
+                    } else {
+                        self.speculate_inline(
+                            &task.predicted.state,
+                            rip,
+                            cache,
+                            supervision,
+                            &mut scratch,
+                        );
+                    }
+                }
+            }
+
+            // Execute the current superstep on the main thread.
+            let (executed, now_halted) =
+                Self::run_one_superstep(machine, rip.ip, rip.stride, self.config.max_superstep)?;
+            *halted = now_halted;
+            if executed == 0 {
+                break;
+            }
+            superstep_estimate = 0.9 * superstep_estimate + 0.1 * executed as f64;
+        }
+
+        // Joining the pool before snapshotting makes the reported cache and
+        // speculation statistics stable (all in-flight inserts land).
+        Ok(pool.map(SpeculationPool::shutdown))
+    }
+
+    /// Inline (`workers == 0`) speculation of one predicted superstep under
+    /// the same supervision policy the worker pool applies: the job deadline
+    /// binds when it is tighter than the superstep budget, and every
+    /// retirement feeds the breaker's success or failure counters.
+    fn speculate_inline(
+        &self,
+        start: &StateVector,
+        rip: RecognizedIp,
+        cache: &TrajectoryCache,
+        supervision: &Supervision,
+        scratch: &mut SpeculationScratch,
+    ) {
+        let (budget, deadline_bound) = supervision.job_budget(self.config.max_superstep);
+        match execute_superstep_with(start, rip.ip, rip.stride, budget, scratch) {
+            Ok(result) => match result.completed() {
+                Some(speculation) if speculation.reached_rip || speculation.halted => {
+                    cache.insert(speculation.entry);
+                    supervision.health.record_jobs_ok(1);
+                }
+                Some(_) if deadline_bound => supervision.health.record_deadline_kills(1),
+                // Exhausting the job's own budget, or faulting from a
+                // mispredicted start state, is a normal speculation outcome.
+                Some(_) | None => supervision.health.record_jobs_ok(1),
+            },
+            Err(_) => supervision.health.record_jobs_ok(1),
+        }
+    }
+
     /// The planner-owned variant of [`accelerate`](LascRuntime::accelerate):
-    /// the main thread only executes, fast-forwards and streams occurrences;
-    /// training, planning and dispatch happen on the planner thread (see the
-    /// module documentation's pipeline).
+    /// the main thread only executes, fast-forwards, streams occurrences and
+    /// drives the circuit breaker; training, planning and dispatch happen on
+    /// the planner thread (see the module documentation's pipeline). A
+    /// planner death mid-run (a panic — injected or real) is detected by
+    /// its liveness flag, counted, and the rest of the run finishes under
+    /// miss-driven dispatch on a fresh pool and predictor bank.
     fn accelerate_planned(
         &self,
         initial: &StateVector,
         outcome: &crate::recognizer::RecognizerOutcome,
         cache: &Arc<TrajectoryCache>,
+        planner: PlannerHandle,
+        supervision: &Supervision,
+        mut driver: BreakerDriver,
     ) -> AscResult<RunReport> {
         let rip = outcome.rip;
-        let pool = SpeculationPool::new(self.config.workers, Arc::clone(cache));
-        let planner = PlannerHandle::spawn(&self.config, rip, Arc::clone(cache), pool);
-
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut fast_forwarded = 0u64;
         let mut halted = outcome.halted;
+        let mut planner_died = false;
         // Hits are cloned into a reusable buffer: the fast-forward loop must
         // not allocate per occurrence.
         let mut lookup = LookupScratch::new();
@@ -506,9 +695,23 @@ impl LascRuntime {
             if outcome.resume_instret + machine.instret() >= self.config.instruction_budget {
                 break;
             }
+            // A dead planner leaves occurrences landing in a channel nobody
+            // drains: detect it here and hand the rest of the run to the
+            // miss-driven fallback below.
+            if !planner.is_alive() {
+                planner_died = true;
+                break;
+            }
+            driver.on_occurrence(supervision, cache);
+            let speculating = driver.allows_speculation();
             // The main thread is at a recognized-IP occurrence: report it to
             // the planner (never blocks; drop-oldest) and consult the cache.
-            let sent = hit_streak % streak_send_interval == 0;
+            // An open breaker suppresses the report — a planner that hears
+            // no occurrences trains nothing, re-plans nothing and tops
+            // nothing up, so speculation quiesces while the machinery is
+            // sick (residual queued jobs drain and stragglers are dropped
+            // by the breaker).
+            let sent = speculating && hit_streak % streak_send_interval == 0;
             if sent {
                 planner.send(OccurrenceEvent {
                     state: machine.state().clone(),
@@ -524,8 +727,11 @@ impl LascRuntime {
             // clone, the yield is kept on *every* occurrence: skipping it
             // mid-streak lets the main thread outrun the workers extending
             // the cached frontier and collapses the hit rate on
-            // core-constrained hosts.
-            std::thread::yield_now();
+            // core-constrained hosts. With the breaker open there is nobody
+            // worth yielding to.
+            if speculating {
+                std::thread::yield_now();
+            }
             if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
                 machine.apply_sparse(&entry.end);
                 fast_forwarded += entry.instructions;
@@ -534,14 +740,16 @@ impl LascRuntime {
                 continue;
             }
             // A miss state is the planner's re-plan anchor: if the throttle
-            // skipped it above, report it now.
-            if !sent {
+            // skipped it above, report it now. An open breaker leaves the
+            // gap in place; the first report after it re-opens is marked
+            // non-contiguous so the planner's bank never trains across it.
+            if speculating && !sent {
                 planner.send(OccurrenceEvent {
                     state: machine.state().clone(),
                     contiguous: prev_sent,
                 });
             }
-            prev_sent = true;
+            prev_sent = speculating;
             hit_streak = 0;
             let (executed, now_halted) = Self::run_one_superstep(
                 &mut machine,
@@ -555,26 +763,91 @@ impl LascRuntime {
             }
         }
 
+        if planner_died {
+            supervision.health.record_planner_panics(1);
+            // The panicking planner's unwind dropped it, which already shut
+            // its pool down; its bank and statistics died with it. Retrain
+            // a fresh bank and finish the run miss-driven on a fresh pool —
+            // a dead planner degrades the run, it never aborts it.
+            let _ = planner.shutdown();
+            let mut bank = PredictorBank::new(rip.ip, &self.config);
+            let pool = SpeculationPool::with_supervision(
+                self.config.workers,
+                Arc::clone(cache),
+                supervision.clone(),
+            );
+            let speculation = self.run_miss_driven(MissDriven {
+                machine: &mut machine,
+                rip,
+                cache,
+                bank: &mut bank,
+                pool: Some(pool),
+                driver: &mut driver,
+                supervision,
+                resume_instret: outcome.resume_instret,
+                fast_forwarded: &mut fast_forwarded,
+                halted: &mut halted,
+            })?;
+            let executed_instructions = outcome.resume_instret + machine.instret();
+            return Ok(RunReport {
+                rip,
+                unique_ips: outcome.unique_ips,
+                state_bits: initial.len_bits(),
+                excited_bits: bank.excited_bits(),
+                converge_instructions: outcome.instructions_spent,
+                total_instructions: executed_instructions + fast_forwarded,
+                executed_instructions,
+                fast_forwarded_instructions: fast_forwarded,
+                supersteps: Vec::new(),
+                ensemble_errors: bank.errors(),
+                weight_matrix: bank.weight_matrix(),
+                cache_stats: cache.stats(),
+                speculation,
+                planner: None,
+                health: assemble_health(supervision, &driver, cache),
+                final_state: machine.into_state(),
+                halted,
+            });
+        }
+
         // Shutting the planner down drains its channel, joins the worker
         // pool (all in-flight inserts land) and returns the predictor bank,
-        // so the reported statistics are stable.
+        // so the reported statistics are stable. `None` means the planner
+        // panicked between the loop's last liveness check and the join: the
+        // program result is unaffected (it was computed on the main
+        // thread), only the planner-side statistics died with the thread.
         let planned = planner.shutdown();
+        if planned.is_none() {
+            supervision.health.record_planner_panics(1);
+        }
+        let (excited_bits, ensemble_errors, weight_matrix, speculation, planner_stats) =
+            match planned {
+                Some(PlannerOutcome { stats, pool, bank }) => (
+                    bank.excited_bits(),
+                    bank.errors(),
+                    bank.weight_matrix(),
+                    Some(pool),
+                    Some(stats),
+                ),
+                None => (0, None, None, None, None),
+            };
         let executed_instructions = outcome.resume_instret + machine.instret();
         Ok(RunReport {
             rip,
             unique_ips: outcome.unique_ips,
             state_bits: initial.len_bits(),
-            excited_bits: planned.bank.excited_bits(),
+            excited_bits,
             converge_instructions: outcome.instructions_spent,
             total_instructions: executed_instructions + fast_forwarded,
             executed_instructions,
             fast_forwarded_instructions: fast_forwarded,
             supersteps: Vec::new(),
-            ensemble_errors: planned.bank.errors(),
-            weight_matrix: planned.bank.weight_matrix(),
+            ensemble_errors,
+            weight_matrix,
             cache_stats: cache.stats(),
-            speculation: Some(planned.pool),
-            planner: Some(planned.stats),
+            speculation,
+            planner: planner_stats,
+            health: assemble_health(supervision, &driver, cache),
             final_state: machine.into_state(),
             halted,
         })
@@ -674,12 +947,12 @@ impl LascRuntime {
                 if executed == 0 {
                     break;
                 }
-                cache.insert(crate::cache::CacheEntry {
-                    rip: rip.ip,
-                    start: SparseBytes::capture(&start_state, deps.read_set()),
-                    end: SparseBytes::capture(machine.state(), deps.write_set()),
-                    instructions: executed,
-                });
+                cache.insert(crate::cache::CacheEntry::new(
+                    rip.ip,
+                    SparseBytes::capture(&start_state, deps.read_set()),
+                    SparseBytes::capture(machine.state(), deps.write_set()),
+                    executed,
+                ));
             }
             let virtual_instructions = outcome.resume_instret + machine.instret() + fast_forwarded;
             let real_cost = (outcome.resume_instret + machine.instret()) as f64 + overhead;
@@ -702,6 +975,7 @@ impl LascRuntime {
             cache_stats: cache.stats(),
             speculation: None,
             planner: None,
+            health: HealthStats::default(),
             final_state: machine.into_state(),
             halted,
         };

@@ -164,12 +164,12 @@ pub fn execute_superstep_with(
 
     let read_set = deps.read_set();
     let write_set = deps.write_set();
-    let entry = CacheEntry {
-        rip: start.ip(),
-        start: SparseBytes::capture(start, read_set.iter().copied()),
-        end: SparseBytes::capture(&state, write_set.iter().copied()),
+    let entry = CacheEntry::new(
+        start.ip(),
+        SparseBytes::capture(start, read_set.iter().copied()),
+        SparseBytes::capture(&state, write_set.iter().copied()),
         instructions,
-    };
+    );
     Ok(SpeculationResult::Completed(Box::new(SuperstepOutcome {
         entry,
         end_state: state,

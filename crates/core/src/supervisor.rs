@@ -1,0 +1,601 @@
+//! Supervision layer of the speculation runtime: health accounting, the
+//! degrade-to-inline circuit breaker, and the shared context that threads
+//! both through the worker pool and the planner.
+//!
+//! The paper's safety argument — speculation can only ever be *discarded*,
+//! never change results — covers mispredictions for free. This module
+//! extends the same economy to execution failures:
+//!
+//! - every speculation job runs under `catch_unwind` with an optional
+//!   per-job instruction deadline; panics and deadline kills retire the job
+//!   and release its in-flight permit instead of wedging the pool,
+//! - panicked workers are respawned with exponential backoff up to a
+//!   restart budget, then their slot is abandoned and the pool shrinks,
+//! - every contained failure ticks a counter on the shared
+//!   [`HealthMonitor`], surfaced as [`HealthStats`] alongside the cache's
+//!   [`CacheStats`](crate::cache::CacheStats),
+//! - a [`CircuitBreaker`] watches the windowed failure rate and trips the
+//!   runtime to plain inline execution when the speculation machinery is
+//!   sick, with a half-open probe to recover — never slower-than-inline.
+//!
+//! The breaker itself is deliberately single-threaded state: it lives on
+//! the main thread inside `accelerate`, fed once per recognized-IP
+//! occurrence from the monitor's atomic counters (worker-side events) and
+//! the cache's integrity-reject total. Thresholds and the full failure
+//! model are documented on [`BreakerConfig`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::config::{AscConfig, BreakerConfig};
+
+/// Snapshot of the supervised runtime's failure counters, reported next to
+/// [`CacheStats`](crate::cache::CacheStats) in
+/// [`RunReport`](crate::runtime::RunReport).
+///
+/// All counts cover one `accelerate` run. A healthy fault-free run reports
+/// all zeros (checksum/collision rejects excepted: genuine 64-bit hash
+/// collisions are possible, if astronomically rare).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Speculation jobs whose execution panicked; each was contained by
+    /// `catch_unwind`, its in-flight permit released, and its worker
+    /// retired (the scratch state is suspect mid-unwind).
+    pub worker_panics: u64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_restarts: u64,
+    /// Worker slots abandoned after exhausting
+    /// [`max_worker_restarts`](AscConfig::max_worker_restarts); the pool
+    /// runs shrunk by this many threads.
+    pub workers_lost: u64,
+    /// Worker threads the pool failed to spawn at startup (or respawn); the
+    /// pool runs with fewer workers instead of aborting, down to inline at
+    /// zero.
+    pub spawn_failures: u64,
+    /// Worker joins at shutdown that reported a panic the supervisor had
+    /// not already accounted (a panic outside the per-job `catch_unwind`).
+    pub panicked_joins: u64,
+    /// Speculation jobs killed for exceeding
+    /// [`job_deadline_instructions`](AscConfig::job_deadline_instructions).
+    pub deadline_kills: u64,
+    /// Planner-thread deaths detected by the main loop (each one falls the
+    /// run back to miss-driven dispatch).
+    pub planner_panics: u64,
+    /// Times the circuit breaker tripped speculation off to inline
+    /// execution.
+    pub breaker_trips: u64,
+    /// Times a half-open probe succeeded and re-closed the breaker.
+    pub breaker_recoveries: u64,
+    /// Recognized-IP occurrences that ran with the breaker open (speculation
+    /// suppressed).
+    pub breaker_open_occurrences: u64,
+    /// Cache entries rejected at apply time because their payload checksum
+    /// no longer verified (mirrors
+    /// [`CacheStats::checksum_rejects`](crate::cache::CacheStats::checksum_rejects)).
+    pub checksum_rejects: u64,
+    /// Faults the injector actually fired (always 0 without the
+    /// `fault-inject` feature); lets the soak harness assert the campaign
+    /// really ran.
+    pub injected_faults: u64,
+}
+
+/// Thread-shared failure counters ticked by workers, the planner and the
+/// main loop; snapshot into [`HealthStats`] when a run reports.
+///
+/// All counters are relaxed atomics: they are statistics, ordered by the
+/// channel and join synchronization that already sequences the events
+/// themselves.
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    workers_lost: AtomicU64,
+    spawn_failures: AtomicU64,
+    panicked_joins: AtomicU64,
+    deadline_kills: AtomicU64,
+    planner_panics: AtomicU64,
+    injected_faults: AtomicU64,
+    jobs_ok: AtomicU64,
+}
+
+macro_rules! monitor_counter {
+    ($($(#[$doc:meta])* $record:ident / $read:ident => $field:ident;)*) => {
+        $(
+            $(#[$doc])*
+            pub fn $record(&self, n: u64) {
+                self.$field.fetch_add(n, Ordering::Relaxed);
+            }
+
+            /// The running total recorded so far.
+            pub fn $read(&self) -> u64 {
+                self.$field.load(Ordering::Relaxed)
+            }
+        )*
+    };
+}
+
+impl HealthMonitor {
+    monitor_counter! {
+        /// Records contained worker panics.
+        record_worker_panics / worker_panics => worker_panics;
+        /// Records supervisor worker respawns.
+        record_worker_restarts / worker_restarts => worker_restarts;
+        /// Records worker slots abandoned after the restart budget.
+        record_workers_lost / workers_lost => workers_lost;
+        /// Records worker threads that failed to spawn.
+        record_spawn_failures / spawn_failures => spawn_failures;
+        /// Records panics first surfaced by a shutdown join.
+        record_panicked_joins / panicked_joins => panicked_joins;
+        /// Records speculation jobs killed at their instruction deadline.
+        record_deadline_kills / deadline_kills => deadline_kills;
+        /// Records detected planner-thread deaths.
+        record_planner_panics / planner_panics => planner_panics;
+        /// Records faults the injector fired.
+        record_injected_faults / injected_faults => injected_faults;
+        /// Records speculation jobs that retired normally — completed,
+        /// mispredict-faulted or budget-exhausted. Not a [`HealthStats`]
+        /// field (the pool's [`PoolStats`](crate::workers::PoolStats)
+        /// already breaks retirements down); it exists as the breaker's
+        /// success feed, observable from the main thread in every mode.
+        record_jobs_ok / jobs_ok => jobs_ok;
+    }
+
+    /// Snapshot of every monitor counter. Breaker and cache-side fields are
+    /// filled in by the caller (they live on the main thread and in the
+    /// cache respectively).
+    pub fn snapshot(&self) -> HealthStats {
+        HealthStats {
+            worker_panics: self.worker_panics(),
+            worker_restarts: self.worker_restarts(),
+            workers_lost: self.workers_lost(),
+            spawn_failures: self.spawn_failures(),
+            panicked_joins: self.panicked_joins(),
+            deadline_kills: self.deadline_kills(),
+            planner_panics: self.planner_panics(),
+            injected_faults: self.injected_faults(),
+            ..HealthStats::default()
+        }
+    }
+
+    /// Total worker-side failure events (panics + deadline kills) — the
+    /// monitor's contribution to the breaker's failure feed. The runtime
+    /// polls this once per occurrence and feeds the *delta* to the breaker.
+    pub fn failure_events(&self) -> u64 {
+        self.worker_panics() + self.deadline_kills()
+    }
+}
+
+/// The breaker's position in its trip/probe cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Speculation runs normally; failures are being watched.
+    Closed,
+    /// Speculation is suppressed; the runtime executes inline until the
+    /// cooldown elapses.
+    Open,
+    /// Probe mode: speculation runs again, and the next few events decide
+    /// between re-closing and re-tripping.
+    HalfOpen,
+}
+
+/// Windowed failure-rate circuit breaker; thresholds and failure model on
+/// [`BreakerConfig`].
+///
+/// Single-threaded by design: owned by the main loop, fed per-occurrence
+/// deltas of the shared failure counters, and consulted before every
+/// dispatch decision via [`allows_speculation`].
+///
+/// [`allows_speculation`]: CircuitBreaker::allows_speculation
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    /// Ring of the last `config.window` events; `true` = failure.
+    window: std::collections::VecDeque<bool>,
+    failures_in_window: u32,
+    state: BreakerState,
+    /// Occurrences left before an open breaker half-opens.
+    cooldown_remaining: u64,
+    /// Consecutive trips without an intervening recovery; scales the
+    /// cooldown exponentially (capped at 64×).
+    consecutive_trips: u32,
+    /// Successes seen so far in the current half-open probe.
+    probe_streak: u32,
+    trips: u64,
+    recoveries: u64,
+    open_occurrences: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        let window = std::collections::VecDeque::with_capacity(config.window);
+        CircuitBreaker {
+            config,
+            window,
+            failures_in_window: 0,
+            state: BreakerState::Closed,
+            cooldown_remaining: 0,
+            consecutive_trips: 0,
+            probe_streak: 0,
+            trips: 0,
+            recoveries: 0,
+            open_occurrences: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the runtime may speculate right now (dispatch to workers,
+    /// speculate inline, or stream occurrences to the planner). Open means
+    /// no: execute plainly and wait out the cooldown.
+    pub fn allows_speculation(&self) -> bool {
+        !matches!(self.state, BreakerState::Open)
+    }
+
+    /// Times the breaker tripped so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Times a half-open probe re-closed the breaker.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Advances per-occurrence time: counts open time and half-opens the
+    /// breaker when the cooldown elapses. Call exactly once per
+    /// recognized-IP occurrence.
+    pub fn tick_occurrence(&mut self) {
+        if self.state == BreakerState::Open {
+            self.open_occurrences += 1;
+            self.cooldown_remaining = self.cooldown_remaining.saturating_sub(1);
+            if self.cooldown_remaining == 0 {
+                self.state = BreakerState::HalfOpen;
+                self.probe_streak = 0;
+            }
+        }
+    }
+
+    /// Feeds `successes` normally retired speculation events and `failures`
+    /// failure events (panics, deadline kills, integrity rejects) into the
+    /// window, applying state transitions.
+    ///
+    /// Failures are applied first: when both arrive in one occurrence the
+    /// pessimistic order means a failure burst can trip the breaker before
+    /// the same batch's successes dilute the window.
+    pub fn record(&mut self, successes: u64, failures: u64) {
+        for _ in 0..failures {
+            self.record_event(true);
+        }
+        for _ in 0..successes {
+            self.record_event(false);
+        }
+    }
+
+    fn record_event(&mut self, failure: bool) {
+        if !self.config.enabled {
+            return;
+        }
+        match self.state {
+            BreakerState::Open => {
+                // Stragglers from jobs dispatched before the trip; the
+                // window restarts from the probe, so drop them.
+            }
+            BreakerState::HalfOpen => {
+                if failure {
+                    self.trip();
+                } else {
+                    self.probe_streak += 1;
+                    if self.probe_streak >= self.config.probe_successes {
+                        self.state = BreakerState::Closed;
+                        self.consecutive_trips = 0;
+                        self.recoveries += 1;
+                        self.window.clear();
+                        self.failures_in_window = 0;
+                    }
+                }
+            }
+            BreakerState::Closed => {
+                if self.window.len() == self.config.window && self.window.pop_front() == Some(true)
+                {
+                    self.failures_in_window -= 1;
+                }
+                self.window.push_back(failure);
+                if failure {
+                    self.failures_in_window += 1;
+                }
+                let rate = f64::from(self.failures_in_window) / self.window.len() as f64;
+                if self.failures_in_window >= self.config.min_failures
+                    && rate >= self.config.failure_threshold
+                {
+                    self.trip();
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.trips += 1;
+        let scale = self.consecutive_trips.min(6);
+        self.cooldown_remaining = self.config.cooldown_occurrences << scale;
+        self.consecutive_trips += 1;
+        self.probe_streak = 0;
+        self.window.clear();
+        self.failures_in_window = 0;
+    }
+
+    /// Copies the breaker's counters into a [`HealthStats`] being
+    /// assembled.
+    pub fn fill_stats(&self, stats: &mut HealthStats) {
+        stats.breaker_trips = self.trips;
+        stats.breaker_recoveries = self.recoveries;
+        stats.breaker_open_occurrences = self.open_occurrences;
+    }
+}
+
+/// Per-job fault decisions handed to a worker by the injector. Without the
+/// `fault-inject` feature every field is permanently default — the struct
+/// exists so the worker code paths need no `cfg` of their own.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InjectedFaults {
+    /// Panic inside the job, exercising the `catch_unwind` containment.
+    pub panic: bool,
+    /// Stall the job so its instruction deadline kills it.
+    pub stall: bool,
+    /// Flip a payload bit of the completed entry before insert, exercising
+    /// the checksum reject; the value selects which bit.
+    pub corrupt: Option<u64>,
+}
+
+impl InjectedFaults {
+    /// How many faults this decision carries (for the injected-fault
+    /// counter).
+    pub fn count(&self) -> u64 {
+        u64::from(self.panic) + u64::from(self.stall) + u64::from(self.corrupt.is_some())
+    }
+}
+
+/// Everything the worker pool and planner need from the supervision layer,
+/// bundled so their constructors take one extra argument: the shared health
+/// monitor, the supervisor knobs from [`AscConfig`], and (under
+/// `fault-inject`) the fault injector state.
+#[derive(Debug, Clone, Default)]
+pub struct Supervision {
+    /// Shared failure counters.
+    pub health: Arc<HealthMonitor>,
+    /// Per-job instruction deadline (`0` = none); see
+    /// [`AscConfig::job_deadline_instructions`].
+    pub job_deadline: u64,
+    /// Worker respawn budget per slot; see
+    /// [`AscConfig::max_worker_restarts`].
+    pub max_restarts: u32,
+    /// Base respawn backoff in milliseconds; see
+    /// [`AscConfig::worker_restart_backoff_ms`].
+    pub backoff_ms: u64,
+    /// Shared fault-injection state, `None` when no plan is configured.
+    #[cfg(feature = "fault-inject")]
+    pub faults: Option<Arc<crate::fault::FaultState>>,
+}
+
+impl Supervision {
+    /// Builds the supervision context for one `accelerate` run.
+    pub fn from_config(config: &AscConfig) -> Self {
+        Supervision {
+            health: Arc::new(HealthMonitor::default()),
+            job_deadline: config.job_deadline_instructions,
+            max_restarts: config.max_worker_restarts,
+            backoff_ms: config.worker_restart_backoff_ms,
+            #[cfg(feature = "fault-inject")]
+            faults: config.fault.clone().map(|plan| Arc::new(crate::fault::FaultState::new(plan))),
+        }
+    }
+
+    /// The effective instruction budget for one speculation job whose
+    /// natural budget (from superstep sizing) is `job_budget`; returns the
+    /// budget and whether the deadline is the binding constraint (in which
+    /// case exhausting it counts as a deadline kill, not a plain
+    /// budget-exhausted speculation).
+    pub(crate) fn job_budget(&self, job_budget: u64) -> (u64, bool) {
+        if self.job_deadline > 0 && self.job_deadline < job_budget {
+            (self.job_deadline, true)
+        } else {
+            (job_budget, false)
+        }
+    }
+
+    /// Samples the injector for one speculation job. Always default (no
+    /// faults) without the `fault-inject` feature.
+    pub(crate) fn job_faults(&self) -> InjectedFaults {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            let injected = faults.sample_job();
+            let n = injected.count();
+            if n > 0 {
+                self.health.record_injected_faults(n);
+            }
+            return injected;
+        }
+        InjectedFaults::default()
+    }
+
+    /// Whether the injector forces the next worker spawn to fail. Always
+    /// `false` without the `fault-inject` feature.
+    pub(crate) fn spawn_fault(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            if faults.sample_spawn_failure() {
+                self.health.record_injected_faults(1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the injector kills the planner at this occurrence ordinal.
+    /// Always `false` without the `fault-inject` feature.
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))]
+    pub(crate) fn planner_death(&self, occurrence: u64) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            if faults.planner_death_at(occurrence) {
+                self.health.record_injected_faults(1);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(window: usize, threshold: f64, min_failures: u32, cooldown: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            enabled: true,
+            window,
+            failure_threshold: threshold,
+            min_failures,
+            cooldown_occurrences: cooldown,
+            probe_successes: 2,
+        })
+    }
+
+    #[test]
+    fn monitor_counts_and_snapshots() {
+        let m = HealthMonitor::default();
+        m.record_worker_panics(2);
+        m.record_deadline_kills(3);
+        m.record_spawn_failures(1);
+        assert_eq!(m.failure_events(), 5);
+        let snap = m.snapshot();
+        assert_eq!(snap.worker_panics, 2);
+        assert_eq!(snap.deadline_kills, 3);
+        assert_eq!(snap.spawn_failures, 1);
+        assert_eq!(snap.breaker_trips, 0);
+    }
+
+    #[test]
+    fn breaker_stays_closed_below_min_failures() {
+        let mut b = breaker(8, 0.5, 4, 10);
+        // 3 failures in a window of 4 events: 75% rate but under the floor.
+        b.record(1, 3);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows_speculation());
+    }
+
+    #[test]
+    fn breaker_trips_at_threshold_and_counts() {
+        let mut b = breaker(8, 0.5, 4, 10);
+        b.record(4, 0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(0, 4);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_speculation());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_elapses_into_half_open_and_probe_recovers() {
+        let mut b = breaker(8, 0.5, 2, 3);
+        b.record(0, 4);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Events arriving while open are stragglers and are ignored.
+        b.record(10, 10);
+        assert_eq!(b.state(), BreakerState::Open);
+        for _ in 0..3 {
+            b.tick_occurrence();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allows_speculation());
+        // probe_successes = 2 closes it again.
+        b.record(2, 0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries(), 1);
+        let mut stats = HealthStats::default();
+        b.fill_stats(&mut stats);
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.breaker_recoveries, 1);
+        assert_eq!(stats.breaker_open_occurrences, 3);
+    }
+
+    #[test]
+    fn half_open_failure_retrips_with_doubled_cooldown() {
+        let mut b = breaker(8, 0.5, 2, 4);
+        b.record(0, 4);
+        for _ in 0..4 {
+            b.tick_occurrence();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(0, 1);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // The re-trip doubles the cooldown: 7 ticks are not enough…
+        for _ in 0..7 {
+            b.tick_occurrence();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // …the 8th is.
+        b.tick_occurrence();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn recovery_resets_the_cooldown_scale() {
+        let mut b = breaker(8, 0.5, 2, 1);
+        b.record(0, 4);
+        b.tick_occurrence();
+        b.record(2, 0); // recover (probe_successes = 2)
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Next trip uses the base cooldown again.
+        b.record(0, 4);
+        b.tick_occurrence();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn window_slides_old_failures_out() {
+        let mut b = breaker(4, 0.75, 3, 10);
+        b.record(0, 2);
+        // Two failures then a train of successes: the failures age out and
+        // the breaker never trips.
+        b.record(8, 0);
+        b.record(0, 2);
+        // Window now holds [s, s, f, f] — 50% < 75%.
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let mut b =
+            CircuitBreaker::new(BreakerConfig { enabled: false, ..BreakerConfig::default() });
+        b.record(0, 1_000);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows_speculation());
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn supervision_deadline_binds_only_below_the_job_budget() {
+        let sup = Supervision { job_deadline: 100, ..Supervision::default() };
+        assert_eq!(sup.job_budget(500), (100, true));
+        assert_eq!(sup.job_budget(50), (50, false));
+        let unlimited = Supervision::default();
+        assert_eq!(unlimited.job_budget(500), (500, false));
+    }
+
+    #[test]
+    fn default_supervision_injects_nothing() {
+        let sup = Supervision::default();
+        let faults = sup.job_faults();
+        assert!(!faults.panic && !faults.stall && faults.corrupt.is_none());
+        assert_eq!(faults.count(), 0);
+        assert!(!sup.spawn_fault());
+        assert!(!sup.planner_death(7));
+        assert_eq!(sup.health.snapshot(), HealthStats::default());
+    }
+}

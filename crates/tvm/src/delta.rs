@@ -155,6 +155,21 @@ impl SparseBytes {
     pub fn encoded_bits(&self) -> usize {
         self.entries.len() * (4 + 1) * 8
     }
+
+    /// Flips one bit of the `index`-th captured *value* (both `index` and
+    /// `bit` wrap), leaving the positions — and therefore the sort order —
+    /// untouched. No-op on an empty set.
+    ///
+    /// This models payload corruption (a flipped bit in a stored or
+    /// transmitted cache entry) for the fault-injection harness and for
+    /// integrity-checksum tests; it has no role in normal execution.
+    pub fn flip_value_bit(&mut self, index: usize, bit: u32) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let slot = index % self.entries.len();
+        self.entries[slot].1 ^= 1u8 << (bit % 8);
+    }
 }
 
 impl FromIterator<(u32, u8)> for SparseBytes {

@@ -72,7 +72,11 @@ fn parallel_speculation_is_bit_identical_to_inline_on_every_benchmark() {
         assert!(stats.dispatched > 0, "{benchmark}: no speculation dispatched ({stats:?})");
         assert_eq!(
             stats.dispatched,
-            stats.completed + stats.faulted + stats.exhausted,
+            stats.completed
+                + stats.faulted
+                + stats.exhausted
+                + stats.panicked
+                + stats.deadline_killed,
             "{benchmark}: pool shutdown lost jobs ({stats:?})"
         );
     }
@@ -137,7 +141,7 @@ fn planner_on_and_off_are_bit_identical_on_every_benchmark() {
         let pool = on_report.speculation.expect("planner run must report pool stats");
         assert_eq!(
             pool.dispatched,
-            pool.completed + pool.faulted + pool.exhausted,
+            pool.completed + pool.faulted + pool.exhausted + pool.panicked + pool.deadline_killed,
             "{benchmark}: planner-fed pool lost jobs ({pool:?})"
         );
     }
@@ -158,4 +162,194 @@ fn oversubscribed_worker_pool_is_safe() {
         .unwrap();
     assert!(report.halted);
     assert_eq!(inline_report.final_state.as_bytes(), report.final_state.as_bytes());
+}
+
+/// Fault-soak mode (`--features fault-inject`): the supervision layer's
+/// claim is that *execution* failures — worker panics, runaway jobs,
+/// corrupted cache entries, a dead planner — only ever cost speed. These
+/// tests run every benchmark under an aggressive deterministic fault
+/// campaign and assert the final states stay bit-identical to fault-free
+/// inline execution, then drive the circuit breaker through a full
+/// trip-and-recover cycle.
+///
+/// The CI soak job parameterizes the campaign with `ASC_FAULT_SEED` and
+/// collects per-benchmark `HealthStats` as JSON lines from the file named
+/// by `ASC_HEALTH_OUT`.
+#[cfg(feature = "fault-inject")]
+mod fault_soak {
+    use super::*;
+    use asc::core::config::BreakerConfig;
+    use asc::core::supervisor::HealthStats;
+    use asc::core::FaultPlan;
+
+    fn fault_seed() -> u64 {
+        std::env::var("ASC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    }
+
+    /// ISSUE acceptance floor: ≥ 10% worker panics, ≥ 1% entry corruption,
+    /// the planner killed once, plus stalls for the deadline to kill.
+    fn aggressive_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            worker_panic_rate: 0.15,
+            job_stall_rate: 0.05,
+            entry_corruption_rate: 0.02,
+            planner_death_after: Some(5),
+            ..FaultPlan::default()
+        }
+    }
+
+    fn soak_config(benchmark: Benchmark, seed: u64) -> AscConfig {
+        AscConfig {
+            fault: Some(aggressive_plan(seed)),
+            // Tight enough to bind under the 2M-instruction superstep
+            // budget, loose enough that honest supersteps finish.
+            job_deadline_instructions: 100_000,
+            // Panicked workers retire; a 15% panic rate burns restarts
+            // quickly, and losing slots mid-test is not what is under test.
+            max_worker_restarts: 10_000,
+            worker_restart_backoff_ms: 0,
+            ..config_for(benchmark, 4)
+        }
+    }
+
+    fn emit_health(benchmark: Benchmark, seed: u64, health: &HealthStats) {
+        let Ok(path) = std::env::var("ASC_HEALTH_OUT") else { return };
+        use std::io::Write;
+        let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+            return;
+        };
+        let _ = writeln!(
+            file,
+            "{{\"benchmark\":\"{benchmark}\",\"seed\":{seed},\
+             \"worker_panics\":{},\"worker_restarts\":{},\"workers_lost\":{},\
+             \"spawn_failures\":{},\"panicked_joins\":{},\"deadline_kills\":{},\
+             \"planner_panics\":{},\"breaker_trips\":{},\"breaker_recoveries\":{},\
+             \"breaker_open_occurrences\":{},\"checksum_rejects\":{},\
+             \"injected_faults\":{}}}",
+            health.worker_panics,
+            health.worker_restarts,
+            health.workers_lost,
+            health.spawn_failures,
+            health.panicked_joins,
+            health.deadline_kills,
+            health.planner_panics,
+            health.breaker_trips,
+            health.breaker_recoveries,
+            health.breaker_open_occurrences,
+            health.checksum_rejects,
+            health.injected_faults,
+        );
+    }
+
+    /// Every benchmark, under the full fault campaign (panics, stalls,
+    /// corruption, planner death at occurrence 5), must produce a final
+    /// state bit-identical to fault-free inline execution — and the report
+    /// must prove the campaign actually ran.
+    #[test]
+    fn faulted_runs_stay_bit_identical_on_every_benchmark() {
+        let seed = fault_seed();
+        for benchmark in Benchmark::ALL {
+            let workload = build(benchmark, scale_for(benchmark)).unwrap();
+            let reference = LascRuntime::new(config_for(benchmark, 0))
+                .unwrap()
+                .accelerate(&workload.program)
+                .unwrap();
+            let faulted = LascRuntime::new(soak_config(benchmark, seed))
+                .unwrap()
+                .accelerate(&workload.program)
+                .unwrap();
+            assert!(faulted.halted, "{benchmark}: faulted run did not halt");
+            assert_eq!(
+                reference.final_state.as_bytes(),
+                faulted.final_state.as_bytes(),
+                "{benchmark}: seed {seed} fault campaign changed the result"
+            );
+            assert!(
+                workload.verify(&faulted.final_state),
+                "{benchmark}: faulted run produced a wrong result"
+            );
+            let health = &faulted.health;
+            assert!(
+                health.injected_faults > 0,
+                "{benchmark}: the fault campaign never fired ({health:?})"
+            );
+            assert_eq!(
+                health.planner_panics, 1,
+                "{benchmark}: planner death at occurrence 5 was not detected ({health:?})"
+            );
+            // The run survived the planner's death: whatever happened after
+            // the fallback, no speculation job was lost unaccounted.
+            if let Some(stats) = faulted.speculation {
+                assert_eq!(
+                    stats.dispatched,
+                    stats.completed
+                        + stats.faulted
+                        + stats.exhausted
+                        + stats.panicked
+                        + stats.deadline_killed,
+                    "{benchmark}: supervised pool lost jobs ({stats:?})"
+                );
+            }
+            emit_health(benchmark, seed, health);
+        }
+    }
+
+    /// A burst of guaranteed panics must trip the breaker to inline
+    /// execution; once the burst ends, the half-open probe must re-close it
+    /// — and none of it may change the program's result.
+    #[test]
+    fn breaker_trips_on_a_fault_burst_and_recovers_after_it() {
+        let seed = fault_seed();
+        let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+        let reference = LascRuntime::new(config_for(Benchmark::Collatz, 0))
+            .unwrap()
+            .accelerate(&workload.program)
+            .unwrap();
+        let mut config = AscConfig {
+            // A short burst: every probe that lands inside it re-trips the
+            // breaker with a doubled cooldown, so the burst must drain in a
+            // few half-open cycles for recovery to land within the run.
+            fault: Some(FaultPlan {
+                seed,
+                worker_panic_rate: 1.0,
+                burst_jobs: 10,
+                ..FaultPlan::default()
+            }),
+            max_worker_restarts: 10_000,
+            worker_restart_backoff_ms: 0,
+            breaker: BreakerConfig {
+                enabled: true,
+                window: 8,
+                failure_threshold: 0.5,
+                min_failures: 2,
+                cooldown_occurrences: 4,
+                probe_successes: 2,
+            },
+            ..config_for(Benchmark::Collatz, 4)
+        };
+        // Miss-driven dispatch keeps the success/failure stream coupled to
+        // the main loop's occurrences, making trip *and* recovery land
+        // within the run deterministically enough to assert on.
+        config.planner.enabled = false;
+        let report = LascRuntime::new(config).unwrap().accelerate(&workload.program).unwrap();
+        assert!(report.halted);
+        assert_eq!(
+            reference.final_state.as_bytes(),
+            report.final_state.as_bytes(),
+            "breaker cycling changed the result"
+        );
+        let health = &report.health;
+        assert!(health.worker_panics > 0, "burst never panicked a worker ({health:?})");
+        assert!(health.breaker_trips >= 1, "breaker never tripped ({health:?})");
+        assert!(
+            health.breaker_open_occurrences > 0,
+            "breaker tripped but no occurrence ran inline ({health:?})"
+        );
+        assert!(
+            health.breaker_recoveries >= 1,
+            "breaker never recovered after the burst ({health:?})"
+        );
+        emit_health(Benchmark::Collatz, seed, health);
+    }
 }

@@ -164,12 +164,12 @@ fn indexed_cache_lookup_is_equivalent_to_reference_scan_under_churn() {
                     (position, (rng.next_u64() % 3) as u8)
                 })
                 .collect();
-            let entry = CacheEntry {
-                rip: RIPS[gen_index(&mut rng, RIPS.len())],
-                start: asc::tvm::delta::SparseBytes::from_pairs(deps),
-                end: asc::tvm::delta::SparseBytes::from_pairs(vec![(300, gen_u8(&mut rng))]),
-                instructions: 1 + rng.next_u64() % 500,
-            };
+            let entry = CacheEntry::new(
+                RIPS[gen_index(&mut rng, RIPS.len())],
+                asc::tvm::delta::SparseBytes::from_pairs(deps),
+                asc::tvm::delta::SparseBytes::from_pairs(vec![(300, gen_u8(&mut rng))]),
+                1 + rng.next_u64() % 500,
+            );
             cache.insert(entry);
 
             // Query both paths from a random state and demand equivalence.
