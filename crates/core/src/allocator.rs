@@ -1,15 +1,41 @@
-//! The allocator: expected-utility scheduling of speculative work (§4.5).
+//! The allocator: expected-utility scheduling of speculative work (§4.5),
+//! gated by the dispatch value model.
 //!
 //! Given the rollout of predicted future states produced by the predictor
 //! bank, the allocator decides which of them are worth dispatching to
-//! speculative execution. Each candidate's expected utility is the length of
-//! the trajectory that would be cached (one superstep per rollout depth)
-//! multiplied by the probability, under the ensemble's joint distribution
-//! (Eq. 2), that the prediction is correct and the entry will therefore be
-//! used by the main thread. Predictions whose start states are already
-//! covered by the cache are skipped.
+//! speculative execution. The decision has two layers:
+//!
+//! 1. **Ranking.** Each candidate's expected utility is the *benefit* of the
+//!    entry it would produce — the length of the trajectory that would be
+//!    cached (one superstep per rollout depth, using the live superstep-EMA
+//!    as the instruction estimate) — multiplied by the probability, under
+//!    the ensemble's joint distribution (Eq. 2), that the prediction is
+//!    correct and the entry will therefore be used by the main thread.
+//!    Candidates are sorted by that utility and truncated to the core
+//!    budget. Predictions whose start states are already covered by the
+//!    cache are skipped: their benefit has already been bought.
+//!
+//! 2. **Economics.** The survivors are then individually priced by
+//!    [`SpeculationEconomics::evaluate`]: a candidate dispatches only when
+//!    its calibrated `P(hit)` beats the *cost* of running the rollout — the
+//!    same superstep of instructions a worker core must burn, times the
+//!    configured speculation overhead for dependency tracking and cache
+//!    insertion. The model probability alone is not trusted for this:
+//!    it is capped by the rip's realized hit-rate EMA, because on chaotic
+//!    workloads the ensemble is confidently wrong in ways Eq. 2 never
+//!    admits (see the [`economics`](crate::economics) module docs for the
+//!    full calibration story).
+//!
+//! A candidate refused by layer 2 is *suppressed*, never lost: suppression
+//! only means no cache entry is produced, so the main thread executes that
+//! superstep itself — exactly what it does on any cache miss. Gating is
+//! therefore never a correctness event; it can only trade away a potential
+//! speed-up that the evidence says was unlikely to materialize. The
+//! economics keep a periodic probe leak and a hit-triggered re-admission
+//! path so a suppressed rip is re-evaluated rather than blacklisted.
 
 use crate::cache::{LookupScratch, TrajectoryCache};
+use crate::economics::SpeculationEconomics;
 use crate::predictor_bank::PredictedState;
 
 /// One unit of speculative work the allocator decided to dispatch.
@@ -28,13 +54,15 @@ pub struct SpeculationTask {
 /// * `rollouts` — predictions at depths 1..=k produced by
 ///   [`PredictorBank::rollout`](crate::predictor_bank::PredictorBank::rollout).
 /// * `superstep_estimate` — mean instructions per superstep, used as the
-///   utility of one cached trajectory.
+///   utility of one cached trajectory and as the cost unit of executing it.
 /// * `max_tasks` — how many speculative executions can be dispatched (the
 ///   number of idle cores in a real deployment).
 /// * `cache`/`rip` — used to skip predictions already covered by an entry.
 /// * `lookup` — the caller's reusable scratch for those coverage checks
 ///   (planning runs on the miss path, which must not allocate per
 ///   occurrence).
+/// * `economics` — the caller's per-rip value model; each ranked candidate
+///   must clear its cost test to survive (a disabled model passes all).
 ///
 /// Tasks are returned in decreasing expected-utility order.
 pub fn plan_speculation(
@@ -44,6 +72,7 @@ pub fn plan_speculation(
     cache: &TrajectoryCache,
     rip: u32,
     lookup: &mut LookupScratch,
+    economics: &mut SpeculationEconomics,
 ) -> Vec<SpeculationTask> {
     let mut tasks: Vec<SpeculationTask> = rollouts
         .into_iter()
@@ -61,6 +90,11 @@ pub fn plan_speculation(
         b.expected_utility.partial_cmp(&a.expected_utility).unwrap_or(std::cmp::Ordering::Equal)
     });
     tasks.truncate(max_tasks);
+    // Price only the candidates that made the core budget: the economics
+    // counters then reflect real dispatch decisions, not ranking losers.
+    tasks.retain(|task| {
+        economics.evaluate(task.predicted.log_probability, task.depth, superstep_estimate)
+    });
     tasks
 }
 
@@ -76,10 +110,15 @@ pub fn rollout_latency(rank: usize, cost_per_step: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EconomicsConfig;
     use asc_tvm::state::StateVector;
 
     fn predicted(depth: usize, log_probability: f64) -> PredictedState {
         PredictedState { state: StateVector::new(64).unwrap(), log_probability, depth }
+    }
+
+    fn open_economics() -> SpeculationEconomics {
+        SpeculationEconomics::new(&EconomicsConfig::default())
     }
 
     #[test]
@@ -90,7 +129,15 @@ mod tests {
             predicted(2, -0.2),
             predicted(3, -2.0), // unlikely
         ];
-        let tasks = plan_speculation(rollouts, 1_000.0, 2, &cache, 0, &mut LookupScratch::new());
+        let tasks = plan_speculation(
+            rollouts,
+            1_000.0,
+            2,
+            &cache,
+            0,
+            &mut LookupScratch::new(),
+            &mut open_economics(),
+        );
         assert_eq!(tasks.len(), 2);
         assert_eq!(tasks[0].depth, 1);
         assert_eq!(tasks[1].depth, 2);
@@ -109,8 +156,15 @@ mod tests {
             asc_tvm::delta::SparseBytes::default(),
             10,
         ));
-        let tasks =
-            plan_speculation(vec![prediction], 100.0, 4, &cache, 0, &mut LookupScratch::new());
+        let tasks = plan_speculation(
+            vec![prediction],
+            100.0,
+            4,
+            &cache,
+            0,
+            &mut LookupScratch::new(),
+            &mut open_economics(),
+        );
         assert!(tasks.is_empty());
     }
 
@@ -124,9 +178,30 @@ mod tests {
             &cache,
             0,
             &mut LookupScratch::new(),
+            &mut open_economics(),
         );
         assert!((tasks[0].expected_utility - 100.0).abs() < 1e-9);
         assert!((tasks[1].expected_utility - 100.0 * (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn junk_saturated_economics_suppress_the_whole_plan() {
+        let cache = TrajectoryCache::new(16);
+        let mut economics = open_economics();
+        for _ in 0..1_000 {
+            economics.record_lookup(false);
+        }
+        let tasks = plan_speculation(
+            vec![predicted(1, 0.0), predicted(2, -0.1)],
+            1_000.0,
+            4,
+            &cache,
+            0,
+            &mut LookupScratch::new(),
+            &mut economics,
+        );
+        assert!(tasks.is_empty(), "a junk-saturated rip must not dispatch");
+        assert_eq!(economics.stats().suppressed, 2);
     }
 
     #[test]

@@ -249,6 +249,7 @@ mod tests {
             speculation: None,
             planner: None,
             health: Default::default(),
+            economics: None,
             final_state: StateVector::new(16).unwrap(),
             halted: true,
         }

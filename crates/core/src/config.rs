@@ -66,6 +66,67 @@ impl Default for PlannerConfig {
     }
 }
 
+/// Knobs of the per-rip speculation value model; see the
+/// [`economics`](crate::economics) module docs for the full model. The
+/// defaults keep warm-up and predictable workloads fully dispatched (the
+/// optimistic prior puts the evidence cap at 1.0 until misses accumulate)
+/// while collapsing chaotic rips to shallow, mostly-suppressed speculation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomicsConfig {
+    /// Whether dispatch gating runs at all. Disabled, every candidate
+    /// dispatches (the pre-economics behaviour) but decisions are still
+    /// counted, so gated and ungated reports stay comparable.
+    pub enabled: bool,
+    /// Half-life, in lookup outcomes, of the realized hit-rate EMA: after
+    /// this many all-miss lookups the rate halves. Shorter adapts faster;
+    /// longer rides out bursty hit streaks.
+    pub half_life: f64,
+    /// The prior hit rate a fresh rip starts from — and the level a single
+    /// realized hit re-admits a suppressed rip back to. Must be high enough
+    /// that warm-up speculation is never suppressed before evidence exists.
+    pub optimism: f64,
+    /// Minimum `P(hit) / overhead` ratio a candidate must clear to
+    /// dispatch: expected benefit must be at least this fraction of the
+    /// worker cost of executing the rollout.
+    pub dispatch_threshold: f64,
+    /// Cost multiplier of speculative execution relative to the main
+    /// thread's: a speculating core pays dependency tracking and insert
+    /// bookkeeping on top of the superstep itself.
+    pub speculation_overhead: f64,
+    /// Slack factor on the realized-rate evidence cap (`cap = slack ×
+    /// realized`): how much benefit of the doubt the model's confidence
+    /// gets beyond observed hit rates.
+    pub calibration_slack: f64,
+    /// Floor on the adaptive per-rip rollout horizon (suppressed rips still
+    /// roll out this deep so probe dispatches have candidates).
+    pub min_horizon: usize,
+    /// Ceiling on the adaptive per-rip rollout horizon. The effective depth
+    /// is additionally bounded by the mode's legacy depth
+    /// ([`AscConfig::rollout_depth`] miss-driven, [`PlannerConfig::horizon`]
+    /// planned).
+    pub max_horizon: usize,
+    /// Consecutive value-test refusals after which one candidate is
+    /// dispatched anyway — the leak that lets a written-off rip produce the
+    /// hit that re-admits it.
+    pub probe_interval: u64,
+}
+
+impl Default for EconomicsConfig {
+    fn default() -> Self {
+        EconomicsConfig {
+            enabled: true,
+            half_life: 64.0,
+            optimism: 0.5,
+            dispatch_threshold: 0.02,
+            speculation_overhead: 1.25,
+            calibration_slack: 4.0,
+            min_horizon: 1,
+            max_horizon: 32,
+            probe_interval: 64,
+        }
+    }
+}
+
 /// Thresholds of the degrade-to-inline circuit breaker.
 ///
 /// # Failure model
@@ -210,6 +271,9 @@ pub struct AscConfig {
     /// Continuous-speculation planner knobs; see [`PlannerConfig`]. Only
     /// consulted when `workers > 0`.
     pub planner: PlannerConfig,
+    /// Per-rip speculation value model; see [`EconomicsConfig`]. Applies in
+    /// every speculating mode (inline, miss-driven pool, planner).
+    pub economics: EconomicsConfig,
     /// Per-job instruction deadline for speculation jobs. A job that has
     /// executed this many instructions without finishing is killed and
     /// counted as a deadline kill in [`HealthStats`] (and as a breaker
@@ -260,6 +324,7 @@ impl Default for AscConfig {
             instruction_budget: 2_000_000_000,
             workers: 0,
             planner: PlannerConfig::default(),
+            economics: EconomicsConfig::default(),
             job_deadline_instructions: 0,
             max_worker_restarts: 8,
             worker_restart_backoff_ms: 1,
@@ -355,6 +420,48 @@ impl AscConfig {
                 ));
             }
         }
+        if self.economics.enabled {
+            if !(self.economics.half_life >= 1.0 && self.economics.half_life.is_finite()) {
+                return Err(AscError::InvalidConfig(
+                    "economics half_life must be at least 1".into(),
+                ));
+            }
+            if !(self.economics.optimism > 0.0 && self.economics.optimism <= 1.0) {
+                return Err(AscError::InvalidConfig("economics optimism must be in (0, 1]".into()));
+            }
+            if !(self.economics.dispatch_threshold > 0.0 && self.economics.dispatch_threshold < 1.0)
+            {
+                return Err(AscError::InvalidConfig(
+                    "economics dispatch_threshold must be in (0, 1)".into(),
+                ));
+            }
+            if !(self.economics.speculation_overhead > 0.0
+                && self.economics.speculation_overhead.is_finite())
+            {
+                return Err(AscError::InvalidConfig(
+                    "economics speculation_overhead must be positive".into(),
+                ));
+            }
+            if !(self.economics.calibration_slack >= 1.0
+                && self.economics.calibration_slack.is_finite())
+            {
+                return Err(AscError::InvalidConfig(
+                    "economics calibration_slack must be at least 1".into(),
+                ));
+            }
+            if self.economics.min_horizon == 0
+                || self.economics.max_horizon < self.economics.min_horizon
+            {
+                return Err(AscError::InvalidConfig(
+                    "economics horizons must satisfy 0 < min <= max".into(),
+                ));
+            }
+            if self.economics.probe_interval == 0 {
+                return Err(AscError::InvalidConfig(
+                    "economics probe_interval must be at least 1".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -421,6 +528,38 @@ mod tests {
         let mut c = AscConfig::default();
         c.planner.enabled = false;
         c.planner.horizon = 0;
+        assert!(c.validate().is_ok());
+
+        let mut c = AscConfig::default();
+        c.economics.half_life = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.economics.optimism = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.economics.dispatch_threshold = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.economics.calibration_slack = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.economics.min_horizon = 4;
+        c.economics.max_horizon = 2;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.economics.probe_interval = 0;
+        assert!(c.validate().is_err());
+
+        // A disabled value model's knobs are not validated: every candidate
+        // dispatches without consulting them.
+        let mut c = AscConfig::default();
+        c.economics.enabled = false;
+        c.economics.probe_interval = 0;
         assert!(c.validate().is_ok());
     }
 }

@@ -16,6 +16,9 @@
 //!   bits (§4.4).
 //! * [`allocator`] — expected-utility selection of speculative work from
 //!   recursive rollout predictions (§4.5).
+//! * [`economics`] — the cost-aware dispatch value model: per-RIP realized
+//!   hit rates, calibrated `P(hit)` estimates, and the adaptive rollout
+//!   horizon that decides whether a speculation is worth a worker's time.
 //! * [`planner`] — the continuous-speculation planner thread that owns
 //!   speculation cadence: it consumes the main thread's occurrence stream
 //!   and keeps the worker pool topped up with predicted supersteps instead
@@ -58,6 +61,7 @@ pub mod allocator;
 pub mod cache;
 pub mod cluster;
 pub mod config;
+pub mod economics;
 pub mod error;
 pub mod excitation;
 #[cfg(feature = "fault-inject")]
@@ -72,7 +76,8 @@ pub mod workers;
 
 pub use cache::{CacheEntry, CacheStats, TrajectoryCache};
 pub use cluster::{PlatformProfile, ScalingMode, ScalingPoint};
-pub use config::{AscConfig, BreakerConfig, PlannerConfig, PredictorComplement};
+pub use config::{AscConfig, BreakerConfig, EconomicsConfig, PlannerConfig, PredictorComplement};
+pub use economics::{EconomicsStats, SpeculationEconomics};
 pub use error::{AscError, AscResult};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;

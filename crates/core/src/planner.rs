@@ -45,6 +45,7 @@
 
 use crate::cache::{LookupScratch, TrajectoryCache};
 use crate::config::{AscConfig, PlannerConfig};
+use crate::economics::{EconomicsStats, SpeculationEconomics};
 use crate::predictor_bank::{PredictedState, PredictorBank};
 use crate::recognizer::RecognizedIp;
 use crate::workers::{PoolStats, SpeculationJob, SpeculationPool};
@@ -208,6 +209,8 @@ pub struct PlannerOutcome {
     pub pool: PoolStats,
     /// The predictor bank, for the run report's learning statistics.
     pub bank: PredictorBank,
+    /// Final counters of the planner's dispatch value model.
+    pub economics: EconomicsStats,
 }
 
 /// Clears the planner's alive flag when the planner thread exits — by
@@ -269,6 +272,7 @@ impl PlannerHandle {
             live: None,
             inserts_seen: 0,
             lookup: LookupScratch::new(),
+            economics: SpeculationEconomics::new(&config.economics),
             stats: PlannerStats::default(),
         };
         let thread = std::thread::Builder::new().name("asc-planner".into()).spawn(move || {
@@ -335,6 +339,11 @@ struct Planner {
     inserts_seen: u64,
     /// Reusable scratch for the top-up loop's cache-coverage checks.
     lookup: LookupScratch,
+    /// The dispatch value model. The planner never sees individual lookup
+    /// outcomes (those happen on the main thread), so its realized-rate EMA
+    /// is delta-fed from the cache's monotone query/hit totals once per
+    /// drained occurrence batch.
+    economics: SpeculationEconomics,
     stats: PlannerStats,
 }
 
@@ -360,6 +369,7 @@ impl Planner {
                     while let Some(event) = channel.try_recv() {
                         self.on_occurrence(event);
                     }
+                    self.observe_economics();
                     self.extend_plan();
                     self.top_up();
                 }
@@ -368,7 +378,22 @@ impl Planner {
             }
         }
         self.stats.dropped = channel.dropped();
-        PlannerOutcome { stats: self.stats, pool: self.pool.shutdown(), bank: self.bank }
+        PlannerOutcome {
+            stats: self.stats,
+            pool: self.pool.shutdown(),
+            bank: self.bank,
+            economics: self.economics.stats(),
+        }
+    }
+
+    /// Feeds the value model once per drained batch: the cache's monotone
+    /// lookup totals (the main thread's realized hits and misses) and the
+    /// bank's windowed whole-state accuracy. Batched rather than
+    /// per-occurrence because both reads cross shard/atomic boundaries.
+    fn observe_economics(&mut self) {
+        let stats = self.cache.stats();
+        self.economics.observe_cache_totals(stats.queries, stats.hits);
+        self.economics.observe_model(self.bank.recent_error_rate());
     }
 
     /// Trains on one occurrence and reconciles it with the plan. Does not
@@ -432,14 +457,17 @@ impl Planner {
         }
     }
 
-    /// Grows the plan back to the configured horizon by rolling out from the
-    /// deepest surviving prediction (or from the live state after an
-    /// invalidation or at the very start).
+    /// Grows the plan back to the rip's *economic* horizon — the configured
+    /// horizon shortened by the value model when this rip's predictions are
+    /// not landing, so chained rollout work shrinks with the evidence — by
+    /// rolling out from the deepest surviving prediction (or from the live
+    /// state after an invalidation or at the very start).
     fn extend_plan(&mut self) {
-        if !self.bank.is_ready() || self.plan.len() >= self.config.horizon {
+        let target = self.economics.horizon(self.config.horizon);
+        if !self.bank.is_ready() || self.plan.len() >= target {
             return;
         }
-        let missing = self.config.horizon - self.plan.len();
+        let missing = target - self.plan.len();
         let (anchor, extending) = match self.plan.back() {
             Some(deepest) => (deepest.predicted.state.clone(), true),
             None => match &self.live {
@@ -481,10 +509,20 @@ impl Planner {
             if step.attempted {
                 continue;
             }
-            // Marked whether accepted, deduplicated, dropped or already
-            // covered: this exact prediction is never offered twice.
+            // Marked whether accepted, deduplicated, dropped, suppressed or
+            // already covered: this exact prediction is never offered twice.
             step.attempted = true;
             if self.cache.covers_with(self.rip.ip, &step.predicted.state, &mut self.lookup) {
+                continue;
+            }
+            // The value test: a candidate whose calibrated P(hit) cannot pay
+            // for the worker's superstep stays in the plan (it still anchors
+            // confirmations and extensions) but never reaches the pool.
+            if !self.economics.evaluate(
+                step.predicted.log_probability,
+                step.predicted.depth,
+                self.rip.mean_superstep,
+            ) {
                 continue;
             }
             if self.pool.dispatch(SpeculationJob {

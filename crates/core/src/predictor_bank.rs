@@ -119,6 +119,15 @@ impl PredictorBank {
         self.ensemble.as_ref().map(|e| e.errors())
     }
 
+    /// The ensemble's windowed whole-state error rate (the
+    /// [`EnsembleErrors::recent_error_rate`] signal) without computing the
+    /// full Table-2 statistics — O(1), safe on the per-occurrence hot path.
+    /// `None` until the ensemble is built. The dispatch economics consume
+    /// this as their model-accuracy signal.
+    pub fn recent_error_rate(&self) -> Option<f64> {
+        self.ensemble.as_ref().map(|e| e.recent_error_rate())
+    }
+
     /// The Figure-3 weight matrix: predictor names and per-bit normalised
     /// weights, if the ensemble has been built.
     pub fn weight_matrix(&self) -> Option<(Vec<&'static str>, Vec<Vec<f64>>)> {

@@ -104,6 +104,7 @@
 use crate::allocator::plan_speculation;
 use crate::cache::{CacheStats, LookupScratch, TrajectoryCache};
 use crate::config::{AscConfig, BreakerConfig};
+use crate::economics::{EconomicsStats, SpeculationEconomics};
 use crate::error::AscResult;
 use crate::planner::{OccurrenceEvent, PlannerHandle, PlannerOutcome, PlannerStats};
 use crate::predictor_bank::PredictorBank;
@@ -182,6 +183,12 @@ pub struct RunReport {
     /// faults (populated by [`LascRuntime::accelerate`]; all-zero for
     /// `measure` and `memoize`, which run no speculation machinery).
     pub health: HealthStats,
+    /// Dispatch-economics counters — candidates considered, dispatched and
+    /// suppressed by the value model, realized hit rate and the adaptive
+    /// horizon (populated by [`LascRuntime::accelerate`]; `None` for
+    /// `measure` and `memoize`, which dispatch no speculation, and for a
+    /// planned run whose planner died before reporting).
+    pub economics: Option<EconomicsStats>,
     /// The final state of the program.
     pub final_state: StateVector,
     /// Whether the program ran to completion (halted).
@@ -295,6 +302,7 @@ struct MissDriven<'a> {
     pool: Option<SpeculationPool>,
     driver: &'a mut BreakerDriver,
     supervision: &'a Supervision,
+    economics: &'a mut SpeculationEconomics,
     resume_instret: u64,
     fast_forwarded: &'a mut u64,
     halted: &'a mut bool,
@@ -420,6 +428,7 @@ impl LascRuntime {
             speculation: None,
             planner: None,
             health: HealthStats::default(),
+            economics: None,
             final_state: machine.into_state(),
             halted,
         })
@@ -487,6 +496,7 @@ impl LascRuntime {
         });
         let mut machine = Machine::from_state(outcome.resume_state.clone());
         let mut bank = PredictorBank::new(rip.ip, &self.config);
+        let mut economics = SpeculationEconomics::new(&self.config.economics);
         let mut fast_forwarded = 0u64;
         let mut halted = outcome.halted;
         let speculation = self.run_miss_driven(MissDriven {
@@ -497,6 +507,7 @@ impl LascRuntime {
             pool,
             driver: &mut driver,
             supervision: &supervision,
+            economics: &mut economics,
             resume_instret: outcome.resume_instret,
             fast_forwarded: &mut fast_forwarded,
             halted: &mut halted,
@@ -518,6 +529,7 @@ impl LascRuntime {
             speculation,
             planner: None,
             health: assemble_health(&supervision, &driver, &cache),
+            economics: Some(economics.stats()),
             final_state: machine.into_state(),
             halted,
         })
@@ -538,6 +550,7 @@ impl LascRuntime {
             mut pool,
             driver,
             supervision,
+            economics,
             resume_instret,
             fast_forwarded,
             halted,
@@ -560,13 +573,16 @@ impl LascRuntime {
             if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
                 machine.apply_sparse(&entry.end);
                 *fast_forwarded += entry.instructions;
+                economics.record_lookup(true);
                 bank.observe(&machine.state().clone());
                 continue;
             }
 
             // Miss: train on this occurrence and dispatch speculative work.
+            economics.record_lookup(false);
             let state = machine.state().clone();
             bank.observe(&state);
+            economics.observe_model(bank.recent_error_rate());
             // Re-planning is skipped while the pool is saturated: the
             // predictor rollout is expensive, and a saturated pool means the
             // predictions from the previous occurrence are still being
@@ -576,7 +592,11 @@ impl LascRuntime {
             // speculation until the half-open probe.
             let pool_saturated = pool.as_ref().is_some_and(SpeculationPool::is_saturated);
             if driver.allows_speculation() && bank.is_ready() && !pool_saturated {
-                let rollouts = bank.rollout(&state, self.config.rollout_depth);
+                // The rollout itself is priced: a rip whose predictions are
+                // not landing gets a collapsed horizon, so the expensive
+                // chained prediction work shrinks along with the dispatches.
+                let horizon = economics.horizon(self.config.rollout_depth);
+                let rollouts = bank.rollout(&state, horizon);
                 let tasks = plan_speculation(
                     rollouts,
                     superstep_estimate,
@@ -584,6 +604,7 @@ impl LascRuntime {
                     cache,
                     rip.ip,
                     &mut lookup,
+                    economics,
                 );
                 for task in tasks {
                     if let Some(pool) = pool.as_mut() {
@@ -771,6 +792,9 @@ impl LascRuntime {
             // a dead planner degrades the run, it never aborts it.
             let _ = planner.shutdown();
             let mut bank = PredictorBank::new(rip.ip, &self.config);
+            // The dead planner's economics died with its thread; the tail
+            // restarts from the optimistic prior, like the fresh bank.
+            let mut economics = SpeculationEconomics::new(&self.config.economics);
             let pool = SpeculationPool::with_supervision(
                 self.config.workers,
                 Arc::clone(cache),
@@ -784,6 +808,7 @@ impl LascRuntime {
                 pool: Some(pool),
                 driver: &mut driver,
                 supervision,
+                economics: &mut economics,
                 resume_instret: outcome.resume_instret,
                 fast_forwarded: &mut fast_forwarded,
                 halted: &mut halted,
@@ -805,6 +830,7 @@ impl LascRuntime {
                 speculation,
                 planner: None,
                 health: assemble_health(supervision, &driver, cache),
+                economics: Some(economics.stats()),
                 final_state: machine.into_state(),
                 halted,
             });
@@ -820,16 +846,17 @@ impl LascRuntime {
         if planned.is_none() {
             supervision.health.record_planner_panics(1);
         }
-        let (excited_bits, ensemble_errors, weight_matrix, speculation, planner_stats) =
+        let (excited_bits, ensemble_errors, weight_matrix, speculation, planner_stats, economics) =
             match planned {
-                Some(PlannerOutcome { stats, pool, bank }) => (
+                Some(PlannerOutcome { stats, pool, bank, economics }) => (
                     bank.excited_bits(),
                     bank.errors(),
                     bank.weight_matrix(),
                     Some(pool),
                     Some(stats),
+                    Some(economics),
                 ),
-                None => (0, None, None, None, None),
+                None => (0, None, None, None, None, None),
             };
         let executed_instructions = outcome.resume_instret + machine.instret();
         Ok(RunReport {
@@ -848,6 +875,7 @@ impl LascRuntime {
             speculation,
             planner: planner_stats,
             health: assemble_health(supervision, &driver, cache),
+            economics,
             final_state: machine.into_state(),
             halted,
         })
@@ -976,6 +1004,7 @@ impl LascRuntime {
             speculation: None,
             planner: None,
             health: HealthStats::default(),
+            economics: None,
             final_state: machine.into_state(),
             halted,
         };

@@ -33,11 +33,27 @@ pub struct EnsembleErrors {
     pub hindsight_optimal_error_rate: f64,
     /// Fraction wrong using the actual regret-minimised weights.
     pub actual_error_rate: f64,
+    /// Fraction wrong using the actual weights over only the most recent
+    /// [`RECENT_WINDOW`] whole-state predictions — the windowed twin of
+    /// [`actual_error_rate`](EnsembleErrors::actual_error_rate). Where the
+    /// full-history rate answers "how good has this model ever been", the
+    /// recent rate answers "how good is it *now*", which is what the
+    /// runtime's dispatch economics need: a model that was hopeless for the
+    /// first thousand occurrences but has locked on since deserves
+    /// speculation again, and vice versa.
+    pub recent_error_rate: f64,
     /// Total number of whole-state predictions scored.
     pub total_predictions: u64,
     /// Number of whole-state predictions the ensemble got wrong.
     pub incorrect_predictions: u64,
 }
+
+/// Number of most-recent whole-state predictions
+/// [`EnsembleErrors::recent_error_rate`] is measured over. A power of two
+/// sized to one shift-register word: the outcome history is a 64-bit mask
+/// updated in O(1) per observation, unlike the mistake ring the hindsight
+/// rate walks.
+pub const RECENT_WINDOW: usize = 64;
 
 /// A bounded ring of per-observation mistake masks: each slot holds one
 /// packed mask per predictor (`predictor_count × packed_len` words). When
@@ -100,6 +116,9 @@ pub struct Ensemble {
     ensemble_mistakes: u64,
     /// Whole-state mistakes of the equal-weight vote.
     equal_weight_mistakes: u64,
+    /// Shift register of the last [`RECENT_WINDOW`] whole-state outcomes
+    /// (bit set = the weighted ensemble was wrong), newest in bit 0.
+    recent_outcomes: u64,
     observations: u64,
     /// Scratch prediction blocks, predictor-major, reused across `observe`
     /// calls: `predictor_count × packed_len` rounded bits.
@@ -145,6 +164,7 @@ impl Ensemble {
             cumulative_mistakes: vec![0; bit_count * predictor_count],
             ensemble_mistakes: 0,
             equal_weight_mistakes: 0,
+            recent_outcomes: 0,
             observations: 0,
             scratch_bits: vec![0; predictor_count * packed],
             scratch_confidence: vec![0.0; predictor_count * bit_count],
@@ -343,6 +363,7 @@ impl Ensemble {
 
         self.mistakes.push(&self.scratch_bits);
         self.observations += 1;
+        self.recent_outcomes = (self.recent_outcomes << 1) | u64::from(ensemble_wrong);
         if ensemble_wrong {
             self.ensemble_mistakes += 1;
         }
@@ -371,6 +392,21 @@ impl Ensemble {
                 }
             })
             .collect()
+    }
+
+    /// Fraction of the last [`RECENT_WINDOW`] whole-state predictions the
+    /// weighted ensemble got wrong (over however many exist while the
+    /// history is still shorter than the window). O(1) — one popcount over
+    /// the outcome shift register — so it is safe to consult on the
+    /// runtime's per-occurrence hot path, unlike [`errors`](Ensemble::errors)
+    /// which walks the whole mistake ring.
+    pub fn recent_error_rate(&self) -> f64 {
+        let window = (self.observations).min(RECENT_WINDOW as u64);
+        if window == 0 {
+            return 0.0;
+        }
+        let mask = if window == 64 { u64::MAX } else { (1u64 << window) - 1 };
+        (self.recent_outcomes & mask).count_ones() as f64 / window as f64
     }
 
     /// Error statistics in the shape of Table 2. The hindsight-optimal
@@ -418,6 +454,7 @@ impl Ensemble {
             equal_weight_error_rate: self.equal_weight_mistakes as f64 / total as f64,
             hindsight_optimal_error_rate: hindsight_mistakes as f64 / window,
             actual_error_rate: self.ensemble_mistakes as f64 / total as f64,
+            recent_error_rate: self.recent_error_rate(),
             total_predictions: total,
             incorrect_predictions: self.ensemble_mistakes,
         }
@@ -434,6 +471,7 @@ impl Ensemble {
         self.cumulative_mistakes.fill(0);
         self.ensemble_mistakes = 0;
         self.equal_weight_mistakes = 0;
+        self.recent_outcomes = 0;
         self.observations = 0;
     }
 }

@@ -183,6 +183,11 @@ pub struct ReferenceEnsemble {
     cumulative_mistakes: Vec<Vec<u32>>,
     ensemble_mistakes: u64,
     equal_weight_mistakes: u64,
+    /// Shift register of the last [`RECENT_WINDOW`] whole-state outcomes,
+    /// mirroring the packed ensemble's O(1) recent-rate history.
+    ///
+    /// [`RECENT_WINDOW`]: crate::ensemble::RECENT_WINDOW
+    recent_outcomes: u64,
     observations: u64,
 }
 
@@ -216,6 +221,7 @@ impl ReferenceEnsemble {
             cumulative_mistakes: vec![vec![0; predictor_count]; bit_count],
             ensemble_mistakes: 0,
             equal_weight_mistakes: 0,
+            recent_outcomes: 0,
             observations: 0,
         }
     }
@@ -299,6 +305,7 @@ impl ReferenceEnsemble {
             self.mistake_log.pop_front();
         }
         self.observations += 1;
+        self.recent_outcomes = (self.recent_outcomes << 1) | u64::from(ensemble_wrong);
         if ensemble_wrong {
             self.ensemble_mistakes += 1;
         }
@@ -356,10 +363,14 @@ impl ReferenceEnsemble {
             }
         }
         let window = self.mistake_log.len().max(1) as f64;
+        let recent = total.min(crate::ensemble::RECENT_WINDOW as u64);
+        let recent_mask = if recent == 64 { u64::MAX } else { (1u64 << recent) - 1 };
         EnsembleErrors {
             equal_weight_error_rate: self.equal_weight_mistakes as f64 / total as f64,
             hindsight_optimal_error_rate: hindsight_mistakes as f64 / window,
             actual_error_rate: self.ensemble_mistakes as f64 / total as f64,
+            recent_error_rate: (self.recent_outcomes & recent_mask).count_ones() as f64
+                / recent.max(1) as f64,
             total_predictions: total,
             incorrect_predictions: self.ensemble_mistakes,
         }

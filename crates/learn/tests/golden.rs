@@ -91,6 +91,10 @@ fn packed_matches_reference_on_recorded_trace() {
     // exercised a busy mistake ring rather than an empty one.
     assert!(packed_errors.actual_error_rate > 0.0);
     assert!(packed_errors.incorrect_predictions > 0);
+    // The windowed recent rate is populated and agrees with the O(1)
+    // hot-path accessor the runtime's dispatch economics consult.
+    assert!(packed_errors.recent_error_rate > 0.0);
+    assert_eq!(packed_errors.recent_error_rate, packed.recent_error_rate());
 }
 
 #[test]

@@ -164,6 +164,130 @@ fn oversubscribed_worker_pool_is_safe() {
     assert_eq!(inline_report.final_state.as_bytes(), report.final_state.as_bytes());
 }
 
+/// Dispatch economics: the value model decides only *which* speculations
+/// run, so gating on vs. off must leave `final_state` bit-identical in
+/// every execution mode — inline, miss-driven workers and planner — on
+/// every benchmark. Suppression is never a correctness event: a suppressed
+/// dispatch just means the main thread executes that superstep itself,
+/// exactly as it would on any cache miss.
+///
+/// The CI determinism job collects per-benchmark `EconomicsStats` as JSON
+/// lines from the file named by `ASC_ECON_OUT` (uploaded as
+/// `ECON_stats.json` and summarized into the step summary).
+mod economics {
+    use super::*;
+    use asc::core::economics::EconomicsStats;
+
+    fn emit_econ(benchmark: Benchmark, mode: &str, stats: &EconomicsStats) {
+        let Ok(path) = std::env::var("ASC_ECON_OUT") else { return };
+        use std::io::Write;
+        let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+            return;
+        };
+        let _ = writeln!(
+            file,
+            "{{\"benchmark\":\"{benchmark}\",\"mode\":\"{mode}\",\
+             \"considered\":{},\"dispatched\":{},\"suppressed\":{},\"probes\":{},\
+             \"lookups\":{},\"hits\":{},\"realized_hit_rate\":{:.6},\
+             \"expected_value\":{:.1},\"suppressed_cost\":{:.1},\"last_horizon\":{}}}",
+            stats.considered,
+            stats.dispatched,
+            stats.suppressed,
+            stats.probes,
+            stats.lookups,
+            stats.hits,
+            stats.realized_hit_rate,
+            stats.expected_value,
+            stats.suppressed_cost,
+            stats.last_horizon,
+        );
+    }
+
+    /// Gating on vs. off, across all three execution modes, on every
+    /// benchmark: the final state never moves.
+    #[test]
+    fn gating_on_and_off_are_bit_identical_in_every_mode() {
+        for benchmark in Benchmark::ALL {
+            let workload = build(benchmark, scale_for(benchmark)).unwrap();
+            for (mode, workers, planner) in
+                [("inline", 0usize, false), ("workers", 4, false), ("planner", 4, true)]
+            {
+                let mut gated = config_for(benchmark, workers);
+                gated.planner.enabled = planner;
+                gated.economics.enabled = true;
+                let mut ungated = gated.clone();
+                ungated.economics.enabled = false;
+
+                let gated_report =
+                    LascRuntime::new(gated).unwrap().accelerate(&workload.program).unwrap();
+                let ungated_report =
+                    LascRuntime::new(ungated).unwrap().accelerate(&workload.program).unwrap();
+
+                assert!(gated_report.halted, "{benchmark}/{mode}: gated run did not halt");
+                assert!(ungated_report.halted, "{benchmark}/{mode}: ungated run did not halt");
+                assert_eq!(
+                    gated_report.final_state.as_bytes(),
+                    ungated_report.final_state.as_bytes(),
+                    "{benchmark}/{mode}: economics gating changed the result"
+                );
+                assert!(
+                    workload.verify(&gated_report.final_state),
+                    "{benchmark}/{mode}: gated run produced a wrong result"
+                );
+                if mode == "inline" {
+                    // Inline runs are fully reproducible, counters included:
+                    // a disabled model must still count every candidate as
+                    // dispatched, so `considered` totals stay comparable.
+                    let on = gated_report.economics.expect("inline run must report economics");
+                    let off = ungated_report.economics.expect("inline run must report economics");
+                    assert_eq!(off.suppressed, 0, "{benchmark}: disabled gating suppressed");
+                    assert_eq!(
+                        on.dispatched + on.suppressed,
+                        on.considered,
+                        "{benchmark}: economics counters disagree ({on:?})"
+                    );
+                }
+                if let Some(stats) = gated_report.economics {
+                    emit_econ(benchmark, mode, &stats);
+                }
+            }
+        }
+    }
+
+    /// The chaotic logistic map is the value model's reason to exist: its
+    /// speculation never lands, so the gate must suppress most dispatches
+    /// (keeping only warm-up and probe leaks) while the predictable Collatz
+    /// workload keeps dispatching essentially everything.
+    #[test]
+    fn junk_workloads_are_throttled_and_learnable_ones_are_not() {
+        let logistic = build(Benchmark::LogisticMap, Scale::Tiny).unwrap();
+        let report = LascRuntime::new(config_for(Benchmark::LogisticMap, 0))
+            .unwrap()
+            .accelerate(&logistic.program)
+            .unwrap();
+        let stats = report.economics.unwrap();
+        assert!(
+            stats.suppressed > stats.dispatched,
+            "logistic speculation should be mostly suppressed ({stats:?})"
+        );
+        assert!(stats.probes > 0, "suppression must stay leaky ({stats:?})");
+        assert_eq!(stats.last_horizon, 1, "a chaotic rip must collapse the rollout horizon");
+        assert!(stats.suppressed_cost > 0.0);
+
+        let collatz = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+        let report = LascRuntime::new(config_for(Benchmark::Collatz, 0))
+            .unwrap()
+            .accelerate(&collatz.program)
+            .unwrap();
+        let stats = report.economics.unwrap();
+        assert!(
+            stats.dispatched >= 9 * stats.suppressed,
+            "collatz speculation should almost never be suppressed ({stats:?})"
+        );
+        assert!(stats.realized_hit_rate > 0.1, "collatz hits must register ({stats:?})");
+    }
+}
+
 /// Fault-soak mode (`--features fault-inject`): the supervision layer's
 /// claim is that *execution* failures — worker panics, runaway jobs,
 /// corrupted cache entries, a dead planner — only ever cost speed. These
