@@ -1,0 +1,129 @@
+//! Remote-tier benchmarks: the costs the distributed cache adds at a run's
+//! edges and on its miss path.
+//!
+//! * **snapshot_save / snapshot_load** — the warm-start tier's edge costs
+//!   over a ~2k-entry cache: one full codec encode (checksummed frames) to
+//!   a temp file, and the decode+verify+insert replay back out of it.
+//! * **remote_lookup_hit / remote_lookup_miss** — one GET round trip
+//!   against a loopback `CachePeer`: frame encode, socket write, the
+//!   peer's hash-indexed probe, reply decode and checksum verification.
+//!   This is the latency a local cache miss pays before falling back to
+//!   executing the superstep, so it is the number the deadline config must
+//!   be read against.
+//!
+//! All four feed `bench/baseline.json` through the blocking CI bench gate.
+
+use asc_core::cache::{CacheEntry, TrajectoryCache};
+use asc_core::remote::{codec, snapshot, CachePeer};
+use asc_tvm::delta::{PositionSchema, SparseBytes};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::Write;
+
+const RIP: u32 = 32;
+
+fn entry(deps: Vec<(u32, u8)>, instructions: u64) -> CacheEntry {
+    CacheEntry::new(
+        RIP,
+        SparseBytes::from_pairs(deps),
+        SparseBytes::from_pairs(vec![(200, 1)]),
+        instructions,
+    )
+}
+
+/// ~2k entries over one shared shape — the hit-heavy steady state whose
+/// snapshot a warm start replays.
+fn populated_cache() -> TrajectoryCache {
+    let cache = TrajectoryCache::with_layout(1 << 14, 16, 0);
+    for i in 0..2000u32 {
+        let value = (i % 251) as u8;
+        let tag = (i / 251) as u8;
+        cache.insert(entry(vec![(100, value), (101, tag), (4, 0)], 500));
+    }
+    cache
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let cache = populated_cache();
+    let path = std::env::temp_dir().join(format!("asc-bench-snapshot-{}", std::process::id()));
+
+    c.bench_function("snapshot_save_2k", |b| {
+        b.iter(|| snapshot::save(black_box(&cache), black_box(&path)).unwrap())
+    });
+
+    snapshot::save(&cache, &path).unwrap();
+    c.bench_function("snapshot_load_2k", |b| {
+        b.iter(|| {
+            let fresh = TrajectoryCache::with_layout(1 << 14, 16, 0);
+            let load = snapshot::load(black_box(&fresh), black_box(&path)).unwrap();
+            assert!(load.complete && load.rejected == 0);
+            load.loaded
+        })
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+/// One blocking GET round trip over an established loopback connection —
+/// the client half hand-rolled so the bench isolates wire cost from the
+/// runtime's backoff bookkeeping.
+fn get_round_trip(stream: &mut std::net::TcpStream, pairs: &[(u64, u64)]) -> Option<CacheEntry> {
+    let request = codec::encode_frame(codec::FrameKind::Get, &codec::encode_get(RIP, pairs));
+    stream.write_all(&request).unwrap();
+    let reply = codec::read_frame(stream).unwrap().expect("peer reply");
+    match reply.kind {
+        codec::FrameKind::GetHit => codec::decode_entry(&reply.payload),
+        codec::FrameKind::GetMiss => None,
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+fn bench_remote_lookup(c: &mut Criterion) {
+    let peer = CachePeer::bind("127.0.0.1:0", 1 << 14).unwrap();
+    let mut feed = std::net::TcpStream::connect(peer.local_addr()).unwrap();
+    feed.set_nodelay(true).unwrap();
+    let cache = populated_cache();
+    cache.for_each_entry(|e| {
+        let framed = codec::encode_frame(codec::FrameKind::Put, &codec::encode_entry(e));
+        feed.write_all(&framed).unwrap();
+    });
+    // Drain a STATS reply as the flush barrier before timing anything.
+    feed.write_all(&codec::encode_frame(codec::FrameKind::StatsRequest, &[])).unwrap();
+    codec::read_frame(&mut feed).unwrap().expect("stats reply");
+    assert_eq!(peer.len(), cache.len());
+
+    // The query pairs a real client would derive from its schema catalog.
+    let hit_entry = entry(vec![(100, 0), (101, 0), (4, 0)], 500);
+    let schema = PositionSchema::of(&hit_entry.start);
+    let mut hit_state = asc_tvm::state::StateVector::new(4096).unwrap();
+    for (position, value) in hit_entry.start.iter() {
+        hit_state.set_byte(position as usize, value);
+    }
+    let hit_pairs =
+        vec![(schema.hash(), schema.hash_values_of(&hit_state).expect("schema covers state"))];
+    let miss_pairs = vec![(schema.hash() ^ 0xdead_beef, 1u64)];
+
+    let mut stream = std::net::TcpStream::connect(peer.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    c.bench_function("remote_lookup_hit", |b| {
+        b.iter(|| {
+            let entry = get_round_trip(&mut stream, black_box(&hit_pairs));
+            assert!(entry.is_some(), "hit query must hit");
+            entry.unwrap().instructions
+        })
+    });
+    c.bench_function("remote_lookup_miss", |b| {
+        b.iter(|| {
+            assert!(get_round_trip(&mut stream, black_box(&miss_pairs)).is_none());
+        })
+    });
+    drop(stream);
+    drop(feed);
+    peer.shutdown();
+}
+
+criterion_group!(
+    name = remote;
+    config = Criterion::default().sample_size(10);
+    targets = bench_snapshot, bench_remote_lookup
+);
+criterion_main!(remote);

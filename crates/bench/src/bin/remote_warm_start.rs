@@ -1,0 +1,210 @@
+//! Two-process warm-start scenario driver for the CI `remote-tier` job.
+//!
+//! Three subcommands compose the scenario (no flags framework — positional
+//! `--key value` pairs parsed by hand, offline-container style):
+//!
+//! * `record --snapshot S --out A.txt` — process A: runs collatz
+//!   accelerated, saves its trajectory cache to `S`, and writes its final
+//!   hit rate and instruction volume to `A.txt` as `key=value` lines.
+//! * `serve --snapshot S --addr-out ADDR.txt` — a cache-peer process:
+//!   binds an ephemeral loopback port, pre-warms its store from `S`,
+//!   writes `host:port` to `ADDR.txt`, then serves until killed.
+//! * `replay --baseline A.txt [--snapshot S] [--peer ADDR] [--window 0.2]
+//!   [--min-ratio 0.8]` — process B: runs the same program under an
+//!   instruction budget of `window × A_total`, warm-started from the
+//!   snapshot and/or the peer, and **fails (exit 1) unless its
+//!   first-window hit rate reaches `min-ratio × A_final_rate`** — the
+//!   acceptance criterion for the warm start being real.
+//!
+//! The same binary also backs local reproduction:
+//!
+//! ```sh
+//! cargo run -p asc-bench --bin remote_warm_start -- record \
+//!     --snapshot /tmp/warm.snap --out /tmp/a.txt
+//! cargo run -p asc-bench --bin remote_warm_start -- serve \
+//!     --snapshot /tmp/warm.snap --addr-out /tmp/addr.txt &
+//! cargo run -p asc-bench --bin remote_warm_start -- replay \
+//!     --baseline /tmp/a.txt --peer "$(cat /tmp/addr.txt)"
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use asc_core::config::AscConfig;
+use asc_core::remote::CachePeer;
+use asc_core::runtime::{LascRuntime, RunReport};
+use asc_workloads::registry::{build, Benchmark, Scale};
+
+/// The scenario's fixed workload: collatz is the paper's cleanest
+/// high-hit-rate benchmark, so its warm start is unambiguous to assert on.
+fn workload() -> asc_workloads::registry::BuiltWorkload {
+    build(Benchmark::Collatz, Scale::Tiny).expect("collatz tiny builds")
+}
+
+fn base_config() -> AscConfig {
+    AscConfig {
+        explore_instructions: 5_000,
+        evaluation_occurrences: 6,
+        evaluation_training: 10,
+        candidate_count: 8,
+        min_superstep: 50,
+        rollout_depth: 8,
+        ..AscConfig::default()
+    }
+}
+
+fn hit_rate(report: &RunReport) -> f64 {
+    report.cache_stats.hits as f64 / report.cache_stats.queries.max(1) as f64
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut parsed = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --key, got {key}"));
+        };
+        let Some(value) = iter.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        parsed.insert(name.to_string(), value.clone());
+    }
+    Ok(parsed)
+}
+
+fn read_baseline(path: &str) -> Result<HashMap<String, String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Ok(text
+        .lines()
+        .filter_map(|line| line.split_once('='))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect())
+}
+
+fn run_record(args: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let snapshot = args.get("snapshot").ok_or("record needs --snapshot")?;
+    let out = args.get("out").ok_or("record needs --out")?;
+    let workload = workload();
+    let mut config = base_config();
+    config.remote.enabled = true;
+    config.remote.snapshot_save = Some(PathBuf::from(snapshot));
+    let report = LascRuntime::new(config)
+        .map_err(|e| e.to_string())?
+        .accelerate(&workload.program)
+        .map_err(|e| e.to_string())?;
+    if !report.halted || !workload.verify(&report.final_state) {
+        return Err("record run did not complete correctly".into());
+    }
+    let remote = report.remote.expect("remote tier was enabled");
+    if remote.snapshot_saved == 0 {
+        return Err(format!("record run saved no entries ({remote:?})"));
+    }
+    let rate = hit_rate(&report);
+    std::fs::write(
+        out,
+        format!(
+            "hit_rate={rate}\ntotal_instructions={}\nsnapshot_saved={}\n",
+            report.total_instructions, remote.snapshot_saved
+        ),
+    )
+    .map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "record: hit_rate={rate:.4} total={} saved={}",
+        report.total_instructions, remote.snapshot_saved
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_serve(args: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let addr_out = args.get("addr-out").ok_or("serve needs --addr-out")?;
+    let peer = CachePeer::bind("127.0.0.1:0", 1 << 18).map_err(|e| format!("bind: {e}"))?;
+    if let Some(snapshot) = args.get("snapshot") {
+        let (loaded, rejected) = peer
+            .load_snapshot(std::path::Path::new(snapshot))
+            .map_err(|e| format!("load {snapshot}: {e}"))?;
+        println!("serve: loaded={loaded} rejected={rejected}");
+        if loaded == 0 {
+            return Err("peer loaded no entries from the snapshot".into());
+        }
+    }
+    std::fs::write(addr_out, peer.local_addr().to_string())
+        .map_err(|e| format!("write {addr_out}: {e}"))?;
+    println!("serve: listening on {}", peer.local_addr());
+    // Serve until killed: the accept thread owns the work; this thread just
+    // keeps the process (and the `CachePeer`) alive.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_replay(args: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let baseline = read_baseline(args.get("baseline").ok_or("replay needs --baseline")?)?;
+    let a_rate: f64 =
+        baseline.get("hit_rate").and_then(|v| v.parse().ok()).ok_or("baseline missing hit_rate")?;
+    let a_total: u64 = baseline
+        .get("total_instructions")
+        .and_then(|v| v.parse().ok())
+        .ok_or("baseline missing total_instructions")?;
+    let window: f64 =
+        args.get("window").map_or(Ok(0.2), |v| v.parse().map_err(|_| "bad --window"))?;
+    let min_ratio: f64 =
+        args.get("min-ratio").map_or(Ok(0.8), |v| v.parse().map_err(|_| "bad --min-ratio"))?;
+
+    let workload = workload();
+    let mut config = base_config();
+    config.remote.enabled = true;
+    config.instruction_budget = ((a_total as f64 * window) as u64).max(50_000);
+    if let Some(snapshot) = args.get("snapshot") {
+        config.remote.snapshot_load = Some(PathBuf::from(snapshot));
+    }
+    if let Some(peer) = args.get("peer") {
+        config.remote.peer = Some(peer.clone());
+    }
+    if config.remote.snapshot_load.is_none() && config.remote.peer.is_none() {
+        return Err("replay needs --snapshot and/or --peer".into());
+    }
+    let report = LascRuntime::new(config)
+        .map_err(|e| e.to_string())?
+        .accelerate(&workload.program)
+        .map_err(|e| e.to_string())?;
+    let remote = report.remote.expect("remote tier was enabled");
+    let b_rate = hit_rate(&report);
+    let floor = min_ratio * a_rate;
+    println!(
+        "replay: first-window hit_rate={b_rate:.4} (A final {a_rate:.4}, floor {floor:.4}) \
+         remote={remote:?}"
+    );
+    if remote.snapshot_loaded == 0 && remote.remote_hits == 0 {
+        eprintln!("replay: warm start never engaged (no snapshot entries, no peer hits)");
+        return Ok(ExitCode::FAILURE);
+    }
+    if b_rate < floor {
+        eprintln!("replay: FAILED — warm start too cold ({b_rate:.4} < {floor:.4})");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("replay: OK");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("usage: remote_warm_start <record|serve|replay> --key value ...");
+        return ExitCode::FAILURE;
+    };
+    let result = parse_args(rest).and_then(|parsed| match command.as_str() {
+        "record" => run_record(&parsed),
+        "serve" => run_serve(&parsed),
+        "replay" => run_replay(&parsed),
+        other => Err(format!("unknown subcommand {other}")),
+    });
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("remote_warm_start {command}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

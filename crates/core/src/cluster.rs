@@ -246,6 +246,7 @@ mod tests {
             ensemble_errors: None,
             weight_matrix: None,
             cache_stats: Default::default(),
+            remote: None,
             speculation: None,
             planner: None,
             health: Default::default(),

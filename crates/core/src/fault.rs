@@ -70,6 +70,7 @@ impl Default for FaultPlan {
 /// draws independently for each fault class.
 const STREAM_JOB: u64 = 0x6a6f_625f;
 const STREAM_SPAWN: u64 = 0x7370_6177_6e5f;
+const STREAM_FRAME: u64 = 0x6672_616d_655f;
 
 fn event_rng(seed: u64, stream: u64, ordinal: u64) -> XorShiftRng {
     XorShiftRng::new(seed ^ stream ^ fnv1a(ordinal.to_le_bytes()))
@@ -82,6 +83,7 @@ pub struct FaultState {
     plan: FaultPlan,
     job_ordinal: AtomicU64,
     spawn_ordinal: AtomicU64,
+    frame_ordinal: AtomicU64,
     planner_killed: AtomicBool,
 }
 
@@ -92,6 +94,7 @@ impl FaultState {
             plan,
             job_ordinal: AtomicU64::new(0),
             spawn_ordinal: AtomicU64::new(0),
+            frame_ordinal: AtomicU64::new(0),
             planner_killed: AtomicBool::new(false),
         }
     }
@@ -122,6 +125,20 @@ impl FaultState {
     pub fn sample_spawn_failure(&self) -> bool {
         let ordinal = self.spawn_ordinal.fetch_add(1, Ordering::Relaxed);
         event_rng(self.plan.seed, STREAM_SPAWN, ordinal).gen_bool(self.plan.spawn_failure_rate)
+    }
+
+    /// Draws the corruption decision for the next wire frame a cache peer
+    /// sends: `Some(selector)` flips a payload bit chosen by `selector`
+    /// before the frame leaves the peer, exercising the codec's
+    /// checksum/length rejection path end to end. Reuses the plan's
+    /// `entry_corruption_rate` (both classes model the same physical fault —
+    /// a damaged entry payload — at different boundaries) on its own stream,
+    /// so enabling frame corruption never perturbs the in-process corruption
+    /// pattern a seed produces.
+    pub fn sample_frame_corruption(&self) -> Option<u64> {
+        let ordinal = self.frame_ordinal.fetch_add(1, Ordering::Relaxed);
+        let mut rng = event_rng(self.plan.seed, STREAM_FRAME, ordinal);
+        rng.gen_bool(self.plan.entry_corruption_rate).then(|| rng.next_u64())
     }
 
     /// Whether the planner dies at occurrence `ordinal` — fires exactly
@@ -199,6 +216,24 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(state.sample_job().count(), 0);
         }
+    }
+
+    #[test]
+    fn frame_corruption_is_deterministic_and_independent() {
+        let plan = FaultPlan { seed: 11, entry_corruption_rate: 0.5, ..FaultPlan::default() };
+        let a = FaultState::new(plan.clone());
+        let b = FaultState::new(plan.clone());
+        let pattern_a: Vec<_> = (0..200).map(|_| a.sample_frame_corruption()).collect();
+        let pattern_b: Vec<_> = (0..200).map(|_| b.sample_frame_corruption()).collect();
+        assert_eq!(pattern_a, pattern_b);
+        let fired = pattern_a.iter().filter(|c| c.is_some()).count();
+        assert!((50..150).contains(&fired), "got {fired}");
+        // Its own stream: drawing frame decisions must not shift the job
+        // corruption pattern the same seed produces.
+        let fresh = FaultState::new(plan);
+        let jobs_fresh: Vec<_> = (0..50).map(|_| fresh.sample_job().corrupt).collect();
+        let jobs_after: Vec<_> = (0..50).map(|_| a.sample_job().corrupt).collect();
+        assert_eq!(jobs_fresh, jobs_after);
     }
 
     #[test]

@@ -35,6 +35,9 @@
 //!   ever cost speed — including *execution* failures).
 //! * [`cluster`] — platform cost models that turn a measured trace into the
 //!   paper's scaling curves (32-core server, Blue Gene/P, laptop).
+//! * [`remote`] — the distributed cache tier: a versioned wire codec, TCP
+//!   cache peers shared between runs, and on-disk snapshots for persistent
+//!   warm starts (the paper's cluster-shared trajectory cache, §5).
 //!
 //! ## Quick example
 //!
@@ -69,6 +72,7 @@ pub mod fault;
 pub mod planner;
 pub mod predictor_bank;
 pub mod recognizer;
+pub mod remote;
 pub mod runtime;
 pub mod speculator;
 pub mod supervisor;
@@ -76,13 +80,16 @@ pub mod workers;
 
 pub use cache::{CacheEntry, CacheStats, TrajectoryCache};
 pub use cluster::{PlatformProfile, ScalingMode, ScalingPoint};
-pub use config::{AscConfig, BreakerConfig, EconomicsConfig, PlannerConfig, PredictorComplement};
+pub use config::{
+    AscConfig, BreakerConfig, EconomicsConfig, PlannerConfig, PredictorComplement, RemoteConfig,
+};
 pub use economics::{EconomicsStats, SpeculationEconomics};
 pub use error::{AscError, AscResult};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
 pub use planner::{OccurrenceEvent, PlannerHandle, PlannerStats};
 pub use recognizer::{RecognizedIp, RecognizerOutcome};
+pub use remote::{CachePeer, RemoteStats};
 pub use runtime::{LascRuntime, RunReport, SuperstepRecord};
 pub use supervisor::{BreakerState, CircuitBreaker, HealthMonitor, HealthStats, Supervision};
 pub use workers::{PoolStats, SpeculationJob, SpeculationPool};

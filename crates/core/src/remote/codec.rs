@@ -1,0 +1,434 @@
+//! The versioned, length-prefixed wire codec shared by the cache-peer
+//! protocol and the on-disk snapshot format.
+//!
+//! Every frame is `magic (4) + version (u16 LE) + kind (u8) + payload
+//! length (u32 LE) + payload`. The decoder rejects — as
+//! [`std::io::ErrorKind::InvalidData`] — anything with a wrong magic, an
+//! unknown version or kind, or an oversized length, and every payload
+//! decoder demands *exact* consumption, so a truncated or bit-flipped frame
+//! is always detected rather than silently reinterpreted. Entry payloads
+//! additionally carry the [`CacheEntry`] integrity checksum they were
+//! sealed with: [`decode_entry`] rebuilds the entry *with* that checksum
+//! (never re-deriving it — that would launder corruption into a
+//! freshly-sealed valid entry) and drops anything
+//! [`CacheEntry::verify`] rejects. Corruption anywhere between two caches
+//! therefore costs one dropped frame, never a wrong fast-forward — the same
+//! "free to fail" economy as speculation itself.
+
+use std::io::{self, Read};
+
+use asc_tvm::delta::{PositionSchema, SparseBytes};
+
+use crate::cache::{CacheEntry, CacheStats, CACHE_STATS_WIRE_LEN};
+
+/// Frame magic: "ASCF".
+pub const MAGIC: [u8; 4] = *b"ASCF";
+/// Wire-format version; bumped on any incompatible layout change.
+pub const VERSION: u16 = 1;
+/// Fixed frame-header length: magic + version + kind + payload length.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+/// Upper bound on one frame's payload (64 MiB) — far above any real entry,
+/// low enough that a corrupted length field cannot ask the reader to
+/// allocate the address space.
+pub const MAX_PAYLOAD: u32 = 1 << 26;
+
+/// What a frame carries; the protocol's message vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → peer: probe for `(rip, position-hash, value-hash)` pairs.
+    Get = 0,
+    /// Peer → client: the GET matched; payload is one entry.
+    GetHit = 1,
+    /// Peer → client: the GET matched nothing; empty payload.
+    GetMiss = 2,
+    /// Client → peer: store one entry (write-behind; no reply).
+    Put = 3,
+    /// Client → peer: request the peer's cache counters.
+    StatsRequest = 4,
+    /// Peer → client: serialized [`CacheStats`].
+    StatsReply = 5,
+    /// Client → peer: request a bulk transfer of every live entry.
+    SnapshotRequest = 6,
+    /// First frame of a snapshot stream: serialized stats + entry count.
+    SnapshotHeader = 7,
+    /// One entry of a snapshot stream (same payload as `GetHit`/`Put`).
+    Entry = 8,
+    /// Terminates a snapshot stream; empty payload. A stream that ends
+    /// without it was truncated.
+    SnapshotEnd = 9,
+}
+
+impl FrameKind {
+    fn from_byte(byte: u8) -> Option<FrameKind> {
+        Some(match byte {
+            0 => FrameKind::Get,
+            1 => FrameKind::GetHit,
+            2 => FrameKind::GetMiss,
+            3 => FrameKind::Put,
+            4 => FrameKind::StatsRequest,
+            5 => FrameKind::StatsReply,
+            6 => FrameKind::SnapshotRequest,
+            7 => FrameKind::SnapshotHeader,
+            8 => FrameKind::Entry,
+            9 => FrameKind::SnapshotEnd,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame: its kind and raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The message kind from the frame header.
+    pub kind: FrameKind,
+    /// The payload bytes, exactly as framed.
+    pub payload: Vec<u8>,
+}
+
+fn malformed(what: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}
+
+/// Encodes one frame: header + payload, ready for a single `write_all`.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize, "oversized frame payload");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(kind as u8);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Reads one frame, or `None` on a clean end-of-stream (EOF before the
+/// first header byte — how a peer closes a connection, and how a snapshot
+/// file ends early without its `SnapshotEnd`).
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] for a malformed header (wrong magic,
+/// unknown version/kind, oversized length); [`io::ErrorKind::UnexpectedEof`]
+/// for a stream truncated mid-frame; any other I/O error as-is.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    // Distinguish a clean close (EOF at a frame boundary) from truncation:
+    // zero bytes of a new frame is the former, a partial header the latter.
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        match reader.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated header")),
+            n => filled += n,
+        }
+    }
+    if header[..4] != MAGIC {
+        return Err(malformed("bad frame magic"));
+    }
+    if u16::from_le_bytes([header[4], header[5]]) != VERSION {
+        return Err(malformed("unsupported frame version"));
+    }
+    let Some(kind) = FrameKind::from_byte(header[6]) else {
+        return Err(malformed("unknown frame kind"));
+    };
+    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+    if len > MAX_PAYLOAD {
+        return Err(malformed("oversized frame payload"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+fn take_u32(bytes: &[u8], at: &mut usize) -> Option<u32> {
+    let word = bytes.get(*at..*at + 4)?;
+    *at += 4;
+    Some(u32::from_le_bytes(word.try_into().ok()?))
+}
+
+fn take_u64(bytes: &[u8], at: &mut usize) -> Option<u64> {
+    let word = bytes.get(*at..*at + 8)?;
+    *at += 8;
+    Some(u64::from_le_bytes(word.try_into().ok()?))
+}
+
+/// Encodes one entry payload: rip, instruction count, the checksum it was
+/// sealed with, then both sparse sets.
+pub fn encode_entry(entry: &CacheEntry) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(4 + 8 + 8 + entry.start.encoded_len() + entry.end.encoded_len());
+    buf.extend_from_slice(&entry.rip.to_le_bytes());
+    buf.extend_from_slice(&entry.instructions.to_le_bytes());
+    buf.extend_from_slice(&entry.checksum().to_le_bytes());
+    entry.start.encode_into(&mut buf);
+    entry.end.encode_into(&mut buf);
+    buf
+}
+
+/// Decodes (and integrity-checks) one entry payload. Returns `None` for any
+/// malformed, truncated, over-long or checksum-failing payload — the caller
+/// counts it as a rejected frame and moves on.
+pub fn decode_entry(payload: &[u8]) -> Option<CacheEntry> {
+    let mut at = 0usize;
+    let rip = take_u32(payload, &mut at)?;
+    let instructions = take_u64(payload, &mut at)?;
+    let checksum = take_u64(payload, &mut at)?;
+    let (start, used) = SparseBytes::decode_from(&payload[at..])?;
+    at += used;
+    let (end, used) = SparseBytes::decode_from(&payload[at..])?;
+    at += used;
+    if at != payload.len() {
+        return None;
+    }
+    let entry = CacheEntry::from_parts_unchecked(rip, start, end, instructions, checksum);
+    entry.verify().then_some(entry)
+}
+
+/// Encodes a GET payload: the rip plus every `(position-hash, value-hash)`
+/// pair the client computed from its schema catalog.
+pub fn encode_get(rip: u32, pairs: &[(u64, u64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + 4 + pairs.len() * 16);
+    buf.extend_from_slice(&rip.to_le_bytes());
+    buf.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for &(position_hash, value_hash) in pairs {
+        buf.extend_from_slice(&position_hash.to_le_bytes());
+        buf.extend_from_slice(&value_hash.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes a GET payload; `None` on any malformation.
+pub fn decode_get(payload: &[u8]) -> Option<(u32, Vec<(u64, u64)>)> {
+    let mut at = 0usize;
+    let rip = take_u32(payload, &mut at)?;
+    let count = take_u32(payload, &mut at)? as usize;
+    if payload.len() != at + count.checked_mul(16)? {
+        return None;
+    }
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let position_hash = take_u64(payload, &mut at)?;
+        let value_hash = take_u64(payload, &mut at)?;
+        pairs.push((position_hash, value_hash));
+    }
+    Some((rip, pairs))
+}
+
+/// Encodes a snapshot-stream header: the exporting cache's counters plus
+/// the number of entry frames that follow.
+pub fn encode_snapshot_header(stats: &CacheStats, count: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(CACHE_STATS_WIRE_LEN + 8);
+    buf.extend_from_slice(&stats.to_le_bytes());
+    buf.extend_from_slice(&count.to_le_bytes());
+    buf
+}
+
+/// Decodes a snapshot-stream header; `None` on any malformation.
+pub fn decode_snapshot_header(payload: &[u8]) -> Option<(CacheStats, u64)> {
+    if payload.len() != CACHE_STATS_WIRE_LEN + 8 {
+        return None;
+    }
+    let stats = CacheStats::from_le_bytes(&payload[..CACHE_STATS_WIRE_LEN])?;
+    let count = u64::from_le_bytes(payload[CACHE_STATS_WIRE_LEN..].try_into().ok()?);
+    Some((stats, count))
+}
+
+/// Re-encodes a schema through the TVM wire hooks — exercised by the
+/// property tests; the protocol itself ships schemas only inside entries'
+/// sparse sets (the hash is recomputed on decode, never trusted from the
+/// wire).
+pub fn schema_roundtrip(schema: &PositionSchema) -> Option<PositionSchema> {
+    let mut buf = Vec::new();
+    schema.encode_into(&mut buf);
+    let (decoded, used) = PositionSchema::decode_from(&buf)?;
+    (used == buf.len()).then_some(decoded)
+}
+
+/// Flips one bit of a framed message's *payload* chosen by `selector`,
+/// leaving the header intact — the fault injector's model of a link that
+/// corrupts data in flight (a damaged header is already rejected by the
+/// magic/version/length checks; the payload bit-flip is the corruption only
+/// the checksum can catch). No-op on an empty payload.
+#[cfg(feature = "fault-inject")]
+pub fn corrupt_frame(frame: &mut [u8], selector: u64) {
+    if frame.len() <= HEADER_LEN {
+        return;
+    }
+    let payload_len = frame.len() - HEADER_LEN;
+    let byte = HEADER_LEN + (selector as usize) % payload_len;
+    let bit = ((selector >> 32) & 7) as u32;
+    frame[byte] ^= 1u8 << bit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_learn::rng::{Rng, XorShiftRng};
+
+    fn random_entry(rng: &mut XorShiftRng) -> CacheEntry {
+        let sparse = |rng: &mut XorShiftRng| {
+            let len = (rng.next_u64() % 24) as usize;
+            let pairs: Vec<(u32, u8)> = (0..len)
+                .map(|_| ((rng.next_u64() % 4096) as u32, (rng.next_u64() & 0xff) as u8))
+                .collect();
+            SparseBytes::from_pairs(pairs)
+        };
+        let start = sparse(rng);
+        let end = sparse(rng);
+        CacheEntry::new((rng.next_u64() & 0xffff_ffff) as u32, start, end, rng.next_u64() >> 20)
+    }
+
+    #[test]
+    fn entry_roundtrip_is_bit_identical_including_checksum() {
+        let mut rng = XorShiftRng::new(0xA5C0);
+        for _ in 0..200 {
+            let entry = random_entry(&mut rng);
+            let payload = encode_entry(&entry);
+            let decoded = decode_entry(&payload).expect("well-formed payload decodes");
+            // Derived PartialEq includes the private checksum field.
+            assert_eq!(decoded, entry);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let mut rng = XorShiftRng::new(7);
+        for _ in 0..8 {
+            let entry = random_entry(&mut rng);
+            let payload = encode_entry(&entry);
+            for byte in 0..payload.len() {
+                for bit in 0..8 {
+                    let mut flipped = payload.clone();
+                    flipped[byte] ^= 1u8 << bit;
+                    // A flip may still parse structurally (e.g. in padding-free
+                    // value bytes), but then the checksum refuses it; a flip in
+                    // a length field breaks exact consumption. Either way the
+                    // decode must not return an entry that differs from the
+                    // original while claiming validity.
+                    if let Some(decoded) = decode_entry(&flipped) {
+                        panic!(
+                            "bit flip at byte {byte} bit {bit} decoded as a valid entry \
+                             (rip {}, {} instructions)",
+                            decoded.rip, decoded.instructions
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let mut rng = XorShiftRng::new(99);
+        for _ in 0..8 {
+            let entry = random_entry(&mut rng);
+            let payload = encode_entry(&entry);
+            for cut in 0..payload.len() {
+                assert!(
+                    decode_entry(&payload[..cut]).is_none(),
+                    "prefix of length {cut} decoded as a valid entry"
+                );
+            }
+            // Trailing garbage breaks exact consumption too.
+            let mut extended = payload.clone();
+            extended.push(0);
+            assert!(decode_entry(&extended).is_none());
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_header_rejections() {
+        let entry = random_entry(&mut XorShiftRng::new(3));
+        let payload = encode_entry(&entry);
+        let framed = encode_frame(FrameKind::Put, &payload);
+        assert_eq!(framed.len(), HEADER_LEN + payload.len());
+
+        let mut reader = std::io::Cursor::new(framed.clone());
+        let frame = read_frame(&mut reader).unwrap().expect("one frame present");
+        assert_eq!(frame.kind, FrameKind::Put);
+        assert_eq!(frame.payload, payload);
+        // Clean EOF at the boundary, not an error.
+        assert!(read_frame(&mut reader).unwrap().is_none());
+
+        // Wrong magic.
+        let mut bad = framed.clone();
+        bad[0] ^= 1;
+        let err = read_frame(&mut std::io::Cursor::new(bad)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Unknown version.
+        let mut bad = framed.clone();
+        bad[4] = 0xff;
+        assert!(read_frame(&mut std::io::Cursor::new(bad)).is_err());
+        // Unknown kind.
+        let mut bad = framed.clone();
+        bad[6] = 0xff;
+        assert!(read_frame(&mut std::io::Cursor::new(bad)).is_err());
+        // Oversized length field.
+        let mut bad = framed.clone();
+        bad[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(read_frame(&mut std::io::Cursor::new(bad)).is_err());
+        // Truncation mid-header and mid-payload.
+        for cut in 1..framed.len() {
+            let err = read_frame(&mut std::io::Cursor::new(framed[..cut].to_vec())).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn get_payload_roundtrips_and_rejects_malformation() {
+        let pairs: Vec<(u64, u64)> = (0..5).map(|i| (i * 31, i * 17 + 1)).collect();
+        let payload = encode_get(42, &pairs);
+        assert_eq!(decode_get(&payload), Some((42, pairs.clone())));
+        assert!(decode_get(&payload[..payload.len() - 1]).is_none());
+        let mut extended = payload.clone();
+        extended.push(0);
+        assert!(decode_get(&extended).is_none());
+        // A count field inflated past the actual payload rejects.
+        let mut lying = payload.clone();
+        lying[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_get(&lying).is_none());
+        assert_eq!(decode_get(&encode_get(7, &[])), Some((7, Vec::new())));
+    }
+
+    #[test]
+    fn snapshot_header_roundtrips() {
+        let cache = crate::cache::TrajectoryCache::new(16);
+        cache.insert(random_entry(&mut XorShiftRng::new(5)));
+        let stats = cache.stats();
+        let payload = encode_snapshot_header(&stats, 123);
+        let (decoded, count) = decode_snapshot_header(&payload).unwrap();
+        assert_eq!(count, 123);
+        assert_eq!(decoded.inserted, stats.inserted);
+        assert!(decode_snapshot_header(&payload[..payload.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn schema_wire_roundtrip_survives() {
+        let mut rng = XorShiftRng::new(13);
+        for _ in 0..50 {
+            let len = (rng.next_u64() % 16) as usize;
+            let pairs: Vec<(u32, u8)> =
+                (0..len).map(|_| ((rng.next_u64() % 4096) as u32, 1)).collect();
+            let schema = PositionSchema::of(&SparseBytes::from_pairs(pairs));
+            let decoded = schema_roundtrip(&schema).expect("well-formed schema");
+            assert_eq!(decoded.positions(), schema.positions());
+            assert_eq!(decoded.hash(), schema.hash());
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn corrupt_frame_flips_exactly_one_payload_bit() {
+        let entry = random_entry(&mut XorShiftRng::new(21));
+        let framed = encode_frame(FrameKind::GetHit, &encode_entry(&entry));
+        for selector in [0u64, 1, 0xdead_beef, u64::MAX, 1 << 40] {
+            let mut corrupted = framed.clone();
+            corrupt_frame(&mut corrupted, selector);
+            assert_eq!(corrupted[..HEADER_LEN], framed[..HEADER_LEN], "header untouched");
+            let differing: usize =
+                corrupted.iter().zip(&framed).map(|(a, b)| (a ^ b).count_ones() as usize).sum();
+            assert_eq!(differing, 1, "selector {selector}");
+            let frame = read_frame(&mut std::io::Cursor::new(corrupted)).unwrap().unwrap();
+            assert!(decode_entry(&frame.payload).is_none(), "corruption must not decode");
+        }
+    }
+}

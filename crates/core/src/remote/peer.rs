@@ -1,0 +1,299 @@
+//! The cache-peer server: a TCP process other runs GET from, PUT to, and
+//! bulk-transfer snapshots out of.
+//!
+//! One blocking accept thread, one thread per connection, all under the
+//! supervision layer's failure model: a connection handler that panics is
+//! contained by `catch_unwind` and counted in the shared
+//! [`HealthMonitor`] exactly like a speculation-worker panic — the peer
+//! keeps serving its other connections. Malformed frames are counted in
+//! [`CachePeer::frames_rejected`] and the offending connection dropped (a
+//! framing error means the stream lost sync; there is nothing to salvage),
+//! but a structurally valid `Put` whose entry fails its checksum only
+//! drops that entry. The peer's store is its own [`TrajectoryCache`] with
+//! the junk filter disabled: the peer sees no lookups of its own, so
+//! probe-based junk evidence would never accumulate and the filter would
+//! only starve admission.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::cache::{CacheEntry, CacheStats, TrajectoryCache};
+use crate::remote::codec::{self, Frame, FrameKind};
+use crate::supervisor::HealthMonitor;
+
+/// The injector handle [`CachePeer::bind`] threads through: the fault state
+/// under `fault-inject`, nothing otherwise (so production builds carry no
+/// injection plumbing at all).
+#[cfg(feature = "fault-inject")]
+type FaultHandle = Option<Arc<crate::fault::FaultState>>;
+#[cfg(not(feature = "fault-inject"))]
+type FaultHandle = ();
+
+/// State shared between the accept loop and every connection handler.
+struct PeerShared {
+    store: Arc<TrajectoryCache>,
+    health: Arc<HealthMonitor>,
+    frames_rejected: AtomicU64,
+    shutting_down: AtomicBool,
+    /// One cloned handle per live connection so shutdown can unblock their
+    /// reads; a connection removes nothing (the list is short-lived and
+    /// shutdown-only), it just tolerates already-closed sockets.
+    conns: Mutex<Vec<TcpStream>>,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<crate::fault::FaultState>>,
+}
+
+impl PeerShared {
+    /// Frames the payload and — under fault injection — flips a payload bit
+    /// on entry-carrying replies before they leave the peer, exercising the
+    /// client's rejection path over a real socket.
+    fn framed_reply(&self, kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+        #[allow(unused_mut)]
+        let mut bytes = codec::encode_frame(kind, payload);
+        #[cfg(feature = "fault-inject")]
+        if matches!(kind, FrameKind::GetHit | FrameKind::Entry) {
+            if let Some(faults) = &self.faults {
+                if let Some(selector) = faults.sample_frame_corruption() {
+                    codec::corrupt_frame(&mut bytes, selector);
+                    self.health.record_injected_faults(1);
+                }
+            }
+        }
+        bytes
+    }
+}
+
+/// A running cache-peer server; see the module docs. Dropping it without
+/// [`shutdown`](CachePeer::shutdown) leaves the threads serving until the
+/// process exits — the CI warm-start scenario relies on exactly that
+/// (process B's runs end while the peer keeps serving).
+pub struct CachePeer {
+    addr: SocketAddr,
+    shared: Arc<PeerShared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl CachePeer {
+    /// Binds and starts serving on `addr` (use port 0 for an ephemeral
+    /// port; [`local_addr`](CachePeer::local_addr) reports the real one).
+    /// `capacity` bounds the peer's store.
+    ///
+    /// # Errors
+    /// Propagates bind/spawn failures — a peer that cannot serve should
+    /// fail loudly at startup; it is the *clients* that degrade gracefully.
+    pub fn bind(addr: &str, capacity: usize) -> io::Result<CachePeer> {
+        Self::bind_inner(addr, capacity, FaultHandle::default())
+    }
+
+    /// [`bind`](CachePeer::bind) with a fault injector corrupting a
+    /// deterministic fraction of entry-carrying reply frames.
+    #[cfg(feature = "fault-inject")]
+    pub fn bind_faulty(
+        addr: &str,
+        capacity: usize,
+        faults: Arc<crate::fault::FaultState>,
+    ) -> io::Result<CachePeer> {
+        Self::bind_inner(addr, capacity, Some(faults))
+    }
+
+    fn bind_inner(addr: &str, capacity: usize, _faults: FaultHandle) -> io::Result<CachePeer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(PeerShared {
+            store: Arc::new(TrajectoryCache::with_junk_threshold(capacity, 0)),
+            health: Arc::new(HealthMonitor::default()),
+            frames_rejected: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            #[cfg(feature = "fault-inject")]
+            faults: _faults,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("asc-peer-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(CachePeer { addr, shared, accept_handle: Some(accept_handle) })
+    }
+
+    /// The address the peer is actually serving on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The peer store's counters (its `inserted` is the PUT volume; it
+    /// performs no lookups of its own, so `queries` stays zero).
+    pub fn stats(&self) -> CacheStats {
+        self.shared.store.stats()
+    }
+
+    /// Live entries in the peer's store.
+    pub fn len(&self) -> usize {
+        self.shared.store.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Malformed or checksum-failing frames received (and dropped) so far.
+    pub fn frames_rejected(&self) -> u64 {
+        self.shared.frames_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Contained connection-handler panics so far.
+    pub fn contained_panics(&self) -> u64 {
+        self.shared.health.worker_panics()
+    }
+
+    /// Pre-warms the peer's store from a snapshot file, returning
+    /// `(loaded, rejected)` — the `serve` half of the warm-start story.
+    ///
+    /// # Errors
+    /// Propagates open/read failures on the snapshot file itself; corrupt
+    /// individual entries are counted in `rejected`, not errors.
+    pub fn load_snapshot(&self, path: &std::path::Path) -> io::Result<(u64, u64)> {
+        let load = crate::remote::snapshot::load(&self.shared.store, path)?;
+        Ok((load.loaded, load.rejected))
+    }
+
+    /// Stops accepting, unblocks and joins every connection handler, then
+    /// joins the accept thread. Entries already stored are dropped with the
+    /// peer — persistence is the snapshot tier's job.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the handlers first, then the accept loop: a handler
+        // blocked in read would otherwise never observe the flag.
+        let conns = std::mem::take(&mut *lock(&self.shared.conns));
+        for conn in conns {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the accept loop with a throw-away connection; it checks the
+        // flag before handling anything.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<PeerShared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while let Ok((stream, _)) = listener.accept() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            lock(&shared.conns).push(clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new().name("asc-peer-conn".into()).spawn(move || {
+            // Same containment as a speculation worker: a panicking handler
+            // is counted and its connection dies; the peer keeps serving.
+            if catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &conn_shared))).is_err() {
+                conn_shared.health.record_worker_panics(1);
+            }
+        });
+        match spawned {
+            Ok(handle) => handlers.push(handle),
+            Err(_) => shared.health.record_spawn_failures(1),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// One connection's request/reply loop. Any I/O failure (including the
+/// client closing) ends the loop; an `InvalidData` framing error is counted
+/// first.
+fn serve_connection(stream: TcpStream, shared: &PeerShared) {
+    let mut reader = io::BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let frame = match codec::read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(error) => {
+                if error.kind() == io::ErrorKind::InvalidData {
+                    shared.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        };
+        if handle_frame(&frame, shared, &mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_frame(frame: &Frame, shared: &PeerShared, writer: &mut TcpStream) -> io::Result<()> {
+    match frame.kind {
+        FrameKind::Get => {
+            let reply = match codec::decode_get(&frame.payload) {
+                Some((rip, pairs)) => match shared.store.probe_by_hashes(rip, &pairs) {
+                    Some(entry) => {
+                        shared.framed_reply(FrameKind::GetHit, &codec::encode_entry(&entry))
+                    }
+                    None => codec::encode_frame(FrameKind::GetMiss, &[]),
+                },
+                None => {
+                    shared.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                    codec::encode_frame(FrameKind::GetMiss, &[])
+                }
+            };
+            writer.write_all(&reply)
+        }
+        // Write-behind is fire-and-forget: no reply, and a checksum-failing
+        // entry costs exactly that entry.
+        FrameKind::Put => {
+            match codec::decode_entry(&frame.payload) {
+                Some(entry) => {
+                    shared.store.insert(entry);
+                }
+                None => {
+                    shared.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        }
+        FrameKind::StatsRequest => {
+            let reply =
+                codec::encode_frame(FrameKind::StatsReply, &shared.store.stats().to_le_bytes());
+            writer.write_all(&reply)
+        }
+        FrameKind::SnapshotRequest => {
+            // Export is a point-in-time walk (see `for_each_entry`); the
+            // count is taken from the collected batch so header and stream
+            // always agree.
+            let mut entries: Vec<CacheEntry> = Vec::new();
+            shared.store.for_each_entry(|entry| entries.push(entry.clone()));
+            let header = codec::encode_frame(
+                FrameKind::SnapshotHeader,
+                &codec::encode_snapshot_header(&shared.store.stats(), entries.len() as u64),
+            );
+            writer.write_all(&header)?;
+            for entry in &entries {
+                let framed = shared.framed_reply(FrameKind::Entry, &codec::encode_entry(entry));
+                writer.write_all(&framed)?;
+            }
+            writer.write_all(&codec::encode_frame(FrameKind::SnapshotEnd, &[]))
+        }
+        // A reply kind arriving at the server is a protocol violation.
+        _ => {
+            shared.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            Err(io::Error::new(io::ErrorKind::InvalidData, "reply frame sent to server"))
+        }
+    }
+}

@@ -109,6 +109,7 @@ use crate::error::AscResult;
 use crate::planner::{OccurrenceEvent, PlannerHandle, PlannerOutcome, PlannerStats};
 use crate::predictor_bank::PredictorBank;
 use crate::recognizer::{recognize, RecognizedIp};
+use crate::remote::{RemoteStats, RemoteTier};
 use crate::speculator::{execute_superstep_with, SpeculationScratch};
 use crate::supervisor::{CircuitBreaker, HealthStats, Supervision};
 use crate::workers::{PoolStats, SpeculationJob, SpeculationPool};
@@ -189,6 +190,12 @@ pub struct RunReport {
     /// `measure` and `memoize`, which dispatch no speculation, and for a
     /// planned run whose planner died before reporting).
     pub economics: Option<EconomicsStats>,
+    /// Remote-tier counters — peer hits/timeouts, rejected frames, snapshot
+    /// traffic and whether the run degraded to local-only (populated by
+    /// [`LascRuntime::accelerate`] when
+    /// [`RemoteConfig::enabled`](crate::config::RemoteConfig::enabled);
+    /// `None` otherwise and for `measure` / `memoize`).
+    pub remote: Option<RemoteStats>,
     /// The final state of the program.
     pub final_state: StateVector,
     /// Whether the program ran to completion (halted).
@@ -303,6 +310,7 @@ struct MissDriven<'a> {
     driver: &'a mut BreakerDriver,
     supervision: &'a Supervision,
     economics: &'a mut SpeculationEconomics,
+    remote: Option<&'a RemoteTier>,
     resume_instret: u64,
     fast_forwarded: &'a mut u64,
     halted: &'a mut bool,
@@ -429,6 +437,7 @@ impl LascRuntime {
             planner: None,
             health: HealthStats::default(),
             economics: None,
+            remote: None,
             final_state: machine.into_state(),
             halted,
         })
@@ -460,6 +469,11 @@ impl LascRuntime {
             self.config.cache_junk_threshold,
         ));
         let supervision = Supervision::from_config(&self.config);
+        // The remote tier starts before any speculation machinery so the
+        // snapshot load and the peer's bulk transfer warm the cache the very
+        // first occurrence can hit; its insert observer then streams
+        // everything the workers land to the peer.
+        let remote = RemoteTier::start(&self.config.remote, &cache, &supervision);
         let mut driver = BreakerDriver::new(self.config.breaker.clone());
         if self.config.workers > 0 && self.config.planner.enabled {
             let pool = SpeculationPool::with_supervision(
@@ -476,6 +490,7 @@ impl LascRuntime {
                         planner,
                         &supervision,
                         driver,
+                        remote,
                     );
                 }
                 Err(_) => {
@@ -508,10 +523,14 @@ impl LascRuntime {
             driver: &mut driver,
             supervision: &supervision,
             economics: &mut economics,
+            remote: remote.as_ref(),
             resume_instret: outcome.resume_instret,
             fast_forwarded: &mut fast_forwarded,
             halted: &mut halted,
         })?;
+        // The pool joined inside `run_miss_driven`, so every insert has
+        // passed through the observer; the tier can now drain and snapshot.
+        let remote_stats = remote.map(RemoteTier::finish);
         let executed_instructions = outcome.resume_instret + machine.instret();
         Ok(RunReport {
             rip,
@@ -530,6 +549,7 @@ impl LascRuntime {
             planner: None,
             health: assemble_health(&supervision, &driver, &cache),
             economics: Some(economics.stats()),
+            remote: remote_stats,
             final_state: machine.into_state(),
             halted,
         })
@@ -551,6 +571,7 @@ impl LascRuntime {
             driver,
             supervision,
             economics,
+            remote,
             resume_instret,
             fast_forwarded,
             halted,
@@ -571,6 +592,17 @@ impl LascRuntime {
             // consult the cache first.
             driver.on_occurrence(supervision, cache);
             if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
+                machine.apply_sparse(&entry.end);
+                *fast_forwarded += entry.instructions;
+                economics.record_lookup(true);
+                bank.observe(&machine.state().clone());
+                continue;
+            }
+            // Local miss: one bounded peer probe before paying for the
+            // superstep. A remote entry fast-forwards exactly like a local
+            // hit — it passed the same `matches` + checksum guards — and was
+            // read-through into the local cache inside `fetch`.
+            if let Some(entry) = remote.and_then(|tier| tier.fetch(rip.ip, machine.state())) {
                 machine.apply_sparse(&entry.end);
                 *fast_forwarded += entry.instructions;
                 economics.record_lookup(true);
@@ -678,6 +710,7 @@ impl LascRuntime {
     /// planner death mid-run (a panic — injected or real) is detected by
     /// its liveness flag, counted, and the rest of the run finishes under
     /// miss-driven dispatch on a fresh pool and predictor bank.
+    #[allow(clippy::too_many_arguments)]
     fn accelerate_planned(
         &self,
         initial: &StateVector,
@@ -686,6 +719,7 @@ impl LascRuntime {
         planner: PlannerHandle,
         supervision: &Supervision,
         mut driver: BreakerDriver,
+        remote: Option<RemoteTier>,
     ) -> AscResult<RunReport> {
         let rip = outcome.rip;
         let mut machine = Machine::from_state(outcome.resume_state.clone());
@@ -760,6 +794,18 @@ impl LascRuntime {
                 prev_sent = sent;
                 continue;
             }
+            // Local miss: one bounded peer probe before the superstep (and
+            // before anchoring a re-plan — a remote hit continues the streak
+            // exactly like a local one).
+            if let Some(entry) =
+                remote.as_ref().and_then(|tier| tier.fetch(rip.ip, machine.state()))
+            {
+                machine.apply_sparse(&entry.end);
+                fast_forwarded += entry.instructions;
+                hit_streak += 1;
+                prev_sent = sent;
+                continue;
+            }
             // A miss state is the planner's re-plan anchor: if the throttle
             // skipped it above, report it now. An open breaker leaves the
             // gap in place; the first report after it re-opens is marked
@@ -809,10 +855,12 @@ impl LascRuntime {
                 driver: &mut driver,
                 supervision,
                 economics: &mut economics,
+                remote: remote.as_ref(),
                 resume_instret: outcome.resume_instret,
                 fast_forwarded: &mut fast_forwarded,
                 halted: &mut halted,
             })?;
+            let remote_stats = remote.map(RemoteTier::finish);
             let executed_instructions = outcome.resume_instret + machine.instret();
             return Ok(RunReport {
                 rip,
@@ -831,6 +879,7 @@ impl LascRuntime {
                 planner: None,
                 health: assemble_health(supervision, &driver, cache),
                 economics: Some(economics.stats()),
+                remote: remote_stats,
                 final_state: machine.into_state(),
                 halted,
             });
@@ -846,6 +895,10 @@ impl LascRuntime {
         if planned.is_none() {
             supervision.health.record_planner_panics(1);
         }
+        // Planner shutdown joined the pool, so every worker insert passed
+        // through the observer before the write-behind drains and the
+        // shutdown snapshot is written.
+        let remote_stats = remote.map(RemoteTier::finish);
         let (excited_bits, ensemble_errors, weight_matrix, speculation, planner_stats, economics) =
             match planned {
                 Some(PlannerOutcome { stats, pool, bank, economics }) => (
@@ -876,6 +929,7 @@ impl LascRuntime {
             planner: planner_stats,
             health: assemble_health(supervision, &driver, cache),
             economics,
+            remote: remote_stats,
             final_state: machine.into_state(),
             halted,
         })
@@ -1005,6 +1059,7 @@ impl LascRuntime {
             planner: None,
             health: HealthStats::default(),
             economics: None,
+            remote: None,
             final_state: machine.into_state(),
             halted,
         };

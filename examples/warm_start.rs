@@ -1,0 +1,65 @@
+//! Persistent warm start through the remote tier's snapshot files: run the
+//! same program twice, letting the first run save its trajectory cache and
+//! the second load it — the second run starts hitting immediately instead
+//! of re-paying the miss-driven warmup.
+//!
+//! ```sh
+//! cargo run --release --example warm_start
+//! ```
+//!
+//! The same `remote` config block also accepts `peer: Some("host:port")`
+//! to share trajectories with a live `asc_core::remote::CachePeer` over
+//! TCP — see the `remote_warm_start` binary in `asc-bench` for the
+//! two-process version of this example.
+
+use asc_core::config::AscConfig;
+use asc_core::runtime::LascRuntime;
+use asc_workloads::registry::{build, Benchmark, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let snapshot = std::env::temp_dir().join(format!("asc-warm-start-{}.snap", std::process::id()));
+    let workload = build(Benchmark::Collatz, Scale::Small)?;
+
+    // Cold run: miss-driven warmup, then save the cache on shutdown.
+    let mut cold_config = AscConfig::default();
+    cold_config.remote.enabled = true;
+    cold_config.remote.snapshot_save = Some(snapshot.clone());
+    let cold = LascRuntime::new(cold_config)?.accelerate(&workload.program)?;
+    assert!(workload.verify(&cold.final_state));
+    let cold_stats = cold.cache_stats;
+    let saved = cold.remote.expect("remote tier enabled").snapshot_saved;
+    println!(
+        "cold run:  {:.1}% hit rate ({} hits / {} queries), snapshot saved {saved} entries",
+        100.0 * cold_stats.hits as f64 / cold_stats.queries.max(1) as f64,
+        cold_stats.hits,
+        cold_stats.queries,
+    );
+
+    // Warm run: same program, cache pre-loaded from the first run's file.
+    let mut warm_config = AscConfig::default();
+    warm_config.remote.enabled = true;
+    warm_config.remote.snapshot_load = Some(snapshot.clone());
+    let warm = LascRuntime::new(warm_config)?.accelerate(&workload.program)?;
+    std::fs::remove_file(&snapshot).ok();
+    assert!(workload.verify(&warm.final_state));
+    assert_eq!(
+        cold.final_state.as_bytes(),
+        warm.final_state.as_bytes(),
+        "warm start may only skip work, never change results"
+    );
+    let warm_stats = warm.cache_stats;
+    let remote = warm.remote.expect("remote tier enabled");
+    println!(
+        "warm run:  {:.1}% hit rate ({} hits / {} queries), snapshot loaded {} entries",
+        100.0 * warm_stats.hits as f64 / warm_stats.queries.max(1) as f64,
+        warm_stats.hits,
+        warm_stats.queries,
+        remote.snapshot_loaded,
+    );
+    println!(
+        "work scaling: cold {:.2}x -> warm {:.2}x (identical final states)",
+        cold.work_scaling(),
+        warm.work_scaling(),
+    );
+    Ok(())
+}

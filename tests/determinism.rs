@@ -164,6 +164,182 @@ fn oversubscribed_worker_pool_is_safe() {
     assert_eq!(inline_report.final_state.as_bytes(), report.final_state.as_bytes());
 }
 
+/// The remote tier shares trajectories between runs, never results: peer
+/// hits pass the same `matches` + checksum guards as local hits, so two
+/// runtimes sharing one cache peer must stay bit-identical to plain inline
+/// execution on every benchmark — and killing the peer mid-run may only
+/// cost speed, bounded by the configured deadline and failure budget.
+mod remote {
+    use super::*;
+    use asc::core::remote::CachePeer;
+
+    fn remote_config(benchmark: Benchmark, peer: &CachePeer) -> AscConfig {
+        let mut config = config_for(benchmark, 4);
+        config.remote.enabled = true;
+        config.remote.peer = Some(peer.local_addr().to_string());
+        config.remote.deadline_ms = 50;
+        config.remote.retry_backoff_ms = 1;
+        config.remote.max_retries = 3;
+        config
+    }
+
+    /// Two accelerated runs sharing one peer — run 1 populates it, run 2
+    /// probes it — must both stay bit-identical to single-process inline
+    /// execution on every benchmark.
+    #[test]
+    fn two_runs_sharing_one_peer_stay_bit_identical_on_every_benchmark() {
+        for benchmark in Benchmark::ALL {
+            let workload = build(benchmark, scale_for(benchmark)).unwrap();
+            let inline_report = LascRuntime::new(config_for(benchmark, 0))
+                .unwrap()
+                .accelerate(&workload.program)
+                .unwrap();
+            let peer = CachePeer::bind("127.0.0.1:0", 1 << 16).unwrap();
+
+            let first = LascRuntime::new(remote_config(benchmark, &peer))
+                .unwrap()
+                .accelerate(&workload.program)
+                .unwrap();
+            let second = LascRuntime::new(remote_config(benchmark, &peer))
+                .unwrap()
+                .accelerate(&workload.program)
+                .unwrap();
+
+            for (label, report) in [("first", &first), ("second", &second)] {
+                assert!(report.halted, "{benchmark}: {label} shared-peer run did not halt");
+                assert_eq!(
+                    inline_report.final_state.as_bytes(),
+                    report.final_state.as_bytes(),
+                    "{benchmark}: {label} shared-peer run diverged from inline execution"
+                );
+                assert!(
+                    workload.verify(&report.final_state),
+                    "{benchmark}: {label} shared-peer run produced a wrong result"
+                );
+            }
+            // The tier really ran: run 1 streamed inserts into the peer, and
+            // run 2 found them (bulk transfer at connect, and/or GET hits).
+            let first_remote = first.remote.expect("remote tier was enabled");
+            assert!(
+                first_remote.puts_streamed > 0,
+                "{benchmark}: nothing streamed to the peer ({first_remote:?})"
+            );
+            assert!(!peer.is_empty(), "{benchmark}: peer stored nothing");
+            let second_remote = second.remote.expect("remote tier was enabled");
+            assert!(
+                second_remote.snapshot_loaded > 0 || second_remote.remote_hits > 0,
+                "{benchmark}: second run never benefited from the peer ({second_remote:?})"
+            );
+            assert_eq!(peer.contained_panics(), 0, "{benchmark}: a peer handler panicked");
+            peer.shutdown();
+        }
+    }
+
+    /// Killing the peer mid-run degrades the run to local-only: the result
+    /// stays bit-identical and the tier reports the degradation. The kill
+    /// lands while the run is in flight (after a short delay on another
+    /// thread), so the client's failure budget — not a hang — must bound
+    /// the damage.
+    #[test]
+    fn peer_killed_mid_run_degrades_to_local_only() {
+        let benchmark = Benchmark::Collatz;
+        let workload = build(benchmark, scale_for(benchmark)).unwrap();
+        let inline_report = LascRuntime::new(config_for(benchmark, 0))
+            .unwrap()
+            .accelerate(&workload.program)
+            .unwrap();
+
+        let peer = CachePeer::bind("127.0.0.1:0", 1 << 16).unwrap();
+        let mut config = remote_config(benchmark, &peer);
+        config.remote.deadline_ms = 20;
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            peer.shutdown();
+        });
+        let report = LascRuntime::new(config).unwrap().accelerate(&workload.program).unwrap();
+        killer.join().unwrap();
+
+        assert!(report.halted, "peer kill stalled the run");
+        assert_eq!(
+            inline_report.final_state.as_bytes(),
+            report.final_state.as_bytes(),
+            "peer kill changed the program result"
+        );
+        assert!(workload.verify(&report.final_state));
+        // Whether the tier noticed depends on timing (the run may finish
+        // first); what must never happen is an unbounded stall or a wrong
+        // result, both asserted above. When the kill did land, the failure
+        // accounting must show it.
+        let remote = report.remote.expect("remote tier was enabled");
+        if remote.degraded {
+            assert!(
+                remote.remote_timeouts > 0 || remote.puts_dropped > 0,
+                "degraded without any counted failure ({remote:?})"
+            );
+        }
+    }
+
+    /// Corrupt-frame soak (`--features fault-inject`): a peer that flips a
+    /// bit in *every* entry-carrying reply can only cost speed — each
+    /// corrupted frame is rejected by the client's checksum verification
+    /// and counted, never applied, and the final state stays bit-identical
+    /// to inline execution. Rides the CI fault-soak job alongside the
+    /// worker-panic campaign.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn corrupting_peer_frames_costs_rejections_never_results() {
+        use asc::core::FaultPlan;
+        use std::sync::Arc;
+
+        let seed = std::env::var("ASC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+        let benchmark = Benchmark::Collatz;
+        let workload = build(benchmark, scale_for(benchmark)).unwrap();
+        let inline_report = LascRuntime::new(config_for(benchmark, 0))
+            .unwrap()
+            .accelerate(&workload.program)
+            .unwrap();
+
+        let faults = Arc::new(asc::core::fault::FaultState::new(FaultPlan {
+            seed,
+            entry_corruption_rate: 1.0,
+            ..FaultPlan::default()
+        }));
+        let peer =
+            asc::core::remote::CachePeer::bind_faulty("127.0.0.1:0", 1 << 16, faults).unwrap();
+
+        // Run 1 populates the peer (PUTs are client → peer, uncorrupted).
+        let populate = LascRuntime::new(remote_config(benchmark, &peer))
+            .unwrap()
+            .accelerate(&workload.program)
+            .unwrap();
+        assert!(populate.remote.expect("tier enabled").puts_streamed > 0);
+        assert!(!peer.is_empty(), "nothing to corrupt: peer stored no entries");
+
+        // Run 2 reads from it: every entry-carrying reply is bit-flipped.
+        let victim = LascRuntime::new(remote_config(benchmark, &peer))
+            .unwrap()
+            .accelerate(&workload.program)
+            .unwrap();
+        assert!(victim.halted);
+        assert_eq!(
+            inline_report.final_state.as_bytes(),
+            victim.final_state.as_bytes(),
+            "a corrupted frame changed the program result"
+        );
+        assert!(workload.verify(&victim.final_state));
+        let remote = victim.remote.expect("remote tier was enabled");
+        assert!(
+            remote.frames_rejected + remote.snapshot_rejected > 0,
+            "total corruption produced no rejections ({remote:?})"
+        );
+        assert_eq!(
+            remote.remote_hits, 0,
+            "a corrupted entry survived checksum verification ({remote:?})"
+        );
+        peer.shutdown();
+    }
+}
+
 /// Dispatch economics: the value model decides only *which* speculations
 /// run, so gating on vs. off must leave `final_state` bit-identical in
 /// every execution mode — inline, miss-driven workers and planner — on
