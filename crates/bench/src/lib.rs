@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod seed_dispatch;
+
 use asc_core::cluster::{self, PlatformProfile, ScalingMode};
 use asc_core::config::AscConfig;
 use asc_core::runtime::{LascRuntime, RunReport};

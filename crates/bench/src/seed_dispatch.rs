@@ -1,0 +1,316 @@
+//! A faithful replica of the seed's interpreter dispatch, kept as the
+//! *permanent* comparison anchor for every dispatch-layer optimisation:
+//! every state access branches on an `Option<&mut DepVector>` and every
+//! retired instruction re-fetches and re-decodes its 8 raw bytes. The
+//! `micro` bench measures the monomorphized tier-0 paths against it and the
+//! `tier` bench measures block-threaded tier-1 dispatch against it; neither
+//! may ever change this module, or the anchor stops anchoring.
+
+use asc_tvm::deps::DepVector;
+use asc_tvm::encode::decode;
+use asc_tvm::error::{VmError, VmResult};
+use asc_tvm::exec::StepOutcome;
+use asc_tvm::isa::{Flags, Opcode, INSTRUCTION_BYTES, SP};
+use asc_tvm::state::{StateVector, FLAGS_OFFSET, IP_OFFSET, REG_OFFSET};
+
+struct Ctx<'a> {
+    state: &'a mut StateVector,
+    deps: Option<&'a mut DepVector>,
+}
+
+impl Ctx<'_> {
+    #[inline]
+    fn note_read(&mut self, index: usize, len: usize) {
+        if let Some(deps) = self.deps.as_deref_mut() {
+            deps.note_read_range(index, len);
+        }
+    }
+
+    #[inline]
+    fn note_write(&mut self, index: usize, len: usize) {
+        if let Some(deps) = self.deps.as_deref_mut() {
+            deps.note_write_range(index, len);
+        }
+    }
+
+    #[inline]
+    fn read_word_at(&mut self, index: usize) -> u32 {
+        self.note_read(index, 4);
+        self.state.word(index)
+    }
+
+    #[inline]
+    fn write_word_at(&mut self, index: usize, value: u32) {
+        self.note_write(index, 4);
+        self.state.set_word(index, value);
+    }
+
+    #[inline]
+    fn read_reg(&mut self, reg: u8) -> u32 {
+        self.read_word_at(REG_OFFSET + reg as usize * 4)
+    }
+
+    #[inline]
+    fn write_reg(&mut self, reg: u8, value: u32) {
+        self.write_word_at(REG_OFFSET + reg as usize * 4, value);
+    }
+
+    fn fetch(&mut self, addr: u32) -> VmResult<[u8; INSTRUCTION_BYTES as usize]> {
+        let index = self.state.mem_index(addr, INSTRUCTION_BYTES)?;
+        self.note_read(index, INSTRUCTION_BYTES as usize);
+        let mut bytes = [0u8; INSTRUCTION_BYTES as usize];
+        bytes.copy_from_slice(&self.state.as_bytes()[index..index + INSTRUCTION_BYTES as usize]);
+        Ok(bytes)
+    }
+
+    fn load_word(&mut self, addr: u32) -> VmResult<u32> {
+        let index = self.state.mem_index(addr, 4)?;
+        Ok(self.read_word_at(index))
+    }
+
+    fn store_word(&mut self, addr: u32, value: u32) -> VmResult<()> {
+        let index = self.state.mem_index(addr, 4)?;
+        self.write_word_at(index, value);
+        Ok(())
+    }
+
+    fn load_byte(&mut self, addr: u32) -> VmResult<u32> {
+        let index = self.state.mem_index(addr, 1)?;
+        self.note_read(index, 1);
+        Ok(self.state.byte(index) as u32)
+    }
+
+    fn store_byte(&mut self, addr: u32, value: u8) -> VmResult<()> {
+        let index = self.state.mem_index(addr, 1)?;
+        self.note_write(index, 1);
+        self.state.set_byte(index, value);
+        Ok(())
+    }
+}
+
+fn alu(op: Opcode, lhs: u32, rhs: u32, addr: u32) -> VmResult<u32> {
+    use Opcode::*;
+    Ok(match op {
+        Add => lhs.wrapping_add(rhs),
+        Sub => lhs.wrapping_sub(rhs),
+        Mul => lhs.wrapping_mul(rhs),
+        Div => {
+            if rhs == 0 {
+                return Err(VmError::DivideByZero { addr });
+            }
+            ((lhs as i32).wrapping_div(rhs as i32)) as u32
+        }
+        Rem => {
+            if rhs == 0 {
+                return Err(VmError::DivideByZero { addr });
+            }
+            ((lhs as i32).wrapping_rem(rhs as i32)) as u32
+        }
+        And => lhs & rhs,
+        Or => lhs | rhs,
+        Xor => lhs ^ rhs,
+        Shl => lhs.wrapping_shl(rhs & 31),
+        Shr => lhs.wrapping_shr(rhs & 31),
+        Sar => ((lhs as i32).wrapping_shr(rhs & 31)) as u32,
+        other => unreachable!("{other} is not an ALU opcode"),
+    })
+}
+
+/// The seed's `transition`, byte-for-byte in structure.
+pub fn transition(state: &mut StateVector, deps: Option<&mut DepVector>) -> VmResult<StepOutcome> {
+    let mut ctx = Ctx { state, deps };
+
+    let ip = ctx.read_word_at(IP_OFFSET);
+    let raw = ctx.fetch(ip)?;
+    let instruction = decode(&raw, ip)?;
+    let next_ip = ip.wrapping_add(INSTRUCTION_BYTES);
+
+    use Opcode::*;
+    let outcome = match instruction.opcode {
+        Halt => {
+            ctx.write_word_at(IP_OFFSET, ip);
+            return Ok(StepOutcome::Halted);
+        }
+        Nop => {
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        MovI => {
+            ctx.write_reg(instruction.a, instruction.imm as u32);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        Mov => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, v);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        Neg => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, (v as i32).wrapping_neg() as u32);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        Not => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, !v);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar => {
+            let lhs = ctx.read_reg(instruction.b);
+            let rhs = ctx.read_reg(instruction.c);
+            let value = alu(instruction.opcode, lhs, rhs, ip)?;
+            ctx.write_reg(instruction.a, value);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        AddI | MulI | DivI | RemI | AndI | OrI | XorI | ShlI | ShrI | SarI => {
+            let lhs = ctx.read_reg(instruction.b);
+            let rhs = instruction.imm as u32;
+            let op = match instruction.opcode {
+                AddI => Add,
+                MulI => Mul,
+                DivI => Div,
+                RemI => Rem,
+                AndI => And,
+                OrI => Or,
+                XorI => Xor,
+                ShlI => Shl,
+                ShrI => Shr,
+                SarI => Sar,
+                _ => unreachable!("immediate ALU mapping"),
+            };
+            let value = alu(op, lhs, rhs, ip)?;
+            ctx.write_reg(instruction.a, value);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        LdW => {
+            let base = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            let value = ctx.load_word(addr)?;
+            ctx.write_reg(instruction.a, value);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        LdB => {
+            let base = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            let value = ctx.load_byte(addr)?;
+            ctx.write_reg(instruction.a, value);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        StW => {
+            let base = ctx.read_reg(instruction.a);
+            let value = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            ctx.store_word(addr, value)?;
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        StB => {
+            let base = ctx.read_reg(instruction.a);
+            let value = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            ctx.store_byte(addr, value as u8)?;
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        Cmp => {
+            let lhs = ctx.read_reg(instruction.a);
+            let rhs = ctx.read_reg(instruction.b);
+            ctx.write_word_at(FLAGS_OFFSET, Flags::compare(lhs, rhs).to_word());
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        CmpI => {
+            let lhs = ctx.read_reg(instruction.a);
+            ctx.write_word_at(FLAGS_OFFSET, Flags::compare(lhs, instruction.imm as u32).to_word());
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        Jmp => {
+            ctx.write_word_at(IP_OFFSET, instruction.imm as u32);
+            StepOutcome::Continue
+        }
+        Jeq | Jne | Jlt | Jle | Jgt | Jge | Jltu | Jgeu => {
+            let flags = Flags::from_word(ctx.read_word_at(FLAGS_OFFSET));
+            let taken = match instruction.opcode {
+                Jeq => flags.eq,
+                Jne => !flags.eq,
+                Jlt => flags.lt_signed,
+                Jle => flags.lt_signed || flags.eq,
+                Jgt => !flags.lt_signed && !flags.eq,
+                Jge => !flags.lt_signed,
+                Jltu => flags.lt_unsigned,
+                Jgeu => !flags.lt_unsigned,
+                _ => unreachable!("conditional jump mapping"),
+            };
+            ctx.write_word_at(IP_OFFSET, if taken { instruction.imm as u32 } else { next_ip });
+            StepOutcome::Continue
+        }
+        JmpR => {
+            let target = ctx.read_reg(instruction.a);
+            ctx.write_word_at(IP_OFFSET, target);
+            StepOutcome::Continue
+        }
+        Call => {
+            let sp = ctx.read_reg(SP.index() as u8).wrapping_sub(4);
+            ctx.store_word(sp, next_ip)?;
+            ctx.write_reg(SP.index() as u8, sp);
+            ctx.write_word_at(IP_OFFSET, instruction.imm as u32);
+            StepOutcome::Continue
+        }
+        Ret => {
+            let sp = ctx.read_reg(SP.index() as u8);
+            let target = ctx.load_word(sp)?;
+            ctx.write_reg(SP.index() as u8, sp.wrapping_add(4));
+            ctx.write_word_at(IP_OFFSET, target);
+            StepOutcome::Continue
+        }
+        Push => {
+            let value = ctx.read_reg(instruction.a);
+            let sp = ctx.read_reg(SP.index() as u8).wrapping_sub(4);
+            ctx.store_word(sp, value)?;
+            ctx.write_reg(SP.index() as u8, sp);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+        Pop => {
+            let sp = ctx.read_reg(SP.index() as u8);
+            let value = ctx.load_word(sp)?;
+            ctx.write_reg(SP.index() as u8, sp.wrapping_add(4));
+            ctx.write_reg(instruction.a, value);
+            ctx.write_word_at(IP_OFFSET, next_ip);
+            StepOutcome::Continue
+        }
+    };
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_workloads::registry::{build, Benchmark, Scale};
+
+    /// The replica and the current interpreter retire identical
+    /// trajectories, so every timing comparison stays apples-to-apples.
+    #[test]
+    fn replica_matches_the_current_interpreter() {
+        let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+        let mut a = workload.program.initial_state().unwrap();
+        let mut b = a.clone();
+        for _ in 0..10_000 {
+            let ra = transition(&mut a, None).unwrap();
+            let rb = asc_tvm::exec::transition(&mut b, None).unwrap();
+            assert_eq!(ra, rb);
+            if ra == StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_eq!(a, b);
+    }
+}

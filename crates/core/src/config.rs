@@ -1,6 +1,7 @@
 //! Configuration of the LASC runtime.
 
 use crate::error::{AscError, AscResult};
+use asc_tvm::TierConfig;
 
 /// Which predictor complement the runtime builds (§4.4.2 / §5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -359,6 +360,13 @@ pub struct AscConfig {
     /// Distributed cache tier (TCP peer + disk snapshots); see
     /// [`RemoteConfig`]. Disabled by default.
     pub remote: RemoteConfig,
+    /// Tier-1 execution (superinstruction fusion + block-threaded dispatch
+    /// of hot straight-line regions); see [`TierConfig`], re-exported from
+    /// `asc_tvm`. Enabled by default — results are bit-identical with the
+    /// tier on or off, only the retirement rate changes. Applies to the
+    /// main thread and to every speculation worker in all three modes
+    /// (inline, miss-driven pool, planner).
+    pub tier: TierConfig,
     /// Deterministic fault-injection plan driving the supervised runtime's
     /// test harness; `None` injects nothing. Only exists under the
     /// `fault-inject` cargo feature — production builds have no injection
@@ -394,6 +402,7 @@ impl Default for AscConfig {
             worker_restart_backoff_ms: 1,
             breaker: BreakerConfig::default(),
             remote: RemoteConfig::default(),
+            tier: TierConfig::default(),
             #[cfg(feature = "fault-inject")]
             fault: None,
         }
@@ -512,6 +521,19 @@ impl AscConfig {
             if self.remote.write_behind_capacity == 0 {
                 return Err(AscError::InvalidConfig(
                     "remote write_behind_capacity must be at least 1".into(),
+                ));
+            }
+        }
+        if self.tier.enabled {
+            if self.tier.hot_threshold == 0 {
+                return Err(AscError::InvalidConfig(
+                    "tier hot_threshold must be at least 1".into(),
+                ));
+            }
+            if self.tier.max_block_len < 2 {
+                return Err(AscError::InvalidConfig(
+                    "tier max_block_len must be at least 2 (a block fuses multiple instructions)"
+                        .into(),
                 ));
             }
         }
@@ -687,6 +709,20 @@ mod tests {
         // Disabled remote knobs are not validated: the tier never starts.
         let mut c = AscConfig::default();
         c.remote.deadline_ms = 0;
+        assert!(c.validate().is_ok());
+
+        let mut c = AscConfig::default();
+        c.tier.hot_threshold = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = AscConfig::default();
+        c.tier.max_block_len = 1;
+        assert!(c.validate().is_err());
+
+        // Disabled tier knobs are not validated: blocks never compile.
+        let mut c = AscConfig::default();
+        c.tier.enabled = false;
+        c.tier.hot_threshold = 0;
         assert!(c.validate().is_ok());
     }
 }

@@ -93,6 +93,18 @@
 //! `DepVector` — tracking cost is paid exactly where the architecture needs
 //! the information, on the spare cores.
 //!
+//! On top of that tier-0 baseline, `accelerate` *tiers up* every executor
+//! (see [`asc_tvm::tier`]): the recognized IP is seeded into a per-machine
+//! [`BlockCache`](asc_tvm::tier::BlockCache), so the hot inter-occurrence
+//! region is compiled into a block of pre-decoded, fused micro-ops and
+//! replayed with a threaded dispatch loop instead of being re-dispatched
+//! one instruction at a time. The main thread runs blocks with `NoDeps`,
+//! workers run the *same* blocks monomorphized over `DepVector` — tier-1
+//! changes the cost of an instruction, never its semantics, and
+//! [`TierStats`] in the [`RunReport`] records how much execution each run
+//! actually promoted. `measure` and `memoize` deliberately stay tier-0:
+//! they are the measurement baseline.
+//!
 //! [`SpeculationTask`]: crate::allocator::SpeculationTask
 //! [`SpeculationPool`]: crate::workers::SpeculationPool
 //! [`TrajectoryCache`]: crate::cache::TrajectoryCache
@@ -118,6 +130,7 @@ use asc_tvm::delta::SparseBytes;
 use asc_tvm::machine::Machine;
 use asc_tvm::program::Program;
 use asc_tvm::state::StateVector;
+use asc_tvm::TierStats;
 use std::sync::Arc;
 
 /// One superstep of the measured (unaccelerated) execution.
@@ -196,6 +209,12 @@ pub struct RunReport {
     /// [`RemoteConfig::enabled`](crate::config::RemoteConfig::enabled);
     /// `None` otherwise and for `measure` / `memoize`).
     pub remote: Option<RemoteStats>,
+    /// Tier-up execution counters aggregated across every executor that
+    /// retired instructions for this run: the main thread's machine, the
+    /// inline-speculation scratch and all pool workers (populated by
+    /// [`LascRuntime::accelerate`]; all-zero for `measure` and `memoize`,
+    /// which run tier-0 only so their observations stay the baseline).
+    pub tier: TierStats,
     /// The final state of the program.
     pub final_state: StateVector,
     /// Whether the program ran to completion (halted).
@@ -438,6 +457,7 @@ impl LascRuntime {
             health: HealthStats::default(),
             economics: None,
             remote: None,
+            tier: TierStats::default(),
             final_state: machine.into_state(),
             halted,
         })
@@ -510,11 +530,17 @@ impl LascRuntime {
             )
         });
         let mut machine = Machine::from_state(outcome.resume_state.clone());
+        // Tier-up the main thread: the inter-occurrence region starting at
+        // the recognized IP is hot by construction, so seed it rather than
+        // waiting for the arrival counter to discover what the recognizer
+        // already measured.
+        machine.enable_tier(self.config.tier);
+        machine.seed_hot(rip.ip);
         let mut bank = PredictorBank::new(rip.ip, &self.config);
         let mut economics = SpeculationEconomics::new(&self.config.economics);
         let mut fast_forwarded = 0u64;
         let mut halted = outcome.halted;
-        let speculation = self.run_miss_driven(MissDriven {
+        let (speculation, inline_tier) = self.run_miss_driven(MissDriven {
             machine: &mut machine,
             rip,
             cache: &cache,
@@ -532,6 +558,11 @@ impl LascRuntime {
         // passed through the observer; the tier can now drain and snapshot.
         let remote_stats = remote.map(RemoteTier::finish);
         let executed_instructions = outcome.resume_instret + machine.instret();
+        let mut tier = machine.tier_stats();
+        tier.merge(&inline_tier);
+        if let Some(stats) = &speculation {
+            tier.merge(&stats.tier);
+        }
         Ok(RunReport {
             rip,
             unique_ips: outcome.unique_ips,
@@ -550,6 +581,7 @@ impl LascRuntime {
             health: assemble_health(&supervision, &driver, &cache),
             economics: Some(economics.stats()),
             remote: remote_stats,
+            tier,
             final_state: machine.into_state(),
             halted,
         })
@@ -560,8 +592,9 @@ impl LascRuntime {
     /// or inline when there is none), execute the current superstep — all
     /// under the breaker's per-occurrence watch. Runs until the program
     /// halts or the instruction budget is exhausted, then joins the pool so
-    /// the reported statistics are stable, returning its final counters.
-    fn run_miss_driven(&self, run: MissDriven<'_>) -> AscResult<Option<PoolStats>> {
+    /// the reported statistics are stable, returning its final counters
+    /// alongside the inline-speculation scratch's drained tier counters.
+    fn run_miss_driven(&self, run: MissDriven<'_>) -> AscResult<(Option<PoolStats>, TierStats)> {
         let MissDriven {
             machine,
             rip,
@@ -576,10 +609,12 @@ impl LascRuntime {
             fast_forwarded,
             halted,
         } = run;
-        // Inline speculation reuses one scratch across the whole run, and
-        // cache hits are cloned into a reusable lookup scratch — the
-        // occurrence loop allocates nothing per iteration.
-        let mut scratch = SpeculationScratch::new();
+        // Inline speculation reuses one scratch across the whole run — so
+        // blocks the tier compiles for the first speculated superstep keep
+        // paying off for every later one — and cache hits are cloned into a
+        // reusable lookup scratch: the occurrence loop allocates nothing per
+        // iteration.
+        let mut scratch = SpeculationScratch::with_tier(self.config.tier);
         let mut lookup = LookupScratch::new();
         let mut superstep_estimate = rip.mean_superstep;
 
@@ -672,7 +707,7 @@ impl LascRuntime {
 
         // Joining the pool before snapshotting makes the reported cache and
         // speculation statistics stable (all in-flight inserts land).
-        Ok(pool.map(SpeculationPool::shutdown))
+        Ok((pool.map(SpeculationPool::shutdown), scratch.take_tier_stats()))
     }
 
     /// Inline (`workers == 0`) speculation of one predicted superstep under
@@ -723,6 +758,11 @@ impl LascRuntime {
     ) -> AscResult<RunReport> {
         let rip = outcome.rip;
         let mut machine = Machine::from_state(outcome.resume_state.clone());
+        // Same tier-up as the miss-driven main loop: the recognized IP seeds
+        // the block cache so the inter-occurrence region compiles on the
+        // first arrival instead of after `hot_threshold` of them.
+        machine.enable_tier(self.config.tier);
+        machine.seed_hot(rip.ip);
         let mut fast_forwarded = 0u64;
         let mut halted = outcome.halted;
         let mut planner_died = false;
@@ -846,7 +886,7 @@ impl LascRuntime {
                 Arc::clone(cache),
                 supervision.clone(),
             );
-            let speculation = self.run_miss_driven(MissDriven {
+            let (speculation, inline_tier) = self.run_miss_driven(MissDriven {
                 machine: &mut machine,
                 rip,
                 cache,
@@ -862,6 +902,11 @@ impl LascRuntime {
             })?;
             let remote_stats = remote.map(RemoteTier::finish);
             let executed_instructions = outcome.resume_instret + machine.instret();
+            let mut tier = machine.tier_stats();
+            tier.merge(&inline_tier);
+            if let Some(stats) = &speculation {
+                tier.merge(&stats.tier);
+            }
             return Ok(RunReport {
                 rip,
                 unique_ips: outcome.unique_ips,
@@ -880,6 +925,7 @@ impl LascRuntime {
                 health: assemble_health(supervision, &driver, cache),
                 economics: Some(economics.stats()),
                 remote: remote_stats,
+                tier,
                 final_state: machine.into_state(),
                 halted,
             });
@@ -912,6 +958,10 @@ impl LascRuntime {
                 None => (0, None, None, None, None, None),
             };
         let executed_instructions = outcome.resume_instret + machine.instret();
+        let mut tier = machine.tier_stats();
+        if let Some(stats) = &speculation {
+            tier.merge(&stats.tier);
+        }
         Ok(RunReport {
             rip,
             unique_ips: outcome.unique_ips,
@@ -930,6 +980,7 @@ impl LascRuntime {
             health: assemble_health(supervision, &driver, cache),
             economics,
             remote: remote_stats,
+            tier,
             final_state: machine.into_state(),
             halted,
         })
@@ -1060,6 +1111,7 @@ impl LascRuntime {
             health: HealthStats::default(),
             economics: None,
             remote: None,
+            tier: TierStats::default(),
             final_state: machine.into_state(),
             halted,
         };
@@ -1126,6 +1178,24 @@ mod tests {
         assert!(report.fast_forwarded_instructions > 0, "{report:?}");
         assert!(report.cache_stats.hits > 0);
         assert!(report.work_scaling() > 1.2, "work scaling {}", report.work_scaling());
+        // The tier is on by default and the recognized IP is seeded hot, so
+        // an accelerated run must retire real tier-1 work.
+        assert!(report.tier.blocks_compiled > 0, "{:?}", report.tier);
+        assert!(report.tier.tier1_instructions > 0, "{:?}", report.tier);
+    }
+
+    #[test]
+    fn accelerate_with_tier_disabled_matches_tier_enabled_results() {
+        let params = collatz::CollatzParams { start: 2, count: 300 };
+        let program = collatz::program(&params).unwrap();
+        let on = test_runtime().accelerate(&program).unwrap();
+        let off_config =
+            AscConfig { tier: asc_tvm::TierConfig::disabled(), ..AscConfig::for_tests() };
+        let off = LascRuntime::new(off_config).unwrap().accelerate(&program).unwrap();
+        assert_eq!(on.final_state, off.final_state, "tier must not change results");
+        assert_eq!(on.total_instructions, off.total_instructions);
+        assert_eq!(off.tier.blocks_compiled, 0, "{:?}", off.tier);
+        assert!(on.tier.tier1_instructions > 0, "{:?}", on.tier);
     }
 
     #[test]

@@ -18,8 +18,9 @@ use crate::error::AscResult;
 use asc_tvm::delta::SparseBytes;
 use asc_tvm::deps::DepVector;
 use asc_tvm::error::VmError;
-use asc_tvm::exec::{transition_cached, DecodedCache, StepOutcome};
 use asc_tvm::state::StateVector;
+use asc_tvm::tier::{run_segment, BlockCache, SegmentExit};
+use asc_tvm::{TierConfig, TierStats};
 
 /// Outcome of one speculative superstep execution.
 #[derive(Debug, Clone)]
@@ -67,22 +68,41 @@ impl SpeculationResult {
     }
 }
 
-/// Reusable per-worker execution scratch: the dependency vector and decoded-
-/// instruction cache a speculative superstep needs. Long-lived workers keep
+/// Reusable per-worker execution scratch: the dependency vector and two-tier
+/// execution cache a speculative superstep needs. Long-lived workers keep
 /// one scratch across jobs and reset it (no reallocation when the state size
 /// is unchanged) instead of constructing both afresh per superstep — at the
 /// planner's dispatch rate the per-job allocations otherwise dominate small
-/// supersteps.
+/// supersteps. Compiled tier-1 blocks additionally *survive* the reset when
+/// the new job's code bytes still match, so a worker re-speculating the same
+/// hot loop keeps its superinstructions across jobs.
 #[derive(Debug, Default)]
 pub struct SpeculationScratch {
     deps: Option<DepVector>,
-    icache: Option<DecodedCache>,
+    icache: Option<BlockCache>,
+    tier: TierConfig,
 }
 
 impl SpeculationScratch {
-    /// Creates an empty scratch; buffers are sized lazily on first use.
+    /// Creates an empty scratch with the default (enabled) tier
+    /// configuration; buffers are sized lazily on first use.
     pub fn new() -> Self {
         SpeculationScratch::default()
+    }
+
+    /// Creates an empty scratch with an explicit tier configuration — the
+    /// constructor the runtime uses to propagate [`AscConfig::tier`]
+    /// (via [`Supervision`](crate::supervisor::Supervision)) to workers.
+    ///
+    /// [`AscConfig::tier`]: crate::config::AscConfig::tier
+    pub fn with_tier(tier: TierConfig) -> Self {
+        SpeculationScratch { tier, ..SpeculationScratch::default() }
+    }
+
+    /// Drains the tier-1 execution counters accumulated since the last
+    /// drain (across however many supersteps ran on this scratch).
+    pub fn take_tier_stats(&mut self) -> TierStats {
+        self.icache.as_mut().map(BlockCache::take_stats).unwrap_or_default()
     }
 }
 
@@ -125,38 +145,47 @@ pub fn execute_superstep_with(
         }
         None => scratch.deps.insert(DepVector::new(state.len_bytes())),
     };
-    // Tracked *and* decode-cached: monomorphized over both, so a worker
-    // pays decoding once per instruction slot rather than once per retired
-    // instruction (supersteps are loops by construction).
+    // Tracked *and* two-tier: monomorphized over the dependency sink, so a
+    // worker pays decoding once per instruction slot rather than once per
+    // retired instruction — and, with the tier enabled, retires the hot
+    // inter-occurrence region as fused micro-ops (supersteps are loops by
+    // construction, so the recognized IP is the natural block seed).
     let icache = match scratch.icache.as_mut() {
         Some(icache) => {
             icache.reset_for(&state);
             icache
         }
-        None => scratch.icache.insert(DecodedCache::new(&state)),
+        None => scratch.icache.insert(BlockCache::new(&state, scratch.tier)),
     };
+    icache.seed_hot(rip);
     let mut instructions = 0u64;
     let mut occurrences = 0usize;
     let mut reached_rip = false;
     let mut halted = false;
+    let target = stride.max(1);
 
+    // Each segment runs to the next recognized-IP occurrence (or halt, or
+    // the remaining budget). Instruction counts stay exact at every exit —
+    // deadline-killed jobs report precisely how many instructions retired,
+    // blocks included.
     while instructions < max_instructions {
-        match transition_cached(&mut state, deps, icache) {
-            Ok(StepOutcome::Continue) => {
-                instructions += 1;
-                if state.ip() == rip {
-                    occurrences += 1;
-                    if occurrences >= stride.max(1) {
-                        reached_rip = true;
-                        break;
-                    }
+        let (retired, exit) =
+            run_segment(&mut state, deps, icache, rip, max_instructions - instructions);
+        instructions += retired;
+        match exit {
+            SegmentExit::StopIp => {
+                occurrences += 1;
+                if occurrences >= target {
+                    reached_rip = true;
+                    break;
                 }
             }
-            Ok(StepOutcome::Halted) => {
+            SegmentExit::Halted => {
                 halted = true;
                 break;
             }
-            Err(error) => {
+            SegmentExit::Budget => break,
+            SegmentExit::Fault(error) => {
                 return Ok(SpeculationResult::Faulted { instructions, error });
             }
         }
@@ -309,6 +338,40 @@ mod tests {
             assert!(small.completed().is_some());
             machine.run_until_ip(rip, 1_000).unwrap();
         }
+    }
+
+    #[test]
+    fn tier_on_and_off_produce_identical_entries() {
+        // The tier must be invisible in every captured artifact: entry,
+        // end state and instruction count — that is what lets worker
+        // supersteps run tier-1 without perturbing cache semantics.
+        let (program, rip) = looping_program();
+        let mut machine = Machine::load(&program).unwrap();
+        machine.run_until_ip(rip, 1_000).unwrap();
+        let start = machine.state().clone();
+        let mut on =
+            SpeculationScratch::with_tier(TierConfig { hot_threshold: 1, ..TierConfig::default() });
+        let mut off = SpeculationScratch::with_tier(TierConfig::disabled());
+        for stride in [1usize, 3, 7] {
+            let a = execute_superstep_with(&start, rip, stride, 10_000, &mut on)
+                .unwrap()
+                .completed()
+                .unwrap();
+            let b = execute_superstep_with(&start, rip, stride, 10_000, &mut off)
+                .unwrap()
+                .completed()
+                .unwrap();
+            assert_eq!(a.entry, b.entry, "stride {stride}");
+            assert_eq!(a.end_state, b.end_state, "stride {stride}");
+            assert_eq!(a.instructions, b.instructions, "stride {stride}");
+        }
+        let on_stats = on.take_tier_stats();
+        assert!(on_stats.tier1_instructions > 0, "{on_stats:?}");
+        // Draining resets the counters.
+        assert_eq!(on.take_tier_stats(), TierStats::default());
+        let off_stats = off.take_tier_stats();
+        assert_eq!(off_stats.blocks_compiled, 0, "{off_stats:?}");
+        assert_eq!(off_stats.tier1_instructions, 0, "{off_stats:?}");
     }
 
     #[test]

@@ -376,6 +376,9 @@ pub struct Supervision {
     /// Base respawn backoff in milliseconds; see
     /// [`AscConfig::worker_restart_backoff_ms`].
     pub backoff_ms: u64,
+    /// Tier-1 execution knobs forwarded to every worker's per-job
+    /// [`BlockCache`](asc_tvm::BlockCache); see [`AscConfig::tier`].
+    pub tier: asc_tvm::TierConfig,
     /// Shared fault-injection state, `None` when no plan is configured.
     #[cfg(feature = "fault-inject")]
     pub faults: Option<Arc<crate::fault::FaultState>>,
@@ -389,6 +392,7 @@ impl Supervision {
             job_deadline: config.job_deadline_instructions,
             max_restarts: config.max_worker_restarts,
             backoff_ms: config.worker_restart_backoff_ms,
+            tier: config.tier,
             #[cfg(feature = "fault-inject")]
             faults: config.fault.clone().map(|plan| Arc::new(crate::fault::FaultState::new(plan))),
         }

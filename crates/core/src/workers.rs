@@ -43,6 +43,7 @@ use crate::cache::TrajectoryCache;
 use crate::speculator::{execute_superstep_with, SpeculationResult, SpeculationScratch};
 use crate::supervisor::Supervision;
 use asc_tvm::state::StateVector;
+use asc_tvm::TierStats;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -121,6 +122,10 @@ pub struct PoolStats {
     /// Worker joins at shutdown that surfaced a panic the supervisor had
     /// not already contained per-job.
     pub panicked_joins: u64,
+    /// Aggregated tier-up execution counters across every worker: block
+    /// compiles, invalidations and the tier-1 / tier-0 instruction split
+    /// (drained from each worker's [`SpeculationScratch`] after every job).
+    pub tier: TierStats,
 }
 
 #[derive(Default)]
@@ -131,6 +136,32 @@ struct SharedCounters {
     inserted: AtomicU64,
     panicked: AtomicU64,
     deadline_killed: AtomicU64,
+    tier_blocks_compiled: AtomicU64,
+    tier_blocks_invalidated: AtomicU64,
+    tier_fused_ops: AtomicU64,
+    tier1_instructions: AtomicU64,
+    tier0_instructions: AtomicU64,
+}
+
+impl SharedCounters {
+    /// Folds one job's tier counters into the pool-wide totals.
+    fn record_tier(&self, stats: &TierStats) {
+        self.tier_blocks_compiled.fetch_add(stats.blocks_compiled, Ordering::Relaxed);
+        self.tier_blocks_invalidated.fetch_add(stats.blocks_invalidated, Ordering::Relaxed);
+        self.tier_fused_ops.fetch_add(stats.fused_ops, Ordering::Relaxed);
+        self.tier1_instructions.fetch_add(stats.tier1_instructions, Ordering::Relaxed);
+        self.tier0_instructions.fetch_add(stats.tier0_instructions, Ordering::Relaxed);
+    }
+
+    fn tier_snapshot(&self) -> TierStats {
+        TierStats {
+            blocks_compiled: self.tier_blocks_compiled.load(Ordering::Relaxed),
+            blocks_invalidated: self.tier_blocks_invalidated.load(Ordering::Relaxed),
+            fused_ops: self.tier_fused_ops.load(Ordering::Relaxed),
+            tier1_instructions: self.tier1_instructions.load(Ordering::Relaxed),
+            tier0_instructions: self.tier0_instructions.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Everything a worker (and the monitor respawning workers) needs, behind
@@ -336,6 +367,7 @@ impl SpeculationPool {
             panicked: counters.panicked.load(Ordering::Relaxed),
             deadline_killed: counters.deadline_killed.load(Ordering::Relaxed),
             panicked_joins: self.shared.supervision.health.panicked_joins(),
+            tier: counters.tier_snapshot(),
         }
     }
 
@@ -453,10 +485,11 @@ fn monitor_loop(
 }
 
 fn worker_loop(shared: &WorkerShared, exit: &Sender<ExitEvent>, index: usize) {
-    // One scratch (dependency vector + decoded-instruction cache) for the
+    // One scratch (dependency vector + tier-up block cache) for the
     // worker's whole lifetime: reset between jobs, never reallocated while
-    // the state size is stable.
-    let mut scratch = SpeculationScratch::new();
+    // the state size is stable — so blocks compiled for one job keep paying
+    // off across every later job speculating over the same code.
+    let mut scratch = SpeculationScratch::with_tier(shared.supervision.tier);
     loop {
         // Take the lock only to receive; execution happens unlocked so
         // workers genuinely run concurrently.
@@ -497,6 +530,10 @@ fn run_one_job(shared: &WorkerShared, queued: QueuedJob, scratch: &mut Speculati
         execute_superstep_with(&job.start, job.rip, stride, budget, scratch)
     }));
     let counters = &shared.counters;
+    // Drain tier counters unconditionally: even a faulted or panicked job
+    // retired real instructions, and the drain keeps per-job deltas from
+    // double counting when the scratch outlives thousands of jobs.
+    counters.record_tier(&scratch.take_tier_stats());
     match outcome {
         Err(_) => {
             counters.panicked.fetch_add(1, Ordering::Relaxed);
@@ -600,6 +637,11 @@ mod tests {
         assert_eq!(stats.panicked_joins, 0);
         assert!(stats.inserted > 0);
         assert!(!cache.is_empty());
+        // Default supervision has the tier enabled, and `seed_hot(rip)` makes
+        // the inter-occurrence region compile on a worker's first arrival —
+        // so the pool must report tier-1 activity, not just tier-0 stepping.
+        assert!(stats.tier.blocks_compiled > 0, "{stats:?}");
+        assert!(stats.tier.tier1_instructions > 0, "{stats:?}");
 
         // Every inserted entry fast-forwards correctly: applying it to a
         // matching state must equal direct execution.

@@ -21,6 +21,22 @@
 //! instruction slot, invalidated on stores into the covered region, so a hot
 //! loop stops re-decoding the same 8 raw bytes on every retired instruction.
 //! [`NoDecodeCache`] is the zero-cost "always decode" impl.
+//!
+//! ## Tier-0 of a two-tier engine
+//!
+//! This module is **tier-0**: one fetch → decode(-cache) → dispatch → retire
+//! cycle per instruction, the ground truth every other execution strategy
+//! must match bit-for-bit. [`crate::tier`] builds **tier-1** on top of it:
+//! hot straight-line regions are compiled into blocks of pre-decoded, fused
+//! micro-ops and retired by a block-threaded dispatch loop, falling back to
+//! [`transition_cached`] at the first unsupported opcode, block exit, budget
+//! boundary or invalidation. The shared per-opcode executor
+//! (`exec_operate`) and the shared invalidation path (a [`BlockCache`]
+//! *contains* the [`DecodedCache`] and invalidates both through one
+//! [`DecodeCache::invalidate`] call) are what keep the two tiers from ever
+//! disagreeing about semantics or staleness.
+//!
+//! [`BlockCache`]: crate::tier::BlockCache
 
 use crate::deps::DepVector;
 use crate::encode::decode;
@@ -181,21 +197,23 @@ impl DecodeCache for DecodedCache {
 /// Accessor that funnels every state-vector access through the dependency
 /// sink, and every memory store through decode-cache invalidation. Both
 /// type parameters monomorphize: with [`NoDeps`] + [`NoDecodeCache`] the
-/// recording calls vanish entirely.
-struct Ctx<'a, D: DepSink, C: DecodeCache> {
-    state: &'a mut StateVector,
-    deps: &'a mut D,
-    code: &'a mut C,
+/// recording calls vanish entirely. Shared with the tier-1 block executor
+/// ([`crate::tier`]), which replays the same accessors in the same order so
+/// fused micro-ops record byte-identical dependency footprints.
+pub(crate) struct Ctx<'a, D: DepSink, C: DecodeCache> {
+    pub(crate) state: &'a mut StateVector,
+    pub(crate) deps: &'a mut D,
+    pub(crate) code: &'a mut C,
 }
 
 impl<'a, D: DepSink, C: DecodeCache> Ctx<'a, D, C> {
     #[inline]
-    fn note_read(&mut self, index: usize, len: usize) {
+    pub(crate) fn note_read(&mut self, index: usize, len: usize) {
         self.deps.note_read(index, len);
     }
 
     #[inline]
-    fn note_write(&mut self, index: usize, len: usize) {
+    pub(crate) fn note_write(&mut self, index: usize, len: usize) {
         self.deps.note_write(index, len);
     }
 
@@ -214,12 +232,12 @@ impl<'a, D: DepSink, C: DecodeCache> Ctx<'a, D, C> {
     }
 
     #[inline]
-    fn read_reg(&mut self, reg: u8) -> u32 {
+    pub(crate) fn read_reg(&mut self, reg: u8) -> u32 {
         self.read_word_at(REG_OFFSET + reg as usize * 4)
     }
 
     #[inline]
-    fn write_reg(&mut self, reg: u8, value: u32) {
+    pub(crate) fn write_reg(&mut self, reg: u8, value: u32) {
         self.write_word_at(REG_OFFSET + reg as usize * 4, value);
     }
 
@@ -229,17 +247,17 @@ impl<'a, D: DepSink, C: DecodeCache> Ctx<'a, D, C> {
     }
 
     #[inline]
-    fn write_ip(&mut self, value: u32) {
+    pub(crate) fn write_ip(&mut self, value: u32) {
         self.write_word_at(IP_OFFSET, value);
     }
 
     #[inline]
-    fn read_flags(&mut self) -> Flags {
+    pub(crate) fn read_flags(&mut self) -> Flags {
         Flags::from_word(self.read_word_at(FLAGS_OFFSET))
     }
 
     #[inline]
-    fn write_flags(&mut self, flags: Flags) {
+    pub(crate) fn write_flags(&mut self, flags: Flags) {
         self.write_word_at(FLAGS_OFFSET, flags.to_word());
     }
 
@@ -359,124 +377,13 @@ pub fn transition_cached<D: DepSink, C: DecodeCache>(
             ctx.write_ip(ip);
             return Ok(StepOutcome::Halted);
         }
-        Nop => {
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        MovI => {
-            ctx.write_reg(instruction.a, instruction.imm as u32);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        Mov => {
-            let v = ctx.read_reg(instruction.b);
-            ctx.write_reg(instruction.a, v);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        Neg => {
-            let v = ctx.read_reg(instruction.b);
-            ctx.write_reg(instruction.a, (v as i32).wrapping_neg() as u32);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        Not => {
-            let v = ctx.read_reg(instruction.b);
-            ctx.write_reg(instruction.a, !v);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar => {
-            let lhs = ctx.read_reg(instruction.b);
-            let rhs = ctx.read_reg(instruction.c);
-            let value = alu(instruction.opcode, lhs, rhs, ip)?;
-            ctx.write_reg(instruction.a, value);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        AddI | MulI | DivI | RemI | AndI | OrI | XorI | ShlI | ShrI | SarI => {
-            let lhs = ctx.read_reg(instruction.b);
-            let rhs = instruction.imm as u32;
-            let op = match instruction.opcode {
-                AddI => Add,
-                MulI => Mul,
-                DivI => Div,
-                RemI => Rem,
-                AndI => And,
-                OrI => Or,
-                XorI => Xor,
-                ShlI => Shl,
-                ShrI => Shr,
-                SarI => Sar,
-                _ => unreachable!("immediate ALU mapping"),
-            };
-            let value = alu(op, lhs, rhs, ip)?;
-            ctx.write_reg(instruction.a, value);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        LdW => {
-            let base = ctx.read_reg(instruction.b);
-            let addr = base.wrapping_add(instruction.imm as u32);
-            let value = ctx.load_word(addr)?;
-            ctx.write_reg(instruction.a, value);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        LdB => {
-            let base = ctx.read_reg(instruction.b);
-            let addr = base.wrapping_add(instruction.imm as u32);
-            let value = ctx.load_byte(addr)?;
-            ctx.write_reg(instruction.a, value);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        StW => {
-            let base = ctx.read_reg(instruction.a);
-            let value = ctx.read_reg(instruction.b);
-            let addr = base.wrapping_add(instruction.imm as u32);
-            ctx.store_word(addr, value)?;
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        StB => {
-            let base = ctx.read_reg(instruction.a);
-            let value = ctx.read_reg(instruction.b);
-            let addr = base.wrapping_add(instruction.imm as u32);
-            ctx.store_byte(addr, value as u8)?;
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        Cmp => {
-            let lhs = ctx.read_reg(instruction.a);
-            let rhs = ctx.read_reg(instruction.b);
-            ctx.write_flags(Flags::compare(lhs, rhs));
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
-        CmpI => {
-            let lhs = ctx.read_reg(instruction.a);
-            ctx.write_flags(Flags::compare(lhs, instruction.imm as u32));
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
-        }
         Jmp => {
             ctx.write_ip(instruction.imm as u32);
             StepOutcome::Continue
         }
         Jeq | Jne | Jlt | Jle | Jgt | Jge | Jltu | Jgeu => {
             let flags = ctx.read_flags();
-            let taken = match instruction.opcode {
-                Jeq => flags.eq,
-                Jne => !flags.eq,
-                Jlt => flags.lt_signed,
-                Jle => flags.lt_signed || flags.eq,
-                Jgt => !flags.lt_signed && !flags.eq,
-                Jge => !flags.lt_signed,
-                Jltu => flags.lt_unsigned,
-                Jgeu => !flags.lt_unsigned,
-                _ => unreachable!("conditional jump mapping"),
-            };
+            let taken = branch_taken(instruction.opcode, flags);
             ctx.write_ip(if taken { instruction.imm as u32 } else { next_ip });
             StepOutcome::Continue
         }
@@ -499,24 +406,141 @@ pub fn transition_cached<D: DepSink, C: DecodeCache>(
             ctx.write_ip(target);
             StepOutcome::Continue
         }
+        _ => {
+            exec_operate(&mut ctx, &instruction, ip)?;
+            ctx.write_ip(next_ip);
+            StepOutcome::Continue
+        }
+    };
+    Ok(outcome)
+}
+
+/// Executes one *straight-line* instruction — anything that is not control
+/// flow (`jmp`/conditional jumps/`jmpr`/`call`/`ret`) or `halt` — performing
+/// every state access except the fetch and the IP update, in exactly the
+/// interpreter's order. Shared between [`transition_cached`] (which follows
+/// it with `write_ip(next_ip)`) and the tier-1 block executor in
+/// [`crate::tier`] (which elides the per-instruction IP writes inside a
+/// block), so the two tiers cannot drift apart semantically.
+///
+/// `ip` is the instruction's own address, used only for fault attribution.
+#[inline(always)]
+pub(crate) fn exec_operate<D: DepSink, C: DecodeCache>(
+    ctx: &mut Ctx<'_, D, C>,
+    instruction: &Instruction,
+    ip: u32,
+) -> VmResult<()> {
+    use Opcode::*;
+    match instruction.opcode {
+        Nop => {}
+        MovI => {
+            ctx.write_reg(instruction.a, instruction.imm as u32);
+        }
+        Mov => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, v);
+        }
+        Neg => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, (v as i32).wrapping_neg() as u32);
+        }
+        Not => {
+            let v = ctx.read_reg(instruction.b);
+            ctx.write_reg(instruction.a, !v);
+        }
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar => {
+            let lhs = ctx.read_reg(instruction.b);
+            let rhs = ctx.read_reg(instruction.c);
+            let value = alu(instruction.opcode, lhs, rhs, ip)?;
+            ctx.write_reg(instruction.a, value);
+        }
+        AddI | MulI | DivI | RemI | AndI | OrI | XorI | ShlI | ShrI | SarI => {
+            let lhs = ctx.read_reg(instruction.b);
+            let rhs = instruction.imm as u32;
+            let op = match instruction.opcode {
+                AddI => Add,
+                MulI => Mul,
+                DivI => Div,
+                RemI => Rem,
+                AndI => And,
+                OrI => Or,
+                XorI => Xor,
+                ShlI => Shl,
+                ShrI => Shr,
+                SarI => Sar,
+                _ => unreachable!("immediate ALU mapping"),
+            };
+            let value = alu(op, lhs, rhs, ip)?;
+            ctx.write_reg(instruction.a, value);
+        }
+        LdW => {
+            let base = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            let value = ctx.load_word(addr)?;
+            ctx.write_reg(instruction.a, value);
+        }
+        LdB => {
+            let base = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            let value = ctx.load_byte(addr)?;
+            ctx.write_reg(instruction.a, value);
+        }
+        StW => {
+            let base = ctx.read_reg(instruction.a);
+            let value = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            ctx.store_word(addr, value)?;
+        }
+        StB => {
+            let base = ctx.read_reg(instruction.a);
+            let value = ctx.read_reg(instruction.b);
+            let addr = base.wrapping_add(instruction.imm as u32);
+            ctx.store_byte(addr, value as u8)?;
+        }
+        Cmp => {
+            let lhs = ctx.read_reg(instruction.a);
+            let rhs = ctx.read_reg(instruction.b);
+            ctx.write_flags(Flags::compare(lhs, rhs));
+        }
+        CmpI => {
+            let lhs = ctx.read_reg(instruction.a);
+            ctx.write_flags(Flags::compare(lhs, instruction.imm as u32));
+        }
         Push => {
             let value = ctx.read_reg(instruction.a);
             let sp = ctx.read_reg(SP.index() as u8).wrapping_sub(4);
             ctx.store_word(sp, value)?;
             ctx.write_reg(SP.index() as u8, sp);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
         }
         Pop => {
             let sp = ctx.read_reg(SP.index() as u8);
             let value = ctx.load_word(sp)?;
             ctx.write_reg(SP.index() as u8, sp.wrapping_add(4));
             ctx.write_reg(instruction.a, value);
-            ctx.write_ip(next_ip);
-            StepOutcome::Continue
         }
-    };
-    Ok(outcome)
+        Halt | Jmp | Jeq | Jne | Jlt | Jle | Jgt | Jge | Jltu | Jgeu | JmpR | Call | Ret => {
+            unreachable!("{} is not a straight-line opcode", instruction.opcode)
+        }
+    }
+    Ok(())
+}
+
+/// Whether a conditional jump is taken under the given flags. Shared by the
+/// interpreter and the tier-1 fused compare+branch handler.
+#[inline]
+pub(crate) fn branch_taken(opcode: Opcode, flags: Flags) -> bool {
+    use Opcode::*;
+    match opcode {
+        Jeq => flags.eq,
+        Jne => !flags.eq,
+        Jlt => flags.lt_signed,
+        Jle => flags.lt_signed || flags.eq,
+        Jgt => !flags.lt_signed && !flags.eq,
+        Jge => !flags.lt_signed,
+        Jltu => flags.lt_unsigned,
+        Jgeu => !flags.lt_unsigned,
+        other => unreachable!("{other} is not a conditional jump"),
+    }
 }
 
 /// Three-register ALU semantics shared by the register and immediate forms.

@@ -14,6 +14,8 @@
 //! * state vectors ([`state`]) and per-byte dependency tracking ([`deps`])
 //!   with the paper's `null / read / written / written-after-read` FSM,
 //! * the transition function and a machine driver ([`exec`], [`machine`]),
+//! * tier-1 execution: superinstruction fusion and block-threaded dispatch
+//!   of hot straight-line regions ([`tier`]),
 //! * program images and loading ([`program`]),
 //! * sparse state captures and binary deltas ([`delta`]) used by the
 //!   trajectory cache and the communication-cost model.
@@ -54,6 +56,7 @@ pub mod isa;
 pub mod machine;
 pub mod program;
 pub mod state;
+pub mod tier;
 
 pub use deps::{DepStatus, DepVector};
 pub use error::{VmError, VmResult};
@@ -65,3 +68,4 @@ pub use isa::{Flags, Instruction, Opcode, Reg};
 pub use machine::{Machine, RunExit};
 pub use program::Program;
 pub use state::StateVector;
+pub use tier::{BlockCache, SegmentExit, TierConfig, TierStats};

@@ -10,10 +10,16 @@
 use crate::delta::SparseBytes;
 use crate::deps::DepVector;
 use crate::error::{VmError, VmResult};
-use crate::exec::{transition_cached, DecodeCache, DecodedCache, NoDeps, StepOutcome};
+use crate::exec::{transition_cached, DecodeCache, NoDeps, StepOutcome};
 use crate::isa::Reg;
 use crate::program::Program;
 use crate::state::StateVector;
+use crate::tier::{run_segment, BlockCache, SegmentExit, TierConfig, TierStats};
+
+/// Stop address used by [`Machine::run`]'s tiered path: programs cannot
+/// fetch from an unaligned address, so landing here faults on the next
+/// dispatch exactly as the untiered loop would.
+const UNREACHABLE_STOP_IP: u32 = u32::MAX;
 
 /// Why a [`Machine::run`] call stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,19 +56,42 @@ pub enum RunExit {
 pub struct Machine {
     state: StateVector,
     deps: Option<DepVector>,
-    /// Decoded-instruction cache for the immutable code region; kept
+    /// Two-tier execution cache: decoded-instruction slots (tier-0) plus
+    /// compiled blocks of fused micro-ops (tier-1, off by default). Kept
     /// coherent by store invalidation inside the transition function and
     /// cleared whenever state bytes are patched from outside it.
-    icache: DecodedCache,
+    icache: BlockCache,
     instret: u64,
     halted: bool,
 }
 
 impl Machine {
-    /// Creates a machine from an explicit initial state.
+    /// Creates a machine from an explicit initial state. Tier-1 execution
+    /// starts disabled; see [`Machine::enable_tier`].
     pub fn from_state(state: StateVector) -> Self {
-        let icache = DecodedCache::new(&state);
+        let icache = BlockCache::new(&state, TierConfig::disabled());
         Machine { state, deps: None, icache, instret: 0, halted: false }
+    }
+
+    /// Enables (or reconfigures) tier-1 execution: hot straight-line regions
+    /// are compiled into blocks of fused micro-ops and run by the
+    /// block-threaded dispatch loop in [`crate::tier`]. Results are
+    /// bit-identical to tier-0 execution; only the retirement rate changes.
+    /// Discards any previously compiled blocks and tier statistics.
+    pub fn enable_tier(&mut self, config: TierConfig) {
+        self.icache = BlockCache::new(&self.state, config);
+    }
+
+    /// Marks an entry IP as already hot, so its region compiles on first
+    /// arrival. The runtime seeds the recognized occurrence IP here — the
+    /// recognizer surfaces hot IPs for free. No-op while the tier is off.
+    pub fn seed_hot(&mut self, ip: u32) {
+        self.icache.seed_hot(ip);
+    }
+
+    /// A snapshot of the tier-1 execution counters.
+    pub fn tier_stats(&self) -> TierStats {
+        self.icache.stats()
     }
 
     /// Loads a program image into a fresh machine.
@@ -167,6 +196,9 @@ impl Machine {
     /// # Errors
     /// Propagates [`VmError`]s from the transition function.
     pub fn run(&mut self, budget: u64) -> VmResult<RunExit> {
+        if self.icache.enabled() {
+            return self.run_tiered(budget);
+        }
         for _ in 0..budget {
             match self.step()? {
                 StepOutcome::Continue => {}
@@ -177,6 +209,46 @@ impl Machine {
             Ok(RunExit::Halted)
         } else {
             Ok(RunExit::BudgetExhausted)
+        }
+    }
+
+    /// [`Machine::run`] through the tier-1 driver. The segment stop address
+    /// is unreachable by any fetchable IP, so the only way a `StopIp` exit
+    /// occurs is a wild indirect jump onto it — in which case the loop
+    /// re-enters and the next dispatch faults, matching tier-0 exactly.
+    fn run_tiered(&mut self, budget: u64) -> VmResult<RunExit> {
+        let mut remaining = budget;
+        loop {
+            if self.halted {
+                return Ok(RunExit::Halted);
+            }
+            let (retired, exit) = match self.deps.as_mut() {
+                Some(deps) => run_segment(
+                    &mut self.state,
+                    deps,
+                    &mut self.icache,
+                    UNREACHABLE_STOP_IP,
+                    remaining,
+                ),
+                None => run_segment(
+                    &mut self.state,
+                    &mut NoDeps,
+                    &mut self.icache,
+                    UNREACHABLE_STOP_IP,
+                    remaining,
+                ),
+            };
+            self.instret += retired;
+            remaining -= retired;
+            match exit {
+                SegmentExit::Halted => {
+                    self.halted = true;
+                    return Ok(RunExit::Halted);
+                }
+                SegmentExit::Budget => return Ok(RunExit::BudgetExhausted),
+                SegmentExit::Fault(error) => return Err(error),
+                SegmentExit::StopIp => {}
+            }
         }
     }
 
@@ -203,6 +275,25 @@ impl Machine {
     /// # Errors
     /// Propagates [`VmError`]s from the transition function.
     pub fn run_until_ip(&mut self, ip: u32, budget: u64) -> VmResult<(u64, RunExit)> {
+        if self.icache.enabled() {
+            if self.halted {
+                return Ok((0, RunExit::Halted));
+            }
+            let (retired, exit) = match self.deps.as_mut() {
+                Some(deps) => run_segment(&mut self.state, deps, &mut self.icache, ip, budget),
+                None => run_segment(&mut self.state, &mut NoDeps, &mut self.icache, ip, budget),
+            };
+            self.instret += retired;
+            return match exit {
+                SegmentExit::StopIp => Ok((retired, RunExit::Halted)),
+                SegmentExit::Halted => {
+                    self.halted = true;
+                    Ok((retired, RunExit::Halted))
+                }
+                SegmentExit::Budget => Ok((retired, RunExit::BudgetExhausted)),
+                SegmentExit::Fault(error) => Err(error),
+            };
+        }
         let start = self.instret;
         for _ in 0..budget {
             match self.step()? {
@@ -326,6 +417,68 @@ mod tests {
         let deps = machine.take_deps().expect("deps were enabled");
         assert!(deps.touched() > 0);
         assert!(machine.take_deps().is_none());
+    }
+
+    #[test]
+    fn tiered_machine_matches_untiered_run() {
+        let program = counting_program(200);
+        let mut plain = Machine::load(&program).unwrap();
+        let mut tiered = Machine::load(&program).unwrap();
+        tiered.enable_tier(TierConfig { hot_threshold: 2, ..TierConfig::default() });
+        tiered.seed_hot(16);
+        assert_eq!(plain.run(10_000).unwrap(), tiered.run(10_000).unwrap());
+        assert_eq!(plain.state(), tiered.state());
+        assert_eq!(plain.instret(), tiered.instret());
+        assert!(plain.is_halted() && tiered.is_halted());
+        let stats = tiered.tier_stats();
+        assert!(stats.tier1_instructions > 0, "{stats:?}");
+        assert!(stats.fused_ops > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn tiered_run_until_ip_matches_untiered() {
+        let program = counting_program(50);
+        let mut plain = Machine::load(&program).unwrap();
+        let mut tiered = Machine::load(&program).unwrap();
+        tiered.enable_tier(TierConfig { hot_threshold: 1, ..TierConfig::default() });
+        tiered.seed_hot(16);
+        for occurrence in 0..50 {
+            let a = plain.run_until_ip(16, 1_000).unwrap();
+            let b = tiered.run_until_ip(16, 1_000).unwrap();
+            assert_eq!(a, b, "occurrence {occurrence}");
+            assert_eq!(plain.state(), tiered.state(), "occurrence {occurrence}");
+            assert_eq!(plain.instret(), tiered.instret(), "occurrence {occurrence}");
+        }
+    }
+
+    #[test]
+    fn tiered_budget_exhaustion_is_exact_and_resumable() {
+        let mut plain = Machine::load(&counting_program(1000)).unwrap();
+        let mut tiered = Machine::load(&counting_program(1000)).unwrap();
+        tiered.enable_tier(TierConfig { hot_threshold: 1, ..TierConfig::default() });
+        assert_eq!(plain.run(123).unwrap(), RunExit::BudgetExhausted);
+        assert_eq!(tiered.run(123).unwrap(), RunExit::BudgetExhausted);
+        assert_eq!(tiered.instret(), 123);
+        assert_eq!(plain.state(), tiered.state());
+        // Resuming mid-block-boundary finishes with identical results.
+        assert_eq!(plain.run(100_000).unwrap(), RunExit::Halted);
+        assert_eq!(tiered.run(100_000).unwrap(), RunExit::Halted);
+        assert_eq!(plain.state(), tiered.state());
+        assert_eq!(plain.instret(), tiered.instret());
+    }
+
+    #[test]
+    fn tiered_dependency_tracking_matches_untiered() {
+        let program = counting_program(30);
+        let mut plain = Machine::load(&program).unwrap();
+        let mut tiered = Machine::load(&program).unwrap();
+        plain.enable_dep_tracking();
+        tiered.enable_dep_tracking();
+        tiered.enable_tier(TierConfig { hot_threshold: 1, ..TierConfig::default() });
+        plain.run(10_000).unwrap();
+        tiered.run(10_000).unwrap();
+        assert_eq!(plain.state(), tiered.state());
+        assert_eq!(plain.take_deps(), tiered.take_deps());
     }
 
     #[test]

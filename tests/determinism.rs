@@ -464,6 +464,141 @@ mod economics {
     }
 }
 
+/// Tier-up execution: compiling hot inter-occurrence regions into fused,
+/// block-threaded micro-op blocks changes the *cost* of an instruction,
+/// never its semantics. Tier on vs. off must therefore leave `final_state`
+/// bit-identical in every execution mode — inline, miss-driven workers and
+/// planner — on every benchmark, and the instruction accounting (supersteps,
+/// budgets, deadlines) must stay exact at block boundaries.
+///
+/// The CI determinism job collects per-benchmark `TierStats` as JSON lines
+/// from the file named by `ASC_TIER_OUT` (uploaded as `TIER_stats.json` and
+/// summarized into the step summary next to the economics table).
+mod tier {
+    use super::*;
+    use asc::tvm::{TierConfig, TierStats};
+
+    fn emit_tier(benchmark: Benchmark, mode: &str, stats: &TierStats) {
+        let Ok(path) = std::env::var("ASC_TIER_OUT") else { return };
+        use std::io::Write;
+        let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+            return;
+        };
+        let tier1_share = if stats.instructions() == 0 {
+            0.0
+        } else {
+            stats.tier1_instructions as f64 / stats.instructions() as f64
+        };
+        let _ = writeln!(
+            file,
+            "{{\"benchmark\":\"{benchmark}\",\"mode\":\"{mode}\",\
+             \"blocks_compiled\":{},\"blocks_invalidated\":{},\"fused_ops\":{},\
+             \"tier1_instructions\":{},\"tier0_instructions\":{},\"tier1_share\":{:.6}}}",
+            stats.blocks_compiled,
+            stats.blocks_invalidated,
+            stats.fused_ops,
+            stats.tier1_instructions,
+            stats.tier0_instructions,
+            tier1_share,
+        );
+    }
+
+    /// Tier on vs. off, across all three execution modes, on every
+    /// benchmark: the final state never moves, and the tier really ran.
+    #[test]
+    fn tier_on_and_off_are_bit_identical_in_every_mode() {
+        for benchmark in Benchmark::ALL {
+            let workload = build(benchmark, scale_for(benchmark)).unwrap();
+            for (mode, workers, planner) in
+                [("inline", 0usize, false), ("workers", 4, false), ("planner", 4, true)]
+            {
+                let mut on = config_for(benchmark, workers);
+                on.planner.enabled = planner;
+                on.tier = TierConfig::default();
+                let mut off = on.clone();
+                off.tier = TierConfig::disabled();
+
+                let on_report =
+                    LascRuntime::new(on).unwrap().accelerate(&workload.program).unwrap();
+                let off_report =
+                    LascRuntime::new(off).unwrap().accelerate(&workload.program).unwrap();
+
+                assert!(on_report.halted, "{benchmark}/{mode}: tiered run did not halt");
+                assert!(off_report.halted, "{benchmark}/{mode}: tier-0 run did not halt");
+                assert_eq!(
+                    on_report.final_state.as_bytes(),
+                    off_report.final_state.as_bytes(),
+                    "{benchmark}/{mode}: tier-up changed the result"
+                );
+                assert!(
+                    workload.verify(&on_report.final_state),
+                    "{benchmark}/{mode}: tiered run produced a wrong result"
+                );
+                // Accounting is exact at block boundaries, so the
+                // semantically retired total is identical, not just close.
+                assert_eq!(
+                    on_report.total_instructions, off_report.total_instructions,
+                    "{benchmark}/{mode}: tier-up changed the instruction accounting"
+                );
+                // The tier really ran: the recognized IP is seeded hot, so
+                // the first executed superstep already compiles its region.
+                assert!(
+                    on_report.tier.blocks_compiled > 0,
+                    "{benchmark}/{mode}: tier on but nothing compiled ({:?})",
+                    on_report.tier
+                );
+                assert!(
+                    on_report.tier.tier1_instructions > 0,
+                    "{benchmark}/{mode}: tier on but nothing retired in blocks ({:?})",
+                    on_report.tier
+                );
+                assert_eq!(
+                    off_report.tier.blocks_compiled, 0,
+                    "{benchmark}/{mode}: tier off but blocks compiled ({:?})",
+                    off_report.tier
+                );
+                emit_tier(benchmark, mode, &on_report.tier);
+            }
+        }
+    }
+
+    /// The full fault campaign (worker panics, stalls, entry corruption,
+    /// planner death) with the tier enabled: deadline-killed and faulted
+    /// jobs stop mid-block, and their exact instruction accounting is what
+    /// keeps the final state bit-identical to fault-free tier-0 execution.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn fault_soak_with_tier_enabled_stays_bit_identical() {
+        let seed = super::fault_soak::fault_seed();
+        for benchmark in Benchmark::ALL {
+            let workload = build(benchmark, scale_for(benchmark)).unwrap();
+            let mut reference = config_for(benchmark, 0);
+            reference.tier = TierConfig::disabled();
+            let reference =
+                LascRuntime::new(reference).unwrap().accelerate(&workload.program).unwrap();
+            let mut soak = super::fault_soak::soak_config(benchmark, seed);
+            soak.tier = TierConfig::default();
+            let faulted = LascRuntime::new(soak).unwrap().accelerate(&workload.program).unwrap();
+            assert!(faulted.halted, "{benchmark}: tiered faulted run did not halt");
+            assert_eq!(
+                reference.final_state.as_bytes(),
+                faulted.final_state.as_bytes(),
+                "{benchmark}: seed {seed} fault campaign with tier enabled changed the result"
+            );
+            assert!(
+                faulted.health.injected_faults > 0,
+                "{benchmark}: the fault campaign never fired ({:?})",
+                faulted.health
+            );
+            assert!(
+                faulted.tier.tier1_instructions > 0,
+                "{benchmark}: soak ran tier-0 only ({:?})",
+                faulted.tier
+            );
+        }
+    }
+}
+
 /// Fault-soak mode (`--features fault-inject`): the supervision layer's
 /// claim is that *execution* failures — worker panics, runaway jobs,
 /// corrupted cache entries, a dead planner — only ever cost speed. These
@@ -482,7 +617,7 @@ mod fault_soak {
     use asc::core::supervisor::HealthStats;
     use asc::core::FaultPlan;
 
-    fn fault_seed() -> u64 {
+    pub(super) fn fault_seed() -> u64 {
         std::env::var("ASC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
     }
 
@@ -499,7 +634,7 @@ mod fault_soak {
         }
     }
 
-    fn soak_config(benchmark: Benchmark, seed: u64) -> AscConfig {
+    pub(super) fn soak_config(benchmark: Benchmark, seed: u64) -> AscConfig {
         AscConfig {
             fault: Some(aggressive_plan(seed)),
             // Tight enough to bind under the 2M-instruction superstep
