@@ -1,0 +1,615 @@
+//! Kill–resume soak driver for the CI `kill-resume-soak` job: proves that
+//! a run killed dead at a random occurrence ordinal — SIGKILL-style, no
+//! destructors — resumes from its newest intact checkpoint to a final
+//! state **bit-identical** to the uninterrupted run.
+//!
+//! Requires `--features fault-inject` (the crash point is the in-process
+//! abort hook, so the kill lands at a *deterministic* ordinal instead of a
+//! racy external `kill -9`; `std::process::abort` raises SIGABRT, which is
+//! exactly as un-catchable for user code as SIGKILL — no `Drop`, no
+//! `atexit`, no flush).
+//!
+//! Scenarios, one JSON line each to `--out` (or `$ASC_CKPT_OUT`):
+//!
+//! * `kill-resume` — per seed × benchmark (mode rotated so every benchmark
+//!   × {inline, workers, planner} pair is covered): run a reference
+//!   in-process, crash a checkpointed child at a seeded ordinal, resume it
+//!   in a fresh process, and demand the reference's exact final state and
+//!   instruction total.
+//! * `damage-sweep` — corrupt the newest checkpoint after the crash: the
+//!   resume must fall back to the older intact file and still match;
+//!   corrupt *every* file and the resume must cold-start and still match.
+//! * `graceful-shutdown` — SIGTERM a child that is stalled mid-run: its
+//!   signal handler requests shutdown, the run flushes a final checkpoint
+//!   and exits cleanly, and the follow-up resume completes bit-identically.
+//!
+//! The separate `overhead` subcommand asserts the bench-gate bound: with
+//! checkpointing on, the min-of-5 wall clock of the `accelerate_collatz
+//! _small` configuration stays within 5% of checkpointing off.
+//!
+//! ```sh
+//! cargo run --release -p asc-bench --features fault-inject \
+//!     --bin kill_resume_soak -- --out CKPT_soak.json
+//! cargo run --release -p asc-bench --features fault-inject \
+//!     --bin kill_resume_soak -- overhead
+//! ```
+
+use std::process::ExitCode;
+
+#[cfg(feature = "fault-inject")]
+mod soak {
+    use std::collections::HashMap;
+    use std::io::Write;
+    use std::os::unix::process::ExitStatusExt;
+    use std::path::{Path, PathBuf};
+    use std::process::{Command, ExitCode};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use asc_bench::small_collatz_config;
+    use asc_core::config::AscConfig;
+    use asc_core::runtime::{LascRuntime, RunReport};
+    use asc_core::FaultPlan;
+    use asc_learn::rng::{Rng, XorShiftRng};
+    use asc_workloads::registry::{build, Benchmark, Scale};
+
+    const MODES: [&str; 3] = ["inline", "workers", "planner"];
+    const INTERVAL: u64 = 4;
+
+    /// The determinism suite's run shape: small enough that a full matrix
+    /// of subprocess scenarios stays in CI budget, large enough that every
+    /// run crosses dozens of occurrence boundaries (checkpoint opportunities).
+    fn mode_config(benchmark: Benchmark, mode: &str) -> AscConfig {
+        let mut config = AscConfig {
+            explore_instructions: if benchmark == Benchmark::Ising { 25_000 } else { 5_000 },
+            evaluation_occurrences: 6,
+            evaluation_training: 10,
+            candidate_count: 8,
+            min_superstep: 50,
+            rollout_depth: 8,
+            ..AscConfig::default()
+        };
+        match mode {
+            "inline" => {}
+            "workers" => config.workers = 4,
+            "planner" => {
+                config.workers = 4;
+                config.planner.enabled = true;
+            }
+            other => panic!("unknown mode {other:?}"),
+        }
+        config
+    }
+
+    fn scale_of(benchmark: Benchmark) -> Scale {
+        match benchmark {
+            Benchmark::Ising => Scale::Small,
+            _ => Scale::Tiny,
+        }
+    }
+
+    fn parse_benchmark(name: &str) -> Result<Benchmark, String> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| format!("{b}") == name)
+            .ok_or_else(|| format!("unknown benchmark {name:?}"))
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn reference_run(benchmark: Benchmark, mode: &str) -> RunReport {
+        let workload = build(benchmark, scale_of(benchmark)).expect("workload builds");
+        let report = LascRuntime::new(mode_config(benchmark, mode))
+            .expect("config is valid")
+            .accelerate(&workload.program)
+            .expect("reference run succeeds");
+        assert!(report.halted, "{benchmark}/{mode}: reference did not halt");
+        assert!(workload.verify(&report.final_state), "{benchmark}/{mode}: wrong reference");
+        report
+    }
+
+    fn scenario_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("asc-soak-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn checkpoint_files(dir: &Path) -> Vec<PathBuf> {
+        let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+        let mut files: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "asc"))
+            .collect();
+        files.sort();
+        files
+    }
+
+    // ------------------------------------------------------------------
+    // Child side: one checkpointed run, optionally crashed or stalled.
+    // ------------------------------------------------------------------
+
+    /// SIGTERM/SIGINT latch — a signal handler may only do async-signal-safe
+    /// work, so it sets this flag and the bridge thread forwards it to the
+    /// runtime's shutdown flag.
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    fn install_signal_handlers() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn run_child(args: &HashMap<String, String>) -> Result<(), String> {
+        let benchmark = parse_benchmark(args.get("--benchmark").ok_or("missing --benchmark")?)?;
+        let mode = args.get("--mode").ok_or("missing --mode")?;
+        let dir = PathBuf::from(args.get("--dir").ok_or("missing --dir")?);
+        let result_path = args.get("--result").ok_or("missing --result")?;
+        let kill_at: Option<u64> = args.get("--kill-at").map(|v| v.parse().unwrap());
+        let graceful = args.contains_key("--graceful");
+
+        let mut config = mode_config(benchmark, mode);
+        config.checkpoint.enabled = true;
+        config.checkpoint.directory = Some(dir);
+        config.checkpoint.interval = INTERVAL;
+        config.checkpoint.keep = 3;
+        config.checkpoint.resume = true;
+        if let Some(at) = kill_at {
+            config.fault =
+                Some(FaultPlan { seed: 1, abort_at_occurrence: Some(at), ..FaultPlan::default() });
+        }
+        if graceful {
+            // A deterministic mid-run window for the parent's SIGTERM: the
+            // run stalls at occurrence 10 until the watchdog frees it, so
+            // the signal always lands while the run is in flight. Only the
+            // shutdown flush may save — the interval never fires.
+            config.fault =
+                Some(FaultPlan { seed: 1, stall_at_occurrence: Some(10), ..FaultPlan::default() });
+            config.watchdog.deadline_ms = 1_500;
+            config.watchdog.poll_ms = 50;
+            config.checkpoint.interval = u64::MAX;
+            install_signal_handlers();
+        }
+
+        let workload = build(benchmark, scale_of(benchmark)).expect("workload builds");
+        let mut runtime = LascRuntime::new(config).map_err(|e| format!("bad config: {e}"))?;
+        if graceful {
+            let flag = Arc::new(AtomicBool::new(false));
+            runtime.set_shutdown_flag(Arc::clone(&flag));
+            std::thread::spawn(move || loop {
+                if SIGNALLED.load(Ordering::SeqCst) {
+                    flag.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            });
+        }
+        let report =
+            runtime.accelerate(&workload.program).map_err(|e| format!("run failed: {e}"))?;
+        if report.halted {
+            assert!(workload.verify(&report.final_state), "child produced a wrong result");
+        }
+
+        let stats = report.checkpoints.expect("checkpointing was on");
+        let body = format!(
+            "halted={}\nstate={}\ntotal={}\nsaves={}\nresumed={}\nrejected={}\n",
+            report.halted,
+            hex(report.final_state.as_bytes()),
+            report.total_instructions,
+            stats.saves,
+            stats.resumed,
+            stats.rejected_files,
+        );
+        std::fs::write(result_path, body).map_err(|e| format!("cannot write result: {e}"))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Parent side: scenarios.
+    // ------------------------------------------------------------------
+
+    struct ChildResult {
+        halted: bool,
+        state: String,
+        total: u64,
+        saves: u64,
+        resumed: bool,
+        rejected: u64,
+    }
+
+    fn read_result(path: &Path) -> Result<ChildResult, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("no child result {path:?}: {e}"))?;
+        let mut fields = HashMap::new();
+        for line in text.lines() {
+            if let Some((key, value)) = line.split_once('=') {
+                fields.insert(key.to_string(), value.to_string());
+            }
+        }
+        let get = |key: &str| {
+            fields.get(key).cloned().ok_or_else(|| format!("child result missing {key}"))
+        };
+        Ok(ChildResult {
+            halted: get("halted")? == "true",
+            state: get("state")?,
+            total: get("total")?.parse().map_err(|e| format!("bad total: {e}"))?,
+            saves: get("saves")?.parse().map_err(|e| format!("bad saves: {e}"))?,
+            resumed: get("resumed")? == "true",
+            rejected: get("rejected")?.parse().map_err(|e| format!("bad rejected: {e}"))?,
+        })
+    }
+
+    fn child_command(benchmark: Benchmark, mode: &str, dir: &Path, result: &Path) -> Command {
+        let exe = std::env::current_exe().expect("own executable path");
+        let mut command = Command::new(exe);
+        command.args([
+            "child",
+            "--benchmark",
+            &format!("{benchmark}"),
+            "--mode",
+            mode,
+            "--dir",
+            dir.to_str().expect("utf-8 temp path"),
+            "--result",
+            result.to_str().expect("utf-8 temp path"),
+        ]);
+        command
+    }
+
+    /// Crash a checkpointed child at `kill_at`, halving the ordinal until
+    /// the crash lands before the run completes (the seeded ordinal can
+    /// overshoot a short run). Returns the ordinal that crashed.
+    fn crash_child(
+        benchmark: Benchmark,
+        mode: &str,
+        dir: &Path,
+        result: &Path,
+        mut kill_at: u64,
+    ) -> Result<u64, String> {
+        for _ in 0..8 {
+            let _ = std::fs::remove_dir_all(dir);
+            let output = child_command(benchmark, mode, dir, result)
+                .arg("--kill-at")
+                .arg(kill_at.to_string())
+                .output()
+                .map_err(|e| format!("cannot spawn crash child: {e}"))?;
+            if output.status.signal() == Some(6) {
+                return Ok(kill_at);
+            }
+            if output.status.success() {
+                // The run finished before the ordinal; aim earlier.
+                kill_at = (kill_at / 2).max(INTERVAL + 1);
+                continue;
+            }
+            return Err(format!(
+                "crash child died wrong ({:?}): {}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+        Err(format!("{benchmark}/{mode}: no ordinal crashed the run"))
+    }
+
+    fn resume_child(
+        benchmark: Benchmark,
+        mode: &str,
+        dir: &Path,
+        result: &Path,
+    ) -> Result<ChildResult, String> {
+        let output = child_command(benchmark, mode, dir, result)
+            .output()
+            .map_err(|e| format!("cannot spawn resume child: {e}"))?;
+        if !output.status.success() {
+            return Err(format!(
+                "resume child failed ({:?}): {}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+        read_result(result)
+    }
+
+    fn assert_matches(
+        label: &str,
+        reference: &RunReport,
+        resumed: &ChildResult,
+    ) -> Result<(), String> {
+        if !resumed.halted {
+            return Err(format!("{label}: resumed run did not halt"));
+        }
+        if resumed.state != hex(reference.final_state.as_bytes()) {
+            return Err(format!("{label}: resumed final state diverged from the reference"));
+        }
+        if resumed.total != reference.total_instructions {
+            return Err(format!(
+                "{label}: instruction accounting diverged ({} vs {})",
+                resumed.total, reference.total_instructions
+            ));
+        }
+        Ok(())
+    }
+
+    fn kill_resume_scenario(
+        benchmark: Benchmark,
+        mode: &str,
+        seed: u64,
+        rng: &mut XorShiftRng,
+    ) -> Result<String, String> {
+        let label = format!("{benchmark}/{mode}/seed{seed}");
+        let reference = reference_run(benchmark, mode);
+        let dir = scenario_dir(&format!("kill-{benchmark}-{mode}-{seed}"));
+        let result = dir.with_extension("result");
+
+        // Past the first interval boundary (so a checkpoint exists to
+        // resume from), randomly deep into the run.
+        let kill_at = INTERVAL + 1 + rng.next_u64() % 120;
+        let kill_at = crash_child(benchmark, mode, &dir, &result, kill_at)?;
+        if checkpoint_files(&dir).is_empty() {
+            return Err(format!("{label}: crashed run left no checkpoint"));
+        }
+
+        let resumed = resume_child(benchmark, mode, &dir, &result)?;
+        if !resumed.resumed {
+            return Err(format!("{label}: second leg started cold"));
+        }
+        assert_matches(&label, &reference, &resumed)?;
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&result);
+        Ok(format!(
+            "{{\"scenario\":\"kill-resume\",\"benchmark\":\"{benchmark}\",\"mode\":\"{mode}\",\
+             \"seed\":{seed},\"kill_at\":{kill_at},\"resumed\":true,\"bit_identical\":true}}"
+        ))
+    }
+
+    fn damage_scenario(rng: &mut XorShiftRng) -> Result<Vec<String>, String> {
+        let (benchmark, mode) = (Benchmark::Collatz, "workers");
+        let reference = reference_run(benchmark, mode);
+        let dir = scenario_dir("damage");
+        let result = dir.with_extension("result");
+        crash_child(benchmark, mode, &dir, &result, 40)?;
+        let files = checkpoint_files(&dir);
+        if files.len() < 2 {
+            return Err(format!("damage sweep needs ≥ 2 checkpoints, got {}", files.len()));
+        }
+
+        // Corrupt the newest file: the resume must fall back to the older
+        // intact checkpoint, count the damage, and still match bit-for-bit.
+        let newest = files.last().unwrap();
+        let mut bytes = std::fs::read(newest).map_err(|e| format!("read {newest:?}: {e}"))?;
+        let index = (rng.next_u64() as usize) % bytes.len();
+        bytes[index] ^= 1 + (rng.next_u64() as u8 % 255);
+        std::fs::write(newest, &bytes).map_err(|e| format!("write {newest:?}: {e}"))?;
+        let fell_back = resume_child(benchmark, mode, &dir, &result)?;
+        if !fell_back.resumed || fell_back.rejected == 0 {
+            return Err(format!(
+                "damaged newest was not detected (resumed={}, rejected={})",
+                fell_back.resumed, fell_back.rejected
+            ));
+        }
+        assert_matches("damage/older-intact", &reference, &fell_back)?;
+
+        // Corrupt every checkpoint: the resume must cold-start — never load
+        // a wrong state — and still reach the identical final state.
+        for file in checkpoint_files(&dir) {
+            let mut bytes = std::fs::read(&file).map_err(|e| format!("read {file:?}: {e}"))?;
+            let index = (rng.next_u64() as usize) % bytes.len();
+            bytes[index] ^= 1 + (rng.next_u64() as u8 % 255);
+            std::fs::write(&file, &bytes).map_err(|e| format!("write {file:?}: {e}"))?;
+        }
+        let cold = resume_child(benchmark, mode, &dir, &result)?;
+        if cold.resumed {
+            return Err("a fully damaged directory still claimed a resume".into());
+        }
+        assert_matches("damage/cold-start", &reference, &cold)?;
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&result);
+        Ok(vec![
+            "{\"scenario\":\"damage-sweep\",\"case\":\"older-intact\",\"bit_identical\":true}"
+                .into(),
+            "{\"scenario\":\"damage-sweep\",\"case\":\"cold-start\",\"bit_identical\":true}".into(),
+        ])
+    }
+
+    fn graceful_scenario() -> Result<String, String> {
+        let (benchmark, mode) = (Benchmark::Collatz, "workers");
+        let reference = reference_run(benchmark, mode);
+        let dir = scenario_dir("graceful");
+        let result = dir.with_extension("result");
+
+        let mut child = child_command(benchmark, mode, &dir, &result)
+            .arg("--graceful")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn graceful child: {e}"))?;
+        // The child is parked on its injected stall by now; the SIGTERM
+        // lands mid-run by construction.
+        std::thread::sleep(Duration::from_millis(400));
+        let term = Command::new("kill")
+            .args(["-TERM", &child.id().to_string()])
+            .status()
+            .map_err(|e| format!("cannot send SIGTERM: {e}"))?;
+        if !term.success() {
+            let _ = child.kill();
+            return Err("kill -TERM failed".into());
+        }
+        let output =
+            child.wait_with_output().map_err(|e| format!("graceful child vanished: {e}"))?;
+        if !output.status.success() {
+            return Err(format!(
+                "graceful child did not exit cleanly ({:?}): {}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+        let stopped = read_result(&result)?;
+        if stopped.halted {
+            return Err("SIGTERM child ran to completion — the signal landed too late".into());
+        }
+        if stopped.saves == 0 {
+            return Err("graceful shutdown flushed no checkpoint".into());
+        }
+
+        let resumed = resume_child(benchmark, mode, &dir, &result)?;
+        if !resumed.resumed {
+            return Err("resume after graceful shutdown started cold".into());
+        }
+        assert_matches("graceful", &reference, &resumed)?;
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&result);
+        Ok(format!(
+            "{{\"scenario\":\"graceful-shutdown\",\"flushed_saves\":{},\"bit_identical\":true}}",
+            stopped.saves
+        ))
+    }
+
+    fn campaign(out: Option<&str>, seeds: &[u64]) -> Result<(), String> {
+        let mut lines = Vec::new();
+        for (seed_index, &seed) in seeds.iter().enumerate() {
+            let mut rng = XorShiftRng::new(0x50a4_0000 ^ seed.wrapping_mul(0x9e37));
+            for (bench_index, benchmark) in Benchmark::ALL.into_iter().enumerate() {
+                // Rotate the mode with the seed so three seeds cover every
+                // benchmark × {inline, workers, planner} pair exactly once.
+                let mode = MODES[(seed_index + bench_index) % MODES.len()];
+                let line = kill_resume_scenario(benchmark, mode, seed, &mut rng)?;
+                println!("{line}");
+                lines.push(line);
+            }
+        }
+        let mut rng = XorShiftRng::new(0xda3a_6e00 ^ seeds.first().copied().unwrap_or(1));
+        for line in damage_scenario(&mut rng)? {
+            println!("{line}");
+            lines.push(line);
+        }
+        let line = graceful_scenario()?;
+        println!("{line}");
+        lines.push(line);
+
+        if let Some(path) = out {
+            let mut file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            for line in &lines {
+                writeln!(file, "{line}").map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The bench-gate bound: checkpointing on (default interval) must stay
+    /// within `tolerance` of checkpointing off on the `accelerate_collatz_
+    /// small` configuration's min-of-5 wall clock. Runs interleave so slow
+    /// drift (thermal, noisy neighbours) cancels out of the comparison.
+    fn overhead(tolerance: f64) -> Result<(), String> {
+        let workload = build(Benchmark::Collatz, Scale::Small).expect("workload builds");
+        let off_config = small_collatz_config(0, false);
+        let mut on_config = off_config.clone();
+        on_config.checkpoint.enabled = true;
+        on_config.checkpoint.directory = Some(scenario_dir("overhead"));
+
+        let time = |config: &AscConfig| -> Duration {
+            let runtime = LascRuntime::new(config.clone()).expect("config is valid");
+            let started = Instant::now();
+            let report = runtime.accelerate(&workload.program).expect("run succeeds");
+            assert!(report.halted && workload.verify(&report.final_state));
+            started.elapsed()
+        };
+        let (mut off_min, mut on_min) = (Duration::MAX, Duration::MAX);
+        for _ in 0..5 {
+            off_min = off_min.min(time(&off_config));
+            on_min = on_min.min(time(&on_config));
+        }
+        if let Some(dir) = &on_config.checkpoint.directory {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+
+        let ratio = on_min.as_secs_f64() / off_min.as_secs_f64();
+        println!(
+            "{{\"scenario\":\"checkpoint-overhead\",\"off_min_ns\":{},\"on_min_ns\":{},\
+             \"ratio\":{ratio:.4},\"tolerance\":{tolerance}}}",
+            off_min.as_nanos(),
+            on_min.as_nanos(),
+        );
+        if ratio > 1.0 + tolerance {
+            return Err(format!(
+                "checkpointing costs {:.1}% on accelerate_collatz_small minima (bound {:.0}%)",
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+        Ok(())
+    }
+
+    pub fn main() -> ExitCode {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let outcome = match args.first().map(String::as_str) {
+            Some("child") => {
+                let mut map = HashMap::new();
+                let mut rest = args[1..].iter();
+                while let Some(key) = rest.next() {
+                    if key == "--graceful" {
+                        map.insert(key.clone(), String::new());
+                    } else {
+                        map.insert(key.clone(), rest.next().cloned().unwrap_or_default());
+                    }
+                }
+                run_child(&map)
+            }
+            Some("overhead") => {
+                let tolerance = args
+                    .iter()
+                    .position(|a| a == "--tolerance")
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.05);
+                overhead(tolerance)
+            }
+            _ => {
+                let out = args
+                    .iter()
+                    .position(|a| a == "--out")
+                    .and_then(|i| args.get(i + 1).cloned())
+                    .or_else(|| std::env::var("ASC_CKPT_OUT").ok());
+                let seeds: Vec<u64> = std::env::var("ASC_SOAK_SEEDS")
+                    .unwrap_or_else(|_| "1,2,3".into())
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect();
+                campaign(out.as_deref(), &seeds)
+            }
+        };
+        match outcome {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("kill-resume soak error: {message}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+fn main() -> ExitCode {
+    soak::main()
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn main() -> ExitCode {
+    eprintln!(
+        "kill_resume_soak needs the deterministic crash hook: \
+         rebuild with --features fault-inject"
+    );
+    ExitCode::from(2)
+}

@@ -251,6 +251,7 @@ mod tests {
             planner: None,
             health: Default::default(),
             economics: None,
+            checkpoints: None,
             tier: Default::default(),
             final_state: StateVector::new(16).unwrap(),
             halted: true,

@@ -261,6 +261,84 @@ impl Default for RemoteConfig {
     }
 }
 
+/// Crash-durable checkpointing of resumable run state; see
+/// [`crate::checkpoint`] for the file format and the exact set of state that
+/// is (and deliberately is not) saved.
+///
+/// Checkpoints are written at recognized-IP occurrence boundaries — the only
+/// points where the machine state, the counters and the learned state are
+/// all simultaneously coherent — every [`interval`](CheckpointConfig::interval)
+/// occurrences, atomically (tmp + rename), keeping the last
+/// [`keep`](CheckpointConfig::keep) files. A resumed run restores the newest
+/// *intact* checkpoint and continues to a final state bit-identical to the
+/// uninterrupted run; a torn, truncated or bit-flipped file is skipped in
+/// favour of an older intact one (or a fresh start), never loaded wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Whether checkpointing runs at all. Disabled (the default), the
+    /// runtime touches no files.
+    pub enabled: bool,
+    /// Directory checkpoint files live in (`ckpt-<seq>.asc` plus an optional
+    /// `.cache` trajectory-cache sibling). Created if absent. Required when
+    /// enabled.
+    pub directory: Option<std::path::PathBuf>,
+    /// Recognized-IP occurrences between checkpoint writes.
+    pub interval: u64,
+    /// How many checkpoint files to retain; older ones are pruned after each
+    /// successful write. At least 2 is recommended so damage to the newest
+    /// file still leaves an intact predecessor.
+    pub keep: usize,
+    /// Whether to restore from the newest intact checkpoint in
+    /// [`directory`](CheckpointConfig::directory) before running. With no
+    /// intact checkpoint present the run starts fresh.
+    pub resume: bool,
+    /// Whether each checkpoint also saves the trajectory cache alongside (a
+    /// `.cache` sibling via [`crate::remote::snapshot`]). The cache is pure
+    /// acceleration state — resume is bit-identical with or without it —
+    /// but reloading it preserves warm-start speed.
+    pub snapshot_cache: bool,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            enabled: false,
+            directory: None,
+            interval: 256,
+            keep: 3,
+            resume: false,
+            snapshot_cache: true,
+        }
+    }
+}
+
+/// The run-level liveness watchdog; see
+/// [`crate::supervisor::Watchdog`]. The main loop ticks a heartbeat once per
+/// recognized-IP occurrence; a watchdog thread that observes no tick for
+/// [`deadline_ms`](WatchdogConfig::deadline_ms) declares the run stalled —
+/// the failure class (livelock, a hung lock, a wedged pool) the windowed
+/// circuit breaker cannot see, because nothing *fails* — dumps diagnostics
+/// and escalates: force-open the breaker, then tear down the pool and finish
+/// inline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Whether the watchdog thread runs during [`accelerate`].
+    ///
+    /// [`accelerate`]: crate::runtime::LascRuntime::accelerate
+    pub enabled: bool,
+    /// Milliseconds without an occurrence tick before the run counts as
+    /// stalled and the next escalation stage fires.
+    pub deadline_ms: u64,
+    /// How often the watchdog thread polls the heartbeat, in milliseconds.
+    pub poll_ms: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig { enabled: true, deadline_ms: 10_000, poll_ms: 500 }
+    }
+}
+
 /// Tunable parameters of the LASC runtime.
 ///
 /// The defaults reproduce the paper's policies scaled to TVM-sized programs:
@@ -367,6 +445,11 @@ pub struct AscConfig {
     /// main thread and to every speculation worker in all three modes
     /// (inline, miss-driven pool, planner).
     pub tier: TierConfig,
+    /// Crash-durable checkpoint/resume; see [`CheckpointConfig`]. Disabled
+    /// by default.
+    pub checkpoint: CheckpointConfig,
+    /// Run-level liveness watchdog; see [`WatchdogConfig`].
+    pub watchdog: WatchdogConfig,
     /// Deterministic fault-injection plan driving the supervised runtime's
     /// test harness; `None` injects nothing. Only exists under the
     /// `fault-inject` cargo feature — production builds have no injection
@@ -403,6 +486,8 @@ impl Default for AscConfig {
             breaker: BreakerConfig::default(),
             remote: RemoteConfig::default(),
             tier: TierConfig::default(),
+            checkpoint: CheckpointConfig::default(),
+            watchdog: WatchdogConfig::default(),
             #[cfg(feature = "fault-inject")]
             fault: None,
         }
@@ -536,6 +621,24 @@ impl AscConfig {
                         .into(),
                 ));
             }
+        }
+        if self.checkpoint.enabled {
+            if self.checkpoint.directory.is_none() {
+                return Err(AscError::InvalidConfig("checkpoint enabled with no directory".into()));
+            }
+            if self.checkpoint.interval == 0 {
+                return Err(AscError::InvalidConfig(
+                    "checkpoint interval must be at least 1".into(),
+                ));
+            }
+            if self.checkpoint.keep == 0 {
+                return Err(AscError::InvalidConfig("checkpoint keep must be at least 1".into()));
+            }
+        }
+        if self.watchdog.enabled && (self.watchdog.deadline_ms == 0 || self.watchdog.poll_ms == 0) {
+            return Err(AscError::InvalidConfig(
+                "watchdog deadline_ms and poll_ms must be at least 1".into(),
+            ));
         }
         if self.economics.enabled {
             if !(self.economics.half_life >= 1.0 && self.economics.half_life.is_finite()) {
@@ -724,5 +827,32 @@ mod tests {
         c.tier.enabled = false;
         c.tier.hot_threshold = 0;
         assert!(c.validate().is_ok());
+
+        // An enabled checkpoint needs a directory and sane bounds.
+        let mut c = AscConfig::default();
+        c.checkpoint.enabled = true;
+        assert!(c.validate().is_err(), "checkpointing with no directory must reject");
+        c.checkpoint.directory = Some("ckpts".into());
+        assert!(c.validate().is_ok());
+        c.checkpoint.interval = 0;
+        assert!(c.validate().is_err());
+        c.checkpoint.interval = 1;
+        c.checkpoint.keep = 0;
+        assert!(c.validate().is_err());
+
+        // Disabled checkpoint knobs are not validated: nothing is written.
+        let mut c = AscConfig::default();
+        c.checkpoint.interval = 0;
+        assert!(c.validate().is_ok());
+
+        let mut c = AscConfig::default();
+        c.watchdog.deadline_ms = 0;
+        assert!(c.validate().is_err());
+        c.watchdog.enabled = false;
+        assert!(c.validate().is_ok(), "disabled watchdog knobs are not validated");
+
+        let mut c = AscConfig::default();
+        c.watchdog.poll_ms = 0;
+        assert!(c.validate().is_err());
     }
 }

@@ -75,6 +75,7 @@
 //! [`EnsembleErrors::recent_error_rate`]: asc_learn::ensemble::EnsembleErrors::recent_error_rate
 
 use crate::config::EconomicsConfig;
+use asc_learn::persist::{self, Reader};
 
 /// Running counters of the value model's decisions, reported per run in
 /// [`RunReport::economics`](crate::runtime::RunReport::economics).
@@ -318,6 +319,59 @@ impl SpeculationEconomics {
         self.enabled
     }
 
+    /// Appends the learned dispatch state — the EMAs, delta-feed cursors,
+    /// probe streak and decision counters — to `out` for checkpointing.
+    /// Floats are written as raw IEEE-754 bits so a restore is bit-exact.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        persist::put_f64(out, self.realized);
+        persist::put_f64(out, self.step_accuracy);
+        persist::put_u64(out, self.queries_seen);
+        persist::put_u64(out, self.hits_seen);
+        persist::put_u64(out, self.suppressed_streak);
+        persist::put_u64(out, self.stats.considered);
+        persist::put_u64(out, self.stats.dispatched);
+        persist::put_u64(out, self.stats.suppressed);
+        persist::put_u64(out, self.stats.probes);
+        persist::put_u64(out, self.stats.lookups);
+        persist::put_u64(out, self.stats.hits);
+        persist::put_f64(out, self.stats.expected_value);
+        persist::put_f64(out, self.stats.suppressed_cost);
+        persist::put_f64(out, self.stats.realized_hit_rate);
+        persist::put_usize(out, self.stats.last_horizon);
+    }
+
+    /// Restores state written by
+    /// [`save_state`](SpeculationEconomics::save_state) into a model built
+    /// from the same configuration. Returns `None` on truncated bytes; the
+    /// caller then keeps the freshly constructed model (configuration priors
+    /// are not serialized, so no shape validation is needed beyond length).
+    pub fn load_state(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        let realized = reader.f64()?;
+        let step_accuracy = reader.f64()?;
+        let queries_seen = reader.u64()?;
+        let hits_seen = reader.u64()?;
+        let suppressed_streak = reader.u64()?;
+        let stats = EconomicsStats {
+            considered: reader.u64()?,
+            dispatched: reader.u64()?,
+            suppressed: reader.u64()?,
+            probes: reader.u64()?,
+            lookups: reader.u64()?,
+            hits: reader.u64()?,
+            expected_value: reader.f64()?,
+            suppressed_cost: reader.f64()?,
+            realized_hit_rate: reader.f64()?,
+            last_horizon: reader.usize()?,
+        };
+        self.realized = realized;
+        self.step_accuracy = step_accuracy;
+        self.queries_seen = queries_seen;
+        self.hits_seen = hits_seen;
+        self.suppressed_streak = suppressed_streak;
+        self.stats = stats;
+        Some(())
+    }
+
     /// Snapshot of the decision counters.
     pub fn stats(&self) -> EconomicsStats {
         self.stats
@@ -439,6 +493,40 @@ mod tests {
             (by_outcome.stats().realized_hit_rate - by_totals.stats().realized_hit_rate).abs()
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_decisions() {
+        let mut trained = SpeculationEconomics::new(&config());
+        trained.observe_model(Some(0.3));
+        for i in 0..40 {
+            trained.record_lookup(i % 3 == 0);
+            trained.evaluate(-0.5, 2, 400.0);
+        }
+        let mut bytes = Vec::new();
+        trained.save_state(&mut bytes);
+
+        let mut restored = SpeculationEconomics::new(&config());
+        restored
+            .load_state(&mut asc_learn::persist::Reader::new(&bytes))
+            .expect("roundtrip must restore");
+        assert_eq!(restored.stats(), trained.stats());
+        // Both copies keep making identical decisions.
+        for i in 0..20 {
+            trained.record_lookup(i % 5 == 0);
+            restored.record_lookup(i % 5 == 0);
+            assert_eq!(trained.evaluate(-1.0, 3, 250.0), restored.evaluate(-1.0, 3, 250.0));
+            assert_eq!(trained.horizon(16), restored.horizon(16));
+        }
+        assert_eq!(restored.stats(), trained.stats());
+
+        // Truncation anywhere must fail cleanly.
+        for cut in 0..bytes.len() {
+            let mut fresh = SpeculationEconomics::new(&config());
+            assert!(fresh
+                .load_state(&mut asc_learn::persist::Reader::new(&bytes[..cut]))
+                .is_none());
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! moves with no per-bit work.
 
 use asc_learn::features::{packed_len, ExcitationSchema, PackedObservation};
+use asc_learn::persist::{self, Reader};
 use asc_tvm::state::StateVector;
 use std::collections::BTreeMap;
 
@@ -71,6 +72,48 @@ impl ExcitationTracker {
     /// threshold. Returns `None` when nothing qualifies yet.
     pub fn build_map(&self) -> Option<ExcitationMap> {
         self.build_map_with_limit(usize::MAX)
+    }
+
+    /// Appends the accumulated change statistics to `out` for checkpointing.
+    /// The `previous` occurrence state is deliberately *not* saved: restoring
+    /// breaks the observation stream (exactly like
+    /// `PredictorBank::break_stream`), costing one training transition rather
+    /// than a full state vector per checkpoint.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        persist::put_u32(out, self.threshold);
+        persist::put_usize(out, self.observations);
+        persist::put_usize(out, self.change_counts.len());
+        for (&bit, &count) in &self.change_counts {
+            persist::put_usize(out, bit);
+            persist::put_u32(out, count);
+        }
+    }
+
+    /// Restores statistics written by
+    /// [`save_state`](ExcitationTracker::save_state) into a tracker built
+    /// with the same threshold. Returns `None` (tracker unusable, re-warm
+    /// instead) on mismatch or malformed bytes.
+    pub fn load_state(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        if reader.u32()? != self.threshold {
+            return None;
+        }
+        let observations = reader.usize()?;
+        let entries = reader.usize()?;
+        // Each entry costs at least 12 bytes on the wire, so the remaining
+        // byte count bounds the allocation before anything is built.
+        if entries > reader.remaining() / 12 {
+            return None;
+        }
+        let mut change_counts = BTreeMap::new();
+        for _ in 0..entries {
+            let bit = reader.usize()?;
+            let count = reader.u32()?;
+            change_counts.insert(bit, count);
+        }
+        self.observations = observations;
+        self.change_counts = change_counts;
+        self.previous = None;
+        Some(())
     }
 
     /// Like [`ExcitationTracker::build_map`], but keeps at most `max_bits`

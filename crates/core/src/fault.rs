@@ -50,6 +50,17 @@ pub struct FaultPlan {
     /// fault storm ends, the half-open probe succeeds, and speculation
     /// resumes.
     pub burst_jobs: u64,
+    /// Abort the whole process (`std::process::abort`, dying by `SIGABRT`
+    /// with no cleanup — the kill-resume soak's crash model) at the first
+    /// recognized-IP occurrence at or past this ordinal; `None` never
+    /// aborts. Fires at the occurrence boundary, after any checkpoint due at
+    /// it has been written.
+    pub abort_at_occurrence: Option<u64>,
+    /// Stall the *main loop* (not a worker job) at the first occurrence at
+    /// or past this ordinal, spinning without ticking the heartbeat until
+    /// the watchdog escalates — the livelock the watchdog exists to detect.
+    /// Fires once per run; `None` never stalls.
+    pub stall_at_occurrence: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -62,6 +73,8 @@ impl Default for FaultPlan {
             spawn_failure_rate: 0.0,
             planner_death_after: None,
             burst_jobs: 0,
+            abort_at_occurrence: None,
+            stall_at_occurrence: None,
         }
     }
 }
@@ -85,6 +98,7 @@ pub struct FaultState {
     spawn_ordinal: AtomicU64,
     frame_ordinal: AtomicU64,
     planner_killed: AtomicBool,
+    stalled: AtomicBool,
 }
 
 impl FaultState {
@@ -96,6 +110,7 @@ impl FaultState {
             spawn_ordinal: AtomicU64::new(0),
             frame_ordinal: AtomicU64::new(0),
             planner_killed: AtomicBool::new(false),
+            stalled: AtomicBool::new(false),
         }
     }
 
@@ -146,6 +161,22 @@ impl FaultState {
     pub fn planner_death_at(&self, ordinal: u64) -> bool {
         match self.plan.planner_death_after {
             Some(at) if ordinal >= at => !self.planner_killed.swap(true, Ordering::Relaxed),
+            _ => false,
+        }
+    }
+
+    /// Whether the process aborts at occurrence `ordinal` (the kill-resume
+    /// soak's SIGKILL-equivalent crash point). The caller aborts, so this
+    /// can only ever return `true` once per process.
+    pub fn abort_at(&self, ordinal: u64) -> bool {
+        matches!(self.plan.abort_at_occurrence, Some(at) if ordinal >= at)
+    }
+
+    /// Whether the main loop stalls at occurrence `ordinal` — fires exactly
+    /// once, at the first occurrence at or past the configured point.
+    pub fn stall_at(&self, ordinal: u64) -> bool {
+        match self.plan.stall_at_occurrence {
+            Some(at) if ordinal >= at => !self.stalled.swap(true, Ordering::Relaxed),
             _ => false,
         }
     }
@@ -234,6 +265,20 @@ mod tests {
         let jobs_fresh: Vec<_> = (0..50).map(|_| fresh.sample_job().corrupt).collect();
         let jobs_after: Vec<_> = (0..50).map(|_| a.sample_job().corrupt).collect();
         assert_eq!(jobs_fresh, jobs_after);
+    }
+
+    #[test]
+    fn stall_fires_exactly_once_and_abort_latches() {
+        let state = FaultState::new(FaultPlan {
+            abort_at_occurrence: Some(20),
+            stall_at_occurrence: Some(10),
+            ..FaultPlan::default()
+        });
+        assert!(!state.stall_at(9));
+        assert!(state.stall_at(11));
+        assert!(!state.stall_at(12), "stall fires once per run");
+        assert!(!state.abort_at(19));
+        assert!(state.abort_at(20));
     }
 
     #[test]

@@ -38,6 +38,10 @@
 //! * [`remote`] — the distributed cache tier: a versioned wire codec, TCP
 //!   cache peers shared between runs, and on-disk snapshots for persistent
 //!   warm starts (the paper's cluster-shared trajectory cache, §5).
+//! * [`checkpoint`] — crash durability: occurrence-boundary checkpoints of
+//!   resumable run state, written atomically and verified section by
+//!   section, from which an interrupted `accelerate` resumes to a final
+//!   state bit-identical to the uninterrupted run (see `ROBUSTNESS.md`).
 //!
 //! ## Quick example
 //!
@@ -62,6 +66,7 @@
 
 pub mod allocator;
 pub mod cache;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod economics;
@@ -79,9 +84,11 @@ pub mod supervisor;
 pub mod workers;
 
 pub use cache::{CacheEntry, CacheStats, TrajectoryCache};
+pub use checkpoint::{CheckpointStats, RunCheckpoint};
 pub use cluster::{PlatformProfile, ScalingMode, ScalingPoint};
 pub use config::{
-    AscConfig, BreakerConfig, EconomicsConfig, PlannerConfig, PredictorComplement, RemoteConfig,
+    AscConfig, BreakerConfig, CheckpointConfig, EconomicsConfig, PlannerConfig,
+    PredictorComplement, RemoteConfig, WatchdogConfig,
 };
 pub use economics::{EconomicsStats, SpeculationEconomics};
 pub use error::{AscError, AscResult};

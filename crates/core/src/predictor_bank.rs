@@ -29,6 +29,7 @@ use crate::config::{AscConfig, PredictorComplement};
 use crate::excitation::{ExcitationMap, ExcitationTracker};
 use asc_learn::ensemble::{Ensemble, EnsembleErrors};
 use asc_learn::features::PackedObservation;
+use asc_learn::persist::{self, Reader};
 use asc_learn::traits::{default_predictors, extended_predictors};
 use asc_tvm::state::StateVector;
 
@@ -134,21 +135,120 @@ impl PredictorBank {
         self.ensemble.as_ref().map(|e| (e.predictor_names(), e.weight_matrix()))
     }
 
+    /// Instantiates the configured predictor complement over a frozen map's
+    /// schema — shared by the warm-up build, drift rebuilds and checkpoint
+    /// restores (which must reproduce exactly the ensemble the save saw).
+    fn make_ensemble(&self, map: &ExcitationMap) -> Ensemble {
+        let schema = map.schema().clone();
+        let predictors = match self.complement {
+            PredictorComplement::Default => default_predictors(&schema),
+            PredictorComplement::Extended => extended_predictors(&schema),
+        };
+        Ensemble::new(predictors, map.bit_count(), self.beta, self.mistake_capacity)
+    }
+
     fn build_ensemble(&mut self) {
         if let Some(map) = self.tracker.build_map_with_limit(self.max_excited_bits) {
-            let schema = map.schema().clone();
-            let predictors = match self.complement {
-                PredictorComplement::Default => default_predictors(&schema),
-                PredictorComplement::Extended => extended_predictors(&schema),
-            };
-            let bit_count = map.bit_count();
+            self.ensemble = Some(self.make_ensemble(&map));
             self.map = Some(map);
-            self.ensemble =
-                Some(Ensemble::new(predictors, bit_count, self.beta, self.mistake_capacity));
             self.previous = None;
             self.drift = 0;
             self.last_rebuild = self.observations;
         }
+    }
+
+    /// Appends the bank's full learned state — tracker statistics, the frozen
+    /// excitation map (as its tracked bit indices) and the ensemble blob — to
+    /// `out`. The `previous` transition origin is *not* saved: a restore
+    /// behaves like [`break_stream`](PredictorBank::break_stream), costing
+    /// one training transition.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        persist::put_u32(out, self.rip);
+        persist::put_u64(out, self.observations);
+        persist::put_u32(out, self.drift);
+        persist::put_u64(out, self.last_rebuild);
+        let mut tracker_blob = Vec::new();
+        self.tracker.save_state(&mut tracker_blob);
+        persist::put_bytes(out, &tracker_blob);
+        match &self.map {
+            Some(map) => {
+                persist::put_u32(out, 1);
+                persist::put_usize(out, map.bit_indices().len());
+                for &bit in map.bit_indices() {
+                    persist::put_usize(out, bit);
+                }
+            }
+            None => persist::put_u32(out, 0),
+        }
+        match &self.ensemble {
+            Some(ensemble) => {
+                persist::put_u32(out, 1);
+                let mut blob = Vec::new();
+                ensemble.save_state(&mut blob);
+                persist::put_bytes(out, &blob);
+            }
+            None => persist::put_u32(out, 0),
+        }
+    }
+
+    /// Restores state written by [`save_state`](PredictorBank::save_state)
+    /// into a bank freshly constructed from the *same* configuration and
+    /// RIP. Returns `None` (bank left fit only for discarding — the caller
+    /// re-warms with a fresh bank) on any mismatch, truncation or malformed
+    /// bytes.
+    pub fn load_state(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        if reader.u32()? != self.rip {
+            return None;
+        }
+        let observations = reader.u64()?;
+        let drift = reader.u32()?;
+        let last_rebuild = reader.u64()?;
+        let tracker_blob = reader.bytes()?;
+        let mut tracker_reader = Reader::new(tracker_blob);
+        self.tracker.load_state(&mut tracker_reader)?;
+        if !tracker_reader.is_empty() {
+            return None;
+        }
+        let map = match reader.u32()? {
+            0 => None,
+            1 => {
+                let count = reader.usize()?;
+                if count > reader.remaining() / 8 {
+                    return None;
+                }
+                let mut bits = Vec::with_capacity(count);
+                for _ in 0..count {
+                    bits.push(reader.usize()?);
+                }
+                // `ExcitationMap::new` expands to aligned words; the saved
+                // indices are already expanded, so this is idempotent and
+                // reproduces the frozen map exactly.
+                Some(ExcitationMap::new(bits))
+            }
+            _ => return None,
+        };
+        let ensemble = match reader.u32()? {
+            0 => None,
+            1 => {
+                let map = map.as_ref()?;
+                let mut ensemble = self.make_ensemble(map);
+                let blob = reader.bytes()?;
+                let mut blob_reader = Reader::new(blob);
+                ensemble.load_state(&mut blob_reader)?;
+                if !blob_reader.is_empty() {
+                    return None;
+                }
+                Some(ensemble)
+            }
+            _ => return None,
+        };
+        self.observations = observations;
+        self.drift = drift;
+        self.last_rebuild = last_rebuild;
+        self.map = map;
+        self.ensemble = ensemble;
+        self.previous = None;
+        Some(())
     }
 
     /// Folds in the state at a new occurrence of the recognized IP, training
@@ -438,6 +538,74 @@ mod tests {
         let (names, matrix) = bank.weight_matrix().unwrap();
         assert_eq!(names.len(), 4);
         assert_eq!(matrix.len(), bank.excited_bits());
+    }
+
+    #[test]
+    fn save_load_roundtrip_predicts_identically() {
+        let (program, rip) = counting_program(300);
+        let states = occurrence_states(&program, rip, 80);
+        let config = AscConfig::for_tests();
+        let mut trained = PredictorBank::new(rip, &config);
+        for state in &states[..60] {
+            trained.observe(state);
+        }
+        assert!(trained.is_ready());
+        let mut bytes = Vec::new();
+        trained.save_state(&mut bytes);
+
+        let mut restored = PredictorBank::new(rip, &config);
+        let mut reader = asc_learn::persist::Reader::new(&bytes);
+        restored.load_state(&mut reader).expect("roundtrip must restore");
+        assert!(reader.is_empty());
+        assert!(restored.is_ready());
+        assert_eq!(restored.observations(), trained.observations());
+        assert_eq!(restored.excited_bits(), trained.excited_bits());
+        assert_eq!(restored.errors(), trained.errors());
+
+        let from_trained = trained.predict_next(&states[60]).unwrap();
+        let from_restored = restored.predict_next(&states[60]).unwrap();
+        assert_eq!(from_restored.state, from_trained.state);
+        assert_eq!(from_restored.log_probability, from_trained.log_probability);
+
+        // A restore breaks the training stream (like break_stream): the first
+        // observe re-anchors, then both banks keep learning identically.
+        trained.break_stream();
+        for state in &states[60..] {
+            trained.observe(state);
+            restored.observe(state);
+        }
+        let last = states.last().unwrap();
+        let a = trained.rollout(last, 4);
+        let b = restored.rollout(last, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.state, y.state);
+            assert_eq!(x.log_probability, y.log_probability);
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_rip_and_truncation() {
+        let (program, rip) = counting_program(200);
+        let states = occurrence_states(&program, rip, 40);
+        let config = AscConfig::for_tests();
+        let mut trained = PredictorBank::new(rip, &config);
+        for state in &states {
+            trained.observe(state);
+        }
+        let mut bytes = Vec::new();
+        trained.save_state(&mut bytes);
+
+        let mut wrong_rip = PredictorBank::new(rip + 4, &config);
+        assert!(wrong_rip.load_state(&mut asc_learn::persist::Reader::new(&bytes)).is_none());
+
+        for cut in (0..bytes.len()).step_by(7) {
+            let mut fresh = PredictorBank::new(rip, &config);
+            assert!(
+                fresh.load_state(&mut asc_learn::persist::Reader::new(&bytes[..cut])).is_none(),
+                "truncation at {cut} must not restore"
+            );
+        }
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! runs only on a local cache miss and is bounded by socket timeouts; a
 //! failed operation starts an exponential backoff during which every fetch
 //! returns a miss *immediately*; once the failure budget is spent the peer
-//! is declared dead for the rest of the run and the tier is pure local —
-//! which is why killing the peer mid-run costs at most `max_retries`
-//! deadlines of wall clock, ever. Inserts stream through a bounded
+//! is declared *down* and the tier runs pure local — which is why killing
+//! the peer mid-run costs at most `max_retries` deadlines of wall clock
+//! per down transition. Down is not forever: after an exponentially
+//! scaled cooldown (longer for every consecutive down transition) the
+//! client half-opens and risks exactly one probe — a restarted peer is
+//! re-adopted at the first probe that succeeds, a still-dead one costs a
+//! single deadline and a deeper cooldown. Inserts stream through a bounded
 //! drop-oldest queue serviced by a dedicated writer thread with its own
 //! connection, so even a stalled peer cannot slow an insert down.
 
@@ -30,6 +34,11 @@ use crate::supervisor::HealthMonitor;
 /// the worker-respawn and breaker-cooldown caps).
 const BACKOFF_CAP_SHIFT: u32 = 6;
 
+/// Cooldown multiplier applied when the failure budget is spent: the first
+/// half-open reconnect probe waits this many backoff bases, doubling per
+/// consecutive down transition (up to the same cap as the retry backoff).
+const DOWN_COOLDOWN_FACTOR: u32 = 8;
+
 /// One guarded connection to the cache peer; see the module docs.
 pub(crate) struct PeerClient {
     addr: String,
@@ -39,7 +48,14 @@ pub(crate) struct PeerClient {
     stream: Option<TcpStream>,
     consecutive_failures: u32,
     next_attempt: Option<Instant>,
-    dead: bool,
+    /// Failure budget spent: only half-open probes (one per cooldown) until
+    /// one succeeds.
+    down: bool,
+    /// Consecutive down transitions without an intervening success — scales
+    /// the reconnect cooldown.
+    downs: u32,
+    /// Successful recoveries from the down state.
+    reconnects: u64,
 }
 
 impl PeerClient {
@@ -57,20 +73,30 @@ impl PeerClient {
             stream: None,
             consecutive_failures: 0,
             next_attempt: None,
-            dead: false,
+            down: false,
+            downs: 0,
+            reconnects: 0,
         }
     }
 
-    /// Whether the failure budget is spent — permanent local-only mode.
-    pub(crate) fn is_dead(&self) -> bool {
-        self.dead
+    /// Whether the failure budget is spent and the client is in the
+    /// half-open reconnect cycle (local-only until a probe succeeds).
+    pub(crate) fn is_down(&self) -> bool {
+        self.down
     }
 
-    /// Whether an operation may be attempted right now (alive and not
-    /// backing off). While this is false the caller treats the peer as a
-    /// miss without touching the socket.
+    /// How many times a down peer was successfully re-adopted.
+    pub(crate) fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Whether an operation may be attempted right now (not backing off,
+    /// and not inside a down cooldown). While this is false the caller
+    /// treats the peer as a miss without touching the socket. A down client
+    /// whose cooldown has expired reads as ready: the next operation *is*
+    /// the half-open reconnect probe.
     pub(crate) fn ready(&self) -> bool {
-        !self.dead && self.next_attempt.is_none_or(|at| Instant::now() >= at)
+        self.next_attempt.is_none_or(|at| Instant::now() >= at)
     }
 
     fn connected(&mut self) -> io::Result<&mut TcpStream> {
@@ -91,18 +117,30 @@ impl PeerClient {
     }
 
     fn record_success(&mut self) {
+        if self.down {
+            self.down = false;
+            self.reconnects += 1;
+        }
+        self.downs = 0;
         self.consecutive_failures = 0;
         self.next_attempt = None;
     }
 
-    /// Books one failure: drops the (possibly desynced) connection, starts
-    /// the next backoff window, and kills the client once the budget is
-    /// spent.
+    /// Books one failure: drops the (possibly desynced) connection and
+    /// starts the next backoff window. Spending the failure budget — or
+    /// failing a half-open reconnect probe — enters (or deepens) the down
+    /// state, whose cooldown scales exponentially with consecutive down
+    /// transitions so a permanently dead peer costs asymptotically nothing.
     fn record_failure(&mut self) {
         self.stream = None;
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
-        if self.consecutive_failures >= self.max_retries {
-            self.dead = true;
+        if self.down || self.consecutive_failures >= self.max_retries {
+            self.down = true;
+            self.downs = self.downs.saturating_add(1);
+            self.consecutive_failures = 0;
+            let shift = (self.downs - 1).min(BACKOFF_CAP_SHIFT);
+            self.next_attempt =
+                Some(Instant::now() + self.backoff_base * DOWN_COOLDOWN_FACTOR * (1u32 << shift));
             return;
         }
         let shift = (self.consecutive_failures - 1).min(BACKOFF_CAP_SHIFT);
@@ -260,6 +298,13 @@ impl WriteBehind {
 }
 
 fn writer_loop(shared: &WriteBehindShared, mut client: PeerClient, counters: &RemoteCounters) {
+    stream_entries(shared, &mut client, counters);
+    // The streamer's client dies with this thread; fold its reconnect count
+    // into the shared stats on the way out.
+    counters.add_peer_reconnects(client.reconnects());
+}
+
+fn stream_entries(shared: &WriteBehindShared, client: &mut PeerClient, counters: &RemoteCounters) {
     loop {
         let entry = {
             let mut queue = lock(&shared.queue);
@@ -279,10 +324,11 @@ fn writer_loop(shared: &WriteBehindShared, mut client: PeerClient, counters: &Re
                 queue = guard;
             }
         };
-        if client.is_dead() || !client.ready() {
-            // A dead peer cannot take the entry; during backoff, holding
-            // the entry would stall the drain, so both discard. The local
-            // cache still has it — only the *sharing* is lost.
+        if !client.ready() {
+            // During backoff or a down cooldown, holding the entry would
+            // stall the drain, so it is discarded. The local cache still
+            // has it — only the *sharing* is lost. The first send after a
+            // cooldown expires doubles as the reconnect probe.
             counters.record_put_dropped();
             continue;
         }
@@ -291,5 +337,99 @@ fn writer_loop(shared: &WriteBehindShared, mut client: PeerClient, counters: &Re
             Ok(()) => counters.record_put_streamed(),
             Err(_) => counters.record_put_dropped(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remote::CachePeer;
+
+    fn get_request() -> Vec<u8> {
+        codec::encode_frame(FrameKind::Get, &codec::encode_get(7, &[(1, 2)]))
+    }
+
+    fn drive_down(client: &mut PeerClient) {
+        let give_up = Instant::now() + Duration::from_secs(10);
+        while !client.is_down() {
+            assert!(Instant::now() < give_up, "client never went down");
+            if !client.ready() {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            let _ = client.request(&get_request());
+        }
+    }
+
+    #[test]
+    fn a_restarted_peer_is_readopted_after_the_down_cooldown() {
+        let peer = CachePeer::bind("127.0.0.1:0", 1 << 12).expect("bind");
+        let addr = peer.local_addr();
+        let mut client = PeerClient::new(
+            addr.to_string(),
+            Duration::from_millis(500),
+            Duration::from_millis(1),
+            2,
+        );
+        let reply = client.request(&get_request()).expect("live peer answers");
+        assert_eq!(reply.kind, FrameKind::GetMiss);
+        assert!(!client.is_down());
+
+        // Kill the peer and burn the failure budget against it.
+        peer.shutdown();
+        drive_down(&mut client);
+        assert!(!client.ready(), "down must start a cooldown, not allow immediate probes");
+        assert_eq!(client.reconnects(), 0);
+
+        // Restart the peer on the same port (the OS may briefly hold it),
+        // then let the cooldown expire: the next operation is the half-open
+        // probe and must re-adopt the revived peer.
+        let revived = loop {
+            match CachePeer::bind(&addr.to_string(), 1 << 12) {
+                Ok(peer) => break peer,
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        let give_up = Instant::now() + Duration::from_secs(10);
+        loop {
+            assert!(Instant::now() < give_up, "probe never re-adopted the revived peer");
+            if !client.ready() {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            if client.request(&get_request()).is_ok() {
+                break;
+            }
+        }
+        assert!(!client.is_down());
+        assert_eq!(client.reconnects(), 1);
+        revived.shutdown();
+    }
+
+    #[test]
+    fn failed_probes_deepen_the_down_state_without_a_fresh_budget() {
+        // Nothing listens here: TEST-NET-1 port 9 never answers; use a
+        // refused loopback port instead so failures are immediate.
+        let dead = CachePeer::bind("127.0.0.1:0", 1 << 12).expect("bind");
+        let addr = dead.local_addr();
+        dead.shutdown();
+        let mut client = PeerClient::new(
+            addr.to_string(),
+            Duration::from_millis(200),
+            Duration::from_millis(1),
+            1,
+        );
+        drive_down(&mut client);
+        // A failed half-open probe books exactly one more down transition —
+        // it must not get `max_retries` fresh attempts.
+        let give_up = Instant::now() + Duration::from_secs(10);
+        while !client.ready() {
+            assert!(Instant::now() < give_up);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = client.request(&get_request());
+        assert!(client.is_down(), "one failed probe must re-enter the down state immediately");
+        assert!(!client.ready(), "a failed probe must start the next cooldown");
+        assert_eq!(client.reconnects(), 0);
     }
 }

@@ -56,6 +56,14 @@ pub enum FrameKind {
     /// Terminates a snapshot stream; empty payload. A stream that ends
     /// without it was truncated.
     SnapshotEnd = 9,
+    /// First frame of a checkpoint file: run identity (config fingerprint,
+    /// sequence, occurrence) plus the section count that follows.
+    CheckpointHeader = 10,
+    /// One checkpoint section: a section id, its checksum and its body.
+    CheckpointSection = 11,
+    /// Terminates a checkpoint file with a whole-file checksum; a file that
+    /// ends without it was torn mid-write and is rejected.
+    CheckpointEnd = 12,
 }
 
 impl FrameKind {
@@ -71,6 +79,9 @@ impl FrameKind {
             7 => FrameKind::SnapshotHeader,
             8 => FrameKind::Entry,
             9 => FrameKind::SnapshotEnd,
+            10 => FrameKind::CheckpointHeader,
+            11 => FrameKind::CheckpointSection,
+            12 => FrameKind::CheckpointEnd,
             _ => return None,
         })
     }

@@ -28,7 +28,10 @@
 //! wrong fast-forward, because a remotely-fetched entry is applied only
 //! after the same `matches(state)` + `verify()` guards a local hit passes.
 //! Final program states therefore stay bit-identical with the tier on,
-//! off, shared between processes, or killed mid-run.
+//! off, shared between processes, or killed mid-run. How a sick or dead
+//! peer degrades (down → cooldown → half-open reconnect probe), and where
+//! that sits in the repo-wide failure model, is tabulated in
+//! `ROBUSTNESS.md` at the repository root.
 
 pub mod codec;
 mod peer;
@@ -83,11 +86,15 @@ pub struct RemoteStats {
     /// Local inserts successfully streamed to the peer.
     pub puts_streamed: u64,
     /// Local inserts dropped from the write-behind path (queue overflow,
-    /// backoff, or a dead peer). Only the sharing is lost — the local
+    /// backoff, or a down peer). Only the sharing is lost — the local
     /// cache kept every one.
     pub puts_dropped: u64,
-    /// Whether the peer was declared dead (failure budget spent) and the
-    /// run finished local-only.
+    /// Times a down peer (failure budget spent) was re-adopted by a
+    /// successful half-open reconnect probe, across both the fetch and
+    /// write-behind connections.
+    pub peer_reconnects: u64,
+    /// Whether the peer was observed down (failure budget spent, running
+    /// local-only) at any point — including runs that later re-adopted it.
     pub degraded: bool,
 }
 
@@ -114,6 +121,7 @@ pub(crate) struct RemoteCounters {
     snapshot_saved: AtomicU64,
     puts_streamed: AtomicU64,
     puts_dropped: AtomicU64,
+    peer_reconnects: AtomicU64,
     degraded: AtomicBool,
 }
 
@@ -138,6 +146,11 @@ impl RemoteCounters {
         self.snapshot_rejected.fetch_add(rejected, Ordering::Relaxed);
     }
 
+    /// Folds one client's recovery count in (each client tracks its own).
+    pub(crate) fn add_peer_reconnects(&self, count: u64) {
+        self.peer_reconnects.fetch_add(count, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> RemoteStats {
         RemoteStats {
             remote_hits: self.remote_hits.load(Ordering::Relaxed),
@@ -149,6 +162,7 @@ impl RemoteCounters {
             snapshot_saved: self.snapshot_saved.load(Ordering::Relaxed),
             puts_streamed: self.puts_streamed.load(Ordering::Relaxed),
             puts_dropped: self.puts_dropped.load(Ordering::Relaxed),
+            peer_reconnects: self.peer_reconnects.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -299,7 +313,7 @@ impl RemoteTier {
         }
         let mut client = client.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if !client.ready() {
-            if client.is_dead() {
+            if client.is_down() {
                 self.shared.counters.degraded.store(true, Ordering::Relaxed);
             }
             return None;
@@ -364,7 +378,8 @@ impl RemoteTier {
         }
         if let Some(client) = &self.client {
             let client = client.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            if client.is_dead() {
+            self.shared.counters.add_peer_reconnects(client.reconnects());
+            if client.is_down() {
                 self.shared.counters.degraded.store(true, Ordering::Relaxed);
             }
         }

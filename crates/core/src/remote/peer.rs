@@ -33,6 +33,13 @@ type FaultHandle = Option<Arc<crate::fault::FaultState>>;
 #[cfg(not(feature = "fault-inject"))]
 type FaultHandle = ();
 
+/// The no-injection handle, spelled so both cfg arms type-check at the
+/// `bind` call site (a unit literal under `not(fault-inject)`).
+#[cfg(feature = "fault-inject")]
+const NO_FAULTS: FaultHandle = None;
+#[cfg(not(feature = "fault-inject"))]
+const NO_FAULTS: FaultHandle = ();
+
 /// State shared between the accept loop and every connection handler.
 struct PeerShared {
     store: Arc<TrajectoryCache>,
@@ -86,7 +93,7 @@ impl CachePeer {
     /// Propagates bind/spawn failures — a peer that cannot serve should
     /// fail loudly at startup; it is the *clients* that degrade gracefully.
     pub fn bind(addr: &str, capacity: usize) -> io::Result<CachePeer> {
-        Self::bind_inner(addr, capacity, FaultHandle::default())
+        Self::bind_inner(addr, capacity, NO_FAULTS)
     }
 
     /// [`bind`](CachePeer::bind) with a fault injector corrupting a

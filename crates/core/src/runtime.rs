@@ -115,23 +115,29 @@
 
 use crate::allocator::plan_speculation;
 use crate::cache::{CacheStats, LookupScratch, TrajectoryCache};
-use crate::config::{AscConfig, BreakerConfig};
+use crate::checkpoint::{self, CheckpointStats, RunCheckpoint};
+use crate::config::{AscConfig, BreakerConfig, CheckpointConfig};
 use crate::economics::{EconomicsStats, SpeculationEconomics};
 use crate::error::AscResult;
 use crate::planner::{OccurrenceEvent, PlannerHandle, PlannerOutcome, PlannerStats};
 use crate::predictor_bank::PredictorBank;
-use crate::recognizer::{recognize, RecognizedIp};
-use crate::remote::{RemoteStats, RemoteTier};
+use crate::recognizer::{recognize, RecognizedIp, RecognizerOutcome};
+use crate::remote::{snapshot, RemoteStats, RemoteTier};
 use crate::speculator::{execute_superstep_with, SpeculationScratch};
-use crate::supervisor::{CircuitBreaker, HealthStats, Supervision};
+use crate::supervisor::{
+    watchdog_stage, CircuitBreaker, HealthStats, Heartbeat, Supervision, Watchdog,
+};
 use crate::workers::{PoolStats, SpeculationJob, SpeculationPool};
 use asc_learn::ensemble::EnsembleErrors;
+use asc_learn::persist::Reader;
 use asc_tvm::delta::SparseBytes;
 use asc_tvm::machine::Machine;
 use asc_tvm::program::Program;
 use asc_tvm::state::StateVector;
 use asc_tvm::TierStats;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One superstep of the measured (unaccelerated) execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -209,6 +215,11 @@ pub struct RunReport {
     /// [`RemoteConfig::enabled`](crate::config::RemoteConfig::enabled);
     /// `None` otherwise and for `measure` / `memoize`).
     pub remote: Option<RemoteStats>,
+    /// Checkpoint activity — saves, resume provenance and damage accounting
+    /// (populated by [`LascRuntime::accelerate`] when
+    /// [`CheckpointConfig::enabled`](crate::config::CheckpointConfig::enabled);
+    /// `None` otherwise and for `measure` / `memoize`).
+    pub checkpoints: Option<CheckpointStats>,
     /// Tier-up execution counters aggregated across every executor that
     /// retired instructions for this run: the main thread's machine, the
     /// inline-speculation scratch and all pool workers (populated by
@@ -304,6 +315,110 @@ impl BreakerDriver {
     }
 }
 
+/// The run's checkpoint writer: owns sequence numbering, interval gating,
+/// the per-run constants every checkpoint repeats, and the activity
+/// counters reported through [`RunReport::checkpoints`].
+struct CheckpointDriver {
+    dir: std::path::PathBuf,
+    interval: u64,
+    keep: usize,
+    snapshot_cache: bool,
+    fingerprint: u64,
+    next_sequence: u64,
+    rip: RecognizedIp,
+    unique_ips: usize,
+    converge_instructions: u64,
+    stats: CheckpointStats,
+}
+
+impl CheckpointDriver {
+    /// Saves a checkpoint when `occurrence` lands on the interval (or
+    /// unconditionally on `force` — the graceful-shutdown flush), bringing
+    /// the trajectory cache along as a sibling snapshot. Failures are
+    /// counted, never propagated: losing durability must not cost the run.
+    #[allow(clippy::too_many_arguments)]
+    fn tick(
+        &mut self,
+        occurrence: u64,
+        force: bool,
+        resume_instret: u64,
+        fast_forwarded: u64,
+        state: &StateVector,
+        bank: Option<&PredictorBank>,
+        economics: Option<&SpeculationEconomics>,
+        cache: &TrajectoryCache,
+    ) {
+        if !force && occurrence % self.interval != 0 {
+            return;
+        }
+        if force && self.stats.saves > 0 && self.stats.last_occurrence == occurrence {
+            return; // The interval save this very occurrence already flushed.
+        }
+        let sequence = self.next_sequence;
+        // The cache snapshot goes first: the checkpoint file's rename is the
+        // commit point, and a checkpoint whose sibling is missing merely
+        // resumes with a cold cache.
+        let _ = std::fs::create_dir_all(&self.dir);
+        if self.snapshot_cache {
+            let _ = snapshot::save(cache, &checkpoint::cache_path_for(&self.dir, sequence));
+        }
+        let ckpt = RunCheckpoint {
+            sequence,
+            fingerprint: self.fingerprint,
+            occurrence,
+            rip: self.rip,
+            unique_ips: self.unique_ips,
+            converge_instructions: self.converge_instructions,
+            resume_instret,
+            fast_forwarded,
+            state: state.as_bytes().to_vec(),
+            bank: bank.map(|bank| {
+                let mut blob = Vec::new();
+                bank.save_state(&mut blob);
+                blob
+            }),
+            economics: economics.map(|economics| {
+                let mut blob = Vec::new();
+                economics.save_state(&mut blob);
+                blob
+            }),
+        };
+        match checkpoint::save(&self.dir, &ckpt, self.keep) {
+            Ok(bytes) => {
+                self.stats.saves += 1;
+                self.stats.last_occurrence = occurrence;
+                self.stats.bytes_written += bytes;
+                self.next_sequence += 1;
+            }
+            Err(_) => self.stats.save_failures += 1,
+        }
+    }
+}
+
+/// Crash-durability context threaded through both occurrence loops: the
+/// watchdog heartbeat, the optional checkpoint writer, the cooperative
+/// shutdown flag and the run-wide occurrence counter (which survives the
+/// planned → miss-driven handoff and, via checkpoints, process restarts).
+struct Durability {
+    heartbeat: Arc<Heartbeat>,
+    checkpoints: Option<CheckpointDriver>,
+    shutdown: Option<Arc<AtomicBool>>,
+    occurrence: u64,
+    /// Fast-forward total restored from a checkpoint (0 on a fresh run).
+    resume_fast_forwarded: u64,
+    /// Whether the watchdog's stage-1 escalation has been applied — the
+    /// breaker is force-opened once, then left to its own recovery clock.
+    breaker_forced: bool,
+    /// Set when the shutdown flag is observed: flush and return early.
+    stop: bool,
+}
+
+impl Durability {
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.as_ref().is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+}
+
 /// Assembles a run's health counters from their three homes: the shared
 /// monitor's snapshot, the main loop's breaker, and the cache's checksum
 /// rejects.
@@ -333,12 +448,14 @@ struct MissDriven<'a> {
     resume_instret: u64,
     fast_forwarded: &'a mut u64,
     halted: &'a mut bool,
+    dur: &'a mut Durability,
 }
 
 /// The LASC runtime.
 #[derive(Debug, Clone)]
 pub struct LascRuntime {
     config: AscConfig,
+    shutdown: Option<Arc<AtomicBool>>,
 }
 
 impl LascRuntime {
@@ -349,12 +466,34 @@ impl LascRuntime {
     /// inconsistent.
     pub fn new(config: AscConfig) -> AscResult<Self> {
         config.validate()?;
-        Ok(LascRuntime { config })
+        Ok(LascRuntime { config, shutdown: None })
     }
 
     /// The runtime's configuration.
     pub fn config(&self) -> &AscConfig {
         &self.config
+    }
+
+    /// Installs a cooperative shutdown flag for [`accelerate`]: once the
+    /// flag reads `true`, the run writes a final checkpoint at the next
+    /// occurrence boundary (when checkpointing is enabled) and returns
+    /// early with `halted == false`. Wire a SIGTERM/SIGINT handler to the
+    /// flag to get flush-before-exit behaviour; the flush is best-effort
+    /// and bounded by one occurrence of latency.
+    ///
+    /// [`accelerate`]: LascRuntime::accelerate
+    pub fn set_shutdown_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.shutdown = Some(flag);
+    }
+
+    /// Parks the main thread after an injected stall until the watchdog
+    /// notices and escalates (bounded so a watchdog-less configuration
+    /// cannot hang the run forever).
+    fn stall_until_escalation(heartbeat: &Heartbeat) {
+        let give_up = Instant::now() + Duration::from_secs(30);
+        while heartbeat.stage() == watchdog_stage::NONE && Instant::now() < give_up {
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     /// Runs the main thread until the recognized IP has occurred `stride`
@@ -457,6 +596,7 @@ impl LascRuntime {
             health: HealthStats::default(),
             economics: None,
             remote: None,
+            checkpoints: None,
             tier: TierStats::default(),
             final_state: machine.into_state(),
             halted,
@@ -482,13 +622,119 @@ impl LascRuntime {
     /// Propagates recognizer and simulator errors.
     pub fn accelerate(&self, program: &Program) -> AscResult<RunReport> {
         let initial = program.initial_state()?;
-        let outcome = recognize(&initial, &self.config)?;
+        let fingerprint = checkpoint::run_fingerprint(&self.config, &initial);
+        let (outcome, restored, resume_stats) = self.resume_or_recognize(&initial, fingerprint)?;
         let rip = outcome.rip;
         let cache = Arc::new(TrajectoryCache::with_junk_threshold(
             self.config.cache_capacity,
             self.config.cache_junk_threshold,
         ));
+        let mut dur = Durability {
+            heartbeat: Arc::new(Heartbeat::default()),
+            checkpoints: self.config.checkpoint.enabled.then(|| {
+                let cfg: &CheckpointConfig = &self.config.checkpoint;
+                CheckpointDriver {
+                    dir: cfg.directory.clone().expect("validated: checkpointing needs a directory"),
+                    interval: cfg.interval,
+                    keep: cfg.keep,
+                    snapshot_cache: cfg.snapshot_cache,
+                    fingerprint,
+                    next_sequence: restored.as_ref().map_or(1, |ckpt| ckpt.sequence + 1),
+                    rip,
+                    unique_ips: outcome.unique_ips,
+                    converge_instructions: outcome.instructions_spent,
+                    stats: resume_stats,
+                }
+            }),
+            shutdown: self.shutdown.clone(),
+            occurrence: restored.as_ref().map_or(0, |ckpt| ckpt.occurrence),
+            resume_fast_forwarded: restored.as_ref().map_or(0, |ckpt| ckpt.fast_forwarded),
+            breaker_forced: false,
+            stop: false,
+        };
+        // Warm the cache from the checkpoint's sibling snapshot before any
+        // speculation machinery starts; a missing or damaged sibling is a
+        // cold cache, nothing worse.
+        if let (Some(driver), Some(ckpt)) = (dur.checkpoints.as_mut(), restored.as_ref()) {
+            if driver.snapshot_cache {
+                if let Ok(load) =
+                    snapshot::load(&cache, &checkpoint::cache_path_for(&driver.dir, ckpt.sequence))
+                {
+                    driver.stats.cache_entries_loaded = load.loaded;
+                }
+            }
+        }
         let supervision = Supervision::from_config(&self.config);
+        let watchdog = Watchdog::start(
+            &self.config.watchdog,
+            Arc::clone(&dur.heartbeat),
+            Arc::clone(&supervision.health),
+            rip.ip,
+        );
+        let result =
+            self.accelerate_inner(&initial, &outcome, restored, cache, supervision, &mut dur);
+        // The watchdog outlives the loops so a hang *anywhere* in the run is
+        // caught; it joins before the report so its counters are stable.
+        if let Some(watchdog) = watchdog {
+            watchdog.finish();
+        }
+        result
+    }
+
+    /// Restores the newest intact checkpoint into a synthesized
+    /// [`RecognizerOutcome`] (the recognizer already ran — its verdict was
+    /// checkpointed), or runs the recognizer when there is nothing to
+    /// resume. The returned stats carry the scan's damage accounting.
+    fn resume_or_recognize(
+        &self,
+        initial: &StateVector,
+        fingerprint: u64,
+    ) -> AscResult<(RecognizerOutcome, Option<RunCheckpoint>, CheckpointStats)> {
+        let mut stats = CheckpointStats::default();
+        let cfg = &self.config.checkpoint;
+        if cfg.enabled && cfg.resume {
+            if let Some(dir) = &cfg.directory {
+                let scan = checkpoint::load_newest(dir, fingerprint);
+                stats.rejected_files = scan.rejected_files;
+                if let Some(ckpt) = scan.checkpoint {
+                    match StateVector::from_bytes(ckpt.state.clone()) {
+                        Ok(resume_state) => {
+                            stats.resumed = true;
+                            stats.resume_sequence = ckpt.sequence;
+                            let outcome = RecognizerOutcome {
+                                rip: ckpt.rip,
+                                evaluated: vec![ckpt.rip],
+                                unique_ips: ckpt.unique_ips,
+                                instructions_spent: ckpt.converge_instructions,
+                                resume_state,
+                                resume_instret: ckpt.resume_instret,
+                                halted: false,
+                            };
+                            return Ok((outcome, Some(ckpt), stats));
+                        }
+                        // A state the TVM rejects cannot have been written
+                        // by a healthy save; treat it as damage.
+                        Err(_) => stats.rejected_files += 1,
+                    }
+                }
+            }
+        }
+        Ok((recognize(initial, &self.config)?, None, stats))
+    }
+
+    /// The body of [`accelerate`](LascRuntime::accelerate) once the resume
+    /// decision, cache and durability context exist: picks the planned or
+    /// miss-driven pipeline and assembles the report.
+    fn accelerate_inner(
+        &self,
+        initial: &StateVector,
+        outcome: &RecognizerOutcome,
+        restored: Option<RunCheckpoint>,
+        cache: Arc<TrajectoryCache>,
+        supervision: Supervision,
+        dur: &mut Durability,
+    ) -> AscResult<RunReport> {
+        let rip = outcome.rip;
         // The remote tier starts before any speculation machinery so the
         // snapshot load and the peer's bulk transfer warm the cache the very
         // first occurrence can hit; its insert observer then streams
@@ -504,13 +750,14 @@ impl LascRuntime {
             match PlannerHandle::spawn(&self.config, rip, Arc::clone(&cache), pool) {
                 Ok(planner) => {
                     return self.accelerate_planned(
-                        &initial,
-                        &outcome,
+                        initial,
+                        outcome,
                         &cache,
                         planner,
                         &supervision,
                         driver,
                         remote,
+                        dur,
                     );
                 }
                 Err(_) => {
@@ -538,7 +785,23 @@ impl LascRuntime {
         machine.seed_hot(rip.ip);
         let mut bank = PredictorBank::new(rip.ip, &self.config);
         let mut economics = SpeculationEconomics::new(&self.config.economics);
-        let mut fast_forwarded = 0u64;
+        // The learned state rides along from the checkpoint purely as a
+        // warm-up: a blob that fails to restore (or was never saved —
+        // planner-mode checkpoints omit it) re-warms from scratch exactly
+        // like the dead-planner degrade. Bit-identity never depends on it.
+        if let Some(ckpt) = &restored {
+            if let Some(blob) = &ckpt.bank {
+                if bank.load_state(&mut Reader::new(blob)).is_none() {
+                    bank = PredictorBank::new(rip.ip, &self.config);
+                }
+            }
+            if let Some(blob) = &ckpt.economics {
+                if economics.load_state(&mut Reader::new(blob)).is_none() {
+                    economics = SpeculationEconomics::new(&self.config.economics);
+                }
+            }
+        }
+        let mut fast_forwarded = dur.resume_fast_forwarded;
         let mut halted = outcome.halted;
         let (speculation, inline_tier) = self.run_miss_driven(MissDriven {
             machine: &mut machine,
@@ -553,6 +816,7 @@ impl LascRuntime {
             resume_instret: outcome.resume_instret,
             fast_forwarded: &mut fast_forwarded,
             halted: &mut halted,
+            dur,
         })?;
         // The pool joined inside `run_miss_driven`, so every insert has
         // passed through the observer; the tier can now drain and snapshot.
@@ -563,6 +827,8 @@ impl LascRuntime {
         if let Some(stats) = &speculation {
             tier.merge(&stats.tier);
         }
+        let mut health = assemble_health(&supervision, &driver, &cache);
+        dur.heartbeat.fill_stats(&mut health);
         Ok(RunReport {
             rip,
             unique_ips: outcome.unique_ips,
@@ -578,9 +844,10 @@ impl LascRuntime {
             cache_stats: cache.stats(),
             speculation,
             planner: None,
-            health: assemble_health(&supervision, &driver, &cache),
+            health,
             economics: Some(economics.stats()),
             remote: remote_stats,
+            checkpoints: dur.checkpoints.as_ref().map(|driver| driver.stats),
             tier,
             final_state: machine.into_state(),
             halted,
@@ -608,7 +875,10 @@ impl LascRuntime {
             resume_instret,
             fast_forwarded,
             halted,
+            dur,
         } = run;
+        // Pool statistics survive a watchdog-ordered mid-run teardown.
+        let mut torn_down: Option<PoolStats> = None;
         // Inline speculation reuses one scratch across the whole run — so
         // blocks the tier compiles for the first speculated superstep keep
         // paying off for every later one — and cache hits are cloned into a
@@ -623,8 +893,48 @@ impl LascRuntime {
                 break;
             }
             // The main thread is at a recognized-IP occurrence (or at the very
-            // start of the post-recognition phase): advance the breaker and
-            // consult the cache first.
+            // start of the post-recognition phase): count it, feed the
+            // watchdog's heartbeat, and take the checkpoint/escalation
+            // decisions before any speculation bookkeeping.
+            dur.occurrence += 1;
+            dur.heartbeat.tick();
+            if supervision.abort_at(dur.occurrence) {
+                // Injected crash: die as SIGABRT mid-run, exactly like a
+                // kill signal, leaving whatever checkpoints already landed.
+                std::process::abort();
+            }
+            if supervision.stall_at(dur.occurrence) {
+                Self::stall_until_escalation(&dur.heartbeat);
+            }
+            let stage = dur.heartbeat.stage();
+            if stage >= watchdog_stage::FORCE_BREAKER && !dur.breaker_forced {
+                dur.breaker_forced = true;
+                driver.breaker.force_open();
+            }
+            if stage >= watchdog_stage::TEAR_DOWN_POOL {
+                if let Some(pool) = pool.take() {
+                    torn_down = Some(pool.shutdown());
+                }
+            }
+            if dur.shutdown_requested() {
+                dur.stop = true;
+            }
+            if let Some(ckpt) = dur.checkpoints.as_mut() {
+                ckpt.tick(
+                    dur.occurrence,
+                    dur.stop,
+                    resume_instret + machine.instret(),
+                    *fast_forwarded,
+                    machine.state(),
+                    Some(bank),
+                    Some(economics),
+                    cache,
+                );
+            }
+            if dur.stop {
+                break;
+            }
+            // Advance the breaker and consult the cache first.
             driver.on_occurrence(supervision, cache);
             if let Some(entry) = cache.lookup_with(rip.ip, machine.state(), &mut lookup) {
                 machine.apply_sparse(&entry.end);
@@ -706,8 +1016,9 @@ impl LascRuntime {
         }
 
         // Joining the pool before snapshotting makes the reported cache and
-        // speculation statistics stable (all in-flight inserts land).
-        Ok((pool.map(SpeculationPool::shutdown), scratch.take_tier_stats()))
+        // speculation statistics stable (all in-flight inserts land). A pool
+        // the watchdog tore down mid-run already joined; its counters stand.
+        Ok((pool.map(SpeculationPool::shutdown).or(torn_down), scratch.take_tier_stats()))
     }
 
     /// Inline (`workers == 0`) speculation of one predicted superstep under
@@ -749,12 +1060,13 @@ impl LascRuntime {
     fn accelerate_planned(
         &self,
         initial: &StateVector,
-        outcome: &crate::recognizer::RecognizerOutcome,
+        outcome: &RecognizerOutcome,
         cache: &Arc<TrajectoryCache>,
         planner: PlannerHandle,
         supervision: &Supervision,
         mut driver: BreakerDriver,
         remote: Option<RemoteTier>,
+        dur: &mut Durability,
     ) -> AscResult<RunReport> {
         let rip = outcome.rip;
         let mut machine = Machine::from_state(outcome.resume_state.clone());
@@ -763,9 +1075,12 @@ impl LascRuntime {
         // first arrival instead of after `hot_threshold` of them.
         machine.enable_tier(self.config.tier);
         machine.seed_hot(rip.ip);
-        let mut fast_forwarded = 0u64;
+        let mut fast_forwarded = dur.resume_fast_forwarded;
         let mut halted = outcome.halted;
         let mut planner_died = false;
+        // Stage-2 watchdog escalation: the planner (and its pool) are torn
+        // down and the run finishes inline via the miss-driven tail.
+        let mut watchdog_teardown = false;
         // Hits are cloned into a reusable buffer: the fast-forward loop must
         // not allocate per occurrence.
         let mut lookup = LookupScratch::new();
@@ -795,6 +1110,47 @@ impl LascRuntime {
             // miss-driven fallback below.
             if !planner.is_alive() {
                 planner_died = true;
+                break;
+            }
+            // Durability preamble, mirroring the miss-driven loop: count the
+            // occurrence, feed the watchdog, honour its escalations, and
+            // checkpoint on the interval. Planner-mode checkpoints omit the
+            // bank/economics sections — that state lives on the planner
+            // thread and re-warms after resume, like the dead-planner
+            // degrade.
+            dur.occurrence += 1;
+            dur.heartbeat.tick();
+            if supervision.abort_at(dur.occurrence) {
+                std::process::abort();
+            }
+            if supervision.stall_at(dur.occurrence) {
+                Self::stall_until_escalation(&dur.heartbeat);
+            }
+            let stage = dur.heartbeat.stage();
+            if stage >= watchdog_stage::FORCE_BREAKER && !dur.breaker_forced {
+                dur.breaker_forced = true;
+                driver.breaker.force_open();
+            }
+            if stage >= watchdog_stage::TEAR_DOWN_POOL {
+                watchdog_teardown = true;
+                break;
+            }
+            if dur.shutdown_requested() {
+                dur.stop = true;
+            }
+            if let Some(ckpt) = dur.checkpoints.as_mut() {
+                ckpt.tick(
+                    dur.occurrence,
+                    dur.stop,
+                    outcome.resume_instret + machine.instret(),
+                    fast_forwarded,
+                    machine.state(),
+                    None,
+                    None,
+                    cache,
+                );
+            }
+            if dur.stop {
                 break;
             }
             driver.on_occurrence(supervision, cache);
@@ -870,28 +1226,36 @@ impl LascRuntime {
             }
         }
 
-        if planner_died {
-            supervision.health.record_planner_panics(1);
-            // The panicking planner's unwind dropped it, which already shut
-            // its pool down; its bank and statistics died with it. Retrain
-            // a fresh bank and finish the run miss-driven on a fresh pool —
-            // a dead planner degrades the run, it never aborts it.
+        if planner_died || watchdog_teardown {
+            if planner_died {
+                supervision.health.record_planner_panics(1);
+            }
+            // A panicking planner's unwind dropped it, which already shut
+            // its pool down; its bank and statistics died with it. A
+            // watchdog teardown shuts a *live* planner (and its pool) down
+            // the same way. Either way: retrain a fresh bank and finish the
+            // run miss-driven — on a fresh pool after a planner death, but
+            // *inline* (no pool) after a watchdog escalation, whose whole
+            // point is shedding the stalled machinery. Both degrade the
+            // run, never abort it.
             let _ = planner.shutdown();
             let mut bank = PredictorBank::new(rip.ip, &self.config);
             // The dead planner's economics died with its thread; the tail
             // restarts from the optimistic prior, like the fresh bank.
             let mut economics = SpeculationEconomics::new(&self.config.economics);
-            let pool = SpeculationPool::with_supervision(
-                self.config.workers,
-                Arc::clone(cache),
-                supervision.clone(),
-            );
+            let pool = (!watchdog_teardown).then(|| {
+                SpeculationPool::with_supervision(
+                    self.config.workers,
+                    Arc::clone(cache),
+                    supervision.clone(),
+                )
+            });
             let (speculation, inline_tier) = self.run_miss_driven(MissDriven {
                 machine: &mut machine,
                 rip,
                 cache,
                 bank: &mut bank,
-                pool: Some(pool),
+                pool,
                 driver: &mut driver,
                 supervision,
                 economics: &mut economics,
@@ -899,6 +1263,7 @@ impl LascRuntime {
                 resume_instret: outcome.resume_instret,
                 fast_forwarded: &mut fast_forwarded,
                 halted: &mut halted,
+                dur,
             })?;
             let remote_stats = remote.map(RemoteTier::finish);
             let executed_instructions = outcome.resume_instret + machine.instret();
@@ -907,6 +1272,8 @@ impl LascRuntime {
             if let Some(stats) = &speculation {
                 tier.merge(&stats.tier);
             }
+            let mut health = assemble_health(supervision, &driver, cache);
+            dur.heartbeat.fill_stats(&mut health);
             return Ok(RunReport {
                 rip,
                 unique_ips: outcome.unique_ips,
@@ -922,9 +1289,10 @@ impl LascRuntime {
                 cache_stats: cache.stats(),
                 speculation,
                 planner: None,
-                health: assemble_health(supervision, &driver, cache),
+                health,
                 economics: Some(economics.stats()),
                 remote: remote_stats,
+                checkpoints: dur.checkpoints.as_ref().map(|driver| driver.stats),
                 tier,
                 final_state: machine.into_state(),
                 halted,
@@ -962,6 +1330,8 @@ impl LascRuntime {
         if let Some(stats) = &speculation {
             tier.merge(&stats.tier);
         }
+        let mut health = assemble_health(supervision, &driver, cache);
+        dur.heartbeat.fill_stats(&mut health);
         Ok(RunReport {
             rip,
             unique_ips: outcome.unique_ips,
@@ -977,9 +1347,10 @@ impl LascRuntime {
             cache_stats: cache.stats(),
             speculation,
             planner: planner_stats,
-            health: assemble_health(supervision, &driver, cache),
+            health,
             economics,
             remote: remote_stats,
+            checkpoints: dur.checkpoints.as_ref().map(|driver| driver.stats),
             tier,
             final_state: machine.into_state(),
             halted,
@@ -1111,6 +1482,7 @@ impl LascRuntime {
             health: HealthStats::default(),
             economics: None,
             remote: None,
+            checkpoints: None,
             tier: TierStats::default(),
             final_state: machine.into_state(),
             halted,
@@ -1242,5 +1614,79 @@ mod tests {
     fn invalid_config_is_rejected_at_construction() {
         let config = AscConfig { rollout_depth: 0, ..AscConfig::default() };
         assert!(LascRuntime::new(config).is_err());
+    }
+
+    #[test]
+    fn interrupted_accelerate_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("asc-resume-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = collatz::CollatzParams { start: 2, count: 500 };
+        let program = collatz::program(&params).unwrap();
+        let reference = test_runtime().accelerate(&program).unwrap();
+        assert!(reference.halted);
+
+        // First leg: checkpoint every 8 occurrences, cut the run short by
+        // budget well before completion.
+        let mut config = AscConfig::for_tests();
+        config.checkpoint.enabled = true;
+        config.checkpoint.directory = Some(dir.clone());
+        config.checkpoint.interval = 8;
+        config.checkpoint.keep = 2;
+        config.checkpoint.resume = true;
+        // The budget gates *executed* instructions (fast-forwards are free),
+        // so cut the post-recognizer execution in half.
+        let converge = reference.converge_instructions;
+        config.instruction_budget =
+            converge + (reference.executed_instructions.saturating_sub(converge)) / 2;
+        let first = LascRuntime::new(config.clone()).unwrap().accelerate(&program).unwrap();
+        assert!(!first.halted, "the truncated leg must stop early");
+        let first_ckpt = first.checkpoints.expect("checkpointing was on");
+        assert!(first_ckpt.saves > 0, "{first_ckpt:?}");
+        assert!(!first_ckpt.resumed);
+
+        // Second leg: full budget, resumes from the newest checkpoint and
+        // must finish in the exact state of the uninterrupted run.
+        config.instruction_budget = AscConfig::for_tests().instruction_budget;
+        let second = LascRuntime::new(config).unwrap().accelerate(&program).unwrap();
+        assert!(second.halted);
+        let second_ckpt = second.checkpoints.expect("checkpointing was on");
+        assert!(second_ckpt.resumed, "{second_ckpt:?}");
+        assert_eq!(second_ckpt.rejected_files, 0, "{second_ckpt:?}");
+        assert_eq!(second.final_state, reference.final_state);
+        assert_eq!(second.total_instructions, reference.total_instructions);
+        let got = collatz::read_result(&program, &second.final_state).unwrap();
+        assert_eq!(got, collatz::reference(&params));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_flag_flushes_a_final_checkpoint_and_stops_the_run() {
+        let dir = std::env::temp_dir().join(format!("asc-shutdown-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = collatz::CollatzParams { start: 2, count: 500 };
+        let program = collatz::program(&params).unwrap();
+        let mut config = AscConfig::for_tests();
+        config.checkpoint.enabled = true;
+        config.checkpoint.directory = Some(dir.clone());
+        config.checkpoint.resume = true;
+        // An interval far beyond the run: the only save can be the flush.
+        config.checkpoint.interval = u64::MAX;
+        let mut runtime = LascRuntime::new(config.clone()).unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        runtime.set_shutdown_flag(Arc::clone(&flag));
+        let report = runtime.accelerate(&program).unwrap();
+        assert!(!report.halted, "a pre-set flag must stop the run at the first occurrence");
+        let stats = report.checkpoints.expect("checkpointing was on");
+        assert_eq!(stats.saves, 1, "{stats:?}");
+
+        // The flushed checkpoint is a valid resume point: clearing the flag
+        // and rerunning completes the program from it.
+        flag.store(false, Ordering::Relaxed);
+        let resumed = runtime.accelerate(&program).unwrap();
+        assert!(resumed.halted);
+        assert!(resumed.checkpoints.unwrap().resumed);
+        let got = collatz::read_result(&program, &resumed.final_state).unwrap();
+        assert_eq!(got, collatz::reference(&params));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

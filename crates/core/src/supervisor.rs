@@ -21,13 +21,16 @@
 //! The breaker itself is deliberately single-threaded state: it lives on
 //! the main thread inside `accelerate`, fed once per recognized-IP
 //! occurrence from the monitor's atomic counters (worker-side events) and
-//! the cache's integrity-reject total. Thresholds and the full failure
-//! model are documented on [`BreakerConfig`].
+//! the cache's integrity-reject total. Thresholds and the breaker's own
+//! failure model are documented on [`BreakerConfig`]; the repo-wide
+//! failure-model table (every failure class → detection → degradation →
+//! counter) lives in `ROBUSTNESS.md` at the repository root.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crate::config::{AscConfig, BreakerConfig};
+use crate::config::{AscConfig, BreakerConfig, WatchdogConfig};
 
 /// Snapshot of the supervised runtime's failure counters, reported next to
 /// [`CacheStats`](crate::cache::CacheStats) in
@@ -77,6 +80,14 @@ pub struct HealthStats {
     /// `fault-inject` feature); lets the soak harness assert the campaign
     /// really ran.
     pub injected_faults: u64,
+    /// No-progress intervals the liveness [`Watchdog`] detected: the
+    /// heartbeat went a full deadline without a single occurrence tick —
+    /// livelock, a hung lock or a wedged pool, failure classes the windowed
+    /// breaker cannot see because nothing *fails*.
+    pub watchdog_stalls: u64,
+    /// Escalation stages the watchdog fired in response: stage 1 force-opens
+    /// the breaker, stage 2 tears down the worker pool and finishes inline.
+    pub watchdog_escalations: u64,
 }
 
 /// Thread-shared failure counters ticked by workers, the planner and the
@@ -328,12 +339,183 @@ impl CircuitBreaker {
         self.failures_in_window = 0;
     }
 
+    /// Trips the breaker open unconditionally — the watchdog's stage-1
+    /// escalation. A stalled run has produced no failure *events* to push
+    /// through the window, so the watchdog opens the breaker directly;
+    /// recovery then follows the normal cooldown → half-open → probe path.
+    /// No-op while already open (stalls are detected repeatedly) and for a
+    /// disabled breaker (which must never suppress speculation; stage-2
+    /// pool teardown still applies).
+    pub fn force_open(&mut self) {
+        if self.config.enabled && self.state != BreakerState::Open {
+            self.trip();
+        }
+    }
+
     /// Copies the breaker's counters into a [`HealthStats`] being
     /// assembled.
     pub fn fill_stats(&self, stats: &mut HealthStats) {
         stats.breaker_trips = self.trips;
         stats.breaker_recoveries = self.recoveries;
         stats.breaker_open_occurrences = self.open_occurrences;
+    }
+}
+
+/// Escalation ladder the [`Watchdog`] climbs when the run keeps stalling.
+/// Stages are sticky (never de-escalated within a run) and the main loop
+/// applies each stage's remedy at its next opportunity.
+pub mod watchdog_stage {
+    /// Healthy: no remedy requested.
+    pub const NONE: u8 = 0;
+    /// First stall: force the circuit breaker open, suppressing every form
+    /// of speculation dispatch — if the stall was a wedged speculation path,
+    /// this un-wedges it at inline speed.
+    pub const FORCE_BREAKER: u8 = 1;
+    /// Still stalled: tear the worker pool (or planner) down entirely and
+    /// finish the run inline — no speculation machinery left to hang on.
+    pub const TEAR_DOWN_POOL: u8 = 2;
+}
+
+/// The liveness signal between the main loop and the [`Watchdog`] thread.
+///
+/// The main loop calls [`tick`](Heartbeat::tick) once per recognized-IP
+/// occurrence; the watchdog thread watches the counter move. The requested
+/// escalation stage travels back the other way, and the stall/escalation
+/// counters are copied into [`HealthStats`] when the run reports.
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    /// Occurrence ticks so far; any change is progress.
+    progress: AtomicU64,
+    /// Highest escalation stage requested (see [`watchdog_stage`]).
+    stage: AtomicU8,
+    stalls: AtomicU64,
+    escalations: AtomicU64,
+}
+
+impl Heartbeat {
+    /// Signals one unit of main-loop progress.
+    pub fn tick(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The progress counter (occurrence ticks observed so far).
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// The escalation stage currently requested of the main loop.
+    pub fn stage(&self) -> u8 {
+        self.stage.load(Ordering::Relaxed)
+    }
+
+    /// No-progress intervals detected so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Escalation stages fired so far.
+    pub fn escalations(&self) -> u64 {
+        self.escalations.load(Ordering::Relaxed)
+    }
+
+    /// Records one detected stall and climbs one escalation stage (sticky,
+    /// capped at [`watchdog_stage::TEAR_DOWN_POOL`]). Returns the stage now
+    /// in force. Called by the watchdog thread; also usable directly from
+    /// unit tests.
+    pub fn escalate(&self) -> u8 {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+        let previous = self.stage.load(Ordering::Relaxed);
+        if previous < watchdog_stage::TEAR_DOWN_POOL {
+            self.stage.store(previous + 1, Ordering::Relaxed);
+            self.escalations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stage.load(Ordering::Relaxed)
+    }
+
+    /// Copies the watchdog counters into a [`HealthStats`] being assembled.
+    pub fn fill_stats(&self, stats: &mut HealthStats) {
+        stats.watchdog_stalls = self.stalls();
+        stats.watchdog_escalations = self.escalations();
+    }
+}
+
+/// The run-level liveness watchdog thread.
+///
+/// The windowed [`CircuitBreaker`] sees failure *events* — panics, deadline
+/// kills, integrity rejects. A livelock, a hung lock or a wedged pool
+/// produces no events at all: the run simply stops making progress. The
+/// watchdog covers exactly that blind spot: it polls the [`Heartbeat`]
+/// every `poll_ms` and, when no tick lands within `deadline_ms`, dumps
+/// diagnostics to stderr (last rip, progress counter, health-counter
+/// snapshot, pool liveness via the jobs-retired counter) and climbs the
+/// [`watchdog_stage`] ladder for the main loop to act on. Detection resets
+/// after each stall, so a run that stays stalled escalates again a deadline
+/// later.
+#[derive(Debug)]
+pub struct Watchdog {
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl Watchdog {
+    /// Spawns the watchdog thread, or returns `None` when disabled by
+    /// configuration or the thread could not be spawned (a watchdog failing
+    /// to start must degrade to "unwatched", never fail the run).
+    pub fn start(
+        config: &WatchdogConfig,
+        heartbeat: Arc<Heartbeat>,
+        health: Arc<HealthMonitor>,
+        rip: u32,
+    ) -> Option<Watchdog> {
+        if !config.enabled {
+            return None;
+        }
+        let deadline = Duration::from_millis(config.deadline_ms.max(1));
+        let poll = Duration::from_millis(config.poll_ms.max(1)).min(deadline);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("asc-watchdog".into())
+            .spawn(move || {
+                let mut last_progress = heartbeat.progress();
+                let mut last_change = Instant::now();
+                let mut jobs_seen = health.jobs_ok();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(poll);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let progress = heartbeat.progress();
+                    if progress != last_progress {
+                        last_progress = progress;
+                        last_change = Instant::now();
+                        continue;
+                    }
+                    if last_change.elapsed() < deadline {
+                        continue;
+                    }
+                    let jobs_now = health.jobs_ok();
+                    let snapshot = health.snapshot();
+                    let stage = heartbeat.escalate();
+                    eprintln!(
+                        "asc-watchdog: no progress for {:?} (rip {rip:#x}, {progress} \
+                         occurrences, {} speculation jobs retired since last stall, \
+                         escalating to stage {stage}); health: {snapshot:?}",
+                        last_change.elapsed(),
+                        jobs_now.saturating_sub(jobs_seen),
+                    );
+                    jobs_seen = jobs_now;
+                    last_change = Instant::now();
+                }
+            })
+            .ok()?;
+        Some(Watchdog { shutdown, thread })
+    }
+
+    /// Stops the watchdog thread and waits for it to exit.
+    pub fn finish(self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.thread.join();
     }
 }
 
@@ -432,6 +614,35 @@ impl Supervision {
         #[cfg(feature = "fault-inject")]
         if let Some(faults) = &self.faults {
             if faults.sample_spawn_failure() {
+                self.health.record_injected_faults(1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the injector aborts the process at this occurrence ordinal
+    /// (the kill-resume soak's crash point). Always `false` without the
+    /// `fault-inject` feature.
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))]
+    pub(crate) fn abort_at(&self, occurrence: u64) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            if faults.abort_at(occurrence) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the injector stalls the main loop at this occurrence ordinal
+    /// (the watchdog's livelock test). Always `false` without the
+    /// `fault-inject` feature.
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))]
+    pub(crate) fn stall_at(&self, occurrence: u64) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            if faults.stall_at(occurrence) {
                 self.health.record_injected_faults(1);
                 return true;
             }
@@ -590,6 +801,83 @@ mod tests {
         assert_eq!(sup.job_budget(50), (50, false));
         let unlimited = Supervision::default();
         assert_eq!(unlimited.job_budget(500), (500, false));
+    }
+
+    #[test]
+    fn force_open_trips_immediately_and_recovers_normally() {
+        let mut b = breaker(8, 0.5, 4, 2);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.force_open();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Repeated stall detections while already open do not re-trip.
+        b.force_open();
+        assert_eq!(b.trips(), 1);
+        // Normal cooldown → half-open → probe recovery path applies.
+        b.tick_occurrence();
+        b.tick_occurrence();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(2, 0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries(), 1);
+    }
+
+    #[test]
+    fn force_open_respects_a_disabled_breaker() {
+        let mut b =
+            CircuitBreaker::new(BreakerConfig { enabled: false, ..BreakerConfig::default() });
+        b.force_open();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows_speculation());
+    }
+
+    #[test]
+    fn heartbeat_escalates_sticky_and_capped() {
+        let hb = Heartbeat::default();
+        assert_eq!(hb.stage(), watchdog_stage::NONE);
+        assert_eq!(hb.escalate(), watchdog_stage::FORCE_BREAKER);
+        assert_eq!(hb.escalate(), watchdog_stage::TEAR_DOWN_POOL);
+        // Capped: further stalls count but do not climb past teardown.
+        assert_eq!(hb.escalate(), watchdog_stage::TEAR_DOWN_POOL);
+        assert_eq!(hb.stalls(), 3);
+        assert_eq!(hb.escalations(), 2);
+        let mut stats = HealthStats::default();
+        hb.fill_stats(&mut stats);
+        assert_eq!(stats.watchdog_stalls, 3);
+        assert_eq!(stats.watchdog_escalations, 2);
+    }
+
+    #[test]
+    fn watchdog_detects_a_stall_then_recovers_when_ticks_resume() {
+        let hb = Arc::new(Heartbeat::default());
+        let health = Arc::new(HealthMonitor::default());
+        let config = WatchdogConfig { enabled: true, deadline_ms: 30, poll_ms: 5 };
+        let dog = Watchdog::start(&config, Arc::clone(&hb), Arc::clone(&health), 0x40)
+            .expect("watchdog spawns");
+        // No ticks at all: the watchdog must detect the stall and escalate.
+        let waited = Instant::now();
+        while hb.stalls() == 0 && waited.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(hb.stalls() >= 1, "stall not detected");
+        assert!(hb.stage() >= watchdog_stage::FORCE_BREAKER);
+        // Resume ticking: no further stalls accumulate while progress flows.
+        let stalls_at_recovery = hb.stalls();
+        let recovery = Instant::now();
+        while recovery.elapsed() < Duration::from_millis(120) {
+            hb.tick();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(hb.stalls(), stalls_at_recovery, "ticking run must not count as stalled");
+        dog.finish();
+    }
+
+    #[test]
+    fn disabled_watchdog_does_not_start() {
+        let config = WatchdogConfig { enabled: false, ..WatchdogConfig::default() };
+        let hb = Arc::new(Heartbeat::default());
+        let health = Arc::new(HealthMonitor::default());
+        assert!(Watchdog::start(&config, hb, health, 0).is_none());
     }
 
     #[test]

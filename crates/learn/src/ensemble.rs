@@ -19,6 +19,7 @@
 //! memory stays constant no matter how long the occurrence stream runs.
 
 use crate::features::{mask_tail, packed_len, PackedObservation};
+use crate::persist::{self, Reader};
 use crate::traits::BlockPredictor;
 
 /// Aggregate error statistics in the shape of the paper's Table 2.
@@ -97,6 +98,33 @@ impl MistakeRing {
         self.buf.clear();
         self.len = 0;
         self.next = 0;
+    }
+
+    fn save(&self, out: &mut Vec<u8>) {
+        persist::put_usize(out, self.capacity);
+        persist::put_usize(out, self.slot_words);
+        persist::put_usize(out, self.len);
+        persist::put_usize(out, self.next);
+        persist::put_u64_slice(out, &self.buf);
+    }
+
+    /// Restores a ring saved with the same capacity/slot geometry, rejecting
+    /// bytes whose structural invariants (buffer length matches the retained
+    /// slot count, write cursor inside the ring) do not hold.
+    fn load(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        if reader.usize()? != self.capacity || reader.usize()? != self.slot_words {
+            return None;
+        }
+        let len = reader.usize()?;
+        let next = reader.usize()?;
+        let buf = persist::u64_slice_bounded(reader, self.capacity * self.slot_words)?;
+        if buf.len() != len.min(self.capacity) * self.slot_words || next >= self.capacity {
+            return None;
+        }
+        self.len = len;
+        self.next = next;
+        self.buf = buf;
+        Some(())
     }
 }
 
@@ -460,6 +488,61 @@ impl Ensemble {
         }
     }
 
+    /// Appends the full learned state — member predictor states, the RWMA
+    /// weight matrix, mistake history and scoring counters — to `out` using
+    /// the [`persist`](crate::persist) vocabulary. Restoring with
+    /// [`load_state`](Ensemble::load_state) into an ensemble built from the
+    /// same configuration reproduces bit-identical predictions.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        persist::put_usize(out, self.bit_count);
+        persist::put_usize(out, self.predictors.len());
+        for predictor in &self.predictors {
+            persist::put_str(out, predictor.name());
+            let mut blob = Vec::new();
+            predictor.save_state(&mut blob);
+            persist::put_bytes(out, &blob);
+        }
+        persist::put_f32_slice(out, &self.weights);
+        self.mistakes.save(out);
+        persist::put_u32_slice(out, &self.cumulative_mistakes);
+        persist::put_u64(out, self.ensemble_mistakes);
+        persist::put_u64(out, self.equal_weight_mistakes);
+        persist::put_u64(out, self.recent_outcomes);
+        persist::put_u64(out, self.observations);
+    }
+
+    /// Restores state written by [`save_state`](Ensemble::save_state) into an
+    /// ensemble constructed with the same configuration (same predictor
+    /// complement, bit count, beta and mistake capacity). Returns `None` —
+    /// leaving the ensemble fit only for [`reset`](Ensemble::reset) and
+    /// re-warming — when the bytes describe a different shape or fail any
+    /// predictor's own validation.
+    pub fn load_state(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        if reader.usize()? != self.bit_count || reader.usize()? != self.predictors.len() {
+            return None;
+        }
+        for predictor in &mut self.predictors {
+            if reader.str()? != predictor.name() {
+                return None;
+            }
+            let blob = reader.bytes()?;
+            let mut blob_reader = Reader::new(blob);
+            predictor.load_state(&mut blob_reader)?;
+            if !blob_reader.is_empty() {
+                return None;
+            }
+        }
+        self.weights = persist::f32_slice_exact(reader, self.weights.len())?;
+        self.mistakes.load(reader)?;
+        self.cumulative_mistakes =
+            persist::u32_slice_exact(reader, self.cumulative_mistakes.len())?;
+        self.ensemble_mistakes = reader.u64()?;
+        self.equal_weight_mistakes = reader.u64()?;
+        self.recent_outcomes = reader.u64()?;
+        self.observations = reader.u64()?;
+        Some(())
+    }
+
     /// Resets every predictor and all weights (used when the recognizer
     /// abandons the current RIP).
     pub fn reset(&mut self) {
@@ -658,5 +741,67 @@ mod tests {
     fn rejects_bad_beta() {
         let schema = constant_schema(1);
         Ensemble::new(default_predictors(&schema), 1, 1.5, 1024);
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bit_identical() {
+        let schema = constant_schema(4);
+        let mut trained = Ensemble::new(default_predictors(&schema), 4, 0.5, 8);
+        // A toggling sequence exercises every predictor, the mistake ring
+        // (past its 8-slot capacity) and all whole-state counters.
+        for i in 0u32..40 {
+            trained.observe(&obs_of(i % 3, 4), &obs_of((i + 1) % 3, 4));
+        }
+        let mut bytes = Vec::new();
+        trained.save_state(&mut bytes);
+
+        let mut restored = Ensemble::new(default_predictors(&schema), 4, 0.5, 8);
+        let mut reader = crate::persist::Reader::new(&bytes);
+        restored.load_state(&mut reader).expect("roundtrip must restore");
+        assert!(reader.is_empty(), "restore must consume the entire blob");
+
+        assert_eq!(restored.observations(), trained.observations());
+        assert_eq!(restored.mistake_window(), trained.mistake_window());
+        assert_eq!(restored.weight_matrix(), trained.weight_matrix());
+        assert_eq!(restored.errors(), trained.errors());
+        let probe = obs_of(2, 4);
+        assert_eq!(restored.predict_ml(&probe), trained.predict_ml(&probe));
+        assert_eq!(restored.predict_distribution(&probe), trained.predict_distribution(&probe));
+
+        // And the restored ensemble keeps learning identically.
+        trained.observe(&obs_of(2, 4), &obs_of(0, 4));
+        restored.observe(&obs_of(2, 4), &obs_of(0, 4));
+        assert_eq!(restored.predict_ml(&probe), trained.predict_ml(&probe));
+        assert_eq!(restored.errors(), trained.errors());
+    }
+
+    #[test]
+    fn load_rejects_mismatched_shape_and_damage() {
+        let schema = constant_schema(4);
+        let mut trained = Ensemble::new(default_predictors(&schema), 4, 0.5, 8);
+        for i in 0u32..10 {
+            trained.observe(&obs_of(i, 4), &obs_of(i + 1, 4));
+        }
+        let mut bytes = Vec::new();
+        trained.save_state(&mut bytes);
+
+        // Wrong bit count.
+        let mut narrow = Ensemble::new(default_predictors(&constant_schema(2)), 2, 0.5, 8);
+        assert!(narrow.load_state(&mut crate::persist::Reader::new(&bytes)).is_none());
+
+        // Different predictor complement (extra contrarian changes names).
+        let mut predictors = default_predictors(&schema);
+        predictors.push(Box::new(Contrarian));
+        let mut other = Ensemble::new(predictors, 4, 0.5, 8);
+        assert!(other.load_state(&mut crate::persist::Reader::new(&bytes)).is_none());
+
+        // Truncation anywhere must be rejected, never panic.
+        for cut in 0..bytes.len() {
+            let mut fresh = Ensemble::new(default_predictors(&schema), 4, 0.5, 8);
+            assert!(
+                fresh.load_state(&mut crate::persist::Reader::new(&bytes[..cut])).is_none(),
+                "truncation at {cut} must not restore"
+            );
+        }
     }
 }

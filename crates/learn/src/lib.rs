@@ -62,6 +62,7 @@ pub mod linear;
 pub mod logistic;
 pub mod mean;
 pub mod metrics;
+pub mod persist;
 pub mod reference;
 pub mod rng;
 pub mod traits;

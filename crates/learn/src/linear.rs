@@ -23,6 +23,7 @@
 //! bit-level confidences the ensemble consumes are `f32`.
 
 use crate::features::{mask_tail, ExcitationSchema, PackedObservation};
+use crate::persist::{self, Reader};
 use crate::traits::BlockPredictor;
 
 /// Normalisation applied to word values before regression, keeping the
@@ -264,6 +265,33 @@ impl BlockPredictor for LinearRegression {
 
     fn reset(&mut self) {
         self.allocate();
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        persist::put_usize(out, self.schema.word_count);
+        persist::put_usize(out, self.degree);
+        persist::put_u64(out, self.observations);
+        persist::put_f64_slice(out, &self.xtx);
+        persist::put_f64_slice(out, &self.xty);
+        persist::put_f64_slice(out, &self.coefficients);
+        persist::put_f64_slice(out, &self.residual);
+    }
+
+    fn load_state(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        if reader.usize()? != self.schema.word_count || reader.usize()? != self.degree {
+            return None;
+        }
+        let observations = reader.u64()?;
+        let xtx = persist::f64_slice_exact(reader, self.xtx.len())?;
+        let xty = persist::f64_slice_exact(reader, self.xty.len())?;
+        let coefficients = persist::f64_slice_exact(reader, self.coefficients.len())?;
+        let residual = persist::f64_slice_exact(reader, self.residual.len())?;
+        self.observations = observations;
+        self.xtx = xtx;
+        self.xty = xty;
+        self.coefficients = coefficients;
+        self.residual = residual;
+        Some(())
     }
 }
 

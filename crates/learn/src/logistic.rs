@@ -17,6 +17,7 @@
 //! no per-bit allocation, no virtual dispatch.
 
 use crate::features::{pack_probabilities, PackedObservation};
+use crate::persist::{self, Reader};
 use crate::traits::BlockPredictor;
 
 /// Per-bit logistic regression trained by SGD over a flat `f32` weight
@@ -123,6 +124,20 @@ impl BlockPredictor for LogisticRegression {
 
     fn reset(&mut self) {
         self.weights.fill(0.0);
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        persist::put_usize(out, self.bit_count);
+        persist::put_f32_slice(out, &self.weights);
+    }
+
+    fn load_state(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        let bit_count = reader.usize()?;
+        if bit_count != self.bit_count {
+            return None;
+        }
+        self.weights = persist::f32_slice_exact(reader, self.weights.len())?;
+        Some(())
     }
 }
 

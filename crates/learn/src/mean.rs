@@ -11,6 +11,7 @@
 //! observation, found by packed set-bit iteration.
 
 use crate::features::{pack_probabilities, PackedObservation};
+use crate::persist::{self, Reader};
 use crate::traits::BlockPredictor;
 
 /// Per-bit running mean with rounding.
@@ -69,6 +70,19 @@ impl BlockPredictor for MeanPredictor {
     fn reset(&mut self) {
         self.ones.fill(0);
         self.total = 0;
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        persist::put_u32(out, self.total);
+        persist::put_u32_slice(out, &self.ones);
+    }
+
+    fn load_state(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        let total = reader.u32()?;
+        let ones = persist::u32_slice_exact(reader, self.ones.len())?;
+        self.total = total;
+        self.ones = ones;
+        Some(())
     }
 }
 

@@ -1,0 +1,262 @@
+//! Little-endian byte serialization helpers for checkpointable model state.
+//!
+//! The crash-durability layer in `asc-core` snapshots learned state —
+//! predictor weights, ensemble mistake history, excitation counters — into
+//! checksummed checkpoint sections. This module is the shared wire
+//! vocabulary: fixed-width little-endian scalars plus length-prefixed byte
+//! runs, written into a growing `Vec<u8>` and read back through a bounds-
+//! checked [`Reader`] that returns `None` instead of panicking on any
+//! truncated, oversized or otherwise malformed input. Floating-point values
+//! round-trip as raw IEEE-754 bits, so restored models are *bit-identical*
+//! to the saved ones (including NaN payloads and the `f64::INFINITY`
+//! sentinels some models use).
+//!
+//! Reads never allocate proportionally to untrusted length fields: byte runs
+//! are returned as borrowed slices, and element-count loops fail fast at the
+//! end of input, so a corrupted length can cost at most the bytes actually
+//! present.
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `usize` as a `u64`.
+pub fn put_usize(out: &mut Vec<u8>, value: usize) {
+    put_u64(out, value as u64);
+}
+
+/// Appends an `f32` as its raw IEEE-754 bits.
+pub fn put_f32(out: &mut Vec<u8>, value: f32) {
+    put_u32(out, value.to_bits());
+}
+
+/// Appends an `f64` as its raw IEEE-754 bits.
+pub fn put_f64(out: &mut Vec<u8>, value: f64) {
+    put_u64(out, value.to_bits());
+}
+
+/// Appends a length-prefixed byte run.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_usize(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed short string (used for model names).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A bounds-checked cursor over serialized bytes. Every accessor returns
+/// `None` once the input is exhausted or a length prefix overruns it; no
+/// accessor panics or allocates based on untrusted lengths.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    /// How many bytes remain unread.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    /// Whether every byte has been consumed — loaders require this so
+    /// trailing garbage is rejected rather than silently ignored.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.at..self.at.checked_add(n)?)?;
+        self.at += n;
+        Some(slice)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a `usize` stored as a `u64`, rejecting values that do not fit.
+    pub fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    /// Reads an `f32` from its raw bits.
+    pub fn f32(&mut self) -> Option<f32> {
+        Some(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads an `f64` from its raw bits.
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte run as a borrowed slice. The length is
+    /// validated against the remaining input *before* anything is sliced, so
+    /// a corrupted prefix cannot trigger a large allocation.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return None;
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.bytes()?).ok()
+    }
+}
+
+/// Writes a slice of `f32`s with a length prefix.
+pub fn put_f32_slice(out: &mut Vec<u8>, values: &[f32]) {
+    put_usize(out, values.len());
+    for &v in values {
+        put_f32(out, v);
+    }
+}
+
+/// Reads a length-prefixed `f32` slice, requiring exactly `expected` values.
+pub fn f32_slice_exact(reader: &mut Reader<'_>, expected: usize) -> Option<Vec<f32>> {
+    let len = reader.usize()?;
+    if len != expected || len.checked_mul(4)? > reader.remaining() {
+        return None;
+    }
+    (0..len).map(|_| reader.f32()).collect()
+}
+
+/// Writes a slice of `f64`s with a length prefix.
+pub fn put_f64_slice(out: &mut Vec<u8>, values: &[f64]) {
+    put_usize(out, values.len());
+    for &v in values {
+        put_f64(out, v);
+    }
+}
+
+/// Reads a length-prefixed `f64` slice, requiring exactly `expected` values.
+pub fn f64_slice_exact(reader: &mut Reader<'_>, expected: usize) -> Option<Vec<f64>> {
+    let len = reader.usize()?;
+    if len != expected || len.checked_mul(8)? > reader.remaining() {
+        return None;
+    }
+    (0..len).map(|_| reader.f64()).collect()
+}
+
+/// Writes a slice of `u64`s with a length prefix.
+pub fn put_u64_slice(out: &mut Vec<u8>, values: &[u64]) {
+    put_usize(out, values.len());
+    for &v in values {
+        put_u64(out, v);
+    }
+}
+
+/// Reads a length-prefixed `u64` slice of at most `max` values (the caller's
+/// structural bound). Allocation is additionally capped by the bytes
+/// actually present.
+pub fn u64_slice_bounded(reader: &mut Reader<'_>, max: usize) -> Option<Vec<u64>> {
+    let len = reader.usize()?;
+    if len > max || len.checked_mul(8)? > reader.remaining() {
+        return None;
+    }
+    (0..len).map(|_| reader.u64()).collect()
+}
+
+/// Writes a slice of `u32`s with a length prefix.
+pub fn put_u32_slice(out: &mut Vec<u8>, values: &[u32]) {
+    put_usize(out, values.len());
+    for &v in values {
+        put_u32(out, v);
+    }
+}
+
+/// Reads a length-prefixed `u32` slice, requiring exactly `expected` values.
+pub fn u32_slice_exact(reader: &mut Reader<'_>, expected: usize) -> Option<Vec<u32>> {
+    let len = reader.usize()?;
+    if len != expected || len.checked_mul(4)? > reader.remaining() {
+        return None;
+    }
+    (0..len).map(|_| reader.u32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip_bit_exactly() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 7);
+        put_f32(&mut out, -0.0f32);
+        put_f64(&mut out, f64::INFINITY);
+        put_f64(&mut out, f64::from_bits(0x7FF8_0000_0000_1234)); // NaN payload
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 7));
+        assert_eq!(r.f32().map(f32::to_bits), Some((-0.0f32).to_bits()));
+        assert_eq!(r.f64(), Some(f64::INFINITY));
+        assert_eq!(r.f64().map(f64::to_bits), Some(0x7FF8_0000_0000_1234));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_returns_none_not_panic() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 42);
+        for cut in 0..out.len() {
+            let mut r = Reader::new(&out[..cut]);
+            assert_eq!(r.u64(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX); // absurd length prefix
+        out.extend_from_slice(b"xy");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.bytes(), None);
+        let mut r = Reader::new(&out);
+        assert_eq!(u64_slice_bounded(&mut r, usize::MAX), None);
+    }
+
+    #[test]
+    fn byte_runs_and_strings_roundtrip() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"hello");
+        put_str(&mut out, "weatherman");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.bytes(), Some(&b"hello"[..]));
+        assert_eq!(r.str(), Some("weatherman"));
+    }
+
+    #[test]
+    fn exact_slices_reject_wrong_lengths() {
+        let mut out = Vec::new();
+        put_f32_slice(&mut out, &[1.0, 2.0, 3.0]);
+        let mut r = Reader::new(&out);
+        assert_eq!(f32_slice_exact(&mut r, 2), None);
+        let mut r = Reader::new(&out);
+        assert_eq!(f32_slice_exact(&mut r, 3), Some(vec![1.0, 2.0, 3.0]));
+        assert!(r.is_empty());
+    }
+}

@@ -14,6 +14,7 @@
 //! `PredictorBank::observe` (~100µs/occurrence at 128 excitation bits).
 
 use crate::features::{ExcitationSchema, PackedObservation};
+use crate::persist::Reader;
 
 /// An online learner that predicts every bit of the next observation in one
 /// block call.
@@ -48,6 +49,29 @@ pub trait BlockPredictor: Send {
 
     /// Discards the learned model and starts from scratch.
     fn reset(&mut self);
+
+    /// Appends the model's learned state to `out` (see
+    /// [`persist`](crate::persist) for the wire vocabulary). Stateless
+    /// predictors — and predictors cheap enough to simply re-warm after a
+    /// crash — keep the default no-op; restoring then yields a freshly
+    /// constructed model.
+    ///
+    /// The ensemble wraps whatever is written here in a length-prefixed run,
+    /// so implementations need no terminator and may write nothing.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Restores state written by [`save_state`](BlockPredictor::save_state)
+    /// into a model constructed with the *same* configuration. Returns
+    /// `None` when the bytes do not describe this model (wrong arity, wrong
+    /// lengths, truncation) — the caller then discards the whole restore and
+    /// re-warms instead; the model must be left in a usable (possibly
+    /// partially overwritten, but never out-of-contract) state.
+    fn load_state(&mut self, reader: &mut Reader<'_>) -> Option<()> {
+        let _ = reader;
+        Some(())
+    }
 }
 
 /// Constructs the paper's default predictor complement for a given schema:

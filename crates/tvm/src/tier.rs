@@ -1135,13 +1135,11 @@ mod tests {
             }
         }
         let mut cache = BlockCache::new(&tiered, eager());
-        loop {
-            let (_, exit) = run_segment(&mut tiered, &mut deps_tiered, &mut cache, u32::MAX, 1000);
-            match exit {
-                SegmentExit::Halted => break,
-                SegmentExit::Budget | SegmentExit::StopIp => panic!("unexpected exit"),
-                SegmentExit::Fault(error) => panic!("fault: {error}"),
-            }
+        let (_, exit) = run_segment(&mut tiered, &mut deps_tiered, &mut cache, u32::MAX, 1000);
+        match exit {
+            SegmentExit::Halted => {}
+            SegmentExit::Budget | SegmentExit::StopIp => panic!("unexpected exit"),
+            SegmentExit::Fault(error) => panic!("fault: {error}"),
         }
         assert_eq!(plain, tiered);
         // The whole point: identical read/write sets mean cache entries

@@ -599,6 +599,115 @@ mod tier {
     }
 }
 
+/// Crash durability: a checkpointed run cut short mid-flight and resumed
+/// from disk must finish in a final state bit-identical to the
+/// uninterrupted run — in every execution mode, on every benchmark. The
+/// truncation here is an instruction budget (the in-process equivalent of
+/// a kill; the subprocess SIGKILL variant lives in the `kill_resume_soak`
+/// bin), and workers/planner state is deliberately not checkpointed: those
+/// tiers re-warm after resume exactly like they re-warm after a dead
+/// planner, so bit-identity cannot depend on them.
+mod checkpoint {
+    use super::*;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("asc-determinism-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn checkpointed(mut config: AscConfig, dir: &TempDir, budget: u64) -> AscConfig {
+        config.checkpoint.enabled = true;
+        config.checkpoint.directory = Some(dir.0.clone());
+        config.checkpoint.interval = 4;
+        config.checkpoint.keep = 2;
+        config.checkpoint.resume = true;
+        config.instruction_budget = budget;
+        config
+    }
+
+    /// Every benchmark × {inline, workers, planner}: truncate a
+    /// checkpointed run by budget, resume it, and demand the exact final
+    /// state and instruction total of the uninterrupted run.
+    #[test]
+    fn interrupted_runs_resume_bit_identically_in_every_mode() {
+        for benchmark in Benchmark::ALL {
+            let workload = build(benchmark, scale_for(benchmark)).unwrap();
+            for (mode, workers, planner) in
+                [("inline", 0usize, false), ("workers", 4, false), ("planner", 4, true)]
+            {
+                let mut base = config_for(benchmark, workers);
+                base.planner.enabled = planner;
+                let reference =
+                    LascRuntime::new(base.clone()).unwrap().accelerate(&workload.program).unwrap();
+                assert!(reference.halted, "{benchmark}/{mode}: reference did not halt");
+
+                // The budget gates *executed* instructions (fast-forwards
+                // are free). Hit timing makes the executed count noisy in
+                // threaded modes, so shrink the post-recognizer slice until
+                // the leg genuinely truncates.
+                let dir = TempDir::new(&format!("{benchmark}-{mode}"));
+                let converge = reference.converge_instructions;
+                let slice = reference.executed_instructions.saturating_sub(converge);
+                let mut first = None;
+                for shrink in [2u64, 4, 8, 16] {
+                    // A halted attempt leaves checkpoints behind; each
+                    // attempt must start cold for the leg to be a real
+                    // truncated first run.
+                    let _ = std::fs::remove_dir_all(&dir.0);
+                    let config = checkpointed(base.clone(), &dir, converge + slice / shrink);
+                    let report =
+                        LascRuntime::new(config).unwrap().accelerate(&workload.program).unwrap();
+                    if !report.halted {
+                        first = Some(report);
+                        break;
+                    }
+                }
+                let first = first
+                    .unwrap_or_else(|| panic!("{benchmark}/{mode}: no budget truncated the run"));
+                let stats = first.checkpoints.expect("checkpointing was on");
+                assert!(stats.saves > 0, "{benchmark}/{mode}: truncated leg never saved {stats:?}");
+                assert!(!stats.resumed, "{benchmark}/{mode}: first leg resumed from stale state");
+
+                let resumed =
+                    LascRuntime::new(checkpointed(base.clone(), &dir, base.instruction_budget))
+                        .unwrap()
+                        .accelerate(&workload.program)
+                        .unwrap();
+                assert!(resumed.halted, "{benchmark}/{mode}: resumed run did not halt");
+                let stats = resumed.checkpoints.expect("checkpointing was on");
+                assert!(stats.resumed, "{benchmark}/{mode}: second leg started cold {stats:?}");
+                assert_eq!(stats.rejected_files, 0, "{benchmark}/{mode}: {stats:?}");
+                assert_eq!(
+                    reference.final_state.as_bytes(),
+                    resumed.final_state.as_bytes(),
+                    "{benchmark}/{mode}: resume diverged from the uninterrupted run"
+                );
+                assert_eq!(
+                    reference.total_instructions, resumed.total_instructions,
+                    "{benchmark}/{mode}: resume changed the instruction accounting"
+                );
+                assert!(
+                    workload.verify(&resumed.final_state),
+                    "{benchmark}/{mode}: resumed run produced a wrong result"
+                );
+            }
+        }
+    }
+}
+
 /// Fault-soak mode (`--features fault-inject`): the supervision layer's
 /// claim is that *execution* failures — worker panics, runaway jobs,
 /// corrupted cache entries, a dead planner — only ever cost speed. These
@@ -661,6 +770,7 @@ mod fault_soak {
              \"spawn_failures\":{},\"panicked_joins\":{},\"deadline_kills\":{},\
              \"planner_panics\":{},\"breaker_trips\":{},\"breaker_recoveries\":{},\
              \"breaker_open_occurrences\":{},\"checksum_rejects\":{},\
+             \"watchdog_stalls\":{},\"watchdog_escalations\":{},\
              \"injected_faults\":{}}}",
             health.worker_panics,
             health.worker_restarts,
@@ -673,6 +783,8 @@ mod fault_soak {
             health.breaker_recoveries,
             health.breaker_open_occurrences,
             health.checksum_rejects,
+            health.watchdog_stalls,
+            health.watchdog_escalations,
             health.injected_faults,
         );
     }
@@ -785,6 +897,43 @@ mod fault_soak {
             health.breaker_recoveries >= 1,
             "breaker never recovered after the burst ({health:?})"
         );
+        emit_health(Benchmark::Collatz, seed, health);
+    }
+
+    /// Liveness: an injected main-loop stall must be *detected* by the
+    /// watchdog within its deadline and *escalated* — and because the stall
+    /// hook releases the main thread once the escalation lands, the run
+    /// must then complete with the exact fault-free result. This drives the
+    /// full detect → escalate → recover path through a real `accelerate`
+    /// run; the stage machinery itself is unit-tested in `supervisor`.
+    #[test]
+    fn watchdog_detects_an_injected_stall_and_the_run_still_completes() {
+        let seed = fault_seed();
+        let workload = build(Benchmark::Collatz, Scale::Tiny).unwrap();
+        let reference = LascRuntime::new(config_for(Benchmark::Collatz, 0))
+            .unwrap()
+            .accelerate(&workload.program)
+            .unwrap();
+
+        let mut config = config_for(Benchmark::Collatz, 4);
+        config.planner.enabled = false;
+        config.fault =
+            Some(FaultPlan { seed, stall_at_occurrence: Some(20), ..FaultPlan::default() });
+        config.watchdog.enabled = true;
+        config.watchdog.deadline_ms = 100;
+        config.watchdog.poll_ms = 10;
+        let report = LascRuntime::new(config).unwrap().accelerate(&workload.program).unwrap();
+
+        assert!(report.halted, "the stalled run never recovered");
+        assert_eq!(
+            reference.final_state.as_bytes(),
+            report.final_state.as_bytes(),
+            "watchdog escalation changed the result"
+        );
+        assert!(workload.verify(&report.final_state));
+        let health = &report.health;
+        assert!(health.watchdog_stalls >= 1, "stall was never detected ({health:?})");
+        assert!(health.watchdog_escalations >= 1, "stall was never escalated ({health:?})");
         emit_health(Benchmark::Collatz, seed, health);
     }
 }

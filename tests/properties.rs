@@ -213,3 +213,283 @@ fn indexed_cache_lookup_is_equivalent_to_reference_scan_under_churn() {
         );
     }
 }
+
+/// Robustness of every length-prefixed format the system persists or ships
+/// — peer-protocol frames, snapshot streams and checkpoint files, i.e.
+/// **all** [`FrameKind`]s: under seeded random byte mutations and
+/// truncations, every consumer must reject cleanly (`InvalidData`, a
+/// dropped frame, or fallback to "no checkpoint") — never panic, never
+/// decode a wrong value, and never let a corrupted length field drive an
+/// unbounded read or allocation.
+mod format_robustness {
+    use super::*;
+    use asc::core::cache::{CacheEntry, TrajectoryCache};
+    use asc::core::checkpoint::{self, RunCheckpoint};
+    use asc::core::recognizer::RecognizedIp;
+    use asc::core::remote::codec::{self, FrameKind, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+    use asc::core::remote::snapshot;
+    use std::io::ErrorKind;
+    use std::path::PathBuf;
+
+    const SWEEP_CASES: usize = 512;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("asc-properties-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_entry(rng: &mut XorShiftRng) -> CacheEntry {
+        let start: Vec<(u32, u8)> = (0..1 + gen_index(rng, 6))
+            .map(|_| (rng.next_u64() as u32 % 256, gen_u8(rng)))
+            .collect();
+        let delta: Vec<(u32, u8)> = (0..1 + gen_index(rng, 6))
+            .map(|_| (rng.next_u64() as u32 % 256, gen_u8(rng)))
+            .collect();
+        CacheEntry::new(
+            rng.next_u64() as u32 % 128,
+            SparseBytes::from_pairs(start),
+            SparseBytes::from_pairs(delta),
+            1 + rng.next_u64() % 10_000,
+        )
+    }
+
+    /// One valid framed artifact per [`FrameKind`] — the sweep's corpus.
+    /// The checkpoint kinds come from a real checkpoint file so the frames
+    /// carry real section layouts, not synthetic payloads.
+    fn frame_corpus(rng: &mut XorShiftRng) -> Vec<(&'static str, Vec<u8>)> {
+        let entry = codec::encode_entry(&sample_entry(rng));
+        let cache = TrajectoryCache::with_layout(64, 1, 0);
+        cache.insert(sample_entry(rng));
+        let mut corpus = vec![
+            ("get", codec::encode_frame(FrameKind::Get, &codec::encode_get(8, &[(1, 2), (3, 4)]))),
+            ("get-hit", codec::encode_frame(FrameKind::GetHit, &entry)),
+            ("get-miss", codec::encode_frame(FrameKind::GetMiss, &[])),
+            ("put", codec::encode_frame(FrameKind::Put, &entry)),
+            ("stats-request", codec::encode_frame(FrameKind::StatsRequest, &[])),
+            (
+                "stats-reply",
+                codec::encode_frame(FrameKind::StatsReply, &cache.stats().to_le_bytes()),
+            ),
+            ("snapshot-request", codec::encode_frame(FrameKind::SnapshotRequest, &[])),
+            (
+                "snapshot-header",
+                codec::encode_frame(
+                    FrameKind::SnapshotHeader,
+                    &codec::encode_snapshot_header(&cache.stats(), 1),
+                ),
+            ),
+            ("snapshot-entry", codec::encode_frame(FrameKind::Entry, &entry)),
+            ("snapshot-end", codec::encode_frame(FrameKind::SnapshotEnd, &[])),
+        ];
+        // A whole checkpoint file is a frame stream covering the three
+        // checkpoint kinds: CheckpointHeader + CheckpointSection* +
+        // CheckpointEnd.
+        let dir = TempDir::new("frame-corpus");
+        checkpoint::save(&dir.0, &sample_checkpoint(rng), 1).unwrap();
+        let file = std::fs::read(checkpoint::checkpoint_path_for(&dir.0, 1)).unwrap();
+        corpus.push(("checkpoint-stream", file));
+        corpus
+    }
+
+    fn sample_checkpoint(rng: &mut XorShiftRng) -> RunCheckpoint {
+        let state: Vec<u8> = (0..128).map(|_| gen_u8(rng)).collect();
+        RunCheckpoint {
+            sequence: 1,
+            fingerprint: 0xfee1_600d,
+            occurrence: 42,
+            rip: RecognizedIp {
+                ip: 8,
+                stride: 1,
+                mean_superstep: 900.0,
+                accuracy: 0.75,
+                score: 675.0,
+            },
+            unique_ips: 7,
+            converge_instructions: 5_000,
+            resume_instret: 90_000,
+            fast_forwarded: 30_000,
+            state,
+            bank: Some((0..64).map(|_| gen_u8(rng)).collect()),
+            economics: Some((0..32).map(|_| gen_u8(rng)).collect()),
+        }
+    }
+
+    /// Drains a byte stream through [`codec::read_frame`] plus every
+    /// payload decoder; the only legal outcomes are clean frames, a clean
+    /// end-of-stream, or a clean error.
+    fn consume_stream(bytes: &[u8]) {
+        let mut reader = bytes;
+        loop {
+            match codec::read_frame(&mut reader) {
+                Ok(Some(frame)) => {
+                    // Whatever kind the (possibly corrupted) header claims,
+                    // every payload decoder must handle the bytes without
+                    // panicking — a decoder trusts nothing about routing.
+                    let _ = codec::decode_entry(&frame.payload);
+                    let _ = codec::decode_get(&frame.payload);
+                    let _ = codec::decode_snapshot_header(&frame.payload);
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    assert!(
+                        matches!(err.kind(), ErrorKind::InvalidData | ErrorKind::UnexpectedEof),
+                        "unexpected rejection kind: {err:?}"
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Seeded mutation/truncation sweep over the full frame corpus.
+    #[test]
+    fn mutated_or_truncated_frames_are_rejected_cleanly_for_every_kind() {
+        let mut rng = XorShiftRng::new(0x5eed_f3a7);
+        let corpus = frame_corpus(&mut rng);
+        for (name, pristine) in &corpus {
+            consume_stream(pristine); // the corpus itself must parse
+            for _ in 0..SWEEP_CASES {
+                let mut bytes = pristine.clone();
+                if rng.gen_bool(0.5) {
+                    // Byte mutation: a guaranteed-nonzero xor somewhere.
+                    let index = gen_index(&mut rng, bytes.len());
+                    let flip = 1 + (rng.next_u64() as u8 % 255);
+                    bytes[index] ^= flip;
+                } else {
+                    // Truncation: cut strictly inside the artifact.
+                    bytes.truncate(gen_index(&mut rng, bytes.len()));
+                }
+                consume_stream(&bytes); // must not panic, ever ({name})
+                let _ = name;
+            }
+        }
+    }
+
+    /// A corrupted length field must be rejected *before* any read or
+    /// allocation proportional to it: the reader behind the frame offers
+    /// infinite bytes, so surviving this test proves the bound.
+    #[test]
+    fn oversized_length_fields_are_rejected_without_allocation() {
+        use std::io::Read;
+        for claimed in [MAX_PAYLOAD + 1, u32::MAX / 2, u32::MAX] {
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(&MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            header.push(FrameKind::Put as u8);
+            header.extend_from_slice(&claimed.to_le_bytes());
+            let mut reader = header.as_slice().chain(std::io::repeat(0xAB));
+            let err = codec::read_frame(&mut reader)
+                .expect_err("an oversized length field must be rejected");
+            assert_eq!(err.kind(), ErrorKind::InvalidData, "claimed {claimed}");
+        }
+    }
+
+    /// The same sweep against the snapshot *file* consumer: a mutated or
+    /// truncated snapshot loads what survives checksum verification and
+    /// counts the rest rejected — or reports a clean error — and a
+    /// truncated stream is never reported complete.
+    #[test]
+    fn mutated_snapshot_files_load_only_verified_entries() {
+        let mut rng = XorShiftRng::new(0x5eed_54a9);
+        let dir = TempDir::new("snapshot-sweep");
+        let source = TrajectoryCache::with_layout(64, 1, 0);
+        for _ in 0..16 {
+            source.insert(sample_entry(&mut rng));
+        }
+        let path = dir.0.join("snapshot.asc");
+        let saved = snapshot::save(&source, &path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        for case in 0..SWEEP_CASES {
+            let mut bytes = pristine.clone();
+            if rng.gen_bool(0.5) {
+                let index = gen_index(&mut rng, bytes.len());
+                bytes[index] ^= 1 + (rng.next_u64() as u8 % 255);
+            } else {
+                bytes.truncate(gen_index(&mut rng, bytes.len()));
+            }
+            let mutated = dir.0.join("mutated.asc");
+            std::fs::write(&mutated, &bytes).unwrap();
+            let target = TrajectoryCache::with_layout(64, 1, 0);
+            match snapshot::load(&target, &mutated) {
+                Ok(load) => {
+                    assert!(
+                        load.loaded <= saved,
+                        "case {case}: loaded more entries than were saved ({load:?})"
+                    );
+                    // Every entry that made it into the cache passed its
+                    // integrity checksum; anything else was counted.
+                    if bytes.len() < pristine.len() {
+                        assert!(
+                            !load.complete || load.rejected > 0 || load.loaded < saved,
+                            "case {case}: a truncated stream claimed completeness ({load:?})"
+                        );
+                    }
+                }
+                Err(err) => assert!(
+                    matches!(err.kind(), ErrorKind::InvalidData | ErrorKind::UnexpectedEof),
+                    "case {case}: unexpected rejection kind: {err:?}"
+                ),
+            }
+        }
+    }
+
+    /// The same sweep against the checkpoint consumer: a damaged newest
+    /// file alone in the directory must load as "no checkpoint" — never a
+    /// wrong state — and with an older intact file present, that file wins.
+    #[test]
+    fn mutated_checkpoint_files_fall_back_to_older_intact_or_none() {
+        let mut rng = XorShiftRng::new(0x5eed_c4e1);
+        let older = sample_checkpoint(&mut rng);
+        let mut newer = sample_checkpoint(&mut rng);
+        newer.sequence = 2;
+        newer.occurrence = 84;
+
+        let dir = TempDir::new("checkpoint-sweep");
+        checkpoint::save(&dir.0, &newer, 4).unwrap();
+        let pristine = std::fs::read(checkpoint::checkpoint_path_for(&dir.0, 2)).unwrap();
+
+        for (with_older, label) in [(false, "alone"), (true, "with-older")] {
+            let dir = TempDir::new(&format!("checkpoint-sweep-{label}"));
+            if with_older {
+                checkpoint::save(&dir.0, &older, 4).unwrap();
+            }
+            let newest = checkpoint::checkpoint_path_for(&dir.0, 2);
+            for case in 0..SWEEP_CASES {
+                let mut bytes = pristine.clone();
+                if rng.gen_bool(0.5) {
+                    let index = gen_index(&mut rng, bytes.len());
+                    bytes[index] ^= 1 + (rng.next_u64() as u8 % 255);
+                } else {
+                    bytes.truncate(gen_index(&mut rng, bytes.len()));
+                }
+                std::fs::write(&newest, &bytes).unwrap();
+                let scan = checkpoint::load_newest(&dir.0, newer.fingerprint);
+                match &scan.checkpoint {
+                    None => assert!(!with_older, "case {case}/{label}: intact older file lost"),
+                    Some(found) => {
+                        assert!(with_older, "case {case}/{label}: damaged file decoded");
+                        assert_eq!(
+                            found, &older,
+                            "case {case}/{label}: fallback returned a wrong checkpoint"
+                        );
+                    }
+                }
+                assert!(scan.rejected_files >= 1, "case {case}/{label}: damage went uncounted");
+            }
+        }
+    }
+}
